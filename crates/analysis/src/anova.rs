@@ -1,0 +1,614 @@
+//! Fixed-effects factorial ANOVA (Appendix B).
+//!
+//! The paper analyses the 2WRS configuration with a full crossed factorial
+//! experiment: every combination of buffer setup, buffer size, input
+//! heuristic and output heuristic is executed with several random seeds and
+//! the number of generated runs is the response variable. The machinery
+//! here reproduces that analysis:
+//!
+//! * [`FactorialData`] — the observations of a (possibly weighted) factorial
+//!   experiment;
+//! * [`FactorialAnova`] — sums of squares for main effects and
+//!   arbitrary-order interactions, F tests, R², the coefficient of
+//!   variation, and residual diagnostics, under either ordinary
+//!   (minimum-least-squares) or weighted-least-squares estimation
+//!   (Appendix B.5);
+//! * [`FactorialAnova::tukey`] — pairwise comparison of the levels of one
+//!   factor with the studentized-range test used in §5.2.5.
+//!
+//! The experiments of Chapter 5 are balanced (same number of replicates in
+//! every cell), for which the classical decomposition used here is exact.
+
+use crate::stats::distributions::{f_distribution_sf, studentized_range_cdf};
+use std::collections::HashMap;
+
+/// One observation of a factorial experiment.
+#[derive(Debug, Clone, PartialEq)]
+struct Observation {
+    levels: Vec<usize>,
+    value: f64,
+    weight: f64,
+}
+
+/// The data of a factorial experiment.
+#[derive(Debug, Clone)]
+pub struct FactorialData {
+    factor_names: Vec<String>,
+    level_names: Vec<Vec<String>>,
+    observations: Vec<Observation>,
+}
+
+impl FactorialData {
+    /// Creates an empty dataset with the given factors and their level
+    /// names.
+    pub fn new(
+        factor_names: Vec<String>,
+        level_names: Vec<Vec<String>>,
+    ) -> Self {
+        assert_eq!(
+            factor_names.len(),
+            level_names.len(),
+            "one level list per factor"
+        );
+        FactorialData {
+            factor_names,
+            level_names,
+            observations: Vec::new(),
+        }
+    }
+
+    /// Number of factors.
+    pub fn num_factors(&self) -> usize {
+        self.factor_names.len()
+    }
+
+    /// Name of factor `f`.
+    pub fn factor_name(&self, f: usize) -> &str {
+        &self.factor_names[f]
+    }
+
+    /// Names of the levels of factor `f`.
+    pub fn levels_of(&self, f: usize) -> &[String] {
+        &self.level_names[f]
+    }
+
+    /// Number of observations recorded.
+    pub fn len(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// `true` when no observation has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.observations.is_empty()
+    }
+
+    /// Records one observation (weight 1).
+    pub fn push(&mut self, levels: Vec<usize>, value: f64) {
+        self.push_weighted(levels, value, 1.0);
+    }
+
+    /// Records one observation with an explicit WLS weight.
+    pub fn push_weighted(&mut self, levels: Vec<usize>, value: f64, weight: f64) {
+        assert_eq!(levels.len(), self.num_factors(), "one level per factor");
+        for (f, level) in levels.iter().enumerate() {
+            assert!(
+                *level < self.level_names[f].len(),
+                "level {level} out of range for factor {}",
+                self.factor_names[f]
+            );
+        }
+        self.observations.push(Observation {
+            levels,
+            value,
+            weight: weight.max(0.0),
+        });
+    }
+
+    /// Replaces every weight by `1 / variance(level of factor f)` — the WLS
+    /// weighting the paper applies when the response variance differs per
+    /// level of one factor (§5.2.5: "The WLS weights are defined as
+    /// w_i = 1/σ_i²").
+    pub fn weight_by_factor_variance(&mut self, factor: usize) {
+        let mut groups: HashMap<usize, Vec<f64>> = HashMap::new();
+        for obs in &self.observations {
+            groups.entry(obs.levels[factor]).or_default().push(obs.value);
+        }
+        let variances: HashMap<usize, f64> = groups
+            .into_iter()
+            .map(|(level, values)| (level, crate::stats::variance(&values)))
+            .collect();
+        for obs in &mut self.observations {
+            let var = variances.get(&obs.levels[factor]).copied().unwrap_or(0.0);
+            obs.weight = if var > 0.0 { 1.0 / var } else { 1.0 };
+        }
+    }
+
+    /// Values grouped by the level of one factor (used for per-level
+    /// summaries and plots such as Figure 5.2).
+    pub fn values_by_level(&self, factor: usize) -> Vec<Vec<f64>> {
+        let mut groups = vec![Vec::new(); self.level_names[factor].len()];
+        for obs in &self.observations {
+            groups[obs.levels[factor]].push(obs.value);
+        }
+        groups
+    }
+
+    fn weighted_grand_mean(&self) -> f64 {
+        let total_weight: f64 = self.observations.iter().map(|o| o.weight).sum();
+        if total_weight == 0.0 {
+            return 0.0;
+        }
+        self.observations
+            .iter()
+            .map(|o| o.weight * o.value)
+            .sum::<f64>()
+            / total_weight
+    }
+}
+
+/// Summary of one model term (a main effect or an interaction).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TermSummary {
+    /// Which factors the term involves (indices into the data's factors).
+    pub factors: Vec<usize>,
+    /// Human-readable name, e.g. `"buffer-size"` or `"input×output"`.
+    pub name: String,
+    /// Sum of squares attributed to the term.
+    pub sum_of_squares: f64,
+    /// Degrees of freedom of the term.
+    pub degrees_of_freedom: f64,
+    /// Mean sum of squares (SS / df).
+    pub mean_square: f64,
+    /// F statistic against the residual mean square.
+    pub f_value: f64,
+    /// Significance (p-value) of the F test.
+    pub significance: f64,
+}
+
+/// The fitted ANOVA model.
+#[derive(Debug, Clone)]
+pub struct AnovaTable {
+    /// Per-term summaries, in the order the terms were requested.
+    pub terms: Vec<TermSummary>,
+    /// Residual (error) sum of squares.
+    pub error_sum_of_squares: f64,
+    /// Residual degrees of freedom.
+    pub error_degrees_of_freedom: f64,
+    /// Residual mean square (the σ̂² of Appendix B.2).
+    pub error_mean_square: f64,
+    /// Total (corrected) sum of squares.
+    pub total_sum_of_squares: f64,
+    /// Coefficient of determination R².
+    pub r_squared: f64,
+    /// Coefficient of variation, in percent (Appendix B.2).
+    pub coefficient_of_variation: f64,
+    /// Weighted grand mean of the response.
+    pub grand_mean: f64,
+}
+
+impl AnovaTable {
+    /// Renders the table in the style of the paper's Tables 5.2–5.11.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<18} {:>14} {:>6} {:>14} {:>12} {:>8}\n",
+            "Factor", "SS", "D.F.", "MSS", "F", "Sig."
+        ));
+        for term in &self.terms {
+            out.push_str(&format!(
+                "{:<18} {:>14.3} {:>6} {:>14.3} {:>12.3} {:>8.3}\n",
+                term.name,
+                term.sum_of_squares,
+                term.degrees_of_freedom,
+                term.mean_square,
+                term.f_value,
+                term.significance
+            ));
+        }
+        out.push_str(&format!(
+            "{:<18} {:>14.3} {:>6} {:>14.3}\n",
+            "Error",
+            self.error_sum_of_squares,
+            self.error_degrees_of_freedom,
+            self.error_mean_square
+        ));
+        out.push_str(&format!(
+            "R^2 = {:.3}   sigma = {:.3}   CV = {:.2}%\n",
+            self.r_squared,
+            self.error_mean_square.sqrt(),
+            self.coefficient_of_variation
+        ));
+        out
+    }
+}
+
+/// Result of a Tukey pairwise comparison between two levels of a factor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TukeyComparison {
+    /// First level index.
+    pub level_a: usize,
+    /// Second level index.
+    pub level_b: usize,
+    /// Difference of the level means (`mean_a - mean_b`).
+    pub mean_difference: f64,
+    /// Studentized range statistic.
+    pub q_statistic: f64,
+    /// Significance of the comparison (p-value of the studentized-range
+    /// test).
+    pub significance: f64,
+}
+
+/// Fixed-effects factorial ANOVA fitter.
+#[derive(Debug, Clone, Default)]
+pub struct FactorialAnova;
+
+impl FactorialAnova {
+    /// Fits the model containing the given terms. Each term is the set of
+    /// factor indices it involves: `vec![0]` is the main effect of factor 0,
+    /// `vec![0, 2]` the first-order interaction of factors 0 and 2, and so
+    /// on.
+    pub fn fit(data: &FactorialData, terms: &[Vec<usize>]) -> AnovaTable {
+        assert!(!data.is_empty(), "cannot fit an ANOVA without observations");
+        let grand_mean = data.weighted_grand_mean();
+        let total_weight: f64 = data.observations.iter().map(|o| o.weight).sum();
+        let total_ss: f64 = data
+            .observations
+            .iter()
+            .map(|o| o.weight * (o.value - grand_mean).powi(2))
+            .sum();
+        let n = data.len() as f64;
+        let _ = total_weight;
+
+        // Effects are computed for the closure of the requested terms under
+        // subset (the standard recursive definition of interaction
+        // effects needs every sub-term).
+        let mut closure: Vec<Vec<usize>> = Vec::new();
+        for term in terms {
+            let mut sorted = term.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            for subset in non_empty_subsets(&sorted) {
+                if !closure.contains(&subset) {
+                    closure.push(subset);
+                }
+            }
+        }
+        closure.sort_by_key(Vec::len);
+
+        // effect[term] maps a level combination (restricted to the term's
+        // factors) to its effect estimate.
+        let mut effects: HashMap<Vec<usize>, HashMap<Vec<usize>, f64>> = HashMap::new();
+        for term in &closure {
+            let mut sums: HashMap<Vec<usize>, (f64, f64)> = HashMap::new();
+            for obs in &data.observations {
+                let key: Vec<usize> = term.iter().map(|f| obs.levels[*f]).collect();
+                let entry = sums.entry(key).or_insert((0.0, 0.0));
+                entry.0 += obs.weight * obs.value;
+                entry.1 += obs.weight;
+            }
+            let mut term_effects = HashMap::new();
+            for (key, (weighted_sum, weight)) in sums {
+                let cell_mean = if weight > 0.0 { weighted_sum / weight } else { 0.0 };
+                // Subtract the grand mean and every lower-order effect.
+                let mut effect = cell_mean - grand_mean;
+                for subset in non_empty_subsets(term) {
+                    if subset == *term {
+                        continue;
+                    }
+                    let sub_key: Vec<usize> = subset
+                        .iter()
+                        .map(|f| key[term.iter().position(|t| t == f).expect("subset of term")])
+                        .collect();
+                    if let Some(sub_effects) = effects.get(&subset) {
+                        effect -= sub_effects.get(&sub_key).copied().unwrap_or(0.0);
+                    }
+                }
+                term_effects.insert(key, effect);
+            }
+            effects.insert(term.clone(), term_effects);
+        }
+
+        // Sums of squares per requested term.
+        let mut summaries = Vec::new();
+        let mut model_ss = 0.0;
+        let mut model_df = 0.0;
+        for term in terms {
+            let mut sorted = term.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            let term_effects = &effects[&sorted];
+            let ss: f64 = data
+                .observations
+                .iter()
+                .map(|obs| {
+                    let key: Vec<usize> = sorted.iter().map(|f| obs.levels[*f]).collect();
+                    let effect = term_effects.get(&key).copied().unwrap_or(0.0);
+                    obs.weight * effect * effect
+                })
+                .sum();
+            let df: f64 = sorted
+                .iter()
+                .map(|f| (data.levels_of(*f).len().max(1) - 1) as f64)
+                .product();
+            model_ss += ss;
+            model_df += df;
+            summaries.push((sorted, ss, df));
+        }
+
+        let error_ss = (total_ss - model_ss).max(0.0);
+        let error_df = (n - 1.0 - model_df).max(1.0);
+        let error_ms = error_ss / error_df;
+
+        let terms: Vec<TermSummary> = summaries
+            .into_iter()
+            .map(|(factors, ss, df)| {
+                let ms = if df > 0.0 { ss / df } else { 0.0 };
+                let f_value = if error_ms > 0.0 { ms / error_ms } else { f64::INFINITY };
+                let significance = f_distribution_sf(f_value, df, error_df);
+                let name = factors
+                    .iter()
+                    .map(|f| data.factor_name(*f).to_string())
+                    .collect::<Vec<_>>()
+                    .join("×");
+                TermSummary {
+                    factors,
+                    name,
+                    sum_of_squares: ss,
+                    degrees_of_freedom: df,
+                    mean_square: ms,
+                    f_value,
+                    significance,
+                }
+            })
+            .collect();
+
+        let r_squared = if total_ss > 0.0 {
+            1.0 - error_ss / total_ss
+        } else {
+            1.0
+        };
+        let coefficient_of_variation = if grand_mean.abs() > f64::EPSILON {
+            100.0 * error_ms.sqrt() / grand_mean.abs()
+        } else {
+            0.0
+        };
+
+        AnovaTable {
+            terms,
+            error_sum_of_squares: error_ss,
+            error_degrees_of_freedom: error_df,
+            error_mean_square: error_ms,
+            total_sum_of_squares: total_ss,
+            r_squared,
+            coefficient_of_variation,
+            grand_mean,
+        }
+    }
+
+    /// Tukey pairwise comparisons of the levels of `factor`, using the
+    /// residual mean square of a previously fitted model.
+    pub fn tukey(data: &FactorialData, factor: usize, table: &AnovaTable) -> Vec<TukeyComparison> {
+        let groups = data.values_by_level(factor);
+        let k = groups.iter().filter(|g| !g.is_empty()).count();
+        let mut comparisons = Vec::new();
+        for a in 0..groups.len() {
+            for b in (a + 1)..groups.len() {
+                if groups[a].is_empty() || groups[b].is_empty() {
+                    continue;
+                }
+                let mean_a = crate::stats::mean(&groups[a]);
+                let mean_b = crate::stats::mean(&groups[b]);
+                let n_a = groups[a].len() as f64;
+                let n_b = groups[b].len() as f64;
+                let standard_error =
+                    (table.error_mean_square / 2.0 * (1.0 / n_a + 1.0 / n_b)).sqrt();
+                let q = if standard_error > 0.0 {
+                    (mean_a - mean_b).abs() / standard_error
+                } else if mean_a == mean_b {
+                    0.0
+                } else {
+                    f64::INFINITY
+                };
+                let significance = 1.0 - studentized_range_cdf(q, k.max(2));
+                comparisons.push(TukeyComparison {
+                    level_a: a,
+                    level_b: b,
+                    mean_difference: mean_a - mean_b,
+                    q_statistic: q,
+                    significance,
+                });
+            }
+        }
+        comparisons
+    }
+}
+
+/// Every non-empty subset of `set` (which must be sorted and deduplicated).
+fn non_empty_subsets(set: &[usize]) -> Vec<Vec<usize>> {
+    let mut subsets = Vec::new();
+    let n = set.len();
+    for mask in 1u32..(1 << n) {
+        let subset: Vec<usize> = (0..n).filter(|i| mask & (1 << i) != 0).map(|i| set[i]).collect();
+        subsets.push(subset);
+    }
+    subsets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a 2×3 balanced factorial with additive effects and no noise:
+    /// y = 10 + a_i + b_j with a = [-2, 2], b = [-3, 0, 3], 2 replicates.
+    fn additive_two_by_three() -> FactorialData {
+        let mut data = FactorialData::new(
+            vec!["A".into(), "B".into()],
+            vec![
+                vec!["a0".into(), "a1".into()],
+                vec!["b0".into(), "b1".into(), "b2".into()],
+            ],
+        );
+        let a = [-2.0, 2.0];
+        let b = [-3.0, 0.0, 3.0];
+        for (i, ai) in a.iter().enumerate() {
+            for (j, bj) in b.iter().enumerate() {
+                for _ in 0..2 {
+                    data.push(vec![i, j], 10.0 + ai + bj);
+                }
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn additive_model_is_fully_explained() {
+        let data = additive_two_by_three();
+        let table = FactorialAnova::fit(&data, &[vec![0], vec![1], vec![0, 1]]);
+        // SS_A = N_per_level_sum: each a_i appears 6 times → 6*(4+4) = 48.
+        assert!((table.terms[0].sum_of_squares - 48.0).abs() < 1e-9);
+        // SS_B = 4 * (9 + 0 + 9) = 72.
+        assert!((table.terms[1].sum_of_squares - 72.0).abs() < 1e-9);
+        // Purely additive: the interaction SS is zero.
+        assert!(table.terms[2].sum_of_squares.abs() < 1e-9);
+        // And the model explains everything.
+        assert!(table.error_sum_of_squares.abs() < 1e-9);
+        assert!((table.r_squared - 1.0).abs() < 1e-12);
+        assert_eq!(table.terms[0].degrees_of_freedom, 1.0);
+        assert_eq!(table.terms[1].degrees_of_freedom, 2.0);
+        assert_eq!(table.terms[2].degrees_of_freedom, 2.0);
+    }
+
+    #[test]
+    fn interaction_is_detected() {
+        // y = 10 + 5 * [i == j] for a 2×2 design: pure interaction.
+        let mut data = FactorialData::new(
+            vec!["A".into(), "B".into()],
+            vec![vec!["0".into(), "1".into()], vec!["0".into(), "1".into()]],
+        );
+        for i in 0..2 {
+            for j in 0..2 {
+                for r in 0..3 {
+                    let noise = (r as f64 - 1.0) * 0.01;
+                    let value = 10.0 + if i == j { 5.0 } else { 0.0 } + noise;
+                    data.push(vec![i, j], value);
+                }
+            }
+        }
+        let table = FactorialAnova::fit(&data, &[vec![0], vec![1], vec![0, 1]]);
+        let main_a = &table.terms[0];
+        let interaction = &table.terms[2];
+        assert!(main_a.sum_of_squares < 1e-6);
+        assert!(interaction.sum_of_squares > 70.0);
+        assert!(interaction.significance < 0.001);
+        assert!(main_a.significance > 0.5);
+    }
+
+    #[test]
+    fn noise_only_data_has_insignificant_factors() {
+        let mut data = FactorialData::new(
+            vec!["A".into()],
+            vec![vec!["0".into(), "1".into(), "2".into()]],
+        );
+        // A fixed pseudo-random sequence with no factor effect.
+        let noise = [
+            0.12, -0.7, 0.43, 0.9, -0.55, 0.31, -0.2, 0.05, -0.83, 0.64, 0.27, -0.44,
+        ];
+        for (i, n) in noise.iter().enumerate() {
+            data.push(vec![i % 3], 5.0 + n);
+        }
+        let table = FactorialAnova::fit(&data, &[vec![0]]);
+        assert!(table.terms[0].significance > 0.05);
+        assert!(table.r_squared < 0.5);
+    }
+
+    #[test]
+    fn one_way_anova_matches_hand_computation() {
+        // Three groups with obvious separation.
+        let mut data = FactorialData::new(
+            vec!["group".into()],
+            vec![vec!["g0".into(), "g1".into(), "g2".into()]],
+        );
+        let groups = [[1.0, 2.0, 3.0], [4.0, 5.0, 6.0], [7.0, 8.0, 9.0]];
+        for (g, values) in groups.iter().enumerate() {
+            for v in values {
+                data.push(vec![g], *v);
+            }
+        }
+        let table = FactorialAnova::fit(&data, &[vec![0]]);
+        // Grand mean 5; SS_between = 3*((2-5)^2 + 0 + (8-5)^2) = 54;
+        // SS_within = 3 * 2 = 6; F = (54/2) / (6/6) = 27.
+        assert!((table.grand_mean - 5.0).abs() < 1e-12);
+        assert!((table.terms[0].sum_of_squares - 54.0).abs() < 1e-9);
+        assert!((table.error_sum_of_squares - 6.0).abs() < 1e-9);
+        assert!((table.terms[0].f_value - 27.0).abs() < 1e-9);
+        assert!(table.terms[0].significance < 0.01);
+    }
+
+    #[test]
+    fn weights_shift_the_grand_mean() {
+        let mut data = FactorialData::new(
+            vec!["A".into()],
+            vec![vec!["0".into(), "1".into()]],
+        );
+        data.push_weighted(vec![0], 10.0, 1.0);
+        data.push_weighted(vec![1], 20.0, 3.0);
+        let table = FactorialAnova::fit(&data, &[vec![0]]);
+        assert!((table.grand_mean - 17.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_by_factor_variance_downweights_noisy_levels() {
+        let mut data = FactorialData::new(
+            vec!["A".into()],
+            vec![vec!["quiet".into(), "noisy".into()]],
+        );
+        for v in [10.0, 10.1, 9.9, 10.05] {
+            data.push(vec![0], v);
+        }
+        for v in [50.0, 10.0, 90.0, 30.0] {
+            data.push(vec![1], v);
+        }
+        data.weight_by_factor_variance(0);
+        let quiet_weight = data.observations[0].weight;
+        let noisy_weight = data.observations[4].weight;
+        assert!(quiet_weight > noisy_weight * 10.0);
+    }
+
+    #[test]
+    fn tukey_separates_different_levels_only() {
+        let mut data = FactorialData::new(
+            vec!["A".into()],
+            vec![vec!["low".into(), "also-low".into(), "high".into()]],
+        );
+        for r in 0..10 {
+            let jitter = (r as f64) * 0.01;
+            data.push(vec![0], 10.0 + jitter);
+            data.push(vec![1], 10.02 + jitter);
+            data.push(vec![2], 20.0 + jitter);
+        }
+        let table = FactorialAnova::fit(&data, &[vec![0]]);
+        let comparisons = FactorialAnova::tukey(&data, 0, &table);
+        assert_eq!(comparisons.len(), 3);
+        let low_vs_also_low = &comparisons[0];
+        let low_vs_high = &comparisons[1];
+        assert!(low_vs_also_low.significance > 0.05);
+        assert!(low_vs_high.significance < 0.01);
+    }
+
+    #[test]
+    fn table_renders_as_text() {
+        let data = additive_two_by_three();
+        let table = FactorialAnova::fit(&data, &[vec![0], vec![1]]);
+        let text = table.to_text();
+        assert!(text.contains("Factor"));
+        assert!(text.contains('A'));
+        assert!(text.contains("R^2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit an ANOVA without observations")]
+    fn empty_data_panics() {
+        let data = FactorialData::new(vec!["A".into()], vec![vec!["0".into()]]);
+        FactorialAnova::fit(&data, &[vec![0]]);
+    }
+}

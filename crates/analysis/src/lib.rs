@@ -1,0 +1,33 @@
+//! Analytical and statistical toolkit for the 2WRS evaluation.
+//!
+//! The paper supports its claims with three kinds of analysis, all
+//! reproduced by this crate:
+//!
+//! * **Statistical models (Chapter 5, Appendix B)** — a full crossed
+//!   factorial experiment over the 2WRS configuration factors analysed with
+//!   fixed-effects ANOVA: sums of squares with arbitrary-order interaction
+//!   terms, F significance tests, R² and coefficient-of-variation model
+//!   quality measures, weighted-least-squares refits when homoscedasticity
+//!   fails and Tukey-style pairwise comparisons of factor levels
+//!   ([`anova`], [`stats`], [`doe`]).
+//! * **A continuous model of replacement selection (§3.6)** — the snowplow
+//!   system of differential equations for the memory-content density
+//!   `m(x, t)` and output position `p(t)`, integrated numerically to show
+//!   convergence to the stable `2 − 2x` profile and the 2×-memory run
+//!   length ([`model`]).
+//! * **Closed-form results (§3.5, §5.1)** — the expected run lengths of RS
+//!   and 2WRS on the structured inputs (Theorems 1–7), used as oracles by
+//!   the test-suite and by the experiment harness ([`theory`]).
+
+#![warn(missing_docs)]
+
+pub mod anova;
+pub mod doe;
+pub mod model;
+pub mod stats;
+pub mod theory;
+
+pub use anova::{AnovaTable, FactorialAnova, FactorialData, TermSummary, TukeyComparison};
+pub use doe::{paper_factorial_experiment, ExperimentPoint, FactorLevels, PaperFactors};
+pub use model::{SnowplowModel, SnowplowSnapshot};
+pub use theory::{rs_expected_relative_run_length, twrs_expected_relative_run_length, Expectation};

@@ -1,0 +1,73 @@
+//! Descriptive statistics helpers.
+
+/// Arithmetic mean (0 for an empty slice).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Sample variance with Bessel's correction (0 for fewer than two values).
+pub fn variance(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(values: &[f64]) -> f64 {
+    variance(values).sqrt()
+}
+
+/// Quantile by linear interpolation between order statistics
+/// (`q` in `[0, 1]`).
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lower = pos.floor() as usize;
+    let upper = pos.ceil() as usize;
+    if lower == upper {
+        sorted[lower]
+    } else {
+        let frac = pos - lower as f64;
+        sorted[lower] * (1.0 - frac) + sorted[upper] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&values) - 5.0).abs() < 1e-12);
+        assert!((variance(&values) - 32.0 / 7.0).abs() < 1e-12);
+        assert!((std_dev(&values) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton_edge_cases() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[3.0]), 0.0);
+        assert_eq!(quantile(&[], 0.5), 0.0);
+        assert_eq!(quantile(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let values = [1.0, 2.0, 3.0, 4.0];
+        assert!((quantile(&values, 0.0) - 1.0).abs() < 1e-12);
+        assert!((quantile(&values, 1.0) - 4.0).abs() < 1e-12);
+        assert!((quantile(&values, 0.5) - 2.5).abs() < 1e-12);
+        assert!((quantile(&values, 0.25) - 1.75).abs() < 1e-12);
+    }
+}

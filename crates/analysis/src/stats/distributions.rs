@@ -1,0 +1,152 @@
+//! Probability distributions needed by the ANOVA: the F distribution for
+//! factor significance (Appendix B.4), Student's t for simple pairwise
+//! comparisons, the standard normal and the studentized range used by
+//! Tukey's test (§5.2.5).
+
+use super::special::regularized_incomplete_beta;
+
+/// Survival function `P(F > f)` of the Fisher–Snedecor distribution with
+/// `d1` and `d2` degrees of freedom — the p-value of an ANOVA F test.
+pub fn f_distribution_sf(f: f64, d1: f64, d2: f64) -> f64 {
+    if f <= 0.0 {
+        return 1.0;
+    }
+    if !f.is_finite() {
+        return 0.0;
+    }
+    let x = d2 / (d2 + d1 * f);
+    regularized_incomplete_beta(d2 / 2.0, d1 / 2.0, x).clamp(0.0, 1.0)
+}
+
+/// Two-sided survival function `P(|T| > t)` of Student's t distribution
+/// with `df` degrees of freedom.
+pub fn student_t_sf(t: f64, df: f64) -> f64 {
+    let t = t.abs();
+    if !t.is_finite() {
+        return 0.0;
+    }
+    let x = df / (df + t * t);
+    regularized_incomplete_beta(df / 2.0, 0.5, x).clamp(0.0, 1.0)
+}
+
+/// Probability density of the standard normal distribution.
+pub fn normal_pdf(z: f64) -> f64 {
+    (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Cumulative distribution of the standard normal (Abramowitz–Stegun 7.1.26
+/// style erf approximation, |error| < 1.5e-7).
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Cumulative distribution of the studentized range `Q` for `k` groups with
+/// a large (effectively infinite) error degree of freedom:
+///
+/// `P(Q ≤ q) = k ∫ φ(z) [Φ(z) − Φ(z − q)]^{k−1} dz`
+///
+/// The 2WRS experiments have thousands of residual degrees of freedom, so
+/// the infinite-df form is an excellent approximation for the Tukey pairwise
+/// tests of §5.2.5–§5.2.6.
+pub fn studentized_range_cdf(q: f64, k: usize) -> f64 {
+    if q <= 0.0 {
+        return 0.0;
+    }
+    if k < 2 {
+        return 1.0;
+    }
+    // Numerical integration over z with Simpson's rule on [-8, 8].
+    let steps = 2_000usize;
+    let (lo, hi) = (-8.0f64, 8.0f64);
+    let h = (hi - lo) / steps as f64;
+    let integrand = |z: f64| -> f64 {
+        let inner = normal_cdf(z) - normal_cdf(z - q);
+        normal_pdf(z) * inner.powi(k as i32 - 1)
+    };
+    let mut sum = integrand(lo) + integrand(hi);
+    for i in 1..steps {
+        let z = lo + i as f64 * h;
+        sum += integrand(z) * if i % 2 == 1 { 4.0 } else { 2.0 };
+    }
+    (k as f64 * sum * h / 3.0).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn f_sf_matches_reference_values() {
+        // Reference values from standard F tables.
+        assert!(close(f_distribution_sf(1.0, 1.0, 1.0), 0.5, 1e-9));
+        // P(F_{3,10} > 3.7083) ≈ 0.05.
+        assert!(close(f_distribution_sf(3.7083, 3.0, 10.0), 0.05, 2e-3));
+        // P(F_{5,20} > 2.7109) ≈ 0.05.
+        assert!(close(f_distribution_sf(2.7109, 5.0, 20.0), 0.05, 2e-3));
+        // Huge F values are essentially impossible under H0.
+        assert!(f_distribution_sf(1_000.0, 3.0, 1_000.0) < 1e-12);
+    }
+
+    #[test]
+    fn f_sf_is_monotone_decreasing() {
+        let mut last = 1.0;
+        for i in 1..50 {
+            let f = i as f64 * 0.25;
+            let p = f_distribution_sf(f, 4.0, 30.0);
+            assert!(p <= last + 1e-12);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn student_t_matches_reference_values() {
+        // Two-sided p for t = 2.228, df = 10 is 0.05.
+        assert!(close(student_t_sf(2.228, 10.0), 0.05, 2e-3));
+        // Symmetric in the sign of t.
+        assert!(close(student_t_sf(-2.228, 10.0), student_t_sf(2.228, 10.0), 1e-12));
+        // t = 0 has p = 1.
+        assert!(close(student_t_sf(0.0, 5.0), 1.0, 1e-12));
+    }
+
+    #[test]
+    fn normal_cdf_reference_values() {
+        assert!(close(normal_cdf(0.0), 0.5, 1e-9));
+        assert!(close(normal_cdf(1.959_964), 0.975, 1e-4));
+        assert!(close(normal_cdf(-1.959_964), 0.025, 1e-4));
+    }
+
+    #[test]
+    fn studentized_range_reference_values() {
+        // Critical values for alpha = 0.05, infinite df: q(2) = 2.772,
+        // q(3) = 3.314, q(5) = 3.858 (standard tables).
+        assert!(close(studentized_range_cdf(2.772, 2), 0.95, 5e-3));
+        assert!(close(studentized_range_cdf(3.314, 3), 0.95, 5e-3));
+        assert!(close(studentized_range_cdf(3.858, 5), 0.95, 5e-3));
+    }
+
+    #[test]
+    fn studentized_range_is_monotone_in_q() {
+        let mut last = 0.0;
+        for i in 0..40 {
+            let q = i as f64 * 0.2;
+            let p = studentized_range_cdf(q, 4);
+            assert!(p >= last - 1e-12);
+            last = p;
+        }
+        assert!(last > 0.99);
+    }
+}

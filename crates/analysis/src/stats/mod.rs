@@ -1,0 +1,11 @@
+//! Statistical primitives used by the ANOVA machinery.
+
+pub mod descriptive;
+pub mod distributions;
+pub mod special;
+
+pub use descriptive::{mean, quantile, std_dev, variance};
+pub use distributions::{
+    f_distribution_sf, normal_cdf, normal_pdf, studentized_range_cdf, student_t_sf,
+};
+pub use special::{ln_gamma, regularized_incomplete_beta};

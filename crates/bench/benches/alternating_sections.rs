@@ -1,0 +1,50 @@
+//! Criterion bench behind Figure 6.6: sorting alternating input with a
+//! varying number of monotone sections.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use twrs_core::{TwoWayReplacementSelection, TwrsConfig};
+use twrs_extsort::{ExternalSorter, ReplacementSelection, RunGenerator, SorterConfig};
+use twrs_storage::SimDevice;
+use twrs_workloads::{Distribution, DistributionKind};
+
+const RECORDS: u64 = 20_000;
+const MEMORY: usize = 200;
+
+fn sort<G: RunGenerator>(generator: G, sections: u32) -> u64 {
+    let device = SimDevice::new();
+    let mut sorter = ExternalSorter::with_config(generator, SorterConfig::default());
+    let mut input =
+        Distribution::new(DistributionKind::Alternating { sections }, RECORDS, 1).records();
+    sorter
+        .sort_iter(&device, &mut input, "out")
+        .expect("sort succeeds")
+        .records
+}
+
+fn bench_alternating(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure_6_6_alternating_sections");
+    group.sample_size(10);
+    for sections in [2u32, 10, 50, 200] {
+        group.bench_with_input(
+            BenchmarkId::new("rs", sections),
+            &sections,
+            |b, sections| b.iter(|| sort(ReplacementSelection::new(MEMORY), *sections)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("twrs", sections),
+            &sections,
+            |b, sections| {
+                b.iter(|| {
+                    sort(
+                        TwoWayReplacementSelection::new(TwrsConfig::recommended(MEMORY)),
+                        *sections,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_alternating);
+criterion_main!(benches);

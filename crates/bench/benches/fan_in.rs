@@ -1,0 +1,25 @@
+//! Criterion bench behind Figure 6.1: the k-way merge at several fan-ins.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use twrs_bench::experiments::fan_in::{measure, FanInExperiment};
+
+fn bench_fan_in(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure_6_1_fan_in");
+    group.sample_size(10);
+    for fan_in in [2usize, 5, 10, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(fan_in), &fan_in, |b, fan_in| {
+            b.iter(|| {
+                measure(FanInExperiment {
+                    runs: 24,
+                    records_per_run: 1_024,
+                    total_read_ahead_records: 2_048,
+                    fan_ins: *fan_in..=*fan_in,
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fan_in);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench of the run-generation algorithms alone (Figure 5.4
+//! context): RS, LSS and 2WRS with different buffer sizes on random input.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use twrs_core::{BufferSetup, TwoWayReplacementSelection, TwrsConfig};
+use twrs_extsort::{LoadSortStore, ReplacementSelection, RunGenerator};
+use twrs_storage::{SimDevice, SpillNamer};
+use twrs_workloads::{Distribution, DistributionKind};
+
+const RECORDS: u64 = 20_000;
+const MEMORY: usize = 500;
+
+fn generate<G: RunGenerator>(mut generator: G) -> usize {
+    let device = SimDevice::new();
+    let namer = SpillNamer::new("bench");
+    let mut input = Distribution::new(DistributionKind::RandomUniform, RECORDS, 1).records();
+    generator
+        .generate(&device, &namer, &mut input)
+        .expect("run generation succeeds")
+        .num_runs()
+}
+
+fn bench_run_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("run_generation_random");
+    group.throughput(Throughput::Elements(RECORDS));
+    group.sample_size(10);
+
+    group.bench_function("load_sort_store", |b| {
+        b.iter(|| generate(LoadSortStore::new(MEMORY)))
+    });
+    group.bench_function("replacement_selection", |b| {
+        b.iter(|| generate(ReplacementSelection::new(MEMORY)))
+    });
+    for fraction in [0.002, 0.02, 0.2] {
+        group.bench_with_input(
+            BenchmarkId::new("twrs_buffer_fraction", fraction),
+            &fraction,
+            |b, fraction| {
+                b.iter(|| {
+                    generate(TwoWayReplacementSelection::new(
+                        TwrsConfig::recommended(MEMORY)
+                            .with_buffers(BufferSetup::Both, *fraction),
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_run_generation);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench behind Table 5.13: run generation of RS vs 2WRS on each
+//! input distribution, measuring throughput at micro scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use twrs_bench::experiments::run_length;
+use twrs_bench::Scale;
+use twrs_workloads::DistributionKind;
+
+fn bench_run_length(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table_5_13_run_length");
+    group.sample_size(10);
+    let scale = Scale {
+        records: 10_000,
+        memory: 250,
+        replicates: 1,
+    };
+    for kind in DistributionKind::paper_set() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, kind| b.iter(|| run_length::measure_row(*kind, scale)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_run_length);
+criterion_main!(benches);

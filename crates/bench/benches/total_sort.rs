@@ -1,0 +1,61 @@
+//! Criterion bench behind Figures 6.2–6.5 and 6.7: end-to-end sorting
+//! (run generation + merge) of RS vs 2WRS per input distribution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use twrs_core::{TwoWayReplacementSelection, TwrsConfig};
+use twrs_extsort::{ExternalSorter, MergeConfig, ReplacementSelection, RunGenerator, SorterConfig};
+use twrs_storage::SimDevice;
+use twrs_workloads::{Distribution, DistributionKind};
+
+const RECORDS: u64 = 20_000;
+const MEMORY: usize = 400;
+
+fn sort<G: RunGenerator>(generator: G, kind: DistributionKind) -> u64 {
+    let device = SimDevice::new();
+    let config = SorterConfig {
+        merge: MergeConfig {
+            fan_in: 10,
+            read_ahead_records: 256,
+        },
+        verify: false,
+    };
+    let mut sorter = ExternalSorter::with_config(generator, config);
+    let mut input = Distribution::new(kind, RECORDS, 1).records();
+    sorter
+        .sort_iter(&device, &mut input, "out")
+        .expect("sort succeeds")
+        .records
+}
+
+fn bench_total_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("total_sort");
+    group.throughput(Throughput::Elements(RECORDS));
+    group.sample_size(10);
+    for kind in [
+        DistributionKind::RandomUniform,
+        DistributionKind::MixedBalanced,
+        DistributionKind::ReverseSorted,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("rs", kind.label()),
+            &kind,
+            |b, kind| b.iter(|| sort(ReplacementSelection::new(MEMORY), *kind)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("twrs", kind.label()),
+            &kind,
+            |b, kind| {
+                b.iter(|| {
+                    sort(
+                        TwoWayReplacementSelection::new(TwrsConfig::recommended(MEMORY)),
+                        *kind,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_total_sort);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Runs every experiment at a reduced scale and prints the full set of
+//! paper-style tables — the quickest way to regenerate the material of
+//! EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run -p twrs-bench --release --bin all_experiments -- [--scale laptop|quick|paper]
+//! ```
+
+use twrs_analysis::doe::PaperFactors;
+use twrs_bench::experiments::{anova, buffer_sweep, fan_in, merge_phase, model, run_length, timing};
+use twrs_bench::Scale;
+use twrs_workloads::DistributionKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+
+    println!(
+        "# 2WRS reproduction — all experiments ({} records, {} memory)\n",
+        scale.records, scale.memory
+    );
+
+    // Table 2.1.
+    print!("{}", merge_phase::table_2_1().render());
+    println!();
+
+    // Figure 3.8.
+    print!("{}", model::render(&model::simulate(256, 4)).render());
+    println!();
+
+    // Table 5.13.
+    let rows = run_length::measure_table(scale);
+    print!("{}", run_length::render(&rows, scale).render());
+    println!();
+
+    // Figure 5.4.
+    let points = buffer_sweep::measure(scale, &buffer_sweep::paper_fractions());
+    print!("{}", buffer_sweep::render(&points).render());
+    println!();
+
+    // Chapter 5 ANOVA (reduced factor grid, mixed input — the interesting
+    // case).
+    let factors = PaperFactors::reduced();
+    let experiment = anova::run(
+        DistributionKind::MixedBalanced,
+        scale.records.min(20_000),
+        scale.memory.min(500),
+        &factors,
+    );
+    println!(
+        "{}",
+        anova::render_model(
+            "Chapter 5 main-effects model (mixed input, reduced grid)",
+            &experiment.main_effects
+        )
+    );
+
+    // Figure 6.1.
+    let fan_points = fan_in::measure(Default::default());
+    print!("{}", fan_in::render(&fan_points).render());
+    if let Some(best) = fan_in::optimum(&fan_points) {
+        println!("optimal fan-in: {best}");
+    }
+    println!();
+
+    // Figures 6.2–6.7.
+    for figure in timing::TimingFigure::all() {
+        let points = timing::measure(figure, scale.records, scale.memory);
+        print!("{}", timing::render(figure, &points).render());
+        println!();
+    }
+}

@@ -1,0 +1,69 @@
+//! Regenerates the Chapter 5 statistical analysis: the crossed factorial
+//! experiment, its ANOVA models (Tables 5.2–5.11), the Tukey pairwise
+//! comparisons and the Figure 5.2 summary.
+//!
+//! ```text
+//! cargo run -p twrs-bench --release --bin anova_experiments -- \
+//!     [--input random|mixed|mixed-imbalanced|...] [--full] [--figure-5-2] [--scale ...]
+//! ```
+//!
+//! `--full` uses the paper's complete factor grid (360 configurations × 5
+//! seeds); the default reduced grid finishes in seconds.
+
+use twrs_analysis::doe::PaperFactors;
+use twrs_bench::experiments::{anova, parse_distribution};
+use twrs_bench::Scale;
+use twrs_workloads::DistributionKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    let factors = if args.iter().any(|a| a == "--full") {
+        PaperFactors::default()
+    } else {
+        PaperFactors::reduced()
+    };
+    let kind = args
+        .iter()
+        .position(|a| a == "--input")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|name| parse_distribution(name))
+        .unwrap_or(DistributionKind::RandomUniform);
+
+    if args.iter().any(|a| a == "--figure-5-2") {
+        print!(
+            "{}",
+            anova::figure_5_2(scale.records, scale.memory, &factors).render()
+        );
+        return;
+    }
+
+    eprintln!(
+        "factorial experiment on {} input: {} executions of {} records / {} memory ...",
+        kind.label(),
+        factors.executions(),
+        scale.records,
+        scale.memory
+    );
+    let experiment = anova::run(kind, scale.records, scale.memory, &factors);
+    println!(
+        "{}",
+        anova::render_model(
+            &format!("Main-effects model ({} input)", kind.label()),
+            &experiment.main_effects
+        )
+    );
+    println!(
+        "{}",
+        anova::render_model(
+            &format!(
+                "First-order interaction model with WLS weights ({} input)",
+                kind.label()
+            ),
+            &experiment.interactions_wls
+        )
+    );
+    // Tukey comparisons for the two heuristic factors, as in §5.2.5.
+    print!("{}", anova::tukey_table(&experiment, 2).render());
+    print!("{}", anova::tukey_table(&experiment, 3).render());
+}

@@ -1,0 +1,20 @@
+//! Regenerates Figure 5.4: run length as a function of the buffer size for
+//! random input.
+//!
+//! ```text
+//! cargo run -p twrs-bench --release --bin buffer_size_sweep -- [--scale ...]
+//! ```
+
+use twrs_bench::experiments::buffer_sweep;
+use twrs_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    eprintln!(
+        "sweeping buffer sizes at {} records / {} memory ...",
+        scale.records, scale.memory
+    );
+    let points = buffer_sweep::measure(scale, &buffer_sweep::paper_fractions());
+    print!("{}", buffer_sweep::render(&points).render());
+}

@@ -1,0 +1,40 @@
+//! Regenerates Figure 6.1 (merge time as a function of the fan-in).
+//!
+//! ```text
+//! cargo run -p twrs-bench --release --bin fan_in_analysis -- [--runs N] [--records-per-run M]
+//! ```
+
+use twrs_bench::experiments::fan_in::{self, FanInExperiment};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiment = FanInExperiment::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--runs" if i + 1 < args.len() => {
+                if let Ok(n) = args[i + 1].parse() {
+                    experiment.runs = n;
+                }
+                i += 1;
+            }
+            "--records-per-run" if i + 1 < args.len() => {
+                if let Ok(n) = args[i + 1].parse() {
+                    experiment.records_per_run = n;
+                }
+                i += 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    eprintln!(
+        "merging {} runs of {} records with fan-ins {:?} ...",
+        experiment.runs, experiment.records_per_run, experiment.fan_ins
+    );
+    let points = fan_in::measure(experiment);
+    print!("{}", fan_in::render(&points).render());
+    if let Some(best) = fan_in::optimum(&points) {
+        println!("optimal fan-in: {best} (the paper measured 10 on its hardware)");
+    }
+}

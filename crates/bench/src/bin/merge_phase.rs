@@ -1,0 +1,25 @@
+//! Regenerates Table 2.1 (polyphase merge scheduling) and compares the
+//! polyphase and multi-pass k-way merge strategies on the same run set.
+//!
+//! ```text
+//! cargo run -p twrs-bench --release --bin merge_phase -- [--runs N] [--records-per-run M]
+//! ```
+
+use twrs_bench::experiments::merge_phase;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str, default: u64| -> u64 {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    print!("{}", merge_phase::table_2_1().render());
+    println!();
+    let runs = get("--runs", 40) as usize;
+    let records_per_run = get("--records-per-run", 2_048);
+    let comparison = merge_phase::compare(runs, records_per_run);
+    print!("{}", merge_phase::render_comparison(&comparison).render());
+}

@@ -1,0 +1,20 @@
+//! Regenerates Table 5.13 (average run length relative to memory for RS,
+//! LSS and three 2WRS configurations on the six input distributions).
+//!
+//! ```text
+//! cargo run -p twrs-bench --release --bin run_length_table -- [--scale laptop|quick|paper]
+//! ```
+
+use twrs_bench::experiments::run_length;
+use twrs_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    eprintln!(
+        "measuring run lengths at {} records / {} memory records ...",
+        scale.records, scale.memory
+    );
+    let rows = run_length::measure_table(scale);
+    print!("{}", run_length::render(&rows, scale).render());
+}

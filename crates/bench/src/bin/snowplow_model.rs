@@ -1,0 +1,23 @@
+//! Regenerates Figure 3.8: the numerical solution of the replacement
+//! selection model converging to the stable 2 − 2x density.
+//!
+//! ```text
+//! cargo run -p twrs-bench --release --bin snowplow_model -- [--runs N] [--cells C]
+//! ```
+
+use twrs_bench::experiments::model;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str, default: usize| -> usize {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let runs = get("--runs", 4);
+    let cells = get("--cells", 256);
+    let snapshots = model::simulate(cells, runs);
+    print!("{}", model::render(&snapshots).render());
+}

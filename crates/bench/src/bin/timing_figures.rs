@@ -1,0 +1,35 @@
+//! Regenerates the timing figures of Chapter 6 (Figures 6.2–6.7): run
+//! generation and total sorting time of RS vs 2WRS.
+//!
+//! ```text
+//! cargo run -p twrs-bench --release --bin timing_figures -- [--figure 6.2|...|6.7] [--scale ...]
+//! ```
+//!
+//! Without `--figure` every figure is produced.
+
+use twrs_bench::experiments::timing::{self, TimingFigure};
+use twrs_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    let requested: Vec<TimingFigure> = args
+        .iter()
+        .position(|a| a == "--figure")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|name| TimingFigure::parse(name))
+        .map(|f| vec![f])
+        .unwrap_or_else(|| TimingFigure::all().to_vec());
+
+    for figure in requested {
+        eprintln!(
+            "figure {}: {} records, {} memory ...",
+            figure.figure_number(),
+            scale.records,
+            scale.memory
+        );
+        let points = timing::measure(figure, scale.records, scale.memory);
+        print!("{}", timing::render(figure, &points).render());
+        println!();
+    }
+}

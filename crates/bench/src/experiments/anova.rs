@@ -1,0 +1,154 @@
+//! Chapter 5 statistical experiments: the full crossed factorial design and
+//! its ANOVA models (Tables 5.2–5.12, Figures 5.2–5.12).
+
+use crate::report::Table;
+use twrs_analysis::anova::{AnovaTable, FactorialAnova, FactorialData};
+use twrs_analysis::doe::{paper_factorial_experiment, ExperimentPoint, PaperFactors};
+use twrs_analysis::stats;
+use twrs_workloads::DistributionKind;
+
+/// Results of the Chapter 5 analysis for one input distribution.
+#[derive(Debug, Clone)]
+pub struct AnovaExperiment {
+    /// The input distribution analysed.
+    pub kind: DistributionKind,
+    /// The raw factorial data (response: number of runs).
+    pub data: FactorialData,
+    /// The raw per-execution observations.
+    pub points: Vec<ExperimentPoint>,
+    /// The main-effects model (Tables 5.2/5.3 style).
+    pub main_effects: AnovaTable,
+    /// The model with first-order interactions (Tables 5.5/5.6 style),
+    /// fitted with WLS weights per buffer-size level as in §5.2.5.
+    pub interactions_wls: AnovaTable,
+}
+
+/// Runs the factorial experiment and fits the paper's models for one input
+/// distribution.
+pub fn run(kind: DistributionKind, records: u64, memory: usize, factors: &PaperFactors) -> AnovaExperiment {
+    let (data, points) = paper_factorial_experiment(kind, records, memory, factors);
+
+    // Model 1: main effects only (the model of Table 5.2).
+    let main_terms: Vec<Vec<usize>> = (0..4).map(|f| vec![f]).collect();
+    let main_effects = FactorialAnova::fit(&data, &main_terms);
+
+    // Model 2: main effects plus every first-order interaction, fitted with
+    // WLS weights derived from the per-buffer-size variance (§5.2.5).
+    let mut weighted = data.clone();
+    weighted.weight_by_factor_variance(1);
+    let mut interaction_terms = main_terms.clone();
+    for a in 0..4 {
+        for b in (a + 1)..4 {
+            interaction_terms.push(vec![a, b]);
+        }
+    }
+    let interactions_wls = FactorialAnova::fit(&weighted, &interaction_terms);
+
+    AnovaExperiment {
+        kind,
+        data,
+        points,
+        main_effects,
+        interactions_wls,
+    }
+}
+
+/// Figure 5.2: the distribution of the number of runs per input dataset.
+/// Returns per-dataset (min, mean, max) summaries.
+pub fn figure_5_2(records: u64, memory: usize, factors: &PaperFactors) -> Table {
+    let mut table = Table::new(
+        "Figure 5.2 — number of runs by input dataset (over all configurations)",
+        &["input", "min", "mean", "max"],
+    );
+    for kind in DistributionKind::paper_set() {
+        let (_, points) = paper_factorial_experiment(kind, records, memory, factors);
+        let runs: Vec<f64> = points.iter().map(|p| p.runs).collect();
+        table.row(vec![
+            kind.label().to_string(),
+            format!("{:.0}", runs.iter().cloned().fold(f64::INFINITY, f64::min)),
+            format!("{:.1}", stats::mean(&runs)),
+            format!("{:.0}", runs.iter().cloned().fold(0.0, f64::max)),
+        ]);
+    }
+    table
+}
+
+/// Tukey pairwise comparison table for one factor (Tables 5.7/5.8 style).
+pub fn tukey_table(experiment: &AnovaExperiment, factor: usize) -> Table {
+    let comparisons = FactorialAnova::tukey(&experiment.data, factor, &experiment.main_effects);
+    let mut table = Table::new(
+        format!(
+            "Tukey pairwise comparisons — factor {}",
+            experiment.data.factor_name(factor)
+        ),
+        &["level A", "level B", "mean diff", "q", "significance"],
+    );
+    for c in comparisons {
+        table.row(vec![
+            experiment.data.levels_of(factor)[c.level_a].clone(),
+            experiment.data.levels_of(factor)[c.level_b].clone(),
+            format!("{:.2}", c.mean_difference),
+            format!("{:.2}", c.q_statistic),
+            format!("{:.3}", c.significance),
+        ]);
+    }
+    table
+}
+
+/// Renders an ANOVA table with the experiment's headline statistics.
+pub fn render_model(title: &str, table: &AnovaTable) -> String {
+    format!("== {title} ==\n{}", table.to_text())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_factors() -> PaperFactors {
+        PaperFactors::reduced()
+    }
+
+    #[test]
+    fn random_input_is_dominated_by_buffer_size() {
+        // Tables 5.2/5.3: for random input the only factor that matters is
+        // the fraction of memory taken away from the heaps.
+        let experiment = run(DistributionKind::RandomUniform, 8_000, 200, &quick_factors());
+        let buffer_size_term = &experiment.main_effects.terms[1];
+        for (i, term) in experiment.main_effects.terms.iter().enumerate() {
+            if i != 1 {
+                assert!(
+                    buffer_size_term.sum_of_squares >= term.sum_of_squares,
+                    "buffer size should dominate, but {} has SS {} > {}",
+                    term.name,
+                    term.sum_of_squares,
+                    buffer_size_term.sum_of_squares
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_input_buffer_setup_matters() {
+        // §5.2.5/Figure 5.5: on mixed input the configurations without the
+        // victim buffer behave very differently, so the buffer-setup factor
+        // carries real variance.
+        let experiment = run(DistributionKind::MixedBalanced, 8_000, 200, &quick_factors());
+        let setup_term = &experiment.main_effects.terms[0];
+        assert!(setup_term.sum_of_squares > 0.0);
+        assert!(experiment.main_effects.total_sum_of_squares > 0.0);
+        // The WLS interaction model explains at least as much as the main
+        // effects model explains of its own (weighted) data.
+        assert!(experiment.interactions_wls.r_squared >= 0.0);
+    }
+
+    #[test]
+    fn tukey_and_figure_tables_render() {
+        let experiment = run(DistributionKind::MixedBalanced, 4_000, 100, &quick_factors());
+        let tukey = tukey_table(&experiment, 2);
+        assert!(!tukey.is_empty());
+        let fig = figure_5_2(2_000, 100, &quick_factors());
+        assert_eq!(fig.len(), 6);
+        let text = render_model("main effects", &experiment.main_effects);
+        assert!(text.contains("R^2"));
+    }
+}

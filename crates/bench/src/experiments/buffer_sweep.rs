@@ -1,0 +1,90 @@
+//! Figure 5.4: run length relative to memory as a function of the buffer
+//! size, for random input.
+//!
+//! The paper finds a linear correlation: dedicating x % of the memory to
+//! the buffers reduces the run length by about x %, because for random
+//! input the buffers cannot help and only shrink the heaps.
+
+use crate::report::{fmt_relative, Table};
+use crate::scale::Scale;
+use twrs_core::{BufferSetup, TwoWayReplacementSelection, TwrsConfig};
+use twrs_extsort::RunGenerator;
+use twrs_storage::{SimDevice, SpillNamer};
+use twrs_workloads::{Distribution, DistributionKind};
+
+/// One measured buffer-size point.
+#[derive(Debug, Clone, Copy)]
+pub struct BufferSweepPoint {
+    /// Fraction of memory dedicated to the buffers.
+    pub buffer_fraction: f64,
+    /// Measured relative run length on random input.
+    pub relative_run_length: f64,
+}
+
+/// The buffer fractions of the paper's factor β (§5.2) plus a finer sweep up
+/// to 20 %.
+pub fn paper_fractions() -> Vec<f64> {
+    vec![0.0002, 0.002, 0.01, 0.02, 0.05, 0.1, 0.2]
+}
+
+/// Measures the sweep at the given scale.
+pub fn measure(scale: Scale, fractions: &[f64]) -> Vec<BufferSweepPoint> {
+    fractions
+        .iter()
+        .map(|fraction| {
+            let device = SimDevice::new();
+            let namer = SpillNamer::new("bufsweep");
+            let config = TwrsConfig::recommended(scale.memory)
+                .with_buffers(BufferSetup::Both, *fraction);
+            let mut generator = TwoWayReplacementSelection::new(config);
+            let mut input =
+                Distribution::new(DistributionKind::RandomUniform, scale.records, 5).records();
+            let set = generator
+                .generate(&device, &namer, &mut input)
+                .expect("run generation succeeds");
+            BufferSweepPoint {
+                buffer_fraction: *fraction,
+                relative_run_length: set.relative_run_length(scale.memory),
+            }
+        })
+        .collect()
+}
+
+/// Renders the sweep as a table.
+pub fn render(points: &[BufferSweepPoint]) -> Table {
+    let mut table = Table::new(
+        "Figure 5.4 — run length vs buffer size (random input)",
+        &["buffer size (% of memory)", "run length / memory"],
+    );
+    for p in points {
+        table.row(vec![
+            format!("{:.2}%", p.buffer_fraction * 100.0),
+            fmt_relative(p.relative_run_length),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn larger_buffers_do_not_help_random_input() {
+        let scale = Scale::quick();
+        let points = measure(scale, &[0.002, 0.2]);
+        assert_eq!(points.len(), 2);
+        let small = points[0].relative_run_length;
+        let large = points[1].relative_run_length;
+        // Figure 5.4: the run length decreases as the buffers grow (the
+        // heaps shrink); allow a little measurement noise.
+        assert!(
+            large <= small * 1.05,
+            "20% buffers ({large:.2}) should not beat 0.2% buffers ({small:.2})"
+        );
+        // And both stay in the replacement-selection ballpark.
+        assert!(small > 1.2 && large > 1.0);
+        let table = render(&points);
+        assert_eq!(table.len(), 2);
+    }
+}

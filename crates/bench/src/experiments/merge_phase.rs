@@ -1,0 +1,130 @@
+//! Table 2.1 and the merge-phase comparison: polyphase merge scheduling and
+//! polyphase vs multi-pass k-way merging on the same run set.
+
+use crate::report::{fmt_duration, Table};
+use std::time::Instant;
+use twrs_extsort::{polyphase_merge, polyphase_schedule, KWayMerger, LoadSortStore, MergeConfig, RunGenerator};
+use twrs_storage::{SimDevice, SpillNamer, StorageDevice};
+use twrs_workloads::{Distribution, DistributionKind};
+
+/// Renders the polyphase schedule of Table 2.1 for the paper's example
+/// starting distribution `{8, 10, 3, 0, 8, 11}`.
+pub fn table_2_1() -> Table {
+    let steps = polyphase_schedule(&[8, 10, 3, 0, 8, 11]);
+    let mut table = Table::new(
+        "Table 2.1 — polyphase merge with 6 tapes",
+        &["step", "tape 1", "tape 2", "tape 3", "tape 4", "tape 5", "tape 6"],
+    );
+    for (i, tapes) in steps.iter().enumerate() {
+        let mut row = vec![format!("Step {i}")];
+        row.extend(tapes.iter().map(u64::to_string));
+        table.row(row);
+    }
+    table
+}
+
+/// One merge-strategy measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct MergeComparison {
+    /// Number of initial runs merged.
+    pub runs: usize,
+    /// Simulated + CPU time of the multi-pass k-way merge (fan-in 10).
+    pub kway_time: std::time::Duration,
+    /// Simulated + CPU time of the polyphase merge with 6 tapes.
+    pub polyphase_time: std::time::Duration,
+    /// Seeks of the k-way merge.
+    pub kway_seeks: u64,
+    /// Seeks of the polyphase merge.
+    pub polyphase_seeks: u64,
+}
+
+/// Merges the same run set with both strategies and reports their costs.
+pub fn compare(runs: usize, records_per_run: u64) -> MergeComparison {
+    let build = |device: &SimDevice, namer: &SpillNamer| {
+        let mut generator = LoadSortStore::new(records_per_run as usize);
+        let mut input = Distribution::new(
+            DistributionKind::RandomUniform,
+            records_per_run * runs as u64,
+            3,
+        )
+        .records();
+        generator
+            .generate(device, namer, &mut input)
+            .expect("run generation succeeds")
+            .runs
+    };
+
+    let device = SimDevice::new();
+    let namer = SpillNamer::new("cmp-kway");
+    let run_set = build(&device, &namer);
+    device.reset_stats();
+    let started = Instant::now();
+    KWayMerger::new(MergeConfig {
+        fan_in: 10,
+        read_ahead_records: 256,
+    })
+    .merge_into(&device, &namer, run_set, "kway")
+    .expect("k-way merge succeeds");
+    let kway_cpu = started.elapsed();
+    let kway_stats = device.stats();
+
+    let device = SimDevice::new();
+    let namer = SpillNamer::new("cmp-poly");
+    let run_set = build(&device, &namer);
+    device.reset_stats();
+    let started = Instant::now();
+    polyphase_merge(&device, &namer, run_set, 6, "poly").expect("polyphase merge succeeds");
+    let poly_cpu = started.elapsed();
+    let poly_stats = device.stats();
+
+    MergeComparison {
+        runs,
+        kway_time: kway_stats.simulated_time() + kway_cpu,
+        polyphase_time: poly_stats.simulated_time() + poly_cpu,
+        kway_seeks: kway_stats.counters.seeks,
+        polyphase_seeks: poly_stats.counters.seeks,
+    }
+}
+
+/// Renders the comparison.
+pub fn render_comparison(comparison: &MergeComparison) -> Table {
+    let mut table = Table::new(
+        format!("Merge strategies over {} runs", comparison.runs),
+        &["strategy", "time", "seeks"],
+    );
+    table.row(vec![
+        "k-way (fan-in 10)".into(),
+        fmt_duration(comparison.kway_time),
+        comparison.kway_seeks.to_string(),
+    ]);
+    table.row(vec![
+        "polyphase (6 tapes)".into(),
+        fmt_duration(comparison.polyphase_time),
+        comparison.polyphase_seeks.to_string(),
+    ]);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_2_1_matches_the_paper() {
+        let table = table_2_1();
+        let text = table.render();
+        // Seven rows: the initial state plus six steps.
+        assert_eq!(table.len(), 7);
+        assert!(text.contains("Step 0"));
+        assert!(text.contains("Step 6"));
+    }
+
+    #[test]
+    fn both_merge_strategies_run() {
+        let comparison = compare(12, 512);
+        assert!(comparison.kway_seeks > 0);
+        assert!(comparison.polyphase_seeks > 0);
+        let table = render_comparison(&comparison);
+        assert_eq!(table.len(), 2);
+    }
+}

@@ -1,0 +1,40 @@
+//! The experiment implementations, one module per paper artefact family.
+
+pub mod anova;
+pub mod buffer_sweep;
+pub mod fan_in;
+pub mod merge_phase;
+pub mod model;
+pub mod run_length;
+pub mod timing;
+
+use twrs_workloads::DistributionKind;
+
+/// Parses a distribution name as used by the experiment binaries.
+pub fn parse_distribution(name: &str) -> Option<DistributionKind> {
+    Some(match name {
+        "sorted" => DistributionKind::Sorted,
+        "reverse" | "reverse-sorted" => DistributionKind::ReverseSorted,
+        "alternating" => DistributionKind::Alternating { sections: 50 },
+        "random" => DistributionKind::RandomUniform,
+        "mixed" | "mixed-balanced" => DistributionKind::MixedBalanced,
+        "mixed-imbalanced" => DistributionKind::MixedImbalanced {
+            descending_per_ascending: 3,
+        },
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_names_round_trip() {
+        for kind in DistributionKind::paper_set() {
+            let parsed = parse_distribution(kind.label()).unwrap();
+            assert_eq!(parsed.label(), kind.label());
+        }
+        assert!(parse_distribution("bogus").is_none());
+    }
+}

@@ -1,0 +1,154 @@
+//! Table 5.13 / conference Table 1: average run length relative to the
+//! memory size for RS, Load-Sort-Store and three 2WRS configurations on the
+//! six input distributions.
+
+use crate::report::{fmt_relative, Table};
+use crate::scale::Scale;
+use twrs_analysis::theory;
+use twrs_core::{TwoWayReplacementSelection, TwrsConfig};
+use twrs_extsort::{LoadSortStore, ReplacementSelection, RunGenerator, RunSet};
+use twrs_storage::{SimDevice, SpillNamer};
+use twrs_workloads::{Distribution, DistributionKind};
+
+/// One measured cell of the table.
+#[derive(Debug, Clone)]
+pub struct RunLengthRow {
+    /// Input distribution.
+    pub kind: DistributionKind,
+    /// Relative run length of Load-Sort-Store (always ≈ 1).
+    pub lss: f64,
+    /// Relative run length of classic replacement selection.
+    pub rs: f64,
+    /// Relative run length of 2WRS configuration 1 (input buffer, 0.02 %).
+    pub twrs_cfg1: f64,
+    /// Relative run length of 2WRS configuration 2 (both buffers, 20 %).
+    pub twrs_cfg2: f64,
+    /// Relative run length of 2WRS configuration 3 (both buffers, 2 %,
+    /// the recommended configuration).
+    pub twrs_cfg3: f64,
+    /// The paper's analytical expectation for RS.
+    pub rs_expected: f64,
+    /// The paper's analytical expectation for a good 2WRS configuration.
+    pub twrs_expected: f64,
+}
+
+fn measure<G: RunGenerator>(mut generator: G, kind: DistributionKind, scale: Scale, seed: u64) -> f64 {
+    let device = SimDevice::new();
+    let namer = SpillNamer::new("runlen");
+    let mut input = Distribution::new(kind, scale.records, seed).records();
+    let set: RunSet = generator
+        .generate(&device, &namer, &mut input)
+        .expect("run generation succeeds");
+    set.relative_run_length(generator.memory_records())
+}
+
+/// Runs the whole table at the given scale.
+pub fn measure_table(scale: Scale) -> Vec<RunLengthRow> {
+    DistributionKind::paper_set()
+        .into_iter()
+        .map(|kind| measure_row(kind, scale))
+        .collect()
+}
+
+/// Runs one row (one input distribution) of Table 5.13.
+pub fn measure_row(kind: DistributionKind, scale: Scale) -> RunLengthRow {
+    let seed = 42;
+    let memory = scale.memory;
+    RunLengthRow {
+        kind,
+        lss: measure(LoadSortStore::new(memory), kind, scale, seed),
+        rs: measure(ReplacementSelection::new(memory), kind, scale, seed),
+        twrs_cfg1: measure(
+            TwoWayReplacementSelection::new(TwrsConfig::table_5_13_cfg1(memory)),
+            kind,
+            scale,
+            seed,
+        ),
+        twrs_cfg2: measure(
+            TwoWayReplacementSelection::new(TwrsConfig::table_5_13_cfg2(memory)),
+            kind,
+            scale,
+            seed,
+        ),
+        twrs_cfg3: measure(
+            TwoWayReplacementSelection::new(TwrsConfig::table_5_13_cfg3(memory)),
+            kind,
+            scale,
+            seed,
+        ),
+        rs_expected: theory::rs_expected_relative_run_length(kind, scale.records, memory)
+            .relative_run_length(scale.records, memory),
+        twrs_expected: theory::twrs_expected_relative_run_length(kind, scale.records, memory)
+            .relative_run_length(scale.records, memory),
+    }
+}
+
+/// Renders the measured rows as the paper-style table.
+pub fn render(rows: &[RunLengthRow], scale: Scale) -> Table {
+    let mut table = Table::new(
+        format!(
+            "Table 5.13 — average run length / memory ({} records, {} memory)",
+            scale.records, scale.memory
+        ),
+        &[
+            "input", "LSS", "RS", "2WRS cfg1", "2WRS cfg2", "2WRS cfg3", "RS paper", "2WRS paper",
+        ],
+    );
+    for row in rows {
+        table.row(vec![
+            row.kind.label().to_string(),
+            fmt_relative(row.lss),
+            fmt_relative(row.rs),
+            fmt_relative(row.twrs_cfg1),
+            fmt_relative(row.twrs_cfg2),
+            fmt_relative(row.twrs_cfg3),
+            fmt_relative(row.rs_expected),
+            fmt_relative(row.twrs_expected),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_shape_matches_the_paper_at_quick_scale() {
+        let scale = Scale::quick();
+        let rows = measure_table(scale);
+        assert_eq!(rows.len(), 6);
+        let by_kind = |label: &str| {
+            rows.iter()
+                .find(|r| r.kind.label() == label)
+                .expect("row present")
+        };
+
+        // Sorted: every algorithm based on replacement selection produces a
+        // single run (LSS stays at 1).
+        let sorted = by_kind("sorted");
+        assert!(sorted.rs > 10.0);
+        assert!(sorted.twrs_cfg3 > 10.0);
+        assert!((sorted.lss - 1.0).abs() < 0.05);
+
+        // Reverse sorted: the headline result — RS collapses to 1.0 while
+        // 2WRS produces a single run.
+        let reverse = by_kind("reverse-sorted");
+        assert!((reverse.rs - 1.0).abs() < 0.1);
+        assert!(reverse.twrs_cfg3 > 10.0);
+
+        // Random: RS and 2WRS are equivalent at about twice the memory.
+        let random = by_kind("random");
+        assert!((1.5..2.5).contains(&random.rs));
+        assert!((1.4..2.5).contains(&random.twrs_cfg3));
+
+        // Mixed: 2WRS with the victim buffer beats RS by a wide margin.
+        let mixed = by_kind("mixed");
+        assert!(mixed.twrs_cfg3 > 2.0 * mixed.rs);
+        let imbalanced = by_kind("mixed-imbalanced");
+        assert!(imbalanced.twrs_cfg3 > 2.0 * imbalanced.rs);
+
+        let table = render(&rows, scale);
+        assert_eq!(table.len(), 6);
+    }
+}

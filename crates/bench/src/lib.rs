@@ -1,0 +1,28 @@
+//! Experiment harness regenerating every table and figure of the 2WRS
+//! evaluation (Chapters 5 and 6 of the paper plus the model of §3.6).
+//!
+//! Each experiment lives in [`experiments`] as a pure function returning
+//! structured rows; the `src/bin/*` binaries are thin wrappers that pick a
+//! scale (laptop-scale defaults, paper scale behind a flag) and print the
+//! rows as a paper-style table. The Criterion benches under `benches/`
+//! exercise the same code paths at micro scale so `cargo bench` gives
+//! wall-clock numbers for the main pipelines.
+//!
+//! | Paper artefact | Module | Binary |
+//! |---|---|---|
+//! | Table 5.13 / conference Table 1 | [`experiments::run_length`] | `run_length_table` |
+//! | Figure 5.4 (run length vs buffer size) | [`experiments::buffer_sweep`] | `buffer_size_sweep` |
+//! | Tables 5.2–5.12, Figures 5.2–5.12 | [`experiments::anova`] | `anova_experiments` |
+//! | Figure 6.1 (fan-in analysis) | [`experiments::fan_in`] | `fan_in_analysis` |
+//! | Figures 6.2–6.7 (timing) | [`experiments::timing`] | `timing_figures` |
+//! | Figure 3.8 (snowplow model) | [`experiments::model`] | `snowplow_model` |
+//! | Table 2.1 (polyphase merge) | [`experiments::merge_phase`] | `merge_phase` |
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+pub mod scale;
+
+pub use report::Table;
+pub use scale::Scale;

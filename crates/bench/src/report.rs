@@ -1,0 +1,115 @@
+//! Plain-text table rendering for the experiment binaries.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (cells are stringified already).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let columns = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(columns) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let mut line = String::new();
+        for (i, cell) in self.header.iter().enumerate() {
+            let _ = write!(line, "{:>width$}  ", cell, width = widths[i]);
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+        let _ = writeln!(out, "{}", "-".repeat(line.trim_end().len()));
+        for row in &self.rows {
+            let mut line = String::new();
+            for (i, cell) in row.iter().enumerate().take(columns) {
+                let _ = write!(line, "{:>width$}  ", cell, width = widths[i]);
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        }
+        out
+    }
+}
+
+/// Formats a `std::time::Duration` compactly (ms below 10 s, seconds above).
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs < 10.0 {
+        format!("{:.1} ms", secs * 1_000.0)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+/// Formats a float with limited precision, using `inf`-style notation for
+/// very large relative run lengths (single-run results).
+pub fn fmt_relative(value: f64) -> String {
+    if value > 10_000.0 {
+        "inf".to_string()
+    } else {
+        format!("{value:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut table = Table::new("Demo", &["name", "value"]);
+        table.row(vec!["alpha".into(), "1".into()]);
+        table.row(vec!["b".into(), "12345".into()]);
+        let text = table.render();
+        assert!(text.contains("== Demo =="));
+        assert!(text.contains("alpha"));
+        assert!(text.contains("12345"));
+        assert_eq!(table.len(), 2);
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert!(fmt_duration(std::time::Duration::from_millis(5)).contains("ms"));
+        assert!(fmt_duration(std::time::Duration::from_secs(12)).contains('s'));
+    }
+
+    #[test]
+    fn relative_formatting() {
+        assert_eq!(fmt_relative(2.0), "2.00");
+        assert_eq!(fmt_relative(1e9), "inf");
+    }
+}

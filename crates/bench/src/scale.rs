@@ -1,0 +1,124 @@
+//! Experiment scales.
+//!
+//! The paper sorts 100 MB–1 GB of 4-byte integers with 1 K–1 M records of
+//! memory. The experiments here default to a laptop scale that preserves
+//! the input-to-memory ratios (the quantity the run-length and timing
+//! results depend on) while finishing in seconds; the paper scale is
+//! available behind a flag for long runs.
+
+/// The size of an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Number of records in the input dataset.
+    pub records: u64,
+    /// Memory budget of the run-generation algorithms, in records.
+    pub memory: usize,
+    /// Seeds used to replicate stochastic experiments.
+    pub replicates: u64,
+}
+
+impl Scale {
+    /// Laptop scale: 200 K records with 2 K memory (ratio 100:1, same order
+    /// as the paper's 25 M : 100 K).
+    pub fn laptop() -> Self {
+        Scale {
+            records: 200_000,
+            memory: 2_000,
+            replicates: 3,
+        }
+    }
+
+    /// Quick scale for smoke tests and Criterion benches.
+    pub fn quick() -> Self {
+        Scale {
+            records: 20_000,
+            memory: 400,
+            replicates: 2,
+        }
+    }
+
+    /// The paper's run-length experiment scale (§5.2): 25 M records,
+    /// 100 K memory, five replicates. Minutes of runtime.
+    pub fn paper() -> Self {
+        Scale {
+            records: 25_000_000,
+            memory: 100_000,
+            replicates: 5,
+        }
+    }
+
+    /// Parses `--scale laptop|quick|paper` plus optional
+    /// `--records N --memory M` overrides from command-line arguments.
+    pub fn from_args(args: &[String]) -> Self {
+        let mut scale = Scale::laptop();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" if i + 1 < args.len() => {
+                    scale = match args[i + 1].as_str() {
+                        "quick" => Scale::quick(),
+                        "paper" => Scale::paper(),
+                        _ => Scale::laptop(),
+                    };
+                    i += 1;
+                }
+                "--records" if i + 1 < args.len() => {
+                    if let Ok(n) = args[i + 1].parse() {
+                        scale.records = n;
+                    }
+                    i += 1;
+                }
+                "--memory" if i + 1 < args.len() => {
+                    if let Ok(n) = args[i + 1].parse() {
+                        scale.memory = n;
+                    }
+                    i += 1;
+                }
+                "--replicates" if i + 1 < args.len() => {
+                    if let Ok(n) = args[i + 1].parse() {
+                        scale.replicates = n;
+                    }
+                    i += 1;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        scale
+    }
+
+    /// Input-to-memory ratio.
+    pub fn ratio(&self) -> f64 {
+        self.records as f64 / self.memory as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_preserve_the_paper_ratio_order() {
+        assert!(Scale::laptop().ratio() >= 50.0);
+        assert!(Scale::paper().ratio() >= 100.0);
+        assert!(Scale::quick().ratio() >= 20.0);
+    }
+
+    #[test]
+    fn argument_parsing() {
+        let args: Vec<String> = ["--scale", "quick", "--records", "1234", "--replicates", "7"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let scale = Scale::from_args(&args);
+        assert_eq!(scale.records, 1_234);
+        assert_eq!(scale.memory, Scale::quick().memory);
+        assert_eq!(scale.replicates, 7);
+    }
+
+    #[test]
+    fn unknown_arguments_are_ignored() {
+        let args: Vec<String> = ["--whatever", "--scale", "paper"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(Scale::from_args(&args), Scale::paper());
+    }
+}

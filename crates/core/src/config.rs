@@ -1,0 +1,250 @@
+//! Configuration of two-way replacement selection.
+//!
+//! The paper studies four configuration factors (§5.2, Table 5.1): which
+//! buffers are allocated, what fraction of memory they take, and which input
+//! and output heuristics are used. [`TwrsConfig`] captures all of them plus
+//! the overall memory budget, and provides the presets the paper singles
+//! out: the recommended general-purpose configuration (§5.3) and the three
+//! configurations compared against RS in Table 5.13.
+
+use crate::heuristics::input::InputHeuristic;
+use crate::heuristics::output::OutputHeuristic;
+
+/// Which of the two auxiliary buffers are allocated (factor α of the
+/// ANOVA).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BufferSetup {
+    /// Only the input buffer is used.
+    InputOnly,
+    /// Both the input and the victim buffer are used.
+    Both,
+    /// Only the victim buffer is used.
+    VictimOnly,
+}
+
+impl BufferSetup {
+    /// All levels of the factor, in the order used by the paper (i = 0, 1,
+    /// 2).
+    pub fn all() -> [BufferSetup; 3] {
+        [
+            BufferSetup::InputOnly,
+            BufferSetup::Both,
+            BufferSetup::VictimOnly,
+        ]
+    }
+
+    /// `true` when the input buffer is allocated.
+    pub fn has_input(self) -> bool {
+        matches!(self, BufferSetup::InputOnly | BufferSetup::Both)
+    }
+
+    /// `true` when the victim buffer is allocated.
+    pub fn has_victim(self) -> bool {
+        matches!(self, BufferSetup::VictimOnly | BufferSetup::Both)
+    }
+
+    /// A short label for experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            BufferSetup::InputOnly => "input",
+            BufferSetup::Both => "both",
+            BufferSetup::VictimOnly => "victim",
+        }
+    }
+}
+
+/// Full configuration of a 2WRS run-generation instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwrsConfig {
+    /// Total memory budget in records, shared by the heaps and the buffers
+    /// (the paper keeps this constant across configurations).
+    pub memory_records: usize,
+    /// Which buffers are allocated.
+    pub buffer_setup: BufferSetup,
+    /// Fraction of the memory budget dedicated to the buffers (factor β;
+    /// the paper tests 0.0002, 0.002, 0.02 and 0.2). Split evenly when both
+    /// buffers are allocated.
+    pub buffer_fraction: f64,
+    /// The input heuristic (factor γ).
+    pub input_heuristic: InputHeuristic,
+    /// The output heuristic (factor δ).
+    pub output_heuristic: OutputHeuristic,
+    /// Seed for the random choices of the Random heuristics.
+    pub seed: u64,
+    /// Pages per part file of the reverse-stream format (Appendix A's `k`).
+    pub reverse_pages_per_file: u64,
+}
+
+impl TwrsConfig {
+    /// The configuration recommended by §5.3 for unknown input
+    /// distributions: both buffers, 2 % of memory for buffers, *Mean* input
+    /// heuristic and *Random* output heuristic.
+    pub fn recommended(memory_records: usize) -> Self {
+        TwrsConfig {
+            memory_records,
+            buffer_setup: BufferSetup::Both,
+            buffer_fraction: 0.02,
+            input_heuristic: InputHeuristic::Mean,
+            output_heuristic: OutputHeuristic::Random,
+            seed: DEFAULT_SEED,
+            reverse_pages_per_file: 16,
+        }
+    }
+
+    /// Configuration 1 of Table 5.13: input buffer only, 0.02 % of memory,
+    /// Mean input heuristic, Random output heuristic. Optimises random
+    /// input at the expense of mixed inputs.
+    pub fn table_5_13_cfg1(memory_records: usize) -> Self {
+        TwrsConfig {
+            buffer_setup: BufferSetup::InputOnly,
+            buffer_fraction: 0.0002,
+            ..Self::recommended(memory_records)
+        }
+    }
+
+    /// Configuration 2 of Table 5.13: both buffers with 20 % of memory.
+    /// Optimises the mixed inputs at a visible cost on random input.
+    pub fn table_5_13_cfg2(memory_records: usize) -> Self {
+        TwrsConfig {
+            buffer_setup: BufferSetup::Both,
+            buffer_fraction: 0.2,
+            ..Self::recommended(memory_records)
+        }
+    }
+
+    /// Configuration 3 of Table 5.13: both buffers with 2 % of memory — the
+    /// balanced configuration used for every timing experiment of
+    /// Chapter 6 (identical to [`TwrsConfig::recommended`]).
+    pub fn table_5_13_cfg3(memory_records: usize) -> Self {
+        Self::recommended(memory_records)
+    }
+
+    /// Changes the random seed (used to replicate executions in the ANOVA
+    /// experiments).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Changes the heuristics.
+    pub fn with_heuristics(mut self, input: InputHeuristic, output: OutputHeuristic) -> Self {
+        self.input_heuristic = input;
+        self.output_heuristic = output;
+        self
+    }
+
+    /// Changes the buffer setup and fraction.
+    pub fn with_buffers(mut self, setup: BufferSetup, fraction: f64) -> Self {
+        self.buffer_setup = setup;
+        self.buffer_fraction = fraction;
+        self
+    }
+
+    /// Total number of records dedicated to buffers.
+    pub fn buffer_records(&self) -> usize {
+        let fraction = self.buffer_fraction.clamp(0.0, 0.9);
+        ((self.memory_records as f64) * fraction).round() as usize
+    }
+
+    /// Capacity of the input buffer in records.
+    pub fn input_buffer_records(&self) -> usize {
+        match self.buffer_setup {
+            BufferSetup::InputOnly => self.buffer_records(),
+            BufferSetup::Both => self.buffer_records() / 2,
+            BufferSetup::VictimOnly => 0,
+        }
+    }
+
+    /// Capacity of the victim buffer in records.
+    pub fn victim_buffer_records(&self) -> usize {
+        match self.buffer_setup {
+            BufferSetup::VictimOnly => self.buffer_records(),
+            BufferSetup::Both => self.buffer_records() - self.buffer_records() / 2,
+            BufferSetup::InputOnly => 0,
+        }
+    }
+
+    /// Capacity of the shared heap array in records (whatever the buffers do
+    /// not use; always at least one record).
+    pub fn heap_records(&self) -> usize {
+        self.memory_records
+            .saturating_sub(self.buffer_records())
+            .max(1)
+    }
+}
+
+/// Default seed for the Random heuristics ("TWRS" in ASCII); reproducible
+/// but otherwise arbitrary.
+const DEFAULT_SEED: u64 = 0x5457_5253;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recommended_matches_section_5_3() {
+        let cfg = TwrsConfig::recommended(100_000);
+        assert_eq!(cfg.buffer_setup, BufferSetup::Both);
+        assert!((cfg.buffer_fraction - 0.02).abs() < 1e-12);
+        assert_eq!(cfg.input_heuristic, InputHeuristic::Mean);
+        assert_eq!(cfg.output_heuristic, OutputHeuristic::Random);
+        assert_eq!(cfg.buffer_records(), 2_000);
+        assert_eq!(cfg.input_buffer_records(), 1_000);
+        assert_eq!(cfg.victim_buffer_records(), 1_000);
+        assert_eq!(cfg.heap_records(), 98_000);
+    }
+
+    #[test]
+    fn memory_is_conserved_across_components() {
+        for setup in BufferSetup::all() {
+            for fraction in [0.0002, 0.002, 0.02, 0.2] {
+                let cfg = TwrsConfig::recommended(100_000).with_buffers(setup, fraction);
+                let total =
+                    cfg.heap_records() + cfg.input_buffer_records() + cfg.victim_buffer_records();
+                assert!(
+                    total <= cfg.memory_records,
+                    "setup {setup:?} fraction {fraction} uses {total} of {}",
+                    cfg.memory_records
+                );
+                assert!(total >= cfg.memory_records - 1, "unused memory too large");
+            }
+        }
+    }
+
+    #[test]
+    fn single_buffer_setups_give_everything_to_that_buffer() {
+        let cfg = TwrsConfig::recommended(10_000).with_buffers(BufferSetup::InputOnly, 0.2);
+        assert_eq!(cfg.input_buffer_records(), 2_000);
+        assert_eq!(cfg.victim_buffer_records(), 0);
+        let cfg = TwrsConfig::recommended(10_000).with_buffers(BufferSetup::VictimOnly, 0.2);
+        assert_eq!(cfg.input_buffer_records(), 0);
+        assert_eq!(cfg.victim_buffer_records(), 2_000);
+    }
+
+    #[test]
+    fn heap_capacity_never_reaches_zero() {
+        let cfg = TwrsConfig::recommended(1).with_buffers(BufferSetup::Both, 0.9);
+        assert!(cfg.heap_records() >= 1);
+    }
+
+    #[test]
+    fn table_presets_differ_as_documented() {
+        let cfg1 = TwrsConfig::table_5_13_cfg1(100_000);
+        let cfg2 = TwrsConfig::table_5_13_cfg2(100_000);
+        let cfg3 = TwrsConfig::table_5_13_cfg3(100_000);
+        assert_eq!(cfg1.buffer_setup, BufferSetup::InputOnly);
+        assert!(cfg1.buffer_fraction < cfg3.buffer_fraction);
+        assert!(cfg2.buffer_fraction > cfg3.buffer_fraction);
+        assert_eq!(cfg2.buffer_setup, BufferSetup::Both);
+    }
+
+    #[test]
+    fn buffer_setup_flags() {
+        assert!(BufferSetup::Both.has_input());
+        assert!(BufferSetup::Both.has_victim());
+        assert!(BufferSetup::InputOnly.has_input());
+        assert!(!BufferSetup::InputOnly.has_victim());
+        assert!(!BufferSetup::VictimOnly.has_input());
+        assert!(BufferSetup::VictimOnly.has_victim());
+    }
+}

@@ -1,0 +1,337 @@
+//! The four per-run output streams of 2WRS (§4.1, Figure 4.1).
+//!
+//! Every 2WRS run is stored as up to four files whose key ranges do not
+//! overlap:
+//!
+//! | stream | produced by            | order      | file format            |
+//! |--------|------------------------|------------|------------------------|
+//! | 4      | BottomHeap             | decreasing | reverse (Appendix A)   |
+//! | 3      | victim buffer (lower)  | increasing | forward                |
+//! | 2      | victim buffer (upper)  | decreasing | reverse (Appendix A)   |
+//! | 1      | TopHeap                | increasing | forward                |
+//!
+//! Reading the files in the order 4 · 3 · 2 · 1 (reverse files are read
+//! back in ascending order by construction) yields the whole run sorted,
+//! so the merge phase sees one logical run per [`RunHandle::Chain`].
+//!
+//! [`RunStreams`] owns the four builders for the current run and tracks the
+//! boundary records needed to guarantee the non-overlap invariant
+//! `stream 4 ≤ stream 3 ≤ stream 2 ≤ stream 1` for *any* heuristic: a
+//! record that would violate it is simply not accepted, and the caller
+//! defers it to the next run (the same mechanism replacement selection
+//! already uses for records that arrive too late).
+
+use twrs_extsort::{Device, ForwardRunBuilder, Result, ReverseRunBuilder, RunHandle};
+use twrs_storage::SpillNamer;
+use twrs_workloads::Record;
+
+/// The four output streams of the run currently being generated.
+pub struct RunStreams<'a, D: Device> {
+    stream1: ForwardRunBuilder<'a, D>,
+    stream2: ReverseRunBuilder<'a, D>,
+    stream3: ForwardRunBuilder<'a, D>,
+    stream4: ReverseRunBuilder<'a, D>,
+
+    /// First and last record written to stream 1 (increasing).
+    s1_first: Option<Record>,
+    s1_last: Option<Record>,
+    /// First and last record written to stream 2 (decreasing).
+    s2_first: Option<Record>,
+    s2_last: Option<Record>,
+    /// First and last record written to stream 3 (increasing).
+    s3_first: Option<Record>,
+    s3_last: Option<Record>,
+    /// First and last record written to stream 4 (decreasing).
+    s4_first: Option<Record>,
+    s4_last: Option<Record>,
+
+    records: u64,
+}
+
+impl<'a, D: Device> RunStreams<'a, D> {
+    /// Creates the stream set for a new run.
+    pub fn new(device: &'a D, namer: &'a SpillNamer, reverse_pages_per_file: u64) -> Self {
+        RunStreams {
+            stream1: ForwardRunBuilder::new(device, namer),
+            stream2: ReverseRunBuilder::new(device, namer, reverse_pages_per_file),
+            stream3: ForwardRunBuilder::new(device, namer),
+            stream4: ReverseRunBuilder::new(device, namer, reverse_pages_per_file),
+            s1_first: None,
+            s1_last: None,
+            s2_first: None,
+            s2_last: None,
+            s3_first: None,
+            s3_last: None,
+            s4_first: None,
+            s4_last: None,
+            records: 0,
+        }
+    }
+
+    /// Number of records written to the run so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// The largest record that the "lower side" of the run (streams 4, 3
+    /// and 2) has committed to; stream 1 may only accept records ≥ this.
+    fn upper_floor(&self) -> Option<Record> {
+        [self.s4_first, self.s3_last, self.s2_first, self.s1_last]
+            .into_iter()
+            .flatten()
+            .max()
+    }
+
+    /// The smallest record that the "upper side" of the run (streams 3, 2
+    /// and 1) has committed to; stream 4 may only accept records ≤ this.
+    fn lower_cap(&self) -> Option<Record> {
+        [self.s3_first, self.s2_last, self.s1_first, self.s4_last]
+            .into_iter()
+            .flatten()
+            .min()
+    }
+
+    /// `true` when `record` can be appended to stream 1 without breaking
+    /// either its monotonicity or the cross-stream ordering.
+    pub fn accepts_stream1(&self, record: &Record) -> bool {
+        self.upper_floor().map_or(true, |floor| *record >= floor)
+    }
+
+    /// `true` when `record` can be appended to stream 4 without breaking
+    /// either its monotonicity or the cross-stream ordering.
+    pub fn accepts_stream4(&self, record: &Record) -> bool {
+        self.lower_cap().map_or(true, |cap| *record <= cap)
+    }
+
+    /// Appends a record to stream 1 (the TopHeap's increasing stream).
+    pub fn push_stream1(&mut self, record: Record) -> Result<()> {
+        debug_assert!(self.accepts_stream1(&record));
+        self.stream1.push(&record)?;
+        if self.s1_first.is_none() {
+            self.s1_first = Some(record);
+        }
+        self.s1_last = Some(record);
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Appends a record to stream 4 (the BottomHeap's decreasing stream).
+    pub fn push_stream4(&mut self, record: Record) -> Result<()> {
+        debug_assert!(self.accepts_stream4(&record));
+        self.stream4.push(&record)?;
+        if self.s4_first.is_none() {
+            self.s4_first = Some(record);
+        }
+        self.s4_last = Some(record);
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Appends a batch of records to stream 4. `records` must be sorted
+    /// ascending; they are written in descending order as the reverse-file
+    /// format expects. Used by the run-start bootstrap flush (§4.3:
+    /// "flushes the records to Streams 1 and 4").
+    pub fn push_stream4_from_ascending(&mut self, records: &[Record]) -> Result<()> {
+        for record in records.iter().rev() {
+            debug_assert!(self.s4_last.map_or(true, |last| *record <= last));
+            self.stream4.push(record)?;
+            if self.s4_first.is_none() {
+                self.s4_first = Some(*record);
+            }
+            self.s4_last = Some(*record);
+            self.records += 1;
+        }
+        Ok(())
+    }
+
+    /// Appends a batch of ascending records to stream 1. Used by the
+    /// run-start bootstrap flush.
+    pub fn push_stream1_ascending(&mut self, records: &[Record]) -> Result<()> {
+        for record in records {
+            debug_assert!(self.s1_last.map_or(true, |last| *record >= last));
+            self.stream1.push(record)?;
+            if self.s1_first.is_none() {
+                self.s1_first = Some(*record);
+            }
+            self.s1_last = Some(*record);
+            self.records += 1;
+        }
+        Ok(())
+    }
+
+    /// Appends a batch of ascending records to stream 3 (the victim
+    /// buffer's lower, increasing stream).
+    pub fn push_stream3_ascending(&mut self, records: &[Record]) -> Result<()> {
+        for record in records {
+            debug_assert!(self.s3_last.map_or(true, |last| *record >= last));
+            self.stream3.push(record)?;
+            if self.s3_first.is_none() {
+                self.s3_first = Some(*record);
+            }
+            self.s3_last = Some(*record);
+            self.records += 1;
+        }
+        Ok(())
+    }
+
+    /// Appends a batch of records to stream 2 (the victim buffer's upper,
+    /// decreasing stream). `records` must be sorted ascending; they are
+    /// written in descending order as the reverse-file format expects.
+    pub fn push_stream2_from_ascending(&mut self, records: &[Record]) -> Result<()> {
+        for record in records.iter().rev() {
+            debug_assert!(self.s2_last.map_or(true, |last| *record <= last));
+            self.stream2.push(record)?;
+            if self.s2_first.is_none() {
+                self.s2_first = Some(*record);
+            }
+            self.s2_last = Some(*record);
+            self.records += 1;
+        }
+        Ok(())
+    }
+
+    /// Debug snapshot of the stream boundary records (keys only), used by
+    /// temporary diagnostics.
+    pub fn debug_bounds(&self) -> String {
+        fn k(r: &Option<Record>) -> String {
+            r.map(|x| x.key.to_string()).unwrap_or_else(|| "-".into())
+        }
+        format!(
+            "s1[{},{}] s2[{},{}] s3[{},{}] s4[{},{}]",
+            k(&self.s1_first), k(&self.s1_last), k(&self.s2_first), k(&self.s2_last),
+            k(&self.s3_first), k(&self.s3_last), k(&self.s4_first), k(&self.s4_last)
+        )
+    }
+
+    /// The first record output in the current run through any stream, used
+    /// by the *MinDistance* output heuristic.
+    pub fn first_output(&self) -> Option<Record> {
+        [self.s1_first, self.s2_first, self.s3_first, self.s4_first]
+            .into_iter()
+            .flatten()
+            .min_by_key(|r| (r.key, r.payload))
+    }
+
+    /// Closes the run: finishes every non-empty stream file and, when the
+    /// run holds at least one record, appends one logical
+    /// [`RunHandle::Chain`] (streams in the order 4 · 3 · 2 · 1) to `runs`.
+    /// Returns the number of records in the run.
+    pub fn finish(mut self, runs: &mut Vec<RunHandle>) -> Result<u64> {
+        let mut parts = Vec::new();
+        self.stream4.finish_run(&mut parts)?;
+        self.stream3.finish_run(&mut parts)?;
+        self.stream2.finish_run(&mut parts)?;
+        self.stream1.finish_run(&mut parts)?;
+        if !parts.is_empty() {
+            if parts.len() == 1 {
+                runs.push(parts.pop().expect("one part"));
+            } else {
+                runs.push(RunHandle::Chain(parts));
+            }
+        }
+        Ok(self.records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twrs_extsort::RunCursor;
+    use twrs_storage::SimDevice;
+
+    fn rec(key: u64) -> Record {
+        Record::from_key(key)
+    }
+
+    #[test]
+    fn four_streams_concatenate_into_one_sorted_run() {
+        let device = SimDevice::new();
+        let namer = SpillNamer::new("s");
+        let mut streams = RunStreams::new(&device, &namer, 4);
+
+        // Mimic the paper's example: bootstrap flush puts {39, 40} in
+        // stream 3 and {50, 51} in stream 2, the BottomHeap emits 38, 37 to
+        // stream 4 and the TopHeap 52, 53 to stream 1.
+        streams.push_stream3_ascending(&[rec(39), rec(40)]).unwrap();
+        streams
+            .push_stream2_from_ascending(&[rec(50), rec(51)])
+            .unwrap();
+        streams.push_stream4(rec(38)).unwrap();
+        streams.push_stream4(rec(37)).unwrap();
+        streams.push_stream1(rec(52)).unwrap();
+        streams.push_stream1(rec(53)).unwrap();
+        assert_eq!(streams.records(), 8);
+
+        let mut runs = Vec::new();
+        let count = streams.finish(&mut runs).unwrap();
+        assert_eq!(count, 8);
+        assert_eq!(runs.len(), 1);
+        let mut cursor = RunCursor::open(&device, &runs[0]).unwrap();
+        let keys: Vec<u64> = cursor.read_all().unwrap().iter().map(|r| r.key).collect();
+        assert_eq!(keys, vec![37, 38, 39, 40, 50, 51, 52, 53]);
+    }
+
+    #[test]
+    fn acceptance_enforces_cross_stream_ordering() {
+        let device = SimDevice::new();
+        let namer = SpillNamer::new("s");
+        let mut streams = RunStreams::new(&device, &namer, 4);
+        streams.push_stream4(rec(40)).unwrap();
+        streams.push_stream1(rec(60)).unwrap();
+        // Stream 1 may not go below the BottomHeap's first output...
+        assert!(!streams.accepts_stream1(&rec(39)));
+        // ...nor below its own last output.
+        assert!(!streams.accepts_stream1(&rec(55)));
+        assert!(streams.accepts_stream1(&rec(61)));
+        // Stream 4 may not rise above the TopHeap's first output...
+        assert!(!streams.accepts_stream4(&rec(61)));
+        // ...nor above its own last output.
+        assert!(!streams.accepts_stream4(&rec(45)));
+        assert!(streams.accepts_stream4(&rec(40)));
+        assert!(streams.accepts_stream4(&rec(12)));
+    }
+
+    #[test]
+    fn empty_run_produces_no_handle() {
+        let device = SimDevice::new();
+        let namer = SpillNamer::new("s");
+        let streams = RunStreams::new(&device, &namer, 4);
+        let mut runs = Vec::new();
+        assert_eq!(streams.finish(&mut runs).unwrap(), 0);
+        assert!(runs.is_empty());
+    }
+
+    #[test]
+    fn single_stream_run_is_not_wrapped_in_a_chain() {
+        let device = SimDevice::new();
+        let namer = SpillNamer::new("s");
+        let mut streams = RunStreams::new(&device, &namer, 4);
+        for k in 0..10 {
+            streams.push_stream1(rec(k)).unwrap();
+        }
+        let mut runs = Vec::new();
+        streams.finish(&mut runs).unwrap();
+        assert_eq!(runs.len(), 1);
+        assert!(matches!(runs[0], RunHandle::Forward(_)));
+    }
+
+    #[test]
+    fn first_output_is_the_smallest_first_of_any_stream() {
+        let device = SimDevice::new();
+        let namer = SpillNamer::new("s");
+        let mut streams = RunStreams::new(&device, &namer, 4);
+        assert_eq!(streams.first_output(), None);
+        streams.push_stream1(rec(70)).unwrap();
+        streams.push_stream4(rec(30)).unwrap();
+        assert_eq!(streams.first_output().unwrap().key, 30);
+    }
+
+    #[test]
+    fn acceptance_is_unconstrained_for_a_fresh_run() {
+        let device = SimDevice::new();
+        let namer = SpillNamer::new("s");
+        let streams = RunStreams::new(&device, &namer, 4);
+        assert!(streams.accepts_stream1(&rec(0)));
+        assert!(streams.accepts_stream4(&rec(u64::MAX)));
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type for the external sorting pipeline.
+
+use std::fmt;
+use twrs_storage::StorageError;
+
+/// Convenient result alias used throughout the sorting crates.
+pub type Result<T> = std::result::Result<T, SortError>;
+
+/// Errors raised while generating runs, merging or sorting.
+#[derive(Debug)]
+pub enum SortError {
+    /// An error from the storage substrate.
+    Storage(StorageError),
+    /// The configuration is invalid (e.g. zero memory or a fan-in below 2).
+    InvalidConfig(String),
+    /// The sorted output failed a verification check.
+    VerificationFailed(String),
+}
+
+impl fmt::Display for SortError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SortError::Storage(e) => write!(f, "storage error: {e}"),
+            SortError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SortError::VerificationFailed(msg) => write!(f, "verification failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SortError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SortError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for SortError {
+    fn from(e: StorageError) -> Self {
+        SortError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_errors_convert_and_chain() {
+        let err: SortError = StorageError::NotFound("run".into()).into();
+        assert!(matches!(err, SortError::Storage(_)));
+        assert!(std::error::Error::source(&err).is_some());
+        assert!(err.to_string().contains("run"));
+    }
+
+    #[test]
+    fn config_errors_display_message() {
+        let err = SortError::InvalidConfig("fan-in must be at least 2".into());
+        assert!(err.to_string().contains("fan-in"));
+    }
+}

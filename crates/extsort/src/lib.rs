@@ -1,0 +1,41 @@
+//! External merge-sort substrate: run generation baselines, the merge
+//! phase, distribution sort and the end-to-end external sorter.
+//!
+//! The paper's contribution (two-way replacement selection, crate
+//! `twrs-core`) is one *run-generation* algorithm inside a larger external
+//! sorting pipeline (Chapter 2). This crate provides everything else that
+//! pipeline needs, so 2WRS and the baselines can be compared apples to
+//! apples:
+//!
+//! * [`run_generation`] — the [`run_generation::RunGenerator`] trait, the
+//!   description of a generated run set and unified cursors over forward and
+//!   reverse (Appendix A) run files;
+//! * [`load_sort_store`] — the Load-Sort-Store baseline of §2.1.1;
+//! * [`replacement_selection`] — classic replacement selection (Algorithm 1);
+//! * [`merge`] — the k-way merge with a tournament (loser) tree, multi-pass
+//!   merging with a configurable fan-in and per-run read-ahead (§2.1.2,
+//!   §6.1.1), plus polyphase merge (Table 2.1);
+//! * [`distribution_sort`] — external bucket/distribution sort (§2.2);
+//! * [`sorter`] — [`sorter::ExternalSorter`], the run-generation + merge
+//!   pipeline measured in Chapter 6, instrumented with per-phase I/O and
+//!   timing reports.
+
+#![warn(missing_docs)]
+
+pub mod distribution_sort;
+pub mod error;
+pub mod load_sort_store;
+pub mod merge;
+pub mod replacement_selection;
+pub mod run_generation;
+pub mod sorter;
+
+pub use error::{Result, SortError};
+pub use load_sort_store::LoadSortStore;
+pub use merge::kway::{KWayMerger, MergeConfig};
+pub use merge::polyphase::{polyphase_merge, polyphase_schedule};
+pub use replacement_selection::ReplacementSelection;
+pub use run_generation::{
+    Device, ForwardRunBuilder, ReverseRunBuilder, RunCursor, RunGenerator, RunHandle, RunSet,
+};
+pub use sorter::{ExternalSorter, PhaseReport, SortReport, SorterConfig};

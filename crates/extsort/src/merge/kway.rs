@@ -1,0 +1,389 @@
+//! Multi-pass k-way merging with a bounded fan-in (§2.1.2, §6.1.1).
+//!
+//! The merge phase combines the runs left by run generation into one sorted
+//! file. Merging everything at once is not always best: every run being
+//! merged needs its own input buffer, and with many runs the disk head
+//! bounces between their files, so the paper measures an optimal fan-in of
+//! about 10 on its hardware (Figure 6.1). [`KWayMerger`] therefore merges at
+//! most `fan_in` runs per step, queueing intermediate outputs until a single
+//! run remains, and reads every input run through a read-ahead buffer whose
+//! size models the per-run input buffer of the paper's implementation.
+
+use crate::error::{Result, SortError};
+use crate::merge::loser_tree::LoserTree;
+use crate::run_generation::{Device, RunCursor, RunHandle};
+use std::collections::VecDeque;
+use twrs_storage::{RunWriter, SpillNamer};
+use twrs_workloads::Record;
+
+/// Configuration of the k-way merge phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeConfig {
+    /// Maximum number of runs merged in one step (the paper's fan-in; its
+    /// experiments settle on 10).
+    pub fan_in: usize,
+    /// Per-run read-ahead buffer, in records. Larger buffers turn the
+    /// interleaved page reads of a merge step into longer sequential bursts,
+    /// trading memory for fewer seeks — the same trade-off as the paper's
+    /// per-run input buffers.
+    pub read_ahead_records: usize,
+}
+
+impl Default for MergeConfig {
+    fn default() -> Self {
+        MergeConfig {
+            fan_in: 10,
+            read_ahead_records: 256,
+        }
+    }
+}
+
+/// Outcome of a merge phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeReport {
+    /// Number of k-way merge steps executed.
+    pub merge_steps: u32,
+    /// Number of records written across every step, including intermediate
+    /// runs (a proxy for merge I/O volume).
+    pub records_written: u64,
+    /// Number of records in the final output.
+    pub output_records: u64,
+}
+
+impl MergeReport {
+    /// Average number of times each output record was rewritten during the
+    /// merge (1.0 when a single step sufficed).
+    pub fn write_passes(&self) -> f64 {
+        if self.output_records == 0 {
+            0.0
+        } else {
+            self.records_written as f64 / self.output_records as f64
+        }
+    }
+}
+
+/// The multi-pass k-way merger.
+#[derive(Debug, Clone, Default)]
+pub struct KWayMerger {
+    config: MergeConfig,
+}
+
+impl KWayMerger {
+    /// Creates a merger with the given configuration.
+    pub fn new(config: MergeConfig) -> Self {
+        KWayMerger { config }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> MergeConfig {
+        self.config
+    }
+
+    /// Merges `runs` into a single forward run named `output` on `device`.
+    ///
+    /// Intermediate runs are created through `namer` and removed as soon as
+    /// they have been consumed. Returns the merge report; the output file is
+    /// a normal forward run readable with
+    /// [`RunCursor`](crate::run_generation::RunCursor).
+    pub fn merge_into<D: Device>(
+        &self,
+        device: &D,
+        namer: &SpillNamer,
+        runs: Vec<RunHandle>,
+        output: &str,
+    ) -> Result<MergeReport> {
+        if self.config.fan_in < 2 {
+            return Err(SortError::InvalidConfig(
+                "merge fan-in must be at least 2".into(),
+            ));
+        }
+        let mut report = MergeReport::default();
+        let mut queue: VecDeque<RunHandle> = runs.into();
+
+        if queue.is_empty() {
+            // No input at all: produce an empty output run for uniformity.
+            let writer = RunWriter::<Record>::create(device, output)?;
+            writer.finish()?;
+            return Ok(report);
+        }
+
+        // Keep merging batches of `fan_in` runs until one remains.
+        while queue.len() > 1 {
+            let batch: Vec<RunHandle> = {
+                let take = self.config.fan_in.min(queue.len());
+                queue.drain(..take).collect()
+            };
+            let is_final = queue.is_empty();
+            let name = if is_final {
+                output.to_string()
+            } else {
+                namer.next_name("merge")
+            };
+            let written = self.merge_batch(device, &batch, &name)?;
+            report.merge_steps += 1;
+            report.records_written += written;
+            // Intermediate inputs are no longer needed.
+            for handle in &batch {
+                remove_run(device, handle)?;
+            }
+            if is_final {
+                report.output_records = written;
+                return Ok(report);
+            }
+            queue.push_back(RunHandle::Forward(name));
+        }
+
+        // A single run left without any merging needed: copy it to the
+        // output name so the caller always finds its result there.
+        let only = queue.pop_front().expect("queue has one element");
+        let written = self.merge_batch(device, &[only.clone()], output)?;
+        remove_run(device, &only)?;
+        report.merge_steps += 1;
+        report.records_written += written;
+        report.output_records = written;
+        Ok(report)
+    }
+
+    /// Merges one batch of runs into the forward run `output`.
+    fn merge_batch<D: Device>(
+        &self,
+        device: &D,
+        batch: &[RunHandle],
+        output: &str,
+    ) -> Result<u64> {
+        let mut sources: Vec<BufferedCursor> = batch
+            .iter()
+            .map(|handle| {
+                RunCursor::open(device, handle)
+                    .map(|cursor| BufferedCursor::new(cursor, self.config.read_ahead_records))
+            })
+            .collect::<Result<_>>()?;
+        let mut heads: Vec<Option<Record>> = sources
+            .iter_mut()
+            .map(|s| s.next_record())
+            .collect::<Result<_>>()?;
+        let mut tree = LoserTree::new(&heads);
+        let mut writer = RunWriter::<Record>::create(device, output)?;
+        let mut written = 0u64;
+        loop {
+            let winner = tree.winner();
+            match heads[winner].take() {
+                Some(record) => {
+                    writer.push(&record)?;
+                    written += 1;
+                    heads[winner] = sources[winner].next_record()?;
+                    tree.replay(&heads, winner);
+                }
+                None => break,
+            }
+        }
+        writer.finish()?;
+        Ok(written)
+    }
+}
+
+/// Removes a run (and, for reverse runs, all its part files) from the
+/// device.
+fn remove_run(device: &dyn twrs_storage::StorageDevice, handle: &RunHandle) -> Result<()> {
+    match handle {
+        RunHandle::Forward(name) => {
+            if device.exists(name) {
+                device.remove(name)?;
+            }
+        }
+        RunHandle::Reverse(name) => {
+            let mut part = 0;
+            loop {
+                let part_name = format!("{name}.part{part}");
+                if device.exists(&part_name) {
+                    device.remove(&part_name)?;
+                    part += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        RunHandle::Chain(parts) => {
+            for part in parts {
+                remove_run(device, part)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A run cursor with a read-ahead buffer.
+struct BufferedCursor {
+    cursor: RunCursor,
+    buffer: VecDeque<Record>,
+    read_ahead: usize,
+    exhausted: bool,
+}
+
+impl BufferedCursor {
+    fn new(cursor: RunCursor, read_ahead: usize) -> Self {
+        BufferedCursor {
+            cursor,
+            buffer: VecDeque::with_capacity(read_ahead.max(1)),
+            read_ahead: read_ahead.max(1),
+            exhausted: false,
+        }
+    }
+
+    fn next_record(&mut self) -> Result<Option<Record>> {
+        if self.buffer.is_empty() && !self.exhausted {
+            for _ in 0..self.read_ahead {
+                match self.cursor.next_record()? {
+                    Some(r) => self.buffer.push_back(r),
+                    None => {
+                        self.exhausted = true;
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(self.buffer.pop_front())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load_sort_store::LoadSortStore;
+    use crate::run_generation::{RunGenerator, RunSet};
+    use twrs_storage::{SimDevice, SpillNamer, StorageDevice};
+    use twrs_workloads::{Distribution, DistributionKind};
+
+    fn make_runs(device: &SimDevice, namer: &SpillNamer, records: u64, memory: usize) -> RunSet {
+        let mut generator = LoadSortStore::new(memory);
+        let mut input =
+            Distribution::new(DistributionKind::RandomUniform, records, 99).records();
+        generator.generate(device, namer, &mut input).unwrap()
+    }
+
+    fn read_output(device: &SimDevice, name: &str) -> Vec<Record> {
+        let mut cursor = RunCursor::open(device, &RunHandle::Forward(name.into())).unwrap();
+        cursor.read_all().unwrap()
+    }
+
+    #[test]
+    fn merges_to_a_single_sorted_output() {
+        let device = SimDevice::new();
+        let namer = SpillNamer::new("m");
+        let set = make_runs(&device, &namer, 5_000, 250);
+        assert_eq!(set.num_runs(), 20);
+        let merger = KWayMerger::new(MergeConfig {
+            fan_in: 4,
+            read_ahead_records: 64,
+        });
+        let report = merger
+            .merge_into(&device, &namer, set.runs.clone(), "sorted")
+            .unwrap();
+        assert_eq!(report.output_records, 5_000);
+        let output = read_output(&device, "sorted");
+        assert_eq!(output.len(), 5_000);
+        assert!(output.windows(2).all(|w| w[0] <= w[1]));
+        // With fan-in 4 and 20 runs more than one step is needed.
+        assert!(report.merge_steps > 1);
+        assert!(report.write_passes() > 1.0);
+    }
+
+    #[test]
+    fn single_step_when_fan_in_covers_all_runs() {
+        let device = SimDevice::new();
+        let namer = SpillNamer::new("m");
+        let set = make_runs(&device, &namer, 2_000, 250);
+        let merger = KWayMerger::new(MergeConfig {
+            fan_in: 16,
+            read_ahead_records: 64,
+        });
+        let report = merger
+            .merge_into(&device, &namer, set.runs, "sorted")
+            .unwrap();
+        assert_eq!(report.merge_steps, 1);
+        assert_eq!(report.records_written, 2_000);
+        assert!((report.write_passes() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn single_run_is_copied_to_output() {
+        let device = SimDevice::new();
+        let namer = SpillNamer::new("m");
+        let set = make_runs(&device, &namer, 100, 1_000);
+        assert_eq!(set.num_runs(), 1);
+        let merger = KWayMerger::default();
+        let report = merger
+            .merge_into(&device, &namer, set.runs, "sorted")
+            .unwrap();
+        assert_eq!(report.output_records, 100);
+        assert_eq!(read_output(&device, "sorted").len(), 100);
+    }
+
+    #[test]
+    fn empty_run_list_produces_empty_output() {
+        let device = SimDevice::new();
+        let namer = SpillNamer::new("m");
+        let merger = KWayMerger::default();
+        let report = merger
+            .merge_into(&device, &namer, Vec::new(), "sorted")
+            .unwrap();
+        assert_eq!(report.output_records, 0);
+        assert!(read_output(&device, "sorted").is_empty());
+    }
+
+    #[test]
+    fn intermediate_runs_are_cleaned_up() {
+        let device = SimDevice::new();
+        let namer = SpillNamer::new("m");
+        let set = make_runs(&device, &namer, 3_000, 100);
+        let merger = KWayMerger::new(MergeConfig {
+            fan_in: 3,
+            read_ahead_records: 32,
+        });
+        merger
+            .merge_into(&device, &namer, set.runs, "sorted")
+            .unwrap();
+        // Only the final output (plus the original unsorted input, which we
+        // never created here) should remain on the device.
+        let files = device.list();
+        assert_eq!(files, vec!["sorted".to_string()]);
+    }
+
+    #[test]
+    fn fan_in_below_two_is_rejected() {
+        let device = SimDevice::new();
+        let namer = SpillNamer::new("m");
+        let merger = KWayMerger::new(MergeConfig {
+            fan_in: 1,
+            read_ahead_records: 32,
+        });
+        assert!(matches!(
+            merger.merge_into(&device, &namer, Vec::new(), "out"),
+            Err(SortError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn larger_read_ahead_reduces_seeks() {
+        let build = |read_ahead: usize| -> u64 {
+            let device = SimDevice::new();
+            let namer = SpillNamer::new("m");
+            let set = make_runs(&device, &namer, 20_000, 1_000);
+            device.reset_stats();
+            let merger = KWayMerger::new(MergeConfig {
+                fan_in: 20,
+                read_ahead_records: read_ahead,
+            });
+            merger
+                .merge_into(&device, &namer, set.runs, "sorted")
+                .unwrap();
+            device.stats().counters.seeks
+        };
+        let few = build(1);
+        let many = build(1024);
+        assert!(
+            many < few,
+            "read-ahead should reduce seeks: {many} !< {few}"
+        );
+    }
+}

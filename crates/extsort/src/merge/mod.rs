@@ -1,0 +1,17 @@
+//! The merge phase of external mergesort (§2.1.2).
+//!
+//! Runs produced during run generation are combined into a single sorted
+//! output. Two families of algorithms are provided:
+//!
+//! * [`kway`] — k-way merging with a tournament (loser) tree, a configurable
+//!   fan-in and per-run read-ahead buffers. This is the merge used in every
+//!   timing experiment of Chapter 6 (the fan-in analysis of §6.1.1 sweeps
+//!   its fan-in parameter).
+//! * [`polyphase`] — polyphase merge over `k + 1` tapes (§2.1.2,
+//!   Table 2.1), kept for completeness of the historical context.
+//!
+//! [`loser_tree`] holds the tournament tree shared by both.
+
+pub mod kway;
+pub mod loser_tree;
+pub mod polyphase;

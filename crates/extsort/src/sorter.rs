@@ -1,0 +1,320 @@
+//! The end-to-end external sorter: run generation followed by a multi-pass
+//! k-way merge.
+//!
+//! This is the pipeline the paper times in Chapter 6: the run-generation
+//! algorithm (classic RS, Load-Sort-Store or 2WRS from the `twrs-core`
+//! crate) is a plug-in, the merge phase and its fan-in are shared, and the
+//! report splits wall-clock time and I/O between the two phases exactly like
+//! the "run" and "total" series of Figures 6.2–6.7.
+
+use crate::error::{Result, SortError};
+use crate::merge::kway::{KWayMerger, MergeConfig, MergeReport};
+use crate::run_generation::{Device, RunCursor, RunGenerator, RunHandle, RunSet};
+use std::time::{Duration, Instant};
+use twrs_storage::{IoStatsSnapshot, SpillNamer};
+use twrs_workloads::Record;
+
+/// Configuration of the sorting pipeline that is independent of the
+/// run-generation algorithm.
+#[derive(Debug, Clone, Copy)]
+pub struct SorterConfig {
+    /// Merge-phase configuration (fan-in and per-run read-ahead).
+    pub merge: MergeConfig,
+    /// When `true`, the output is scanned after the merge and verified to be
+    /// sorted and complete (record count). Intended for tests and examples;
+    /// costs one extra read pass.
+    pub verify: bool,
+}
+
+impl Default for SorterConfig {
+    fn default() -> Self {
+        SorterConfig {
+            merge: MergeConfig::default(),
+            verify: false,
+        }
+    }
+}
+
+/// Wall-clock time and I/O attributed to one phase of the sort.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseReport {
+    /// Wall-clock time spent in the phase.
+    pub wall: Duration,
+    /// Pages read from the device during the phase.
+    pub pages_read: u64,
+    /// Pages written to the device during the phase.
+    pub pages_written: u64,
+    /// Seeks performed during the phase.
+    pub seeks: u64,
+    /// Elapsed time predicted by the device's disk model for the phase's
+    /// I/O (deterministic; useful with the simulated device).
+    pub simulated_io: Duration,
+}
+
+impl PhaseReport {
+    fn from_delta(wall: Duration, delta: IoStatsSnapshot) -> Self {
+        PhaseReport {
+            wall,
+            pages_read: delta.counters.pages_read,
+            pages_written: delta.counters.pages_written,
+            seeks: delta.counters.seeks,
+            simulated_io: delta.simulated_time(),
+        }
+    }
+
+    /// Wall-clock time plus the simulated I/O time; a deterministic proxy
+    /// for total elapsed time on the in-memory device.
+    pub fn modelled_total(&self) -> Duration {
+        self.wall + self.simulated_io
+    }
+}
+
+/// Full report of one external sort.
+#[derive(Debug, Clone)]
+pub struct SortReport {
+    /// Label of the run-generation algorithm ("RS", "2WRS", "LSS", …).
+    pub generator: &'static str,
+    /// Number of records sorted.
+    pub records: u64,
+    /// Number of runs the generation phase produced.
+    pub num_runs: usize,
+    /// Average run length in records.
+    pub average_run_length: f64,
+    /// Average run length divided by the memory budget (Table 5.13 metric).
+    pub relative_run_length: f64,
+    /// Run-generation phase cost.
+    pub run_generation: PhaseReport,
+    /// Merge phase cost.
+    pub merge: PhaseReport,
+    /// Merge statistics (steps and rewrite passes).
+    pub merge_report: MergeReport,
+}
+
+impl SortReport {
+    /// Total wall-clock time of both phases.
+    pub fn total_wall(&self) -> Duration {
+        self.run_generation.wall + self.merge.wall
+    }
+
+    /// Total modelled time (wall + simulated I/O) of both phases.
+    pub fn total_modelled(&self) -> Duration {
+        self.run_generation.modelled_total() + self.merge.modelled_total()
+    }
+}
+
+/// An external sorter parameterised by its run-generation algorithm.
+pub struct ExternalSorter<G: RunGenerator> {
+    generator: G,
+    config: SorterConfig,
+}
+
+impl<G: RunGenerator> ExternalSorter<G> {
+    /// Creates a sorter with the default pipeline configuration.
+    pub fn new(generator: G) -> Self {
+        ExternalSorter {
+            generator,
+            config: SorterConfig::default(),
+        }
+    }
+
+    /// Creates a sorter with an explicit pipeline configuration.
+    pub fn with_config(generator: G, config: SorterConfig) -> Self {
+        ExternalSorter { generator, config }
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> SorterConfig {
+        self.config
+    }
+
+    /// A reference to the run-generation algorithm.
+    pub fn generator(&self) -> &G {
+        &self.generator
+    }
+
+    /// Sorts the records produced by `input` into the forward run file
+    /// `output` on `device`.
+    pub fn sort_iter<D: Device>(
+        &mut self,
+        device: &D,
+        input: &mut dyn Iterator<Item = Record>,
+        output: &str,
+    ) -> Result<SortReport> {
+        let namer = SpillNamer::new(format!("sort-{output}"));
+
+        // --- Run generation phase -------------------------------------
+        let before = device.stats();
+        let started = Instant::now();
+        let run_set: RunSet = self.generator.generate(device, &namer, input)?;
+        let run_wall = started.elapsed();
+        let after_runs = device.stats();
+        let run_phase = PhaseReport::from_delta(run_wall, after_runs.since(&before));
+
+        // --- Merge phase -----------------------------------------------
+        let merger = KWayMerger::new(self.config.merge);
+        let started = Instant::now();
+        let merge_report = merger.merge_into(device, &namer, run_set.runs.clone(), output)?;
+        let merge_wall = started.elapsed();
+        let after_merge = device.stats();
+        let merge_phase = PhaseReport::from_delta(merge_wall, after_merge.since(&after_runs));
+
+        // --- Optional verification -------------------------------------
+        if self.config.verify {
+            verify_sorted(device, output, run_set.records)?;
+        }
+        namer.cleanup(device)?;
+
+        Ok(SortReport {
+            generator: self.generator.label(),
+            records: run_set.records,
+            num_runs: run_set.num_runs(),
+            average_run_length: run_set.average_run_length(),
+            relative_run_length: run_set.relative_run_length(self.generator.memory_records()),
+            run_generation: run_phase,
+            merge: merge_phase,
+            merge_report,
+        })
+    }
+
+    /// Sorts a dataset previously materialised on the device (see
+    /// `twrs_workloads::materialize`) into the forward run file `output`.
+    pub fn sort_file<D: Device>(
+        &mut self,
+        device: &D,
+        input: &str,
+        output: &str,
+    ) -> Result<SortReport> {
+        let reader = twrs_storage::RunReader::<Record>::open(device, input)?;
+        let mut iter = reader.map(|r| r.expect("input dataset is readable"));
+        self.sort_iter(device, &mut iter, output)
+    }
+}
+
+/// Checks that the run `output` is sorted and contains `expected_records`
+/// records.
+pub fn verify_sorted(
+    device: &dyn twrs_storage::StorageDevice,
+    output: &str,
+    expected_records: u64,
+) -> Result<()> {
+    let mut cursor = RunCursor::open(device, &RunHandle::Forward(output.to_string()))?;
+    let mut count = 0u64;
+    let mut previous: Option<Record> = None;
+    while let Some(record) = cursor.next_record()? {
+        if let Some(prev) = previous {
+            if record < prev {
+                return Err(SortError::VerificationFailed(format!(
+                    "output not sorted at record {count}: {record:?} < {prev:?}"
+                )));
+            }
+        }
+        previous = Some(record);
+        count += 1;
+    }
+    if count != expected_records {
+        return Err(SortError::VerificationFailed(format!(
+            "output has {count} records, expected {expected_records}"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load_sort_store::LoadSortStore;
+    use crate::replacement_selection::ReplacementSelection;
+    use twrs_storage::{SimDevice, StorageDevice};
+    use twrs_workloads::{materialize, Distribution, DistributionKind};
+
+    fn sorted_config() -> SorterConfig {
+        SorterConfig {
+            merge: MergeConfig {
+                fan_in: 8,
+                read_ahead_records: 64,
+            },
+            verify: true,
+        }
+    }
+
+    #[test]
+    fn rs_pipeline_sorts_random_input() {
+        let device = SimDevice::new();
+        let mut sorter =
+            ExternalSorter::with_config(ReplacementSelection::new(200), sorted_config());
+        let mut input = Distribution::new(DistributionKind::RandomUniform, 10_000, 1).records();
+        let report = sorter.sort_iter(&device, &mut input, "out").unwrap();
+        assert_eq!(report.records, 10_000);
+        assert_eq!(report.generator, "RS");
+        assert!(report.num_runs > 1);
+        assert!(report.relative_run_length > 1.5);
+        assert!(report.merge_report.output_records == 10_000);
+    }
+
+    #[test]
+    fn lss_pipeline_sorts_and_reports_phases() {
+        let device = SimDevice::new();
+        let mut sorter = ExternalSorter::with_config(LoadSortStore::new(128), sorted_config());
+        let mut input = Distribution::new(DistributionKind::MixedBalanced, 4_000, 3).records();
+        let report = sorter.sort_iter(&device, &mut input, "out").unwrap();
+        assert_eq!(report.records, 4_000);
+        assert!(report.run_generation.pages_written > 0);
+        assert!(report.merge.pages_read > 0);
+        assert!(report.total_modelled() >= report.total_wall());
+    }
+
+    #[test]
+    fn sort_file_reads_materialised_dataset() {
+        let device = SimDevice::new();
+        let dist = Distribution::new(DistributionKind::ReverseSorted, 3_000, 9);
+        materialize(&device, "input", dist.records()).unwrap();
+        let mut sorter =
+            ExternalSorter::with_config(ReplacementSelection::new(100), sorted_config());
+        let report = sorter.sort_file(&device, "input", "out").unwrap();
+        assert_eq!(report.records, 3_000);
+        // Reverse-sorted input is RS's worst case: runs equal to memory.
+        assert_eq!(report.num_runs, 30);
+    }
+
+    #[test]
+    fn verification_catches_missing_records() {
+        let device = SimDevice::new();
+        // Manually write an unsorted "output" and check the verifier trips.
+        let mut writer = twrs_storage::RunWriter::<Record>::create(&device, "bad").unwrap();
+        writer.push(&Record::from_key(5)).unwrap();
+        writer.push(&Record::from_key(1)).unwrap();
+        writer.finish().unwrap();
+        assert!(matches!(
+            verify_sorted(&device, "bad", 2),
+            Err(SortError::VerificationFailed(_))
+        ));
+        // Sorted but wrong count.
+        let mut writer = twrs_storage::RunWriter::<Record>::create(&device, "short").unwrap();
+        writer.push(&Record::from_key(1)).unwrap();
+        writer.finish().unwrap();
+        assert!(matches!(
+            verify_sorted(&device, "short", 2),
+            Err(SortError::VerificationFailed(_))
+        ));
+    }
+
+    #[test]
+    fn empty_input_sorts_to_empty_output() {
+        let device = SimDevice::new();
+        let mut sorter = ExternalSorter::with_config(LoadSortStore::new(16), sorted_config());
+        let mut input = std::iter::empty();
+        let report = sorter.sort_iter(&device, &mut input, "out").unwrap();
+        assert_eq!(report.records, 0);
+        assert_eq!(report.num_runs, 0);
+    }
+
+    #[test]
+    fn temporary_files_are_cleaned_up() {
+        let device = SimDevice::new();
+        let mut sorter = ExternalSorter::with_config(ReplacementSelection::new(64), sorted_config());
+        let mut input = Distribution::new(DistributionKind::RandomUniform, 2_000, 4).records();
+        sorter.sort_iter(&device, &mut input, "final").unwrap();
+        let files = device.list();
+        assert_eq!(files, vec!["final".to_string()]);
+    }
+}

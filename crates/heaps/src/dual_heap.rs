@@ -1,0 +1,566 @@
+//! The dual heap of two-way replacement selection (§4.1).
+//!
+//! 2WRS keeps two heaps in memory: the **TopHeap**, a min-heap whose pops
+//! form an increasing stream, and the **BottomHeap**, a max-heap whose pops
+//! form a decreasing stream. Because the share of memory each heap needs
+//! changes with the input, the paper stores both in a *single fixed array*:
+//! the TopHeap grows from one end with increasing indexes and the BottomHeap
+//! from the other end with decreasing indexes (Figure 4.3), so either heap
+//! can grow exactly when the other shrinks and no dynamic allocation is ever
+//! required during run generation.
+//!
+//! [`DualHeap`] reproduces that layout. Both sides are implemented as
+//! min-heaps under a side-specific ordering supplied by a [`TwoWayOrder`]
+//! (the natural choice, [`NaturalOrder`], makes the bottom side a max-heap
+//! over `T: Ord`); 2WRS itself supplies a run-aware ordering so next-run
+//! records sink in both heaps.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Identifies one of the two heaps stored in a [`DualHeap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HeapSide {
+    /// The min-heap producing the increasing output stream (stream 1).
+    Top,
+    /// The max-heap producing the decreasing output stream (stream 4).
+    Bottom,
+}
+
+impl HeapSide {
+    /// The other side.
+    #[inline]
+    pub fn opposite(self) -> HeapSide {
+        match self {
+            HeapSide::Top => HeapSide::Bottom,
+            HeapSide::Bottom => HeapSide::Top,
+        }
+    }
+}
+
+/// Orderings for the two sides of a [`DualHeap`].
+///
+/// Both sides behave as min-heaps under their respective comparison: the
+/// element that compares `Less` is closer to the root and is popped first.
+/// For the bottom (decreasing-output) side the comparison is therefore
+/// usually the *reverse* of the natural order.
+pub trait TwoWayOrder<T> {
+    /// Ordering used by the top heap; its root is the minimum under this
+    /// comparison.
+    fn cmp_top(&self, a: &T, b: &T) -> Ordering;
+
+    /// Ordering used by the bottom heap; its root is the minimum under this
+    /// comparison (i.e. the record to emit next in the decreasing stream).
+    fn cmp_bottom(&self, a: &T, b: &T) -> Ordering;
+}
+
+/// The default [`TwoWayOrder`]: the top heap is a min-heap over `T: Ord`
+/// and the bottom heap a max-heap over the same order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NaturalOrder;
+
+impl<T: Ord> TwoWayOrder<T> for NaturalOrder {
+    #[inline]
+    fn cmp_top(&self, a: &T, b: &T) -> Ordering {
+        a.cmp(b)
+    }
+
+    #[inline]
+    fn cmp_bottom(&self, a: &T, b: &T) -> Ordering {
+        b.cmp(a)
+    }
+}
+
+/// Two heaps sharing one fixed-capacity array, growing toward each other.
+///
+/// # Examples
+///
+/// ```
+/// use twrs_heaps::{DualHeap, HeapSide};
+///
+/// let mut dual: DualHeap<u32> = DualHeap::new(8);
+/// dual.push(HeapSide::Top, 50).unwrap();
+/// dual.push(HeapSide::Top, 52).unwrap();
+/// dual.push(HeapSide::Bottom, 40).unwrap();
+/// dual.push(HeapSide::Bottom, 38).unwrap();
+///
+/// // The top side pops ascending, the bottom side pops descending.
+/// assert_eq!(dual.peek(HeapSide::Top), Some(&50));
+/// assert_eq!(dual.peek(HeapSide::Bottom), Some(&40));
+/// assert_eq!(dual.pop(HeapSide::Bottom), Some(40));
+/// assert_eq!(dual.pop(HeapSide::Top), Some(50));
+/// ```
+pub struct DualHeap<T, O = NaturalOrder> {
+    /// The shared array. `slots[0..top_len]` is the TopHeap in standard
+    /// array layout; `slots[capacity - bottom_len..capacity]` is the
+    /// BottomHeap laid out from the back (its root lives at
+    /// `capacity - 1`).
+    slots: Vec<Option<T>>,
+    top_len: usize,
+    bottom_len: usize,
+    order: O,
+    /// Cumulative pops per side, used by the Useful heuristics.
+    pops: [u64; 2],
+}
+
+/// Error returned when pushing into a full [`DualHeap`]; carries the value
+/// back to the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DualHeapFull<T>(pub T);
+
+impl<T: fmt::Debug> fmt::Display for DualHeapFull<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dual heap is at capacity; rejected {:?}", self.0)
+    }
+}
+
+impl<T: fmt::Debug> std::error::Error for DualHeapFull<T> {}
+
+impl<T> DualHeap<T, NaturalOrder>
+where
+    T: Ord,
+{
+    /// Creates a dual heap with the natural ordering and the given total
+    /// capacity shared by both sides.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_order(capacity, NaturalOrder)
+    }
+}
+
+impl<T, O: TwoWayOrder<T>> DualHeap<T, O> {
+    /// Creates a dual heap with a custom two-way ordering.
+    pub fn with_order(capacity: usize, order: O) -> Self {
+        let mut slots = Vec::with_capacity(capacity);
+        slots.resize_with(capacity, || None);
+        DualHeap {
+            slots,
+            top_len: 0,
+            bottom_len: 0,
+            order,
+            pops: [0, 0],
+        }
+    }
+
+    /// Total capacity shared by the two heaps.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of records currently stored on `side`.
+    #[inline]
+    pub fn len_of(&self, side: HeapSide) -> usize {
+        match side {
+            HeapSide::Top => self.top_len,
+            HeapSide::Bottom => self.bottom_len,
+        }
+    }
+
+    /// Total number of records stored across both heaps.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.top_len + self.bottom_len
+    }
+
+    /// `true` when both heaps are empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` when the shared array is full.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.len() >= self.capacity()
+    }
+
+    /// Free slots remaining in the shared array.
+    #[inline]
+    pub fn free(&self) -> usize {
+        self.capacity() - self.len()
+    }
+
+    /// Number of records popped from `side` since construction (or the last
+    /// [`DualHeap::reset_pop_counters`] call). Used by the *Useful*
+    /// heuristics, which measure the usefulness of a heap as records output
+    /// divided by size (§4.2).
+    #[inline]
+    pub fn pops_from(&self, side: HeapSide) -> u64 {
+        self.pops[side_index(side)]
+    }
+
+    /// Resets the per-side pop counters (used at run boundaries).
+    pub fn reset_pop_counters(&mut self) {
+        self.pops = [0, 0];
+    }
+
+    /// Returns a reference to the root record of `side` without removing it.
+    pub fn peek(&self, side: HeapSide) -> Option<&T> {
+        match side {
+            HeapSide::Top => {
+                if self.top_len == 0 {
+                    None
+                } else {
+                    self.slots[0].as_ref()
+                }
+            }
+            HeapSide::Bottom => {
+                if self.bottom_len == 0 {
+                    None
+                } else {
+                    self.slots[self.capacity() - 1].as_ref()
+                }
+            }
+        }
+    }
+
+    /// Pushes a record onto `side`.
+    ///
+    /// Fails with [`DualHeapFull`] when the *shared* array is full, i.e. the
+    /// combined size of both heaps has reached the capacity, regardless of
+    /// which side the record was destined for.
+    pub fn push(&mut self, side: HeapSide, value: T) -> Result<(), DualHeapFull<T>> {
+        if self.is_full() {
+            return Err(DualHeapFull(value));
+        }
+        match side {
+            HeapSide::Top => {
+                let idx = self.top_len;
+                self.slots[idx] = Some(value);
+                self.top_len += 1;
+                self.upheap(HeapSide::Top, idx);
+            }
+            HeapSide::Bottom => {
+                let idx = self.bottom_len;
+                let slot = self.bottom_slot(idx);
+                self.slots[slot] = Some(value);
+                self.bottom_len += 1;
+                self.upheap(HeapSide::Bottom, idx);
+            }
+        }
+        Ok(())
+    }
+
+    /// Pops the root record of `side`, shrinking that heap by one and
+    /// freeing a slot either heap may subsequently use (Figure 4.4).
+    pub fn pop(&mut self, side: HeapSide) -> Option<T> {
+        let len = self.len_of(side);
+        if len == 0 {
+            return None;
+        }
+        self.pops[side_index(side)] += 1;
+        let root_slot = self.heap_slot(side, 0);
+        let last_slot = self.heap_slot(side, len - 1);
+        self.slots.swap(root_slot, last_slot);
+        let value = self.slots[last_slot].take();
+        match side {
+            HeapSide::Top => self.top_len -= 1,
+            HeapSide::Bottom => self.bottom_len -= 1,
+        }
+        if self.len_of(side) > 1 {
+            self.downheap(side, 0);
+        }
+        value
+    }
+
+    /// Drains every record from both heaps in unspecified order.
+    pub fn drain(&mut self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.len());
+        for slot in self.slots.iter_mut() {
+            if let Some(v) = slot.take() {
+                out.push(v);
+            }
+        }
+        self.top_len = 0;
+        self.bottom_len = 0;
+        out
+    }
+
+    /// Iterates over the records of `side` in unspecified (heap-array)
+    /// order.
+    pub fn iter_side(&self, side: HeapSide) -> impl Iterator<Item = &T> + '_ {
+        let len = self.len_of(side);
+        (0..len).filter_map(move |i| self.slots[self.heap_slot(side, i)].as_ref())
+    }
+
+    /// Compare the records at logical positions `a` and `b` of `side`.
+    fn before(&self, side: HeapSide, a: usize, b: usize) -> bool {
+        let (sa, sb) = (self.heap_slot(side, a), self.heap_slot(side, b));
+        let (va, vb) = (
+            self.slots[sa].as_ref().expect("occupied heap slot"),
+            self.slots[sb].as_ref().expect("occupied heap slot"),
+        );
+        let ord = match side {
+            HeapSide::Top => self.order.cmp_top(va, vb),
+            HeapSide::Bottom => self.order.cmp_bottom(va, vb),
+        };
+        ord == Ordering::Less
+    }
+
+    /// Translate a logical heap index into a physical slot index.
+    #[inline]
+    fn heap_slot(&self, side: HeapSide, idx: usize) -> usize {
+        match side {
+            HeapSide::Top => idx,
+            HeapSide::Bottom => self.bottom_slot(idx),
+        }
+    }
+
+    /// Physical slot of the bottom heap's logical index `idx`: the bottom
+    /// heap is laid out from the end of the array towards the front.
+    #[inline]
+    fn bottom_slot(&self, idx: usize) -> usize {
+        self.capacity() - 1 - idx
+    }
+
+    fn swap_logical(&mut self, side: HeapSide, a: usize, b: usize) {
+        let (sa, sb) = (self.heap_slot(side, a), self.heap_slot(side, b));
+        self.slots.swap(sa, sb);
+    }
+
+    fn upheap(&mut self, side: HeapSide, mut idx: usize) {
+        while idx > 0 {
+            let parent = (idx - 1) / 2;
+            if self.before(side, idx, parent) {
+                self.swap_logical(side, idx, parent);
+                idx = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn downheap(&mut self, side: HeapSide, mut idx: usize) {
+        let len = self.len_of(side);
+        loop {
+            let left = 2 * idx + 1;
+            let right = 2 * idx + 2;
+            let mut best = idx;
+            if left < len && self.before(side, left, best) {
+                best = left;
+            }
+            if right < len && self.before(side, right, best) {
+                best = right;
+            }
+            if best == idx {
+                break;
+            }
+            self.swap_logical(side, idx, best);
+            idx = best;
+        }
+    }
+
+    /// Validates both heap properties and the disjointness of the two
+    /// regions. Returns a description of the first violation found, or
+    /// `None` when the structure is consistent. Intended for tests.
+    pub fn debug_validate(&self) -> Option<String> {
+        if self.top_len + self.bottom_len > self.capacity() {
+            return Some(format!(
+                "overlap: top_len={} bottom_len={} capacity={}",
+                self.top_len,
+                self.bottom_len,
+                self.capacity()
+            ));
+        }
+        for (i, slot) in self.slots.iter().enumerate() {
+            let in_top = i < self.top_len;
+            let in_bottom = i >= self.capacity() - self.bottom_len;
+            match (slot.is_some(), in_top || in_bottom) {
+                (true, false) => return Some(format!("slot {i} occupied but outside both heaps")),
+                (false, true) => return Some(format!("slot {i} empty but inside a heap")),
+                _ => {}
+            }
+        }
+        for side in [HeapSide::Top, HeapSide::Bottom] {
+            for i in 1..self.len_of(side) {
+                let parent = (i - 1) / 2;
+                if self.before(side, i, parent) {
+                    return Some(format!("heap property violated on {side:?} at index {i}"));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[inline]
+fn side_index(side: HeapSide) -> usize {
+    match side {
+        HeapSide::Top => 0,
+        HeapSide::Bottom => 1,
+    }
+}
+
+impl<T: fmt::Debug, O> fmt::Debug for DualHeap<T, O> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DualHeap")
+            .field("capacity", &self.slots.len())
+            .field("top_len", &self.top_len)
+            .field("bottom_len", &self.bottom_len)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the two heaps of Figure 4.2 in a 14-slot shared array.
+    fn paper_figure_4_3() -> DualHeap<u32> {
+        let mut dual = DualHeap::new(14);
+        // BottomHeap (max heap) of Figure 4.2: {33, 28, 32, 16, 20, 22, 4}.
+        for v in [33, 28, 32, 16, 20, 22, 4] {
+            dual.push(HeapSide::Bottom, v).unwrap();
+        }
+        // TopHeap (min heap) of Figure 4.2: {52, 54, 72, 75, 64, 81, 77}.
+        for v in [52, 54, 72, 75, 64, 81, 77] {
+            dual.push(HeapSide::Top, v).unwrap();
+        }
+        dual
+    }
+
+    #[test]
+    fn figure_4_3_roots() {
+        let dual = paper_figure_4_3();
+        assert!(dual.is_full());
+        assert_eq!(dual.peek(HeapSide::Bottom), Some(&33));
+        assert_eq!(dual.peek(HeapSide::Top), Some(&52));
+        assert_eq!(dual.debug_validate(), None);
+    }
+
+    #[test]
+    fn figure_4_4_and_4_5_grow_at_the_expense_of_the_other() {
+        // Removing the BottomHeap root (33) frees one slot...
+        let mut dual = paper_figure_4_3();
+        assert_eq!(dual.pop(HeapSide::Bottom), Some(33));
+        assert_eq!(dual.len_of(HeapSide::Bottom), 6);
+        assert_eq!(dual.free(), 1);
+        assert_eq!(dual.debug_validate(), None);
+        // ...which the TopHeap can then use (Figure 4.5: insert 53).
+        dual.push(HeapSide::Top, 53).unwrap();
+        assert_eq!(dual.len_of(HeapSide::Top), 8);
+        assert!(dual.is_full());
+        assert_eq!(dual.peek(HeapSide::Top), Some(&52));
+        assert_eq!(dual.debug_validate(), None);
+    }
+
+    #[test]
+    fn push_fails_only_when_shared_array_is_full() {
+        let mut dual: DualHeap<u32> = DualHeap::new(4);
+        dual.push(HeapSide::Top, 1).unwrap();
+        dual.push(HeapSide::Top, 2).unwrap();
+        dual.push(HeapSide::Bottom, 3).unwrap();
+        dual.push(HeapSide::Bottom, 4).unwrap();
+        let err = dual.push(HeapSide::Top, 5);
+        assert_eq!(err, Err(DualHeapFull(5)));
+        assert_eq!(dual.len(), 4);
+    }
+
+    #[test]
+    fn top_side_pops_ascending_bottom_side_descending() {
+        let mut dual: DualHeap<i64> = DualHeap::new(32);
+        let values = [14, 3, 99, -7, 42, 0, 23, 8];
+        for &v in &values {
+            dual.push(HeapSide::Top, v).unwrap();
+            dual.push(HeapSide::Bottom, v).unwrap();
+        }
+        let mut ascending = Vec::new();
+        while let Some(v) = dual.pop(HeapSide::Top) {
+            ascending.push(v);
+        }
+        let mut descending = Vec::new();
+        while let Some(v) = dual.pop(HeapSide::Bottom) {
+            descending.push(v);
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(ascending, sorted);
+        sorted.reverse();
+        assert_eq!(descending, sorted);
+    }
+
+    #[test]
+    fn one_sided_use_is_equivalent_to_a_single_heap() {
+        // When the TopHeap occupies the whole array and the BottomHeap stays
+        // empty, the structure degenerates to plain replacement selection
+        // (§4.1 "If the TopHeap grows to occupy the whole memory ... the
+        // algorithm is equivalent to RS").
+        let mut dual: DualHeap<u32> = DualHeap::new(16);
+        for v in [9, 1, 8, 2, 7, 3, 6, 4, 5] {
+            dual.push(HeapSide::Top, v).unwrap();
+        }
+        assert_eq!(dual.len_of(HeapSide::Bottom), 0);
+        let mut out = Vec::new();
+        while let Some(v) = dual.pop(HeapSide::Top) {
+            out.push(v);
+        }
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn pop_counters_track_usefulness_inputs() {
+        let mut dual: DualHeap<u32> = DualHeap::new(8);
+        dual.push(HeapSide::Top, 1).unwrap();
+        dual.push(HeapSide::Top, 2).unwrap();
+        dual.push(HeapSide::Bottom, 3).unwrap();
+        dual.pop(HeapSide::Top);
+        dual.pop(HeapSide::Top);
+        dual.pop(HeapSide::Bottom);
+        assert_eq!(dual.pops_from(HeapSide::Top), 2);
+        assert_eq!(dual.pops_from(HeapSide::Bottom), 1);
+        dual.reset_pop_counters();
+        assert_eq!(dual.pops_from(HeapSide::Top), 0);
+    }
+
+    #[test]
+    fn drain_empties_both_sides() {
+        let mut dual = paper_figure_4_3();
+        let all = dual.drain();
+        assert_eq!(all.len(), 14);
+        assert!(dual.is_empty());
+        assert_eq!(dual.debug_validate(), None);
+    }
+
+    #[test]
+    fn empty_heap_edge_cases() {
+        let mut dual: DualHeap<u32> = DualHeap::new(0);
+        assert!(dual.is_full());
+        assert!(dual.is_empty());
+        assert_eq!(dual.pop(HeapSide::Top), None);
+        assert_eq!(dual.pop(HeapSide::Bottom), None);
+        assert_eq!(dual.push(HeapSide::Top, 1), Err(DualHeapFull(1)));
+    }
+
+    #[test]
+    fn custom_order_is_respected() {
+        /// Orders both sides by the value modulo 10.
+        struct Mod10;
+        impl TwoWayOrder<u32> for Mod10 {
+            fn cmp_top(&self, a: &u32, b: &u32) -> Ordering {
+                (a % 10).cmp(&(b % 10))
+            }
+            fn cmp_bottom(&self, a: &u32, b: &u32) -> Ordering {
+                (b % 10).cmp(&(a % 10))
+            }
+        }
+        let mut dual = DualHeap::with_order(8, Mod10);
+        for v in [21, 13, 47, 95] {
+            dual.push(HeapSide::Top, v).unwrap();
+        }
+        assert_eq!(dual.pop(HeapSide::Top), Some(21));
+        assert_eq!(dual.pop(HeapSide::Top), Some(13));
+        assert_eq!(dual.pop(HeapSide::Top), Some(95));
+        assert_eq!(dual.pop(HeapSide::Top), Some(47));
+    }
+
+    #[test]
+    fn iter_side_visits_only_that_side() {
+        let dual = paper_figure_4_3();
+        let top: Vec<u32> = dual.iter_side(HeapSide::Top).copied().collect();
+        let bottom: Vec<u32> = dual.iter_side(HeapSide::Bottom).copied().collect();
+        assert_eq!(top.len(), 7);
+        assert_eq!(bottom.len(), 7);
+        assert!(top.iter().all(|v| *v >= 52));
+        assert!(bottom.iter().all(|v| *v <= 33));
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the heap structures.
+
+use proptest::prelude::*;
+use twrs_heaps::{heapsort, heapsort_by, BinaryHeap, DualHeap, HeapKind, HeapSide, RunRecord};
+
+proptest! {
+    /// Popping a min-heap yields the input in ascending order.
+    #[test]
+    fn min_heap_sorts(values in prop::collection::vec(any::<i64>(), 0..256)) {
+        let mut heap = BinaryHeap::unbounded(HeapKind::Min);
+        for &v in &values {
+            heap.push(v).unwrap();
+            prop_assert_eq!(heap.debug_validate(), None);
+        }
+        let drained = heap.drain_sorted();
+        let mut expected = values.clone();
+        expected.sort_unstable();
+        prop_assert_eq!(drained, expected);
+    }
+
+    /// Popping a max-heap yields the input in descending order.
+    #[test]
+    fn max_heap_sorts_descending(values in prop::collection::vec(any::<i64>(), 0..256)) {
+        let heap = BinaryHeap::from_vec(HeapKind::Max, values.clone());
+        prop_assert_eq!(heap.debug_validate(), None);
+        let mut heap = heap;
+        let drained = heap.drain_sorted();
+        let mut expected = values;
+        expected.sort_unstable_by(|a, b| b.cmp(a));
+        prop_assert_eq!(drained, expected);
+    }
+
+    /// `replace_top` behaves like pop-then-push.
+    #[test]
+    fn replace_top_equivalent_to_pop_push(
+        initial in prop::collection::vec(any::<i32>(), 1..128),
+        replacement in any::<i32>(),
+    ) {
+        let mut a = BinaryHeap::from_vec(HeapKind::Min, initial.clone());
+        let mut b = BinaryHeap::from_vec(HeapKind::Min, initial);
+        let via_replace = a.replace_top(replacement);
+        let via_pop = b.pop();
+        b.push(replacement).unwrap();
+        prop_assert_eq!(via_replace, via_pop);
+        prop_assert_eq!(a.drain_sorted(), b.drain_sorted());
+    }
+
+    /// An arbitrary interleaving of pushes and pops never violates the heap
+    /// property and the popped prefix is always consistent with a heap.
+    #[test]
+    fn heap_invariant_under_mixed_ops(ops in prop::collection::vec((any::<bool>(), any::<u16>()), 0..512)) {
+        let mut heap = BinaryHeap::unbounded(HeapKind::Min);
+        for (is_pop, value) in ops {
+            if is_pop {
+                heap.pop();
+            } else {
+                heap.push(value).unwrap();
+            }
+            prop_assert_eq!(heap.debug_validate(), None);
+        }
+    }
+
+    /// The dual heap splits any input into an ascending stream and a
+    /// descending stream that together contain every record.
+    #[test]
+    fn dual_heap_partitions_input(
+        values in prop::collection::vec(any::<i32>(), 0..256),
+        sides in prop::collection::vec(any::<bool>(), 0..256),
+    ) {
+        let n = values.len();
+        let mut dual: DualHeap<i32> = DualHeap::new(n.max(1));
+        for (i, &v) in values.iter().enumerate() {
+            let side = if *sides.get(i).unwrap_or(&true) { HeapSide::Top } else { HeapSide::Bottom };
+            dual.push(side, v).unwrap();
+            prop_assert_eq!(dual.debug_validate(), None);
+        }
+        let mut ascending = Vec::new();
+        while let Some(v) = dual.pop(HeapSide::Top) { ascending.push(v); }
+        let mut descending = Vec::new();
+        while let Some(v) = dual.pop(HeapSide::Bottom) { descending.push(v); }
+        prop_assert!(ascending.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert!(descending.windows(2).all(|w| w[0] >= w[1]));
+        let mut all: Vec<i32> = ascending.into_iter().chain(descending).collect();
+        all.sort_unstable();
+        let mut expected = values.clone();
+        expected.sort_unstable();
+        prop_assert_eq!(all, expected);
+    }
+
+    /// Heapsort agrees with the standard library sort.
+    #[test]
+    fn heapsort_matches_std(values in prop::collection::vec(any::<i64>(), 0..512)) {
+        let mut ours = values.clone();
+        heapsort(&mut ours);
+        let mut expected = values;
+        expected.sort_unstable();
+        prop_assert_eq!(ours, expected);
+    }
+
+    /// Heapsort with a reversed comparator agrees with a reversed std sort.
+    #[test]
+    fn heapsort_by_matches_std(values in prop::collection::vec(any::<i64>(), 0..512)) {
+        let mut ours = values.clone();
+        heapsort_by(&mut ours, |a, b| b.cmp(a));
+        let mut expected = values;
+        expected.sort_unstable_by(|a, b| b.cmp(a));
+        prop_assert_eq!(ours, expected);
+    }
+
+    /// Run-tagged records always surface lower runs before higher runs in a
+    /// min-heap, regardless of their values.
+    #[test]
+    fn run_records_respect_run_major_order(
+        entries in prop::collection::vec((0u64..4, any::<i32>()), 1..256),
+    ) {
+        let mut heap = BinaryHeap::unbounded(HeapKind::Min);
+        for &(run, value) in &entries {
+            heap.push(RunRecord::new(value, run)).unwrap();
+        }
+        let drained = heap.drain_sorted();
+        prop_assert!(drained.windows(2).all(|w| w[0].run <= w[1].run));
+        prop_assert!(drained
+            .windows(2)
+            .all(|w| w[0].run < w[1].run || w[0].value <= w[1].value));
+    }
+}

@@ -1,0 +1,108 @@
+//! Error type shared by the storage substrate.
+
+use std::fmt;
+use std::io;
+
+/// Convenient result alias used throughout the storage crate.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+/// Errors raised by the storage substrate.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An operating-system I/O error from the real-file backend.
+    Io(io::Error),
+    /// The named file does not exist on the device.
+    NotFound(String),
+    /// A file with the given name already exists and `create` would clobber
+    /// it.
+    AlreadyExists(String),
+    /// A page index beyond the end of the file was read.
+    PageOutOfBounds {
+        /// File the access targeted.
+        file: String,
+        /// Requested page index.
+        page: u64,
+        /// Number of pages the file actually has.
+        pages: u64,
+    },
+    /// A buffer passed to a page read/write did not match the device page
+    /// size.
+    PageSizeMismatch {
+        /// Size the caller supplied.
+        got: usize,
+        /// Page size of the device.
+        expected: usize,
+    },
+    /// A file header was malformed or inconsistent with its contents.
+    CorruptHeader(String),
+    /// The record size does not divide the page payload area.
+    BadRecordSize {
+        /// Size of the record type.
+        record: usize,
+        /// Page size of the device.
+        page: usize,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "I/O error: {e}"),
+            StorageError::NotFound(name) => write!(f, "file not found: {name}"),
+            StorageError::AlreadyExists(name) => write!(f, "file already exists: {name}"),
+            StorageError::PageOutOfBounds { file, page, pages } => write!(
+                f,
+                "page {page} out of bounds for file {file} with {pages} pages"
+            ),
+            StorageError::PageSizeMismatch { got, expected } => {
+                write!(f, "buffer of {got} bytes does not match page size {expected}")
+            }
+            StorageError::CorruptHeader(msg) => write!(f, "corrupt file header: {msg}"),
+            StorageError::BadRecordSize { record, page } => write!(
+                f,
+                "record size {record} does not fit the page payload of {page} bytes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StorageError::PageOutOfBounds {
+            file: "run_3".into(),
+            page: 12,
+            pages: 4,
+        };
+        let text = e.to_string();
+        assert!(text.contains("run_3"));
+        assert!(text.contains("12"));
+        assert!(text.contains('4'));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io_err = io::Error::new(io::ErrorKind::Other, "boom");
+        let err: StorageError = io_err.into();
+        assert!(matches!(err, StorageError::Io(_)));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

@@ -1,0 +1,50 @@
+//! Storage substrate for the two-way replacement selection reproduction.
+//!
+//! External sorting performance is dominated by how runs are written to and
+//! read back from secondary storage (paper Chapter 2 and Appendix A). The
+//! original evaluation ran against a 2010-era SATA disk opened with direct
+//! I/O; this crate substitutes that hardware with a small, explicit storage
+//! model that preserves the behaviour the algorithms care about:
+//!
+//! * a page-oriented [`device::StorageDevice`] abstraction with two
+//!   implementations —
+//!   [`device::FileDevice`] backed by real files in a temporary directory
+//!   (for wall-clock benchmarks) and [`device::SimDevice`], an in-memory
+//!   simulated disk with a seek/rotational/transfer cost model and full I/O
+//!   accounting (for deterministic experiments such as the fan-in analysis
+//!   of §6.1.1);
+//! * [`io_stats::IoStats`] — counters for sequential page transfers and
+//!   seeks plus the simulated elapsed time derived from a
+//!   [`io_stats::DiskModel`];
+//! * [`run_file`] — buffered, forward-sequential run writers and readers for
+//!   fixed-size records;
+//! * [`reverse_file`] — the Appendix A file format that stores a stream of
+//!   *decreasing* records so that the merge phase can still read every file
+//!   forward (fixed-size multi-page files written back to front with a
+//!   header page);
+//! * [`spill`] — naming and lifecycle management for the temporary files of
+//!   a run set.
+//!
+//! Records are serialized through the [`record::FixedSizeRecord`] trait so
+//! the workload crate can define its own record layout without this crate
+//! depending on it.
+
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod error;
+pub mod io_stats;
+pub mod page;
+pub mod record;
+pub mod reverse_file;
+pub mod run_file;
+pub mod spill;
+
+pub use device::{FileDevice, PageFile, SimDevice, StorageDevice};
+pub use error::{Result, StorageError};
+pub use io_stats::{DiskModel, IoStats, IoStatsSnapshot};
+pub use page::{PageBuf, DEFAULT_PAGE_SIZE};
+pub use record::FixedSizeRecord;
+pub use reverse_file::{ReverseRunReader, ReverseRunWriter};
+pub use run_file::{RunReader, RunWriter};
+pub use spill::SpillNamer;

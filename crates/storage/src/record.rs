@@ -1,0 +1,73 @@
+//! Fixed-size record serialization.
+//!
+//! The paper sorts fixed-size records (4-byte integers in the evaluation,
+//! §5.2). The storage layer only needs to know how to move a record to and
+//! from a byte slice of a known size; the concrete record layout lives in
+//! the workload crate. Implementations are provided for the integer key
+//! types used by tests and by simple examples.
+
+/// A record with a compile-time-known serialized size.
+///
+/// Implementors must write exactly [`FixedSizeRecord::SIZE`] bytes in
+/// [`write_to`](FixedSizeRecord::write_to) and read the same amount in
+/// [`read_from`](FixedSizeRecord::read_from); the buffers handed to them are
+/// always exactly `SIZE` bytes long.
+pub trait FixedSizeRecord: Sized {
+    /// Serialized size in bytes.
+    const SIZE: usize;
+
+    /// Serializes the record into `buf` (`buf.len() == Self::SIZE`).
+    fn write_to(&self, buf: &mut [u8]);
+
+    /// Deserializes a record from `buf` (`buf.len() == Self::SIZE`).
+    fn read_from(buf: &[u8]) -> Self;
+}
+
+macro_rules! impl_fixed_for_int {
+    ($($t:ty),*) => {
+        $(
+            impl FixedSizeRecord for $t {
+                const SIZE: usize = std::mem::size_of::<$t>();
+
+                fn write_to(&self, buf: &mut [u8]) {
+                    buf.copy_from_slice(&self.to_le_bytes());
+                }
+
+                fn read_from(buf: &[u8]) -> Self {
+                    let mut bytes = [0u8; std::mem::size_of::<$t>()];
+                    bytes.copy_from_slice(buf);
+                    <$t>::from_le_bytes(bytes)
+                }
+            }
+        )*
+    };
+}
+
+impl_fixed_for_int!(u32, u64, i32, i64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<R: FixedSizeRecord + PartialEq + std::fmt::Debug + Copy>(value: R) {
+        let mut buf = vec![0u8; R::SIZE];
+        value.write_to(&mut buf);
+        assert_eq!(R::read_from(&buf), value);
+    }
+
+    #[test]
+    fn integer_round_trips() {
+        round_trip(0u32);
+        round_trip(u32::MAX);
+        round_trip(123_456_789u64);
+        round_trip(-42i32);
+        round_trip(i64::MIN);
+    }
+
+    #[test]
+    fn sizes_match_native_widths() {
+        assert_eq!(<u32 as FixedSizeRecord>::SIZE, 4);
+        assert_eq!(<u64 as FixedSizeRecord>::SIZE, 8);
+        assert_eq!(<i64 as FixedSizeRecord>::SIZE, 8);
+    }
+}

@@ -1,0 +1,155 @@
+//! Materialising workloads onto a storage device and measuring them.
+//!
+//! The timing experiments of Chapter 6 read the input from disk rather than
+//! generating it on the fly, so the input scan is charged to the sort like
+//! in the paper's setup. [`materialize`] writes a generated workload to a
+//! device file; [`read_dataset`] streams it back; [`sortedness`] quantifies
+//! how ordered an input already is, which is the property the run-length
+//! results hinge on.
+
+use crate::record::Record;
+use twrs_storage::{Result, RunReader, RunWriter, StorageDevice};
+
+/// Summary statistics of a dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetStats {
+    /// Number of records.
+    pub records: u64,
+    /// Fraction of adjacent pairs that are non-decreasing (1.0 for sorted
+    /// input, 0.0 for strictly decreasing input, ≈0.5 for random input).
+    pub ascending_fraction: f64,
+    /// Number of maximal non-decreasing segments (the number of runs an
+    /// idealised zero-memory run generator would produce).
+    pub ascending_segments: u64,
+    /// Smallest key in the dataset.
+    pub min_key: u64,
+    /// Largest key in the dataset.
+    pub max_key: u64,
+}
+
+/// Writes every record produced by `source` into the file `name` on
+/// `device`, returning the number of records written.
+pub fn materialize(
+    device: &dyn StorageDevice,
+    name: &str,
+    source: impl IntoIterator<Item = Record>,
+) -> Result<u64> {
+    let mut writer = RunWriter::<Record>::create(device, name)?;
+    for record in source {
+        writer.push(&record)?;
+    }
+    writer.finish()
+}
+
+/// Opens a dataset previously written by [`materialize`] and returns a
+/// streaming reader over its records.
+pub fn read_dataset(device: &dyn StorageDevice, name: &str) -> Result<RunReader<Record>> {
+    RunReader::<Record>::open(device, name)
+}
+
+/// Computes the [`DatasetStats`] of a record stream.
+pub fn sortedness(records: impl IntoIterator<Item = Record>) -> DatasetStats {
+    let mut iter = records.into_iter();
+    let first = match iter.next() {
+        Some(r) => r,
+        None => {
+            return DatasetStats {
+                records: 0,
+                ascending_fraction: 1.0,
+                ascending_segments: 0,
+                min_key: 0,
+                max_key: 0,
+            }
+        }
+    };
+    let mut prev = first.key;
+    let mut count: u64 = 1;
+    let mut ascending_pairs: u64 = 0;
+    let mut segments: u64 = 1;
+    let mut min_key = first.key;
+    let mut max_key = first.key;
+    for record in iter {
+        count += 1;
+        if record.key >= prev {
+            ascending_pairs += 1;
+        } else {
+            segments += 1;
+        }
+        min_key = min_key.min(record.key);
+        max_key = max_key.max(record.key);
+        prev = record.key;
+    }
+    let pairs = count.saturating_sub(1);
+    DatasetStats {
+        records: count,
+        ascending_fraction: if pairs == 0 {
+            1.0
+        } else {
+            ascending_pairs as f64 / pairs as f64
+        },
+        ascending_segments: segments,
+        min_key,
+        max_key,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributions::{Distribution, DistributionKind};
+    use twrs_storage::SimDevice;
+
+    #[test]
+    fn materialize_and_read_round_trip() {
+        let device = SimDevice::new();
+        let dist = Distribution::new(DistributionKind::RandomUniform, 3_000, 11);
+        let expected = dist.collect();
+        let written = materialize(&device, "input", expected.iter().copied()).unwrap();
+        assert_eq!(written, 3_000);
+        let mut reader = read_dataset(&device, "input").unwrap();
+        let read: Vec<Record> = reader.read_all().unwrap();
+        assert_eq!(read, expected);
+    }
+
+    #[test]
+    fn sortedness_of_sorted_input_is_one() {
+        let stats = sortedness(Distribution::exact(DistributionKind::Sorted, 1_000).records());
+        assert_eq!(stats.records, 1_000);
+        assert_eq!(stats.ascending_fraction, 1.0);
+        assert_eq!(stats.ascending_segments, 1);
+    }
+
+    #[test]
+    fn sortedness_of_reverse_input_is_zero() {
+        let stats =
+            sortedness(Distribution::exact(DistributionKind::ReverseSorted, 1_000).records());
+        assert!(stats.ascending_fraction < 0.01);
+        assert_eq!(stats.ascending_segments, 1_000);
+    }
+
+    #[test]
+    fn sortedness_of_random_is_about_half() {
+        let stats =
+            sortedness(Distribution::new(DistributionKind::RandomUniform, 20_000, 5).records());
+        assert!((0.45..0.55).contains(&stats.ascending_fraction));
+    }
+
+    #[test]
+    fn empty_dataset_stats() {
+        let stats = sortedness(Vec::new());
+        assert_eq!(stats.records, 0);
+        assert_eq!(stats.ascending_segments, 0);
+    }
+
+    #[test]
+    fn alternating_has_as_many_segments_as_upward_sections() {
+        let stats = sortedness(
+            Distribution::exact(DistributionKind::Alternating { sections: 10 }, 10_000).records(),
+        );
+        // Each descending section contributes many one-record segments, so
+        // the segment count is dominated by them; just verify the extremes
+        // span the key range.
+        assert!(stats.max_key > stats.min_key);
+        assert_eq!(stats.records, 10_000);
+    }
+}

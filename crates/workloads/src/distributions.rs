@@ -1,0 +1,404 @@
+//! The six input data distributions of §5.2 (Figure 5.1).
+//!
+//! Every distribution is generated deterministically from a seed. Following
+//! the paper, a uniformly distributed jitter in `[1, 1000]` can be added to
+//! each key so replicated executions of a deterministic algorithm produce
+//! different observations (needed by the ANOVA replications of Chapter 5);
+//! the total key range is `[0, 10^9]` as in the paper. The jitter can be
+//! disabled to obtain the *exact* structured inputs assumed by the
+//! closed-form theorems of §5.1.
+
+use crate::record::Record;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Upper bound of the key space used by the paper (keys span `1..10^9`).
+pub const KEY_RANGE: u64 = 1_000_000_000;
+
+/// Jitter magnitude the paper adds to every record (`U(1, 1000)`).
+pub const JITTER_RANGE: u64 = 1_000;
+
+/// The shape of an input dataset (Figure 5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DistributionKind {
+    /// Keys already in ascending order.
+    Sorted,
+    /// Keys in descending order (the worst case of classic RS).
+    ReverseSorted,
+    /// `sections` interleaved ascending and descending intervals, each
+    /// spanning the full key range (the paper uses 50 sections: 25 up and
+    /// 25 down).
+    Alternating {
+        /// Total number of monotone sections.
+        sections: u32,
+    },
+    /// Independent uniformly random keys.
+    RandomUniform,
+    /// One record of an ascending sequence alternating with one record of a
+    /// descending sequence.
+    MixedBalanced,
+    /// One ascending record alternating with `descending_per_ascending`
+    /// descending records (the paper uses 3).
+    MixedImbalanced {
+        /// Number of descending records between consecutive ascending ones.
+        descending_per_ascending: u32,
+    },
+}
+
+impl DistributionKind {
+    /// The six distributions evaluated by the paper, in the order of
+    /// Table 5.13 (with the paper's default parameters).
+    pub fn paper_set() -> [DistributionKind; 6] {
+        [
+            DistributionKind::Sorted,
+            DistributionKind::ReverseSorted,
+            DistributionKind::Alternating { sections: 50 },
+            DistributionKind::RandomUniform,
+            DistributionKind::MixedBalanced,
+            DistributionKind::MixedImbalanced {
+                descending_per_ascending: 3,
+            },
+        ]
+    }
+
+    /// A short stable label used in experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DistributionKind::Sorted => "sorted",
+            DistributionKind::ReverseSorted => "reverse-sorted",
+            DistributionKind::Alternating { .. } => "alternating",
+            DistributionKind::RandomUniform => "random",
+            DistributionKind::MixedBalanced => "mixed",
+            DistributionKind::MixedImbalanced { .. } => "mixed-imbalanced",
+        }
+    }
+}
+
+/// A reproducible generator for one of the paper's input distributions.
+#[derive(Debug, Clone)]
+pub struct Distribution {
+    kind: DistributionKind,
+    records: u64,
+    seed: u64,
+    jitter: bool,
+}
+
+impl Distribution {
+    /// Creates a generator for `records` records of the given shape, with
+    /// jitter enabled (the paper's experimental setting).
+    pub fn new(kind: DistributionKind, records: u64, seed: u64) -> Self {
+        Distribution {
+            kind,
+            records,
+            seed,
+            jitter: true,
+        }
+    }
+
+    /// Creates a generator without jitter; structured inputs are then exact
+    /// (every theorem of §5.1 applies literally).
+    pub fn exact(kind: DistributionKind, records: u64) -> Self {
+        Distribution {
+            kind,
+            records,
+            seed: 0,
+            jitter: false,
+        }
+    }
+
+    /// Enables or disables the ±U(1,1000) jitter.
+    pub fn with_jitter(mut self, jitter: bool) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// The distribution shape.
+    pub fn kind(&self) -> DistributionKind {
+        self.kind
+    }
+
+    /// Number of records the generator will produce.
+    pub fn len(&self) -> u64 {
+        self.records
+    }
+
+    /// `true` when the generator produces no records.
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    /// The seed used for the random number generator.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Returns an iterator over the generated records.
+    ///
+    /// The payload of each record is its position in the input, which keeps
+    /// comparisons total and lets tests verify stability-related properties.
+    pub fn records(&self) -> DistributionIter {
+        DistributionIter {
+            kind: self.kind,
+            total: self.records,
+            produced: 0,
+            rng: SmallRng::seed_from_u64(self.seed),
+            jitter: self.jitter,
+        }
+    }
+
+    /// Generates the whole dataset into a vector.
+    pub fn collect(&self) -> Vec<Record> {
+        self.records().collect()
+    }
+}
+
+/// Iterator produced by [`Distribution::records`].
+#[derive(Debug, Clone)]
+pub struct DistributionIter {
+    kind: DistributionKind,
+    total: u64,
+    produced: u64,
+    rng: SmallRng,
+    jitter: bool,
+}
+
+impl DistributionIter {
+    fn base_key(&mut self, i: u64) -> u64 {
+        let n = self.total.max(1);
+        // Spacing between consecutive base keys so the whole dataset spans
+        // the paper's [0, KEY_RANGE] key space.
+        let step = (KEY_RANGE / n).max(1);
+        match self.kind {
+            DistributionKind::Sorted => i * step,
+            DistributionKind::ReverseSorted => (n - 1 - i) * step,
+            DistributionKind::Alternating { sections } => {
+                let sections = u64::from(sections.max(1));
+                let section_len = (n / sections).max(1);
+                let section = (i / section_len).min(sections - 1);
+                let pos = i % section_len;
+                let within_step = (KEY_RANGE / section_len).max(1);
+                if section % 2 == 0 {
+                    pos * within_step
+                } else {
+                    KEY_RANGE.saturating_sub(pos * within_step)
+                }
+            }
+            DistributionKind::RandomUniform => self.rng.gen_range(0..KEY_RANGE),
+            DistributionKind::MixedBalanced => {
+                // Even positions walk up, odd positions walk down; both
+                // sequences span the full key range over n/2 records.
+                let half = (n / 2).max(1);
+                let seq_step = (KEY_RANGE / half).max(1);
+                let k = i / 2;
+                if i % 2 == 0 {
+                    k * seq_step
+                } else {
+                    KEY_RANGE.saturating_sub(k * seq_step)
+                }
+            }
+            DistributionKind::MixedImbalanced {
+                descending_per_ascending,
+            } => {
+                let group = u64::from(descending_per_ascending.max(1)) + 1;
+                let groups = (n / group).max(1);
+                let g = i / group;
+                let within = i % group;
+                if within == 0 {
+                    // The ascending sequence: one record per group.
+                    let seq_step = (KEY_RANGE / groups).max(1);
+                    g * seq_step
+                } else {
+                    // The descending sequence: `descending_per_ascending`
+                    // records per group.
+                    let desc_total = (n - groups).max(1);
+                    let k = g * (group - 1) + (within - 1);
+                    let seq_step = (KEY_RANGE / desc_total).max(1);
+                    KEY_RANGE.saturating_sub(k * seq_step)
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for DistributionIter {
+    type Item = Record;
+
+    fn next(&mut self) -> Option<Record> {
+        if self.produced >= self.total {
+            return None;
+        }
+        let i = self.produced;
+        let mut key = self.base_key(i);
+        if self.jitter {
+            key = key.saturating_add(self.rng.gen_range(1..=JITTER_RANGE));
+        }
+        self.produced += 1;
+        Some(Record::new(key, i))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = (self.total - self.produced) as usize;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for DistributionIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(kind: DistributionKind, n: u64, jitter: bool) -> Vec<u64> {
+        Distribution::new(kind, n, 42)
+            .with_jitter(jitter)
+            .records()
+            .map(|r| r.key)
+            .collect()
+    }
+
+    fn ascending_fraction(keys: &[u64]) -> f64 {
+        if keys.len() < 2 {
+            return 1.0;
+        }
+        let ups = keys.windows(2).filter(|w| w[1] >= w[0]).count();
+        ups as f64 / (keys.len() - 1) as f64
+    }
+
+    #[test]
+    fn generators_produce_requested_length() {
+        for kind in DistributionKind::paper_set() {
+            let d = Distribution::new(kind, 1_000, 7);
+            assert_eq!(d.collect().len(), 1_000, "{kind:?}");
+            assert_eq!(d.records().len(), 1_000);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = Distribution::new(DistributionKind::RandomUniform, 500, 1).collect();
+        let b = Distribution::new(DistributionKind::RandomUniform, 500, 1).collect();
+        let c = Distribution::new(DistributionKind::RandomUniform, 500, 2).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn exact_sorted_is_monotone() {
+        let keys = keys(DistributionKind::Sorted, 2_000, false);
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn exact_reverse_sorted_is_antitone() {
+        let keys = keys(DistributionKind::ReverseSorted, 2_000, false);
+        assert!(keys.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn jittered_sorted_is_mostly_ascending() {
+        let keys = keys(DistributionKind::Sorted, 10_000, true);
+        assert!(ascending_fraction(&keys) > 0.5);
+        // Globally still spans the key range upward.
+        assert!(keys[keys.len() - 1] > keys[0]);
+    }
+
+    #[test]
+    fn alternating_has_expected_number_of_direction_changes() {
+        let keys = keys(DistributionKind::Alternating { sections: 10 }, 10_000, false);
+        // Count sign changes of the discrete derivative; an exact
+        // 10-section zigzag has 9 interior direction changes.
+        let mut changes = 0;
+        let mut last_dir = 0i8;
+        for w in keys.windows(2) {
+            let dir = match w[1].cmp(&w[0]) {
+                std::cmp::Ordering::Greater => 1i8,
+                std::cmp::Ordering::Less => -1,
+                std::cmp::Ordering::Equal => 0,
+            };
+            if dir != 0 {
+                if last_dir != 0 && dir != last_dir {
+                    changes += 1;
+                }
+                last_dir = dir;
+            }
+        }
+        assert!((8..=11).contains(&changes), "changes = {changes}");
+    }
+
+    #[test]
+    fn random_is_roughly_uniform() {
+        let keys = keys(DistributionKind::RandomUniform, 50_000, true);
+        let below_half = keys.iter().filter(|k| **k < KEY_RANGE / 2).count();
+        let fraction = below_half as f64 / keys.len() as f64;
+        assert!((0.47..0.53).contains(&fraction), "fraction = {fraction}");
+        // Roughly half the adjacent pairs ascend.
+        let asc = ascending_fraction(&keys);
+        assert!((0.45..0.55).contains(&asc), "ascending fraction = {asc}");
+    }
+
+    #[test]
+    fn mixed_balanced_interleaves_two_monotone_sequences() {
+        let keys = keys(DistributionKind::MixedBalanced, 10_000, false);
+        let evens: Vec<u64> = keys.iter().copied().step_by(2).collect();
+        let odds: Vec<u64> = keys.iter().copied().skip(1).step_by(2).collect();
+        assert!(evens.windows(2).all(|w| w[0] <= w[1]));
+        assert!(odds.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn mixed_imbalanced_has_three_descending_per_ascending() {
+        let keys = keys(
+            DistributionKind::MixedImbalanced {
+                descending_per_ascending: 3,
+            },
+            8_000,
+            false,
+        );
+        // Every 4th record belongs to the ascending sequence.
+        let asc: Vec<u64> = keys.iter().copied().step_by(4).collect();
+        assert!(asc.windows(2).all(|w| w[0] <= w[1]));
+        // The records in between belong to the descending sequence.
+        let desc: Vec<u64> = keys
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 4 != 0)
+            .map(|(_, k)| *k)
+            .collect();
+        assert!(desc.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn payload_records_input_position() {
+        let records = Distribution::new(DistributionKind::RandomUniform, 100, 3).collect();
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.payload, i as u64);
+        }
+    }
+
+    #[test]
+    fn keys_stay_in_range() {
+        for kind in DistributionKind::paper_set() {
+            let keys = keys(kind, 5_000, true);
+            assert!(keys.iter().all(|k| *k <= KEY_RANGE + JITTER_RANGE), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn empty_distribution() {
+        let d = Distribution::new(DistributionKind::Sorted, 0, 0);
+        assert!(d.is_empty());
+        assert_eq!(d.collect(), Vec::new());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(DistributionKind::Sorted.label(), "sorted");
+        assert_eq!(
+            DistributionKind::MixedImbalanced {
+                descending_per_ascending: 3
+            }
+            .label(),
+            "mixed-imbalanced"
+        );
+    }
+}

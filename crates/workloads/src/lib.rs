@@ -1,0 +1,30 @@
+//! Input workloads for the two-way replacement selection evaluation.
+//!
+//! Chapter 5 of the paper evaluates run generation on six characteristic
+//! input distributions — *sorted*, *reverse sorted*, *alternating*,
+//! *random*, *mixed balanced* and *mixed imbalanced* (Figure 5.1) — arguing
+//! that realistic database inputs are combinations of these basic shapes
+//! (e.g. sorting an anticorrelated column produces reverse-sorted input).
+//! This crate provides:
+//!
+//! * [`record::Record`] — the fixed-size record sorted throughout the
+//!   reproduction (a 64-bit key plus a 64-bit payload/row id);
+//! * [`distributions::Distribution`] — seeded generators for the six
+//!   distributions with the same ±U(1,1000) jitter the paper adds to make
+//!   replicated executions differ;
+//! * [`composite`] — concatenations and the anticorrelated-columns database
+//!   scenario used to motivate the basic shapes;
+//! * [`dataset`] — helpers to materialise a workload onto a storage device
+//!   and measure how sorted an input already is.
+
+#![warn(missing_docs)]
+
+pub mod composite;
+pub mod dataset;
+pub mod distributions;
+pub mod record;
+
+pub use composite::{AnticorrelatedTable, Concatenation};
+pub use dataset::{materialize, read_dataset, sortedness, DatasetStats};
+pub use distributions::{Distribution, DistributionKind, KEY_RANGE};
+pub use record::Record;

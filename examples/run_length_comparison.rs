@@ -1,0 +1,58 @@
+//! Compare the run lengths of Load-Sort-Store, classic replacement selection
+//! and two-way replacement selection on the paper's six input distributions
+//! (the experiment behind Table 5.13).
+//!
+//! ```text
+//! cargo run --release --example run_length_comparison
+//! ```
+
+use two_way_replacement_selection::prelude::*;
+
+fn measure<G: RunGenerator>(mut generator: G, kind: DistributionKind, records: u64) -> (usize, f64) {
+    let device = SimDevice::new();
+    let namer = SpillNamer::new("example");
+    let memory = generator.memory_records();
+    let mut input = Distribution::new(kind, records, 7).records();
+    let set = generator
+        .generate(&device, &namer, &mut input)
+        .expect("run generation succeeds");
+    (set.num_runs(), set.relative_run_length(memory))
+}
+
+fn main() {
+    let records: u64 = 200_000;
+    let memory: usize = 2_000;
+
+    println!("{records} records, {memory} records of memory\n");
+    println!(
+        "{:<18} {:>14} {:>14} {:>14}",
+        "input", "LSS", "RS", "2WRS"
+    );
+    println!("{}", "-".repeat(64));
+    for kind in DistributionKind::paper_set() {
+        let (lss_runs, lss) = measure(LoadSortStore::new(memory), kind, records);
+        let (rs_runs, rs) = measure(ReplacementSelection::new(memory), kind, records);
+        let (twrs_runs, twrs) = measure(
+            TwoWayReplacementSelection::new(TwrsConfig::recommended(memory)),
+            kind,
+            records,
+        );
+        println!(
+            "{:<18} {:>7} ({:>4.1}x) {:>7} ({:>4.1}x) {:>7} ({:>4.1}x)",
+            kind.label(),
+            lss_runs,
+            lss,
+            rs_runs,
+            rs,
+            twrs_runs,
+            twrs
+        );
+    }
+    println!(
+        "\nColumns show the number of runs generated and the average run length\n\
+         relative to the memory size. The reverse-sorted row is the paper's\n\
+         headline result: RS collapses to memory-sized runs while 2WRS emits a\n\
+         single run; the mixed rows show the victim buffer capturing both\n\
+         interleaved trends."
+    );
+}

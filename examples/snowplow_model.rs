@@ -1,0 +1,46 @@
+//! Solve the paper's differential-equation model of replacement selection
+//! (§3.6) numerically and watch the memory-content density converge to the
+//! stable `2 − 2x` profile of Figure 3.8.
+//!
+//! ```text
+//! cargo run --release --example snowplow_model
+//! ```
+
+use two_way_replacement_selection::analysis::model::{density_rms_distance, SnowplowModel};
+
+fn sparkline(density: &[f64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = density.iter().cloned().fold(0.0f64, f64::max).max(1e-9);
+    // Downsample to 64 columns.
+    let columns = 64;
+    (0..columns)
+        .map(|i| {
+            let idx = i * density.len() / columns;
+            let level = (density[idx] / max * (LEVELS.len() - 1) as f64).round() as usize;
+            LEVELS[level.min(LEVELS.len() - 1)]
+        })
+        .collect()
+}
+
+fn main() {
+    let model = SnowplowModel::uniform(512);
+    let snapshots = model.simulate(4);
+    let stable = model.stable_profile();
+
+    println!("density of memory contents m(x) over the key space x in [0, 1):\n");
+    for snapshot in &snapshots {
+        println!(
+            "after run {}:  {}   run length = {:.2}x memory, distance to 2-2x = {:.3}",
+            snapshot.run,
+            sparkline(&snapshot.density),
+            snapshot.run_length,
+            density_rms_distance(&snapshot.density, &stable)
+        );
+    }
+    println!("stable      :  {}   (the 2 - 2x profile of Knuth's snowplow)", sparkline(&stable));
+    println!(
+        "\nStarting from a uniformly filled memory the density converges to the\n\
+         2 - 2x profile within two or three runs and the run length converges to\n\
+         twice the available memory, as Figure 3.8 and §3.5 of the paper show."
+    );
+}

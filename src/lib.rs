@@ -1,0 +1,65 @@
+//! Facade crate for the *Two-way Replacement Selection* (VLDB 2010)
+//! reproduction.
+//!
+//! The implementation lives in the workspace member crates; this crate
+//! re-exports them under stable names so applications can depend on a single
+//! crate, and hosts the repository-level examples and cross-crate
+//! integration tests.
+//!
+//! * [`heaps`] — binary heap, shared dual-heap array, heapsort.
+//! * [`storage`] — page devices (real and simulated), run files, the
+//!   Appendix A reverse-record file format and I/O accounting.
+//! * [`workloads`] — the record type and the six evaluation input
+//!   distributions.
+//! * [`extsort`] — run-generation trait and baselines (classic replacement
+//!   selection, Load-Sort-Store), k-way and polyphase merging, distribution
+//!   sort and the end-to-end external sorter.
+//! * [`core`] — two-way replacement selection itself (the paper's
+//!   contribution).
+//! * [`analysis`] — ANOVA, the design-of-experiments runner, the snowplow
+//!   model of RS and the closed-form run-length theory.
+//!
+//! # Quick start
+//!
+//! ```
+//! use two_way_replacement_selection::prelude::*;
+//!
+//! // An in-memory simulated disk and a reverse-sorted input — the worst
+//! // case of classic replacement selection.
+//! let device = SimDevice::new();
+//! let input = Distribution::new(DistributionKind::ReverseSorted, 50_000, 7);
+//!
+//! // Sort it with two-way replacement selection (recommended configuration)
+//! // inside the standard external-sort pipeline.
+//! let twrs = TwoWayReplacementSelection::new(TwrsConfig::recommended(1_000));
+//! let mut sorter = ExternalSorter::new(twrs);
+//! let report = sorter
+//!     .sort_iter(&device, &mut input.records(), "sorted")
+//!     .expect("sort succeeds");
+//!
+//! assert_eq!(report.records, 50_000);
+//! // Theorem 4: a single run, where RS would have produced 50.
+//! assert_eq!(report.num_runs, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use twrs_analysis as analysis;
+pub use twrs_core as core;
+pub use twrs_extsort as extsort;
+pub use twrs_heaps as heaps;
+pub use twrs_storage as storage;
+pub use twrs_workloads as workloads;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use twrs_core::{
+        BufferSetup, InputHeuristic, OutputHeuristic, TwoWayReplacementSelection, TwrsConfig,
+    };
+    pub use twrs_extsort::{
+        ExternalSorter, LoadSortStore, MergeConfig, ReplacementSelection, RunCursor, RunGenerator,
+        RunHandle, SortReport, SorterConfig,
+    };
+    pub use twrs_storage::{FileDevice, SimDevice, SpillNamer, StorageDevice};
+    pub use twrs_workloads::{Distribution, DistributionKind, Record};
+}

@@ -1,0 +1,160 @@
+//! End-to-end integration tests across the workspace: full sorts on both
+//! device backends, every run-generation algorithm, and the merge
+//! strategies, all verified for correctness.
+
+use two_way_replacement_selection::extsort::distribution_sort::{
+    DistributionSort, DistributionSortConfig,
+};
+use two_way_replacement_selection::extsort::polyphase_merge;
+use two_way_replacement_selection::extsort::sorter::verify_sorted;
+use two_way_replacement_selection::prelude::*;
+use two_way_replacement_selection::workloads::{materialize, read_dataset};
+
+fn full_sort_and_verify<G: RunGenerator, D: StorageDevice + Clone + Send + 'static>(
+    device: &D,
+    generator: G,
+    kind: DistributionKind,
+    records: u64,
+) {
+    let mut sorter = ExternalSorter::with_config(
+        generator,
+        SorterConfig {
+            merge: MergeConfig {
+                fan_in: 6,
+                read_ahead_records: 256,
+            },
+            verify: true,
+        },
+    );
+    let mut input = Distribution::new(kind, records, 17).records();
+    let report = sorter
+        .sort_iter(device, &mut input, "sorted")
+        .expect("sort succeeds");
+    assert_eq!(report.records, records);
+    verify_sorted(device, "sorted", records).expect("output verified");
+    device.remove("sorted").expect("cleanup");
+}
+
+#[test]
+fn every_generator_sorts_every_distribution_on_the_simulated_device() {
+    let device = SimDevice::new();
+    for kind in DistributionKind::paper_set() {
+        full_sort_and_verify(&device, LoadSortStore::new(200), kind, 5_000);
+        full_sort_and_verify(&device, ReplacementSelection::new(200), kind, 5_000);
+        full_sort_and_verify(
+            &device,
+            TwoWayReplacementSelection::new(TwrsConfig::recommended(200)),
+            kind,
+            5_000,
+        );
+    }
+}
+
+#[test]
+fn twrs_sorts_on_the_real_file_device() {
+    let device = FileDevice::temp().expect("temporary directory");
+    full_sort_and_verify(
+        &device,
+        TwoWayReplacementSelection::new(TwrsConfig::recommended(300)),
+        DistributionKind::MixedBalanced,
+        8_000,
+    );
+}
+
+#[test]
+fn materialised_datasets_round_trip_and_sort() {
+    let device = SimDevice::new();
+    let dist = Distribution::new(DistributionKind::MixedBalanced, 10_000, 3);
+    let expected: Vec<Record> = dist.collect();
+    materialize(&device, "table", expected.iter().copied()).expect("materialise");
+    let mut reader = read_dataset(&device, "table").expect("open dataset");
+    assert_eq!(reader.read_all().expect("read dataset"), expected);
+
+    let mut sorter = ExternalSorter::new(TwoWayReplacementSelection::new(
+        TwrsConfig::recommended(250),
+    ));
+    let report = sorter
+        .sort_file(&device, "table", "table_sorted")
+        .expect("sort succeeds");
+    assert_eq!(report.records, 10_000);
+
+    let mut sorted = expected;
+    sorted.sort_unstable();
+    let mut cursor =
+        RunCursor::open(&device, &RunHandle::Forward("table_sorted".into())).expect("open output");
+    assert_eq!(cursor.read_all().expect("read output"), sorted);
+}
+
+#[test]
+fn polyphase_merge_agrees_with_kway_merge() {
+    let device = SimDevice::new();
+    let namer = SpillNamer::new("poly-vs-kway");
+    let mut generator = LoadSortStore::new(250);
+    let input: Vec<Record> =
+        Distribution::new(DistributionKind::RandomUniform, 6_000, 5).collect();
+    let mut iter = input.clone().into_iter();
+    let set = generator
+        .generate(&device, &namer, &mut iter)
+        .expect("run generation succeeds");
+
+    // Merge one copy with polyphase and compare against a std sort.
+    polyphase_merge(&device, &namer, set.runs, 4, "poly_out").expect("polyphase succeeds");
+    let mut cursor =
+        RunCursor::open(&device, &RunHandle::Forward("poly_out".into())).expect("open output");
+    let merged = cursor.read_all().expect("read output");
+    let mut expected = input;
+    expected.sort_unstable();
+    assert_eq!(merged, expected);
+}
+
+#[test]
+fn distribution_sort_agrees_with_the_merge_pipeline() {
+    let device = SimDevice::new();
+    let namer = SpillNamer::new("dsort");
+    let input: Vec<Record> =
+        Distribution::new(DistributionKind::MixedImbalanced { descending_per_ascending: 3 }, 9_000, 21)
+            .collect();
+
+    let sorter = DistributionSort::new(DistributionSortConfig {
+        memory_records: 300,
+        buckets: 8,
+        max_depth: 6,
+    });
+    let mut iter = input.clone().into_iter();
+    sorter
+        .sort(&device, &namer, &mut iter, "bucket_sorted")
+        .expect("distribution sort succeeds");
+
+    let mut sorter = ExternalSorter::new(TwoWayReplacementSelection::new(
+        TwrsConfig::recommended(300),
+    ));
+    let mut iter = input.into_iter();
+    sorter
+        .sort_iter(&device, &mut iter, "merge_sorted")
+        .expect("merge sort succeeds");
+
+    let mut a = RunCursor::open(&device, &RunHandle::Forward("bucket_sorted".into())).unwrap();
+    let mut b = RunCursor::open(&device, &RunHandle::Forward("merge_sorted".into())).unwrap();
+    assert_eq!(a.read_all().unwrap(), b.read_all().unwrap());
+}
+
+#[test]
+fn io_accounting_splits_phases() {
+    let device = SimDevice::new();
+    let mut sorter = ExternalSorter::new(TwoWayReplacementSelection::new(
+        TwrsConfig::recommended(200),
+    ));
+    let mut input = Distribution::new(DistributionKind::RandomUniform, 8_000, 2).records();
+    let report = sorter
+        .sort_iter(&device, &mut input, "out")
+        .expect("sort succeeds");
+    // Run generation writes the runs; the merge reads them back and writes
+    // the output: both phases show I/O and the totals are consistent. (Run
+    // generation may write slightly more than the merge reads because the
+    // reverse-file format pre-allocates its fixed-size part files.)
+    assert!(report.run_generation.pages_written > 0);
+    assert!(report.merge.pages_read > 0);
+    assert!(report.merge.pages_read * 2 >= report.run_generation.pages_written);
+    assert!(report.merge.pages_written > 0);
+    assert!(report.total_modelled() >= report.run_generation.modelled_total());
+}

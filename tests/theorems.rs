@@ -1,0 +1,136 @@
+//! Integration tests for the closed-form results of §5.1 (Theorems 1–7),
+//! exercising RS and 2WRS end to end across the workspace crates.
+
+use two_way_replacement_selection::prelude::*;
+
+fn generate<G: RunGenerator>(
+    mut generator: G,
+    kind: DistributionKind,
+    records: u64,
+    exact: bool,
+) -> (usize, f64) {
+    let device = SimDevice::new();
+    let namer = SpillNamer::new("theorems");
+    let memory = generator.memory_records();
+    let dist = if exact {
+        Distribution::exact(kind, records)
+    } else {
+        Distribution::new(kind, records, 9)
+    };
+    let mut input = dist.records();
+    let set = generator
+        .generate(&device, &namer, &mut input)
+        .expect("run generation succeeds");
+    (set.num_runs(), set.relative_run_length(memory))
+}
+
+const RECORDS: u64 = 50_000;
+const MEMORY: usize = 500;
+
+#[test]
+fn theorem_1_rs_sorted_input_is_one_run() {
+    let (runs, _) = generate(
+        ReplacementSelection::new(MEMORY),
+        DistributionKind::Sorted,
+        RECORDS,
+        true,
+    );
+    assert_eq!(runs, 1);
+}
+
+#[test]
+fn theorem_2_twrs_sorted_input_is_one_run() {
+    let (runs, _) = generate(
+        TwoWayReplacementSelection::new(TwrsConfig::recommended(MEMORY)),
+        DistributionKind::Sorted,
+        RECORDS,
+        true,
+    );
+    assert_eq!(runs, 1);
+}
+
+#[test]
+fn theorem_3_rs_reverse_sorted_input_gives_memory_sized_runs() {
+    let (runs, relative) = generate(
+        ReplacementSelection::new(MEMORY),
+        DistributionKind::ReverseSorted,
+        RECORDS,
+        true,
+    );
+    assert_eq!(runs as u64, RECORDS / MEMORY as u64);
+    assert!((relative - 1.0).abs() < 0.01);
+}
+
+#[test]
+fn theorem_4_twrs_reverse_sorted_input_is_one_run() {
+    let (runs, _) = generate(
+        TwoWayReplacementSelection::new(TwrsConfig::recommended(MEMORY)),
+        DistributionKind::ReverseSorted,
+        RECORDS,
+        true,
+    );
+    assert_eq!(runs, 1);
+}
+
+#[test]
+fn theorem_5_rs_alternating_input_is_about_twice_memory() {
+    let (_, relative) = generate(
+        ReplacementSelection::new(MEMORY),
+        DistributionKind::Alternating { sections: 10 },
+        RECORDS,
+        true,
+    );
+    // The paper measures 1.94 for its parameters; Theorem 5 bounds it by 2.
+    assert!((1.5..2.2).contains(&relative), "relative = {relative}");
+}
+
+#[test]
+fn theorem_6_twrs_alternating_input_is_one_run_per_section() {
+    let sections = 10u32;
+    let (runs, _) = generate(
+        TwoWayReplacementSelection::new(TwrsConfig::recommended(MEMORY)),
+        DistributionKind::Alternating { sections },
+        RECORDS,
+        true,
+    );
+    assert!(
+        (sections as usize..=sections as usize + 2).contains(&runs),
+        "expected about {sections} runs, got {runs}"
+    );
+}
+
+#[test]
+fn theorem_7_twrs_is_never_worse_than_load_sort_store() {
+    // 2WRS never produces more runs than ceil(n / memory) + 1 on any of the
+    // paper's distributions (the Load-Sort-Store bound Theorem 7 implies).
+    let bound = RECORDS.div_ceil(MEMORY as u64) as usize + 1;
+    for kind in DistributionKind::paper_set() {
+        let (runs, _) = generate(
+            TwoWayReplacementSelection::new(TwrsConfig::recommended(MEMORY)),
+            kind,
+            RECORDS,
+            false,
+        );
+        assert!(runs <= bound, "{kind:?}: {runs} runs exceeds the bound {bound}");
+    }
+}
+
+#[test]
+fn snowplow_rs_random_input_is_about_twice_memory() {
+    // §3.5: the snowplow argument gives 2× memory for random input, for both
+    // algorithms (§5.2.4).
+    let (_, rs) = generate(
+        ReplacementSelection::new(MEMORY),
+        DistributionKind::RandomUniform,
+        RECORDS,
+        false,
+    );
+    let (_, twrs) = generate(
+        TwoWayReplacementSelection::new(TwrsConfig::recommended(MEMORY)),
+        DistributionKind::RandomUniform,
+        RECORDS,
+        false,
+    );
+    assert!((1.6..2.4).contains(&rs), "RS relative = {rs}");
+    assert!((1.5..2.4).contains(&twrs), "2WRS relative = {twrs}");
+}
