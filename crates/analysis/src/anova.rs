@@ -41,10 +41,7 @@ pub struct FactorialData {
 impl FactorialData {
     /// Creates an empty dataset with the given factors and their level
     /// names.
-    pub fn new(
-        factor_names: Vec<String>,
-        level_names: Vec<Vec<String>>,
-    ) -> Self {
+    pub fn new(factor_names: Vec<String>, level_names: Vec<Vec<String>>) -> Self {
         assert_eq!(
             factor_names.len(),
             level_names.len(),
@@ -111,7 +108,10 @@ impl FactorialData {
     pub fn weight_by_factor_variance(&mut self, factor: usize) {
         let mut groups: HashMap<usize, Vec<f64>> = HashMap::new();
         for obs in &self.observations {
-            groups.entry(obs.levels[factor]).or_default().push(obs.value);
+            groups
+                .entry(obs.levels[factor])
+                .or_default()
+                .push(obs.value);
         }
         let variances: HashMap<usize, f64> = groups
             .into_iter()
@@ -288,7 +288,11 @@ impl FactorialAnova {
             }
             let mut term_effects = HashMap::new();
             for (key, (weighted_sum, weight)) in sums {
-                let cell_mean = if weight > 0.0 { weighted_sum / weight } else { 0.0 };
+                let cell_mean = if weight > 0.0 {
+                    weighted_sum / weight
+                } else {
+                    0.0
+                };
                 // Subtract the grand mean and every lower-order effect.
                 let mut effect = cell_mean - grand_mean;
                 for subset in non_empty_subsets(term) {
@@ -343,7 +347,11 @@ impl FactorialAnova {
             .into_iter()
             .map(|(factors, ss, df)| {
                 let ms = if df > 0.0 { ss / df } else { 0.0 };
-                let f_value = if error_ms > 0.0 { ms / error_ms } else { f64::INFINITY };
+                let f_value = if error_ms > 0.0 {
+                    ms / error_ms
+                } else {
+                    f64::INFINITY
+                };
                 let significance = f_distribution_sf(f_value, df, error_df);
                 let name = factors
                     .iter()
@@ -428,7 +436,10 @@ fn non_empty_subsets(set: &[usize]) -> Vec<Vec<usize>> {
     let mut subsets = Vec::new();
     let n = set.len();
     for mask in 1u32..(1 << n) {
-        let subset: Vec<usize> = (0..n).filter(|i| mask & (1 << i) != 0).map(|i| set[i]).collect();
+        let subset: Vec<usize> = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| set[i])
+            .collect();
         subsets.push(subset);
     }
     subsets
@@ -546,10 +557,7 @@ mod tests {
 
     #[test]
     fn weights_shift_the_grand_mean() {
-        let mut data = FactorialData::new(
-            vec!["A".into()],
-            vec![vec!["0".into(), "1".into()]],
-        );
+        let mut data = FactorialData::new(vec!["A".into()], vec![vec!["0".into(), "1".into()]]);
         data.push_weighted(vec![0], 10.0, 1.0);
         data.push_weighted(vec![1], 20.0, 3.0);
         let table = FactorialAnova::fit(&data, &[vec![0]]);
@@ -558,10 +566,8 @@ mod tests {
 
     #[test]
     fn weight_by_factor_variance_downweights_noisy_levels() {
-        let mut data = FactorialData::new(
-            vec!["A".into()],
-            vec![vec!["quiet".into(), "noisy".into()]],
-        );
+        let mut data =
+            FactorialData::new(vec!["A".into()], vec![vec!["quiet".into(), "noisy".into()]]);
         for v in [10.0, 10.1, 9.9, 10.05] {
             data.push(vec![0], v);
         }

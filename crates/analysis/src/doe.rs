@@ -9,7 +9,9 @@
 //! plotting/reporting binaries.
 
 use crate::anova::FactorialData;
-use twrs_core::{BufferSetup, InputHeuristic, OutputHeuristic, TwoWayReplacementSelection, TwrsConfig};
+use twrs_core::{
+    BufferSetup, InputHeuristic, OutputHeuristic, TwoWayReplacementSelection, TwrsConfig,
+};
 use twrs_extsort::RunGenerator;
 use twrs_storage::SimDevice;
 use twrs_storage::SpillNamer;
@@ -148,10 +150,7 @@ pub fn paper_factorial_experiment(
                             .with_heuristics(*input_h, *output_h)
                             .with_seed(*seed);
                         let outcome = run_once(kind, records, config, *seed);
-                        data.push(
-                            vec![i_setup, i_frac, i_in, i_out],
-                            outcome.0,
-                        );
+                        data.push(vec![i_setup, i_frac, i_in, i_out], outcome.0);
                         points.push(ExperimentPoint {
                             levels: [i_setup, i_frac, i_in, i_out],
                             seed: *seed,
@@ -210,12 +209,8 @@ mod tests {
     #[test]
     fn reduced_experiment_runs_and_fits() {
         let factors = PaperFactors::reduced();
-        let (data, points) = paper_factorial_experiment(
-            DistributionKind::RandomUniform,
-            4_000,
-            100,
-            &factors,
-        );
+        let (data, points) =
+            paper_factorial_experiment(DistributionKind::RandomUniform, 4_000, 100, &factors);
         assert_eq!(data.len(), factors.executions());
         assert_eq!(points.len(), factors.executions());
         // All executions sorted the same input size, so the relative run

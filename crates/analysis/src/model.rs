@@ -131,9 +131,13 @@ impl SnowplowModel {
                 // that was in front of the plough.
                 let first_cell = (position * cells as f64) as usize;
                 let passed_cells = (end_position * cells as f64).floor() as usize;
-                for cell in first_cell..passed_cells.min(cells) {
-                    swept += density[cell] * dx;
-                    density[cell] = 0.0;
+                for cell_density in density
+                    .iter_mut()
+                    .take(passed_cells.min(cells))
+                    .skip(first_cell)
+                {
+                    swept += *cell_density * dx;
+                    *cell_density = 0.0;
                 }
 
                 // Refill from the input at rate k1/k2 · data(x): the total
@@ -193,8 +197,10 @@ mod tests {
         let stable = model.stable_profile();
         let initial_distance = density_rms_distance(&snapshots[0].density, &stable);
         let final_distance = density_rms_distance(&snapshots[4].density, &stable);
-        assert!(final_distance < initial_distance / 3.0,
-            "density did not converge: initial {initial_distance}, final {final_distance}");
+        assert!(
+            final_distance < initial_distance / 3.0,
+            "density did not converge: initial {initial_distance}, final {final_distance}"
+        );
         assert!(final_distance < 0.2, "final distance {final_distance}");
     }
 
@@ -236,7 +242,11 @@ mod tests {
         let stable = model.stable_profile();
         for snapshot in snapshots.iter().skip(1) {
             let d = density_rms_distance(&snapshot.density, &stable);
-            assert!(d < 0.15, "run {} drifted from the stable profile by {d}", snapshot.run);
+            assert!(
+                d < 0.15,
+                "run {} drifted from the stable profile by {d}",
+                snapshot.run
+            );
             assert!((1.7..2.3).contains(&snapshot.run_length));
         }
     }
@@ -245,9 +255,7 @@ mod tests {
     fn skewed_input_density_changes_run_length() {
         // With input concentrated near 0 the plough crawls through the dense
         // region: the model still runs and memory stays bounded.
-        let data: Vec<f64> = (0..128)
-            .map(|i| if i < 32 { 3.0 } else { 0.5 })
-            .collect();
+        let data: Vec<f64> = (0..128).map(|i| if i < 32 { 3.0 } else { 0.5 }).collect();
         let model = SnowplowModel::with_input_density(data);
         let snapshots = model.simulate(4);
         assert_eq!(snapshots.len(), 5);

@@ -46,7 +46,8 @@ fn erf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -117,7 +118,11 @@ mod tests {
         // Two-sided p for t = 2.228, df = 10 is 0.05.
         assert!(close(student_t_sf(2.228, 10.0), 0.05, 2e-3));
         // Symmetric in the sign of t.
-        assert!(close(student_t_sf(-2.228, 10.0), student_t_sf(2.228, 10.0), 1e-12));
+        assert!(close(
+            student_t_sf(-2.228, 10.0),
+            student_t_sf(2.228, 10.0),
+            1e-12
+        ));
         // t = 0 has p = 1.
         assert!(close(student_t_sf(0.0, 5.0), 1.0, 1e-12));
     }

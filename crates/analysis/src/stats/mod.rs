@@ -6,6 +6,6 @@ pub mod special;
 
 pub use descriptive::{mean, quantile, std_dev, variance};
 pub use distributions::{
-    f_distribution_sf, normal_cdf, normal_pdf, studentized_range_cdf, student_t_sf,
+    f_distribution_sf, normal_cdf, normal_pdf, student_t_sf, studentized_range_cdf,
 };
 pub use special::{ln_gamma, regularized_incomplete_beta};

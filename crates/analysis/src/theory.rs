@@ -31,9 +31,7 @@ impl Expectation {
         match self {
             Expectation::SingleRun => records as f64 / memory as f64,
             Expectation::RelativeToMemory(x) => *x,
-            Expectation::FractionOfInput(fraction) => {
-                records as f64 * fraction / memory as f64
-            }
+            Expectation::FractionOfInput(fraction) => records as f64 * fraction / memory as f64,
         }
     }
 
@@ -66,7 +64,9 @@ pub fn rs_expected_relative_run_length(
         // longer than the memory (1.94 measured in §5.2.3).
         DistributionKind::Alternating { sections } => {
             let section_len = records / u64::from(sections.max(1));
-            Expectation::RelativeToMemory(theorem_5_average(section_len, memory as u64) / memory as f64)
+            Expectation::RelativeToMemory(
+                theorem_5_average(section_len, memory as u64) / memory as f64,
+            )
         }
         // §3.5 snowplow argument: twice the memory.
         DistributionKind::RandomUniform => Expectation::RelativeToMemory(2.0),
@@ -161,11 +161,8 @@ mod tests {
             _ => panic!("alternating RS expectation should be relative to memory"),
         }
         // 2WRS row: mixed = 125 × memory for the paper's sizes.
-        let twrs_mixed = twrs_expected_relative_run_length(
-            DistributionKind::MixedBalanced,
-            records,
-            memory,
-        );
+        let twrs_mixed =
+            twrs_expected_relative_run_length(DistributionKind::MixedBalanced, records, memory);
         assert!((twrs_mixed.relative_run_length(records, memory) - 125.0).abs() < 1e-9);
         // 2WRS alternating = 50 runs → 5 × memory for the paper's sizes.
         let twrs_alt = twrs_expected_relative_run_length(

@@ -14,7 +14,8 @@ fn bench_heaps(c: &mut Criterion) {
         b.iter(|| {
             let mut heap = BinaryHeap::with_capacity(HeapKind::Min, OPS as usize);
             for i in 0..OPS {
-                heap.push(i.wrapping_mul(2_654_435_761) % 1_000_000).unwrap();
+                heap.push(i.wrapping_mul(2_654_435_761) % 1_000_000)
+                    .unwrap();
             }
             let mut out = 0u64;
             while let Some(v) = heap.pop() {
@@ -45,7 +46,11 @@ fn bench_heaps(c: &mut Criterion) {
         b.iter(|| {
             let mut dual: DualHeap<u64> = DualHeap::new(OPS as usize);
             for i in 0..OPS {
-                let side = if i % 2 == 0 { HeapSide::Top } else { HeapSide::Bottom };
+                let side = if i % 2 == 0 {
+                    HeapSide::Top
+                } else {
+                    HeapSide::Bottom
+                };
                 dual.push(side, i.wrapping_mul(2_654_435_761) % 1_000_000)
                     .unwrap();
             }

@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use twrs_extsort::distribution_sort::{DistributionSort, DistributionSortConfig};
-use twrs_extsort::{polyphase_merge, KWayMerger, LoadSortStore, MergeConfig, RunGenerator, RunHandle};
+use twrs_extsort::{
+    polyphase_merge, KWayMerger, LoadSortStore, MergeConfig, RunGenerator, RunHandle,
+};
 use twrs_storage::{SimDevice, SpillNamer};
 use twrs_workloads::{Distribution, DistributionKind};
 
@@ -54,8 +56,7 @@ fn bench_merges(c: &mut Criterion) {
                 buckets: 16,
                 max_depth: 6,
             });
-            let mut input =
-                Distribution::new(DistributionKind::RandomUniform, 20_480, 5).records();
+            let mut input = Distribution::new(DistributionKind::RandomUniform, 20_480, 5).records();
             sorter
                 .sort(&device, &namer, &mut input, "out")
                 .expect("sort succeeds")

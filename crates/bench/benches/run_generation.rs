@@ -38,8 +38,7 @@ fn bench_run_generation(c: &mut Criterion) {
             |b, fraction| {
                 b.iter(|| {
                     generate(TwoWayReplacementSelection::new(
-                        TwrsConfig::recommended(MEMORY)
-                            .with_buffers(BufferSetup::Both, *fraction),
+                        TwrsConfig::recommended(MEMORY).with_buffers(BufferSetup::Both, *fraction),
                     ))
                 })
             },

@@ -36,23 +36,17 @@ fn bench_total_sort(c: &mut Criterion) {
         DistributionKind::MixedBalanced,
         DistributionKind::ReverseSorted,
     ] {
-        group.bench_with_input(
-            BenchmarkId::new("rs", kind.label()),
-            &kind,
-            |b, kind| b.iter(|| sort(ReplacementSelection::new(MEMORY), *kind)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("twrs", kind.label()),
-            &kind,
-            |b, kind| {
-                b.iter(|| {
-                    sort(
-                        TwoWayReplacementSelection::new(TwrsConfig::recommended(MEMORY)),
-                        *kind,
-                    )
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("rs", kind.label()), &kind, |b, kind| {
+            b.iter(|| sort(ReplacementSelection::new(MEMORY), *kind))
+        });
+        group.bench_with_input(BenchmarkId::new("twrs", kind.label()), &kind, |b, kind| {
+            b.iter(|| {
+                sort(
+                    TwoWayReplacementSelection::new(TwrsConfig::recommended(MEMORY)),
+                    *kind,
+                )
+            })
+        });
     }
     group.finish();
 }

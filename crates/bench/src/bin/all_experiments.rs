@@ -7,7 +7,9 @@
 //! ```
 
 use twrs_analysis::doe::PaperFactors;
-use twrs_bench::experiments::{anova, buffer_sweep, fan_in, merge_phase, model, run_length, timing};
+use twrs_bench::experiments::{
+    anova, buffer_sweep, fan_in, merge_phase, model, run_length, timing,
+};
 use twrs_bench::Scale;
 use twrs_workloads::DistributionKind;
 

@@ -25,7 +25,12 @@ pub struct AnovaExperiment {
 
 /// Runs the factorial experiment and fits the paper's models for one input
 /// distribution.
-pub fn run(kind: DistributionKind, records: u64, memory: usize, factors: &PaperFactors) -> AnovaExperiment {
+pub fn run(
+    kind: DistributionKind,
+    records: u64,
+    memory: usize,
+    factors: &PaperFactors,
+) -> AnovaExperiment {
     let (data, points) = paper_factorial_experiment(kind, records, memory, factors);
 
     // Model 1: main effects only (the model of Table 5.2).
@@ -112,7 +117,12 @@ mod tests {
     fn random_input_is_dominated_by_buffer_size() {
         // Tables 5.2/5.3: for random input the only factor that matters is
         // the fraction of memory taken away from the heaps.
-        let experiment = run(DistributionKind::RandomUniform, 8_000, 200, &quick_factors());
+        let experiment = run(
+            DistributionKind::RandomUniform,
+            8_000,
+            200,
+            &quick_factors(),
+        );
         let buffer_size_term = &experiment.main_effects.terms[1];
         for (i, term) in experiment.main_effects.terms.iter().enumerate() {
             if i != 1 {
@@ -132,7 +142,12 @@ mod tests {
         // §5.2.5/Figure 5.5: on mixed input the configurations without the
         // victim buffer behave very differently, so the buffer-setup factor
         // carries real variance.
-        let experiment = run(DistributionKind::MixedBalanced, 8_000, 200, &quick_factors());
+        let experiment = run(
+            DistributionKind::MixedBalanced,
+            8_000,
+            200,
+            &quick_factors(),
+        );
         let setup_term = &experiment.main_effects.terms[0];
         assert!(setup_term.sum_of_squares > 0.0);
         assert!(experiment.main_effects.total_sum_of_squares > 0.0);
@@ -143,7 +158,12 @@ mod tests {
 
     #[test]
     fn tukey_and_figure_tables_render() {
-        let experiment = run(DistributionKind::MixedBalanced, 4_000, 100, &quick_factors());
+        let experiment = run(
+            DistributionKind::MixedBalanced,
+            4_000,
+            100,
+            &quick_factors(),
+        );
         let tukey = tukey_table(&experiment, 2);
         assert!(!tukey.is_empty());
         let fig = figure_5_2(2_000, 100, &quick_factors());

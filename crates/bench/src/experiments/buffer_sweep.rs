@@ -34,8 +34,8 @@ pub fn measure(scale: Scale, fractions: &[f64]) -> Vec<BufferSweepPoint> {
         .map(|fraction| {
             let device = SimDevice::new();
             let namer = SpillNamer::new("bufsweep");
-            let config = TwrsConfig::recommended(scale.memory)
-                .with_buffers(BufferSetup::Both, *fraction);
+            let config =
+                TwrsConfig::recommended(scale.memory).with_buffers(BufferSetup::Both, *fraction);
             let mut generator = TwoWayReplacementSelection::new(config);
             let mut input =
                 Distribution::new(DistributionKind::RandomUniform, scale.records, 5).records();

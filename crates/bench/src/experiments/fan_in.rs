@@ -74,8 +74,7 @@ pub fn measure(experiment: FanInExperiment) -> Vec<FanInPoint> {
     for fan_in in experiment.fan_ins.clone() {
         // A fresh device per fan-in so every measurement starts from the
         // same on-disk layout.
-        let device =
-            SimDevice::with_config(twrs_storage::DEFAULT_PAGE_SIZE, scaled_disk_model());
+        let device = SimDevice::with_config(twrs_storage::DEFAULT_PAGE_SIZE, scaled_disk_model());
         let namer = SpillNamer::new("fanin");
         let runs = build_runs(&device, &namer, experiment.runs, experiment.records_per_run);
         device.reset_stats();
@@ -166,8 +165,14 @@ mod tests {
         let last = points.last().unwrap();
         let best_point = points.iter().find(|p| p.fan_in == best).unwrap();
         // The defining property of Figure 6.1: neither extreme is optimal.
-        assert!(best_point.time < first.time, "fan-in 2 should not be optimal");
-        assert!(best_point.time < last.time, "the largest fan-in should not be optimal");
+        assert!(
+            best_point.time < first.time,
+            "fan-in 2 should not be optimal"
+        );
+        assert!(
+            best_point.time < last.time,
+            "the largest fan-in should not be optimal"
+        );
         assert!(best > *points.first().map(|p| &p.fan_in).unwrap());
         // Larger fan-ins seek more per pass than the optimum.
         assert!(last.seeks > best_point.seeks);

@@ -3,7 +3,9 @@
 
 use crate::report::{fmt_duration, Table};
 use std::time::Instant;
-use twrs_extsort::{polyphase_merge, polyphase_schedule, KWayMerger, LoadSortStore, MergeConfig, RunGenerator};
+use twrs_extsort::{
+    polyphase_merge, polyphase_schedule, KWayMerger, LoadSortStore, MergeConfig, RunGenerator,
+};
 use twrs_storage::{SimDevice, SpillNamer, StorageDevice};
 use twrs_workloads::{Distribution, DistributionKind};
 
@@ -13,7 +15,9 @@ pub fn table_2_1() -> Table {
     let steps = polyphase_schedule(&[8, 10, 3, 0, 8, 11]);
     let mut table = Table::new(
         "Table 2.1 — polyphase merge with 6 tapes",
-        &["step", "tape 1", "tape 2", "tape 3", "tape 4", "tape 5", "tape 6"],
+        &[
+            "step", "tape 1", "tape 2", "tape 3", "tape 4", "tape 5", "tape 6",
+        ],
     );
     for (i, tapes) in steps.iter().enumerate() {
         let mut row = vec![format!("Step {i}")];

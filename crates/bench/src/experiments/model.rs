@@ -67,6 +67,9 @@ mod tests {
         let last = snapshots.last().unwrap();
         let low = last.density[12];
         let high = last.density[115];
-        assert!(low > high, "profile should decrease with x ({low} vs {high})");
+        assert!(
+            low > high,
+            "profile should decrease with x ({low} vs {high})"
+        );
     }
 }

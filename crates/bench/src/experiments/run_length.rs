@@ -32,7 +32,12 @@ pub struct RunLengthRow {
     pub twrs_expected: f64,
 }
 
-fn measure<G: RunGenerator>(mut generator: G, kind: DistributionKind, scale: Scale, seed: u64) -> f64 {
+fn measure<G: RunGenerator>(
+    mut generator: G,
+    kind: DistributionKind,
+    scale: Scale,
+    seed: u64,
+) -> f64 {
     let device = SimDevice::new();
     let namer = SpillNamer::new("runlen");
     let mut input = Distribution::new(kind, scale.records, seed).records();
@@ -91,7 +96,14 @@ pub fn render(rows: &[RunLengthRow], scale: Scale) -> Table {
             scale.records, scale.memory
         ),
         &[
-            "input", "LSS", "RS", "2WRS cfg1", "2WRS cfg2", "2WRS cfg3", "RS paper", "2WRS paper",
+            "input",
+            "LSS",
+            "RS",
+            "2WRS cfg1",
+            "2WRS cfg2",
+            "2WRS cfg3",
+            "RS paper",
+            "2WRS paper",
         ],
     );
     for row in rows {

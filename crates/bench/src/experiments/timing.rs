@@ -242,7 +242,10 @@ mod tests {
         // input (the paper measures ~2.5× at its input-to-memory ratios).
         let points = measure(TimingFigure::ReverseVsInput, 40_000, 400);
         let last = points.last().unwrap();
-        assert!(last.twrs_runs < last.rs_runs, "2WRS must generate fewer runs");
+        assert!(
+            last.twrs_runs < last.rs_runs,
+            "2WRS must generate fewer runs"
+        );
         assert!(
             last.speedup() > 1.3,
             "expected a clear speedup at full input, got {:.2}",
@@ -293,7 +296,10 @@ mod tests {
 
     #[test]
     fn figures_parse_and_render() {
-        assert_eq!(TimingFigure::parse("6.4"), Some(TimingFigure::MixedVsMemory));
+        assert_eq!(
+            TimingFigure::parse("6.4"),
+            Some(TimingFigure::MixedVsMemory)
+        );
         assert_eq!(TimingFigure::parse("9.9"), None);
         let points = measure(TimingFigure::RandomVsMemory, 5_000, 100);
         let table = render(TimingFigure::RandomVsMemory, &points);

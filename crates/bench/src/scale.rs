@@ -118,7 +118,10 @@ mod tests {
 
     #[test]
     fn unknown_arguments_are_ignored() {
-        let args: Vec<String> = ["--whatever", "--scale", "paper"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["--whatever", "--scale", "paper"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(Scale::from_args(&args), Scale::paper());
     }
 }

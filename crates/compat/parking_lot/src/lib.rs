@@ -1,0 +1,38 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! Implements the one type this workspace uses — [`Mutex`] with a
+//! non-poisoning `lock()` — on top of `std::sync::Mutex`. See
+//! `crates/compat/README.md` for why this exists.
+
+use std::sync::MutexGuard;
+
+/// A mutual-exclusion primitive whose `lock` does not return a poison
+/// `Result`, mirroring `parking_lot::Mutex`.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex protecting `value`.
+    pub fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex and returns the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex, blocking until it is available.
+    ///
+    /// Unlike `std::sync::Mutex::lock` this never fails: a poisoned lock
+    /// (a panic while held) is ignored, exactly as in `parking_lot`.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}

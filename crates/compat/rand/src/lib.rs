@@ -1,0 +1,188 @@
+//! Offline stand-in for the `rand` crate (0.8 API surface).
+//!
+//! Provides exactly what this workspace uses: [`rngs::SmallRng`],
+//! [`SeedableRng::seed_from_u64`], [`Rng::gen`] and [`Rng::gen_range`] over
+//! integer ranges. The generator is SplitMix64 — deterministic per seed,
+//! statistically solid for workload synthesis and tie-breaking heuristics,
+//! and trivially auditable. See `crates/compat/README.md`.
+
+use std::ops::{Range, RangeInclusive};
+
+/// The core of a random number generator: a source of `u64`s.
+pub trait RngCore {
+    /// Returns the next pseudo-random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next pseudo-random `u32` (the high half of a `u64`).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// A generator that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that [`Rng::gen`] can produce.
+pub trait Standard: Sized {
+    /// Produces a value from a raw `u64` sample.
+    fn from_sample(sample: u64) -> Self;
+}
+
+impl Standard for bool {
+    fn from_sample(sample: u64) -> Self {
+        // Use the high bit: the low bits of some generators are weaker.
+        sample >> 63 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn from_sample(sample: u64) -> Self {
+                sample as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for f64 {
+    fn from_sample(sample: u64) -> Self {
+        // 53 uniform bits in [0, 1).
+        (sample >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A range that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws a uniform value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                if span == 0 {
+                    // Only possible when the range covers the whole domain
+                    // of a 64-bit type (2^64 wraps to 0).
+                    return <$t as Standard>::from_sample(rng.next_u64());
+                }
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as u128).wrapping_sub(start as u128).wrapping_add(1);
+                if span == 0 || span > u64::MAX as u128 {
+                    return <$t as Standard>::from_sample(rng.next_u64());
+                }
+                start.wrapping_add((rng.next_u64() % span as u64) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// User-facing generator methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Returns a uniformly random value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_sample(self.next_u64())
+    }
+
+    /// Returns a uniform value in `range` (half-open or inclusive).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, deterministic generator (SplitMix64).
+    ///
+    /// Stands in for `rand::rngs::SmallRng`; like the real one it is *not*
+    /// cryptographically secure and its output is allowed to differ between
+    /// versions.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(1i64..=3);
+            assert!((1..=3).contains(&w));
+        }
+    }
+
+    #[test]
+    fn bool_is_roughly_balanced() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let trues = (0..10_000).filter(|_| rng.gen::<bool>()).count();
+        assert!((3_000..7_000).contains(&trues), "trues = {trues}");
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..1_000 {
+            let x = rng.gen::<f64>();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

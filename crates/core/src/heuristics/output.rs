@@ -199,7 +199,9 @@ mod tests {
     fn random_uses_both_sides() {
         let mut state = OutputHeuristicState::new(OutputHeuristic::Random, 3);
         let ctx = HeuristicContext::default();
-        let tops = (0..200).filter(|_| state.choose(&ctx) == HeapSide::Top).count();
+        let tops = (0..200)
+            .filter(|_| state.choose(&ctx) == HeapSide::Top)
+            .count();
         assert!((50..150).contains(&tops));
     }
 

@@ -94,13 +94,13 @@ impl<'a, D: Device> RunStreams<'a, D> {
     /// `true` when `record` can be appended to stream 1 without breaking
     /// either its monotonicity or the cross-stream ordering.
     pub fn accepts_stream1(&self, record: &Record) -> bool {
-        self.upper_floor().map_or(true, |floor| *record >= floor)
+        self.upper_floor().is_none_or(|floor| *record >= floor)
     }
 
     /// `true` when `record` can be appended to stream 4 without breaking
     /// either its monotonicity or the cross-stream ordering.
     pub fn accepts_stream4(&self, record: &Record) -> bool {
-        self.lower_cap().map_or(true, |cap| *record <= cap)
+        self.lower_cap().is_none_or(|cap| *record <= cap)
     }
 
     /// Appends a record to stream 1 (the TopHeap's increasing stream).
@@ -133,7 +133,7 @@ impl<'a, D: Device> RunStreams<'a, D> {
     /// "flushes the records to Streams 1 and 4").
     pub fn push_stream4_from_ascending(&mut self, records: &[Record]) -> Result<()> {
         for record in records.iter().rev() {
-            debug_assert!(self.s4_last.map_or(true, |last| *record <= last));
+            debug_assert!(self.s4_last.is_none_or(|last| *record <= last));
             self.stream4.push(record)?;
             if self.s4_first.is_none() {
                 self.s4_first = Some(*record);
@@ -148,7 +148,7 @@ impl<'a, D: Device> RunStreams<'a, D> {
     /// run-start bootstrap flush.
     pub fn push_stream1_ascending(&mut self, records: &[Record]) -> Result<()> {
         for record in records {
-            debug_assert!(self.s1_last.map_or(true, |last| *record >= last));
+            debug_assert!(self.s1_last.is_none_or(|last| *record >= last));
             self.stream1.push(record)?;
             if self.s1_first.is_none() {
                 self.s1_first = Some(*record);
@@ -163,7 +163,7 @@ impl<'a, D: Device> RunStreams<'a, D> {
     /// buffer's lower, increasing stream).
     pub fn push_stream3_ascending(&mut self, records: &[Record]) -> Result<()> {
         for record in records {
-            debug_assert!(self.s3_last.map_or(true, |last| *record >= last));
+            debug_assert!(self.s3_last.is_none_or(|last| *record >= last));
             self.stream3.push(record)?;
             if self.s3_first.is_none() {
                 self.s3_first = Some(*record);
@@ -179,7 +179,7 @@ impl<'a, D: Device> RunStreams<'a, D> {
     /// written in descending order as the reverse-file format expects.
     pub fn push_stream2_from_ascending(&mut self, records: &[Record]) -> Result<()> {
         for record in records.iter().rev() {
-            debug_assert!(self.s2_last.map_or(true, |last| *record <= last));
+            debug_assert!(self.s2_last.is_none_or(|last| *record <= last));
             self.stream2.push(record)?;
             if self.s2_first.is_none() {
                 self.s2_first = Some(*record);
@@ -198,8 +198,14 @@ impl<'a, D: Device> RunStreams<'a, D> {
         }
         format!(
             "s1[{},{}] s2[{},{}] s3[{},{}] s4[{},{}]",
-            k(&self.s1_first), k(&self.s1_last), k(&self.s2_first), k(&self.s2_last),
-            k(&self.s3_first), k(&self.s3_last), k(&self.s4_first), k(&self.s4_last)
+            k(&self.s1_first),
+            k(&self.s1_last),
+            k(&self.s2_first),
+            k(&self.s2_last),
+            k(&self.s3_first),
+            k(&self.s3_last),
+            k(&self.s4_first),
+            k(&self.s4_last)
         )
     }
 

@@ -45,15 +45,11 @@ struct RunOrder;
 
 impl TwoWayOrder<RunRecord<Record>> for RunOrder {
     fn cmp_top(&self, a: &RunRecord<Record>, b: &RunRecord<Record>) -> Ordering {
-        a.run
-            .cmp(&b.run)
-            .then_with(|| a.value.cmp(&b.value))
+        a.run.cmp(&b.run).then_with(|| a.value.cmp(&b.value))
     }
 
     fn cmp_bottom(&self, a: &RunRecord<Record>, b: &RunRecord<Record>) -> Ordering {
-        a.run
-            .cmp(&b.run)
-            .then_with(|| b.value.cmp(&a.value))
+        a.run.cmp(&b.run).then_with(|| b.value.cmp(&a.value))
     }
 }
 
@@ -521,9 +517,8 @@ impl<'a, D: Device> Runner<'a, D> {
                 // stray value; keep such records on the side whose output
                 // order they follow.
                 let ctx = self.context();
-                let above_top_root = ctx.top_root.map_or(true, |root| record.key >= root);
-                let below_bottom_root =
-                    ctx.bottom_root.map_or(true, |root| record.key <= root);
+                let above_top_root = ctx.top_root.is_none_or(|root| record.key >= root);
+                let below_bottom_root = ctx.bottom_root.is_none_or(|root| record.key <= root);
                 if above_top_root || below_bottom_root {
                     (above_top_root, below_bottom_root)
                 } else {
@@ -591,10 +586,7 @@ mod tests {
     use twrs_storage::SimDevice;
     use twrs_workloads::{Distribution, DistributionKind};
 
-    fn generate(
-        config: TwrsConfig,
-        input: Vec<Record>,
-    ) -> (SimDevice, RunSet, TwrsRunStats) {
+    fn generate(config: TwrsConfig, input: Vec<Record>) -> (SimDevice, RunSet, TwrsRunStats) {
         let device = SimDevice::new();
         let namer = SpillNamer::new("twrs");
         let mut generator = TwoWayReplacementSelection::new(config);
@@ -656,11 +648,8 @@ mod tests {
     fn alternating_input_yields_one_run_per_section() {
         // Theorem 6: each monotone section becomes (about) one run.
         let sections = 10u32;
-        let input = Distribution::exact(
-            DistributionKind::Alternating { sections },
-            20_000,
-        )
-        .collect();
+        let input =
+            Distribution::exact(DistributionKind::Alternating { sections }, 20_000).collect();
         let (device, set, _) = generate(TwrsConfig::recommended(400), input.clone());
         assert!(
             (sections as usize..=sections as usize + 2).contains(&set.num_runs()),

@@ -65,7 +65,7 @@ impl VictimBuffer {
     /// The currently accepted (exclusive) range, when one has been
     /// established.
     pub fn range(&self) -> Option<(Record, Record)> {
-        self.range.clone()
+        self.range
     }
 
     /// `true` when `record` falls strictly inside the accepted range and

@@ -6,7 +6,9 @@
 //! hand-written examples tend to miss corner cases.
 
 use proptest::prelude::*;
-use twrs_core::{BufferSetup, InputHeuristic, OutputHeuristic, TwoWayReplacementSelection, TwrsConfig};
+use twrs_core::{
+    BufferSetup, InputHeuristic, OutputHeuristic, TwoWayReplacementSelection, TwrsConfig,
+};
 use twrs_extsort::{RunCursor, RunGenerator};
 use twrs_storage::{SimDevice, SpillNamer};
 use twrs_workloads::Record;
@@ -31,7 +33,10 @@ fn run_twrs(keys: &[u64], memory: usize, config_seed: u64) -> (Vec<Vec<Record>>,
     let (input_h, output_h) = heuristic_pair(config_seed);
     let config = TwrsConfig::recommended(memory)
         .with_heuristics(input_h, output_h)
-        .with_buffers(setup_for(config_seed), [0.002, 0.02, 0.2][(config_seed % 3) as usize])
+        .with_buffers(
+            setup_for(config_seed),
+            [0.002, 0.02, 0.2][(config_seed % 3) as usize],
+        )
         .with_seed(config_seed);
     let mut generator = TwoWayReplacementSelection::new(config);
     let mut input = keys

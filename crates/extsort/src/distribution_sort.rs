@@ -113,7 +113,12 @@ impl DistributionSort {
         // quicksort pivot); records falling outside the sampled range are
         // clamped into the edge buckets.
         let sample_lo = head.iter().map(|r| r.key).min().unwrap_or(0);
-        let sample_hi = head.iter().map(|r| r.key).max().unwrap_or(0).saturating_add(1);
+        let sample_hi = head
+            .iter()
+            .map(|r| r.key)
+            .max()
+            .unwrap_or(0)
+            .saturating_add(1);
         let spilled = self.partition(
             device,
             namer,
@@ -230,7 +235,10 @@ mod tests {
     use twrs_storage::SimDevice;
     use twrs_workloads::{Distribution, DistributionKind};
 
-    fn sort_with(config: DistributionSortConfig, input: Vec<Record>) -> (Vec<Record>, DistributionSortReport) {
+    fn sort_with(
+        config: DistributionSortConfig,
+        input: Vec<Record>,
+    ) -> (Vec<Record>, DistributionSortReport) {
         let device = SimDevice::new();
         let namer = SpillNamer::new("ds");
         let sorter = DistributionSort::new(config);
@@ -280,7 +288,9 @@ mod tests {
     #[test]
     fn skewed_input_recurses() {
         // All keys clustered into a narrow band forces recursion.
-        let input: Vec<Record> = (0..5_000u64).map(|i| Record::new(1_000 + i % 50, i)).collect();
+        let input: Vec<Record> = (0..5_000u64)
+            .map(|i| Record::new(1_000 + i % 50, i))
+            .collect();
         let mut expected = input.clone();
         expected.sort_unstable();
         let (output, report) = sort_with(
@@ -292,7 +302,10 @@ mod tests {
             input,
         );
         assert_eq!(output, expected);
-        assert!(report.partition_passes > 1, "expected recursive partitioning");
+        assert!(
+            report.partition_passes > 1,
+            "expected recursive partitioning"
+        );
     }
 
     #[test]

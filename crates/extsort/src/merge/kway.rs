@@ -136,7 +136,7 @@ impl KWayMerger {
         // A single run left without any merging needed: copy it to the
         // output name so the caller always finds its result there.
         let only = queue.pop_front().expect("queue has one element");
-        let written = self.merge_batch(device, &[only.clone()], output)?;
+        let written = self.merge_batch(device, std::slice::from_ref(&only), output)?;
         remove_run(device, &only)?;
         report.merge_steps += 1;
         report.records_written += written;
@@ -145,12 +145,7 @@ impl KWayMerger {
     }
 
     /// Merges one batch of runs into the forward run `output`.
-    fn merge_batch<D: Device>(
-        &self,
-        device: &D,
-        batch: &[RunHandle],
-        output: &str,
-    ) -> Result<u64> {
+    fn merge_batch<D: Device>(&self, device: &D, batch: &[RunHandle], output: &str) -> Result<u64> {
         let mut sources: Vec<BufferedCursor> = batch
             .iter()
             .map(|handle| {
@@ -256,8 +251,7 @@ mod tests {
 
     fn make_runs(device: &SimDevice, namer: &SpillNamer, records: u64, memory: usize) -> RunSet {
         let mut generator = LoadSortStore::new(memory);
-        let mut input =
-            Distribution::new(DistributionKind::RandomUniform, records, 99).records();
+        let mut input = Distribution::new(DistributionKind::RandomUniform, records, 99).records();
         generator.generate(device, namer, &mut input).unwrap()
     }
 

@@ -126,7 +126,10 @@ pub fn polyphase_merge<D: Device>(
                 .position(|t| !t.is_empty())
                 .expect("one tape is non-empty");
             let runs: Vec<RunHandle> = tapes[loaded].drain(..).collect();
-            let targets: Vec<usize> = (0..num_tapes).filter(|i| *i != loaded).take(num_tapes - 1).collect();
+            let targets: Vec<usize> = (0..num_tapes)
+                .filter(|i| *i != loaded)
+                .take(num_tapes - 1)
+                .collect();
             for (i, run) in runs.into_iter().enumerate() {
                 tapes[targets[i % targets.len()]].push_back(run);
             }
@@ -254,7 +257,8 @@ mod tests {
     fn merge_preserves_multiset() {
         let device = SimDevice::new();
         let namer = SpillNamer::new("pp");
-        let input: Vec<Record> = Distribution::new(DistributionKind::MixedBalanced, 1_200, 5).collect();
+        let input: Vec<Record> =
+            Distribution::new(DistributionKind::MixedBalanced, 1_200, 5).collect();
         let mut generator = LoadSortStore::new(64);
         let mut iter = input.clone().into_iter();
         let set = generator.generate(&device, &namer, &mut iter).unwrap();

@@ -16,7 +16,7 @@ use twrs_workloads::Record;
 
 /// Configuration of the sorting pipeline that is independent of the
 /// run-generation algorithm.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct SorterConfig {
     /// Merge-phase configuration (fan-in and per-run read-ahead).
     pub merge: MergeConfig,
@@ -24,15 +24,6 @@ pub struct SorterConfig {
     /// sorted and complete (record count). Intended for tests and examples;
     /// costs one extra read pass.
     pub verify: bool,
-}
-
-impl Default for SorterConfig {
-    fn default() -> Self {
-        SorterConfig {
-            merge: MergeConfig::default(),
-            verify: false,
-        }
-    }
 }
 
 /// Wall-clock time and I/O attributed to one phase of the sort.
@@ -311,7 +302,8 @@ mod tests {
     #[test]
     fn temporary_files_are_cleaned_up() {
         let device = SimDevice::new();
-        let mut sorter = ExternalSorter::with_config(ReplacementSelection::new(64), sorted_config());
+        let mut sorter =
+            ExternalSorter::with_config(ReplacementSelection::new(64), sorted_config());
         let mut input = Distribution::new(DistributionKind::RandomUniform, 2_000, 4).records();
         sorter.sort_iter(&device, &mut input, "final").unwrap();
         let files = device.list();

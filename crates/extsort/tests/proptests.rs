@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 use twrs_extsort::{
-    polyphase_merge, ExternalSorter, KWayMerger, LoadSortStore, MergeConfig,
-    ReplacementSelection, RunCursor, RunGenerator, RunHandle, SorterConfig,
+    polyphase_merge, ExternalSorter, KWayMerger, LoadSortStore, MergeConfig, ReplacementSelection,
+    RunCursor, RunGenerator, RunHandle, SorterConfig,
 };
 use twrs_storage::{SimDevice, SpillNamer};
 use twrs_workloads::Record;

@@ -327,8 +327,7 @@ mod tests {
     fn paper_figure_3_3_insertion_example() {
         // Figure 3.3: inserting 91 into the max heap {93, 88, 82, 66, 20, 42, 7}
         // bubbles it up past 66 and 88 but not past 93.
-        let mut heap =
-            BinaryHeap::from_vec(HeapKind::Max, vec![93, 88, 82, 66, 20, 42, 7]);
+        let mut heap = BinaryHeap::from_vec(HeapKind::Max, vec![93, 88, 82, 66, 20, 42, 7]);
         assert_eq!(heap.debug_validate(), None);
         heap.push(91).unwrap();
         assert_eq!(heap.peek(), Some(&93));
@@ -343,8 +342,7 @@ mod tests {
     fn paper_figure_3_4_deletion_example() {
         // Figure 3.4: removing the top of {93, 91, 82, 88, 20, 42, 7, 66}
         // leaves 91 at the root.
-        let mut heap =
-            BinaryHeap::from_vec(HeapKind::Max, vec![93, 91, 82, 88, 20, 42, 7, 66]);
+        let mut heap = BinaryHeap::from_vec(HeapKind::Max, vec![93, 91, 82, 88, 20, 42, 7, 66]);
         assert_eq!(heap.pop(), Some(93));
         assert_eq!(heap.peek(), Some(&91));
         assert_eq!(heap.debug_validate(), None);

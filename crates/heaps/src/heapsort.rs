@@ -138,7 +138,9 @@ mod tests {
     #[test]
     fn matches_std_sort_on_medium_input() {
         // Deterministic pseudo-random data without pulling in `rand` here.
-        let mut v: Vec<u64> = (0..1000u64).map(|i| i.wrapping_mul(2654435761) % 997).collect();
+        let mut v: Vec<u64> = (0..1000u64)
+            .map(|i| i.wrapping_mul(2654435761) % 997)
+            .collect();
         let mut expected = v.clone();
         expected.sort_unstable();
         heapsort(&mut v);

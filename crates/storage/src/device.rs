@@ -191,7 +191,8 @@ impl PageFile for SimPageFile {
         check_page_len(data.len(), self.page_size)?;
         let mut file = self.data.lock();
         while (file.pages.len() as u64) < index {
-            file.pages.push(vec![0u8; self.page_size].into_boxed_slice());
+            file.pages
+                .push(vec![0u8; self.page_size].into_boxed_slice());
         }
         if (index as usize) == file.pages.len() {
             file.pages.push(data.to_vec().into_boxed_slice());

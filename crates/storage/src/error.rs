@@ -55,7 +55,10 @@ impl fmt::Display for StorageError {
                 "page {page} out of bounds for file {file} with {pages} pages"
             ),
             StorageError::PageSizeMismatch { got, expected } => {
-                write!(f, "buffer of {got} bytes does not match page size {expected}")
+                write!(
+                    f,
+                    "buffer of {got} bytes does not match page size {expected}"
+                )
             }
             StorageError::CorruptHeader(msg) => write!(f, "corrupt file header: {msg}"),
             StorageError::BadRecordSize { record, page } => write!(
@@ -100,7 +103,7 @@ mod tests {
 
     #[test]
     fn io_errors_convert() {
-        let io_err = io::Error::new(io::ErrorKind::Other, "boom");
+        let io_err = io::Error::other("boom");
         let err: StorageError = io_err.into();
         assert!(matches!(err, StorageError::Io(_)));
         assert!(std::error::Error::source(&err).is_some());

@@ -89,8 +89,7 @@ impl IoStatsSnapshot {
 
     /// Simulated elapsed time under the device's disk model.
     pub fn simulated_time(&self) -> Duration {
-        self.model
-            .elapsed(self.counters.seeks, self.pages_total())
+        self.model.elapsed(self.counters.seeks, self.pages_total())
     }
 
     /// Difference between two snapshots (`self - earlier`), useful to

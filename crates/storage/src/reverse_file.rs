@@ -488,6 +488,10 @@ mod tests {
         // One seek per part file (headers are read at open, data follows
         // forward); never more than parts * 2.
         let parts = device.list().len() as u64;
-        assert!(snap.counters.seeks <= parts * 2, "seeks = {}", snap.counters.seeks);
+        assert!(
+            snap.counters.seeks <= parts * 2,
+            "seeks = {}",
+            snap.counters.seeks
+        );
     }
 }

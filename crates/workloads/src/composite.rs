@@ -114,7 +114,11 @@ impl AnticorrelatedTable {
         let noise = self.noise;
         (0..self.rows).map(move |i| {
             let a = i * step;
-            let jitter = if noise == 0 { 0 } else { rng.gen_range(0..=noise) };
+            let jitter = if noise == 0 {
+                0
+            } else {
+                rng.gen_range(0..=noise)
+            };
             let b = KEY_RANGE.saturating_sub(a).saturating_add(jitter);
             (a, b)
         })

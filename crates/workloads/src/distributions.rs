@@ -304,7 +304,11 @@ mod tests {
 
     #[test]
     fn alternating_has_expected_number_of_direction_changes() {
-        let keys = keys(DistributionKind::Alternating { sections: 10 }, 10_000, false);
+        let keys = keys(
+            DistributionKind::Alternating { sections: 10 },
+            10_000,
+            false,
+        );
         // Count sign changes of the discrete derivative; an exact
         // 10-section zigzag has 9 interior direction changes.
         let mut changes = 0;
@@ -379,7 +383,10 @@ mod tests {
     fn keys_stay_in_range() {
         for kind in DistributionKind::paper_set() {
             let keys = keys(kind, 5_000, true);
-            assert!(keys.iter().all(|k| *k <= KEY_RANGE + JITTER_RANGE), "{kind:?}");
+            assert!(
+                keys.iter().all(|k| *k <= KEY_RANGE + JITTER_RANGE),
+                "{kind:?}"
+            );
         }
     }
 

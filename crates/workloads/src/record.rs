@@ -66,7 +66,10 @@ mod tests {
     fn ordering_is_key_major_payload_minor() {
         assert!(Record::new(1, 99) < Record::new(2, 0));
         assert!(Record::new(5, 1) < Record::new(5, 2));
-        assert_eq!(Record::new(5, 1).cmp(&Record::new(5, 1)), std::cmp::Ordering::Equal);
+        assert_eq!(
+            Record::new(5, 1).cmp(&Record::new(5, 1)),
+            std::cmp::Ordering::Equal
+        );
     }
 
     #[test]

@@ -15,7 +15,10 @@ fn main() {
     let memory: usize = 400;
     let factors = PaperFactors::reduced();
 
-    for kind in [DistributionKind::RandomUniform, DistributionKind::MixedBalanced] {
+    for kind in [
+        DistributionKind::RandomUniform,
+        DistributionKind::MixedBalanced,
+    ] {
         println!(
             "=== {} input — {} executions ({} records, {} memory) ===",
             kind.label(),
@@ -30,10 +33,7 @@ fn main() {
 
         // Main effects plus the input×output heuristic interaction the paper
         // singles out in §5.2.5.
-        let table = FactorialAnova::fit(
-            &data,
-            &[vec![0], vec![1], vec![2], vec![3], vec![2, 3]],
-        );
+        let table = FactorialAnova::fit(&data, &[vec![0], vec![1], vec![2], vec![3], vec![2, 3]]);
         println!("{}", table.to_text());
 
         // Tukey comparison of the input heuristics.

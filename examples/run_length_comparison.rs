@@ -8,7 +8,11 @@
 
 use two_way_replacement_selection::prelude::*;
 
-fn measure<G: RunGenerator>(mut generator: G, kind: DistributionKind, records: u64) -> (usize, f64) {
+fn measure<G: RunGenerator>(
+    mut generator: G,
+    kind: DistributionKind,
+    records: u64,
+) -> (usize, f64) {
     let device = SimDevice::new();
     let namer = SpillNamer::new("example");
     let memory = generator.memory_records();
@@ -24,10 +28,7 @@ fn main() {
     let memory: usize = 2_000;
 
     println!("{records} records, {memory} records of memory\n");
-    println!(
-        "{:<18} {:>14} {:>14} {:>14}",
-        "input", "LSS", "RS", "2WRS"
-    );
+    println!("{:<18} {:>14} {:>14} {:>14}", "input", "LSS", "RS", "2WRS");
     println!("{}", "-".repeat(64));
     for kind in DistributionKind::paper_set() {
         let (lss_runs, lss) = measure(LoadSortStore::new(memory), kind, records);

@@ -37,7 +37,10 @@ fn main() {
             density_rms_distance(&snapshot.density, &stable)
         );
     }
-    println!("stable      :  {}   (the 2 - 2x profile of Knuth's snowplow)", sparkline(&stable));
+    println!(
+        "stable      :  {}   (the 2 - 2x profile of Knuth's snowplow)",
+        sparkline(&stable)
+    );
     println!(
         "\nStarting from a uniformly filled memory the density converges to the\n\
          2 - 2x profile within two or three runs and the run length converges to\n\

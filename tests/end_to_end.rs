@@ -70,9 +70,9 @@ fn materialised_datasets_round_trip_and_sort() {
     let mut reader = read_dataset(&device, "table").expect("open dataset");
     assert_eq!(reader.read_all().expect("read dataset"), expected);
 
-    let mut sorter = ExternalSorter::new(TwoWayReplacementSelection::new(
-        TwrsConfig::recommended(250),
-    ));
+    let mut sorter = ExternalSorter::new(TwoWayReplacementSelection::new(TwrsConfig::recommended(
+        250,
+    )));
     let report = sorter
         .sort_file(&device, "table", "table_sorted")
         .expect("sort succeeds");
@@ -90,8 +90,7 @@ fn polyphase_merge_agrees_with_kway_merge() {
     let device = SimDevice::new();
     let namer = SpillNamer::new("poly-vs-kway");
     let mut generator = LoadSortStore::new(250);
-    let input: Vec<Record> =
-        Distribution::new(DistributionKind::RandomUniform, 6_000, 5).collect();
+    let input: Vec<Record> = Distribution::new(DistributionKind::RandomUniform, 6_000, 5).collect();
     let mut iter = input.clone().into_iter();
     let set = generator
         .generate(&device, &namer, &mut iter)
@@ -111,9 +110,14 @@ fn polyphase_merge_agrees_with_kway_merge() {
 fn distribution_sort_agrees_with_the_merge_pipeline() {
     let device = SimDevice::new();
     let namer = SpillNamer::new("dsort");
-    let input: Vec<Record> =
-        Distribution::new(DistributionKind::MixedImbalanced { descending_per_ascending: 3 }, 9_000, 21)
-            .collect();
+    let input: Vec<Record> = Distribution::new(
+        DistributionKind::MixedImbalanced {
+            descending_per_ascending: 3,
+        },
+        9_000,
+        21,
+    )
+    .collect();
 
     let sorter = DistributionSort::new(DistributionSortConfig {
         memory_records: 300,
@@ -125,9 +129,9 @@ fn distribution_sort_agrees_with_the_merge_pipeline() {
         .sort(&device, &namer, &mut iter, "bucket_sorted")
         .expect("distribution sort succeeds");
 
-    let mut sorter = ExternalSorter::new(TwoWayReplacementSelection::new(
-        TwrsConfig::recommended(300),
-    ));
+    let mut sorter = ExternalSorter::new(TwoWayReplacementSelection::new(TwrsConfig::recommended(
+        300,
+    )));
     let mut iter = input.into_iter();
     sorter
         .sort_iter(&device, &mut iter, "merge_sorted")
@@ -141,9 +145,9 @@ fn distribution_sort_agrees_with_the_merge_pipeline() {
 #[test]
 fn io_accounting_splits_phases() {
     let device = SimDevice::new();
-    let mut sorter = ExternalSorter::new(TwoWayReplacementSelection::new(
-        TwrsConfig::recommended(200),
-    ));
+    let mut sorter = ExternalSorter::new(TwoWayReplacementSelection::new(TwrsConfig::recommended(
+        200,
+    )));
     let mut input = Distribution::new(DistributionKind::RandomUniform, 8_000, 2).records();
     let report = sorter
         .sort_iter(&device, &mut input, "out")

@@ -69,8 +69,10 @@ fn snowplow_model_and_measured_rs_agree_on_random_input() {
         .last()
         .expect("snapshots")
         .run_length;
-    let measured =
-        relative_run_length(ReplacementSelection::new(MEMORY), DistributionKind::RandomUniform);
+    let measured = relative_run_length(
+        ReplacementSelection::new(MEMORY),
+        DistributionKind::RandomUniform,
+    );
     assert!(
         (model_run_length - measured).abs() < 0.4,
         "model {model_run_length:.2} vs measured {measured:.2}"
@@ -103,7 +105,9 @@ fn chapter_6_conclusion_fewer_runs_means_fewer_merge_steps() {
     );
     let twrs_report = run(&mut || {
         let mut input = Distribution::new(DistributionKind::ReverseSorted, RECORDS, 3).records();
-        twrs_sorter.sort_iter(&device, &mut input, "twrs_out").unwrap()
+        twrs_sorter
+            .sort_iter(&device, &mut input, "twrs_out")
+            .unwrap()
     });
 
     assert!(twrs_report.num_runs < rs_report.num_runs / 10);

@@ -111,7 +111,10 @@ fn theorem_7_twrs_is_never_worse_than_load_sort_store() {
             RECORDS,
             false,
         );
-        assert!(runs <= bound, "{kind:?}: {runs} runs exceeds the bound {bound}");
+        assert!(
+            runs <= bound,
+            "{kind:?}: {runs} runs exceeds the bound {bound}"
+        );
     }
 }
 
