@@ -1,9 +1,13 @@
 //! Criterion bench behind Figures 6.2–6.5 and 6.7: end-to-end sorting
-//! (run generation + merge) of RS vs 2WRS per input distribution.
+//! (run generation + merge) of RS vs 2WRS per input distribution, plus the
+//! 1-vs-N-thread comparison of the parallel sorter on the same pipeline.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use twrs_core::{TwoWayReplacementSelection, TwrsConfig};
-use twrs_extsort::{ExternalSorter, MergeConfig, ReplacementSelection, RunGenerator, SorterConfig};
+use twrs_extsort::{
+    ExternalSorter, MergeConfig, ParallelExternalSorter, ParallelSorterConfig,
+    ReplacementSelection, RunGenerator, SorterConfig,
+};
 use twrs_storage::SimDevice;
 use twrs_workloads::{Distribution, DistributionKind};
 
@@ -51,5 +55,60 @@ fn bench_total_sort(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_total_sort);
+fn sort_parallel(threads: usize, kind: DistributionKind) -> u64 {
+    let device = SimDevice::new();
+    let config = ParallelSorterConfig {
+        threads,
+        merge: MergeConfig {
+            fan_in: 10,
+            read_ahead_records: 256,
+        },
+        verify: false,
+        spill_queue_pages: 64,
+        prefetch_batches: 4,
+        shard_batch_records: 256,
+    };
+    let mut sorter = ParallelExternalSorter::with_config(
+        TwoWayReplacementSelection::new(TwrsConfig::recommended(MEMORY)),
+        config,
+    );
+    let mut input = Distribution::new(kind, RECORDS, 1).records();
+    sorter
+        .sort_iter(&device, &mut input, "out")
+        .expect("sort succeeds")
+        .report
+        .records
+}
+
+/// 1-vs-N threads on the random distribution: the sequential sorter as the
+/// baseline, then the parallel sorter at increasing shard counts with the
+/// same total memory budget.
+fn bench_parallel_total_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("total_sort_parallel");
+    group.throughput(Throughput::Elements(RECORDS));
+    group.sample_size(10);
+    let kind = DistributionKind::RandomUniform;
+    group.bench_with_input(
+        BenchmarkId::new("twrs-sequential", 1usize),
+        &kind,
+        |b, kind| {
+            b.iter(|| {
+                sort(
+                    TwoWayReplacementSelection::new(TwrsConfig::recommended(MEMORY)),
+                    *kind,
+                )
+            })
+        },
+    );
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("twrs-parallel", threads),
+            &threads,
+            |b, threads| b.iter(|| sort_parallel(*threads, kind)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_total_sort, bench_parallel_total_sort);
 criterion_main!(benches);

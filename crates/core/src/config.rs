@@ -140,6 +140,29 @@ impl TwrsConfig {
         self
     }
 
+    /// The configuration of shard `index` when this configuration is split
+    /// across `shards` parallel run-generation workers.
+    ///
+    /// The total memory budget is divided with
+    /// [`twrs_extsort::shard_budget`], so the shard budgets sum to
+    /// `memory_records` (each shard keeps the same buffer setup, fraction
+    /// and heuristics — the buffers scale down with the budget). The seed
+    /// is offset by the shard index so the Random heuristics of different
+    /// shards draw decorrelated streams while staying reproducible.
+    pub fn for_shard(&self, index: usize, shards: usize) -> Self {
+        TwrsConfig {
+            memory_records: twrs_extsort::shard_budget(self.memory_records, index, shards),
+            seed: self.seed.wrapping_add(index as u64),
+            ..*self
+        }
+    }
+
+    /// The per-shard configurations of a `threads`-way split; total memory
+    /// across the returned configurations equals `memory_records`.
+    pub fn split_across(&self, threads: usize) -> Vec<Self> {
+        (0..threads).map(|i| self.for_shard(i, threads)).collect()
+    }
+
     /// Total number of records dedicated to buffers.
     pub fn buffer_records(&self) -> usize {
         let fraction = self.buffer_fraction.clamp(0.0, 0.9);
@@ -236,6 +259,26 @@ mod tests {
         assert!(cfg1.buffer_fraction < cfg3.buffer_fraction);
         assert!(cfg2.buffer_fraction > cfg3.buffer_fraction);
         assert_eq!(cfg2.buffer_setup, BufferSetup::Both);
+    }
+
+    #[test]
+    fn shard_split_conserves_total_memory() {
+        for threads in [1, 2, 3, 7] {
+            for total in [7, 100, 101, 100_000] {
+                let cfg = TwrsConfig::recommended(total);
+                let shards = cfg.split_across(threads);
+                assert_eq!(shards.len(), threads);
+                if total >= threads {
+                    let sum: usize = shards.iter().map(|s| s.memory_records).sum();
+                    assert_eq!(sum, total, "{total} records over {threads} threads");
+                }
+                for (i, shard) in shards.iter().enumerate() {
+                    assert!(shard.memory_records >= 1);
+                    assert_eq!(shard.buffer_setup, cfg.buffer_setup);
+                    assert_eq!(shard.seed, cfg.seed.wrapping_add(i as u64));
+                }
+            }
+        }
     }
 
     #[test]

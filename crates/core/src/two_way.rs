@@ -32,7 +32,9 @@ use crate::input_buffer::InputBuffer;
 use crate::streams::RunStreams;
 use crate::victim::VictimBuffer;
 use std::cmp::Ordering;
-use twrs_extsort::{Device, Result, RunGenerator, RunHandle, RunSet, SortError};
+use twrs_extsort::{
+    Device, Result, RunGenerator, RunHandle, RunSet, ShardableGenerator, SortError,
+};
 use twrs_heaps::{DualHeap, HeapSide, RunRecord, TwoWayOrder};
 use twrs_storage::SpillNamer;
 use twrs_workloads::Record;
@@ -106,6 +108,12 @@ impl TwoWayReplacementSelection {
     /// Statistics of the most recent [`RunGenerator::generate`] call.
     pub fn stats(&self) -> TwrsRunStats {
         self.stats
+    }
+}
+
+impl ShardableGenerator for TwoWayReplacementSelection {
+    fn shard(&self, index: usize, shards: usize) -> Self {
+        TwoWayReplacementSelection::new(self.config.for_shard(index, shards))
     }
 }
 

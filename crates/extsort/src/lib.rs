@@ -18,7 +18,13 @@
 //! * [`distribution_sort`] — external bucket/distribution sort (§2.2);
 //! * [`sorter`] — [`sorter::ExternalSorter`], the run-generation + merge
 //!   pipeline measured in Chapter 6, instrumented with per-phase I/O and
-//!   timing reports.
+//!   timing reports;
+//! * [`parallel`] — [`parallel::ParallelExternalSorter`], the sharded
+//!   variant of the same pipeline: run generation fans out over
+//!   budget-divided worker threads, spill writes move to dedicated writer
+//!   threads behind bounded channels, and the merge prefetches every input
+//!   run in the background. Produces byte-identical output to the
+//!   sequential sorter.
 
 #![warn(missing_docs)]
 
@@ -26,6 +32,7 @@ pub mod distribution_sort;
 pub mod error;
 pub mod load_sort_store;
 pub mod merge;
+pub mod parallel;
 pub mod replacement_selection;
 pub mod run_generation;
 pub mod sorter;
@@ -34,6 +41,10 @@ pub use error::{Result, SortError};
 pub use load_sort_store::LoadSortStore;
 pub use merge::kway::{KWayMerger, MergeConfig};
 pub use merge::polyphase::{polyphase_merge, polyphase_schedule};
+pub use parallel::{
+    shard_budget, ParallelExternalSorter, ParallelSortReport, ParallelSorterConfig, ShardReport,
+    ShardableGenerator, SpillWriteDevice,
+};
 pub use replacement_selection::ReplacementSelection;
 pub use run_generation::{
     Device, ForwardRunBuilder, ReverseRunBuilder, RunCursor, RunGenerator, RunHandle, RunSet,

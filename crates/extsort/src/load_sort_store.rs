@@ -7,6 +7,7 @@
 //! replacement selection always meets or beats.
 
 use crate::error::{Result, SortError};
+use crate::parallel::{shard_budget, ShardableGenerator};
 use crate::run_generation::{Device, ForwardRunBuilder, RunGenerator, RunSet};
 use twrs_storage::SpillNamer;
 use twrs_workloads::Record;
@@ -22,6 +23,12 @@ impl LoadSortStore {
     /// records.
     pub fn new(memory_records: usize) -> Self {
         LoadSortStore { memory_records }
+    }
+}
+
+impl ShardableGenerator for LoadSortStore {
+    fn shard(&self, index: usize, shards: usize) -> Self {
+        LoadSortStore::new(shard_budget(self.memory_records, index, shards))
     }
 }
 

@@ -92,56 +92,14 @@ impl KWayMerger {
         runs: Vec<RunHandle>,
         output: &str,
     ) -> Result<MergeReport> {
-        if self.config.fan_in < 2 {
-            return Err(SortError::InvalidConfig(
-                "merge fan-in must be at least 2".into(),
-            ));
-        }
-        let mut report = MergeReport::default();
-        let mut queue: VecDeque<RunHandle> = runs.into();
-
-        if queue.is_empty() {
-            // No input at all: produce an empty output run for uniformity.
-            let writer = RunWriter::<Record>::create(device, output)?;
-            writer.finish()?;
-            return Ok(report);
-        }
-
-        // Keep merging batches of `fan_in` runs until one remains.
-        while queue.len() > 1 {
-            let batch: Vec<RunHandle> = {
-                let take = self.config.fan_in.min(queue.len());
-                queue.drain(..take).collect()
-            };
-            let is_final = queue.is_empty();
-            let name = if is_final {
-                output.to_string()
-            } else {
-                namer.next_name("merge")
-            };
-            let written = self.merge_batch(device, &batch, &name)?;
-            report.merge_steps += 1;
-            report.records_written += written;
-            // Intermediate inputs are no longer needed.
-            for handle in &batch {
-                remove_run(device, handle)?;
-            }
-            if is_final {
-                report.output_records = written;
-                return Ok(report);
-            }
-            queue.push_back(RunHandle::Forward(name));
-        }
-
-        // A single run left without any merging needed: copy it to the
-        // output name so the caller always finds its result there.
-        let only = queue.pop_front().expect("queue has one element");
-        let written = self.merge_batch(device, std::slice::from_ref(&only), output)?;
-        remove_run(device, &only)?;
-        report.merge_steps += 1;
-        report.records_written += written;
-        report.output_records = written;
-        Ok(report)
+        merge_passes(
+            device,
+            namer,
+            runs,
+            output,
+            self.config.fan_in,
+            |batch, name| self.merge_batch(device, batch, name),
+        )
     }
 
     /// Merges one batch of runs into the forward run `output`.
@@ -153,33 +111,130 @@ impl KWayMerger {
                     .map(|cursor| BufferedCursor::new(cursor, self.config.read_ahead_records))
             })
             .collect::<Result<_>>()?;
-        let mut heads: Vec<Option<Record>> = sources
-            .iter_mut()
-            .map(|s| s.next_record())
-            .collect::<Result<_>>()?;
-        let mut tree = LoserTree::new(&heads);
-        let mut writer = RunWriter::<Record>::create(device, output)?;
-        let mut written = 0u64;
-        loop {
-            let winner = tree.winner();
-            match heads[winner].take() {
-                Some(record) => {
-                    writer.push(&record)?;
-                    written += 1;
-                    heads[winner] = sources[winner].next_record()?;
-                    tree.replay(&heads, winner);
-                }
-                None => break,
-            }
-        }
-        writer.finish()?;
-        Ok(written)
+        let writer = RunWriter::<Record>::create(device, output)?;
+        merge_sources(&mut sources, writer)
     }
+}
+
+/// The multi-pass merge scheduler shared by [`KWayMerger`] and the parallel
+/// sorter's prefetching merger: batches at most `fan_in` runs per step,
+/// queues intermediate outputs until one run remains, removes consumed
+/// inputs, and always leaves the result under the `output` name (an empty
+/// run when `runs` is empty). `merge_batch(batch, name)` performs one step
+/// and returns the records written.
+pub(crate) fn merge_passes<D, F>(
+    device: &D,
+    namer: &SpillNamer,
+    runs: Vec<RunHandle>,
+    output: &str,
+    fan_in: usize,
+    mut merge_batch: F,
+) -> Result<MergeReport>
+where
+    D: Device,
+    F: FnMut(&[RunHandle], &str) -> Result<u64>,
+{
+    if fan_in < 2 {
+        return Err(SortError::InvalidConfig(
+            "merge fan-in must be at least 2".into(),
+        ));
+    }
+    let mut report = MergeReport::default();
+    let mut queue: VecDeque<RunHandle> = runs.into();
+
+    if queue.is_empty() {
+        // No input at all: produce an empty output run for uniformity.
+        let writer = RunWriter::<Record>::create(device, output)?;
+        writer.finish()?;
+        return Ok(report);
+    }
+
+    // Keep merging batches of `fan_in` runs until one remains.
+    while queue.len() > 1 {
+        let batch: Vec<RunHandle> = {
+            let take = fan_in.min(queue.len());
+            queue.drain(..take).collect()
+        };
+        let is_final = queue.is_empty();
+        let name = if is_final {
+            output.to_string()
+        } else {
+            namer.next_name("merge")
+        };
+        let written = merge_batch(&batch, &name)?;
+        report.merge_steps += 1;
+        report.records_written += written;
+        // Intermediate inputs are no longer needed.
+        for handle in &batch {
+            remove_run(device, handle)?;
+        }
+        if is_final {
+            report.output_records = written;
+            return Ok(report);
+        }
+        queue.push_back(RunHandle::Forward(name));
+    }
+
+    // A single run left without any merging needed: copy it to the
+    // output name so the caller always finds its result there.
+    let only = queue.pop_front().expect("queue has one element");
+    let written = merge_batch(std::slice::from_ref(&only), output)?;
+    remove_run(device, &only)?;
+    report.merge_steps += 1;
+    report.records_written += written;
+    report.output_records = written;
+    Ok(report)
+}
+
+/// A stream of ascending records feeding one leaf of the merge tree: a
+/// [`BufferedCursor`] reading synchronously, or the consumer end of a
+/// background prefetch thread in the parallel sorter.
+pub(crate) trait MergeSource {
+    /// The next record of the stream, or `None` at the end.
+    fn next_record(&mut self) -> Result<Option<Record>>;
+}
+
+impl MergeSource for BufferedCursor {
+    fn next_record(&mut self) -> Result<Option<Record>> {
+        BufferedCursor::next_record(self)
+    }
+}
+
+/// The inner loop shared by the sequential and parallel mergers: drains
+/// `sources` through a loser tree into `writer` and returns the number of
+/// records written.
+pub(crate) fn merge_sources<S: MergeSource>(
+    sources: &mut [S],
+    mut writer: RunWriter<Record>,
+) -> Result<u64> {
+    let mut heads: Vec<Option<Record>> = sources
+        .iter_mut()
+        .map(|s| s.next_record())
+        .collect::<Result<_>>()?;
+    let mut tree = LoserTree::new(&heads);
+    let mut written = 0u64;
+    loop {
+        let winner = tree.winner();
+        match heads[winner].take() {
+            Some(record) => {
+                writer.push(&record)?;
+                written += 1;
+                heads[winner] = sources[winner].next_record()?;
+                tree.replay(&heads, winner);
+            }
+            None => break,
+        }
+    }
+    writer.finish()?;
+    Ok(written)
 }
 
 /// Removes a run (and, for reverse runs, all its part files) from the
 /// device.
-fn remove_run(device: &dyn twrs_storage::StorageDevice, handle: &RunHandle) -> Result<()> {
+pub(crate) fn remove_run(
+    device: &dyn twrs_storage::StorageDevice,
+    handle: &RunHandle,
+) -> Result<()> {
     match handle {
         RunHandle::Forward(name) => {
             if device.exists(name) {
@@ -208,7 +263,7 @@ fn remove_run(device: &dyn twrs_storage::StorageDevice, handle: &RunHandle) -> R
 }
 
 /// A run cursor with a read-ahead buffer.
-struct BufferedCursor {
+pub(crate) struct BufferedCursor {
     cursor: RunCursor,
     buffer: VecDeque<Record>,
     read_ahead: usize,
@@ -216,7 +271,7 @@ struct BufferedCursor {
 }
 
 impl BufferedCursor {
-    fn new(cursor: RunCursor, read_ahead: usize) -> Self {
+    pub(crate) fn new(cursor: RunCursor, read_ahead: usize) -> Self {
         BufferedCursor {
             cursor,
             buffer: VecDeque::with_capacity(read_ahead.max(1)),

@@ -1,0 +1,964 @@
+//! The parallel external sorter: sharded run generation with asynchronous
+//! spill writing, followed by a k-way merge fed by background prefetch
+//! threads.
+//!
+//! The sequential [`ExternalSorter`](crate::sorter::ExternalSorter) is the
+//! reference implementation: one thread generates runs and the same thread
+//! merges them, so heap work, spill writes and merge reads all serialise.
+//! [`ParallelExternalSorter`] keeps the exact same building blocks — any
+//! [`RunGenerator`] plugs in unchanged — and overlaps the three:
+//!
+//! 1. **Sharded generation.** The input stream is dealt round-robin (in
+//!    small batches) to `threads` workers. Each worker runs its own clone of
+//!    the run-generation algorithm with a proportional slice of the memory
+//!    budget (see [`ShardableGenerator`]), so total memory stays fixed while
+//!    the heap work parallelises.
+//! 2. **Asynchronous spilling.** Each worker writes its runs through a
+//!    [`SpillWriteDevice`], which ships page writes over a bounded channel
+//!    to a dedicated writer thread; heap operations overlap spill I/O, and
+//!    the bounded queue applies back-pressure so memory stays bounded.
+//! 3. **Prefetched merging.** The final multi-pass k-way merge (same
+//!    scheduling as [`KWayMerger`](crate::merge::kway::KWayMerger)) reads
+//!    every input run through a background prefetch thread that stays one
+//!    read-ahead batch ahead of the loser tree.
+//!
+//! Because [`Record`](twrs_workloads::Record)'s ordering is total over all
+//! of its bytes, the fully merged output is **byte-identical** to the
+//! sequential sorter's output for every thread count — the equivalence test
+//! suite (`tests/parallel_equivalence.rs`) pins this. Phases are attributed
+//! from device-level snapshot deltas exactly like the sequential sorter
+//! (coordinator-side input reads included), while per-shard I/O recorded on
+//! [`ScopedDevice`]s provides the breakdown — the shards perform all of the
+//! generation phase's writes, so the aggregated `pages_written` equals the
+//! shard sum by construction.
+
+use crate::error::{Result, SortError};
+use crate::merge::kway::{merge_passes, merge_sources, MergeConfig, MergeSource};
+use crate::run_generation::{Device, RunCursor, RunGenerator, RunHandle, RunSet};
+use crate::sorter::{verify_phase_report, PhaseReport, SortReport, SorterConfig};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+use twrs_storage::{
+    IoStatsSnapshot, PageFile, RunWriter, ScopedDevice, SpillNamer, StorageDevice, StorageError,
+};
+use twrs_workloads::Record;
+
+// ---------------------------------------------------------------------------
+// Memory-budget sharding
+// ---------------------------------------------------------------------------
+
+/// The memory budget (in records) of shard `index` when a total budget of
+/// `total` records is divided over `shards` workers.
+///
+/// The shard budgets always sum to at least `total` records split exactly
+/// (`total = Σ shard_budget(total, i, shards)` whenever `total >= shards`);
+/// any remainder goes to the lowest-indexed shards, and every shard gets at
+/// least one record so degenerate configurations stay runnable.
+pub fn shard_budget(total: usize, index: usize, shards: usize) -> usize {
+    assert!(shards > 0, "at least one shard");
+    assert!(index < shards, "shard index in range");
+    let base = total / shards;
+    let remainder = total % shards;
+    (base + usize::from(index < remainder)).max(1)
+}
+
+/// A run-generation algorithm that can hand out budget-divided copies of
+/// itself for the shards of a parallel sort.
+///
+/// Implementations must divide their memory budget with [`shard_budget`] (or
+/// equivalently) so that the shard budgets of one sort sum to the original
+/// budget — the parallel sorter keeps total memory fixed no matter how many
+/// threads it uses.
+pub trait ShardableGenerator: RunGenerator + Clone + Send + 'static {
+    /// A copy of this generator configured for shard `index` of `shards`.
+    fn shard(&self, index: usize, shards: usize) -> Self;
+}
+
+// ---------------------------------------------------------------------------
+// Asynchronous spill writing
+// ---------------------------------------------------------------------------
+
+/// Operations shipped from the generation thread to the spill writer.
+enum SpillOp {
+    /// Register a freshly created file under an id.
+    Attach {
+        file: u64,
+        handle: Box<dyn PageFile>,
+    },
+    /// Apply one page write to an attached file.
+    Write {
+        file: u64,
+        page: u64,
+        data: Box<[u8]>,
+    },
+    /// Apply every write queued so far, flush (`file = None` flushes all
+    /// attached files) and acknowledge.
+    Flush {
+        file: Option<u64>,
+        ack: SyncSender<twrs_storage::Result<()>>,
+    },
+    /// Forget an attached file (its writes have all been queued before).
+    Detach { file: u64 },
+}
+
+struct SpillShared {
+    sender: Mutex<Option<SyncSender<SpillOp>>>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+    next_file_id: AtomicU64,
+}
+
+impl SpillShared {
+    fn send(&self, op: SpillOp) -> twrs_storage::Result<()> {
+        let guard = lock(&self.sender);
+        let sender = guard.as_ref().ok_or_else(writer_gone)?;
+        sender.send(op).map_err(|_| writer_gone())
+    }
+}
+
+impl Drop for SpillShared {
+    fn drop(&mut self) {
+        // Disconnect the channel so the writer drains its queue and exits,
+        // then wait for it; pending writes are never lost.
+        lock(&self.sender).take();
+        if let Some(worker) = lock(&self.worker).take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn writer_gone() -> StorageError {
+    StorageError::Io(std::io::Error::other("spill writer thread terminated"))
+}
+
+/// A device wrapper that moves page writes off the calling thread onto one
+/// dedicated writer thread, connected by a bounded channel.
+///
+/// Run generation pushes records as fast as its heaps allow while the writer
+/// thread performs the actual page writes, so CPU work overlaps spill I/O;
+/// when the writer falls behind, the bounded queue blocks the generator
+/// (back-pressure) instead of buffering unboundedly. [`PageFile::flush`] is
+/// a barrier: it returns once every previously queued write of that file has
+/// been applied, which is what makes the run files safe to read after
+/// `RunWriter::finish`. Reads and `open` flush the queue first and then go
+/// straight to the wrapped device.
+pub struct SpillWriteDevice<D: Device> {
+    inner: D,
+    shared: Arc<SpillShared>,
+}
+
+impl<D: Device> Clone for SpillWriteDevice<D> {
+    fn clone(&self) -> Self {
+        SpillWriteDevice {
+            inner: self.inner.clone(),
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<D: Device> SpillWriteDevice<D> {
+    /// Wraps `inner`, spawning the writer thread with a queue of
+    /// `queue_depth` pending operations.
+    pub fn new(inner: D, queue_depth: usize) -> Self {
+        let (tx, rx) = sync_channel::<SpillOp>(queue_depth.max(1));
+        let worker = std::thread::spawn(move || spill_writer_loop(rx));
+        SpillWriteDevice {
+            inner,
+            shared: Arc::new(SpillShared {
+                sender: Mutex::new(Some(tx)),
+                worker: Mutex::new(Some(worker)),
+                next_file_id: AtomicU64::new(1),
+            }),
+        }
+    }
+
+    /// The wrapped device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// Waits until every queued write has been applied and flushed, and
+    /// surfaces any error the writer thread encountered.
+    pub fn barrier(&self) -> twrs_storage::Result<()> {
+        let (ack_tx, ack_rx) = sync_channel(1);
+        self.shared.send(SpillOp::Flush {
+            file: None,
+            ack: ack_tx,
+        })?;
+        ack_rx.recv().map_err(|_| writer_gone())?
+    }
+}
+
+/// The writer thread: applies operations in order, remembers the first
+/// failure and reports it at the next flush barrier.
+fn spill_writer_loop(rx: Receiver<SpillOp>) {
+    let mut files: HashMap<u64, Box<dyn PageFile>> = HashMap::new();
+    let mut failure: Option<String> = None;
+    while let Ok(op) = rx.recv() {
+        match op {
+            SpillOp::Attach { file, handle } => {
+                files.insert(file, handle);
+            }
+            SpillOp::Write { file, page, data } => {
+                if failure.is_some() {
+                    continue;
+                }
+                match files.get_mut(&file) {
+                    Some(handle) => {
+                        if let Err(e) = handle.write_page(page, &data) {
+                            failure = Some(e.to_string());
+                        }
+                    }
+                    None => failure = Some(format!("write to unattached spill file {file}")),
+                }
+            }
+            SpillOp::Flush { file, ack } => {
+                if failure.is_none() {
+                    let targets: Vec<u64> = match file {
+                        Some(id) => files.contains_key(&id).then_some(id).into_iter().collect(),
+                        None => files.keys().copied().collect(),
+                    };
+                    for id in targets {
+                        if let Err(e) = files.get_mut(&id).expect("attached").flush() {
+                            failure = Some(e.to_string());
+                            break;
+                        }
+                    }
+                }
+                let result = match &failure {
+                    Some(msg) => Err(StorageError::Io(std::io::Error::other(msg.clone()))),
+                    None => Ok(()),
+                };
+                let _ = ack.send(result);
+            }
+            SpillOp::Detach { file } => {
+                files.remove(&file);
+            }
+        }
+    }
+}
+
+struct SpillPageFile<D: Device> {
+    device: SpillWriteDevice<D>,
+    name: String,
+    file: u64,
+    page_size: usize,
+    /// Local page-count model mirroring the sparse-extension semantics of
+    /// [`PageFile::write_page`]; exact because this handle is the only
+    /// writer of the file.
+    pages: u64,
+}
+
+impl<D: Device> PageFile for SpillPageFile<D> {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.pages
+    }
+
+    fn read_page(&mut self, index: u64, buf: &mut [u8]) -> twrs_storage::Result<()> {
+        // Rare on the write path: drain queued writes, then read through.
+        self.flush()?;
+        self.device.inner.open(&self.name)?.read_page(index, buf)
+    }
+
+    fn write_page(&mut self, index: u64, data: &[u8]) -> twrs_storage::Result<()> {
+        if data.len() != self.page_size {
+            return Err(StorageError::PageSizeMismatch {
+                got: data.len(),
+                expected: self.page_size,
+            });
+        }
+        self.pages = self.pages.max(index + 1);
+        self.device.shared.send(SpillOp::Write {
+            file: self.file,
+            page: index,
+            data: data.into(),
+        })
+    }
+
+    fn flush(&mut self) -> twrs_storage::Result<()> {
+        let (ack_tx, ack_rx) = sync_channel(1);
+        self.device.shared.send(SpillOp::Flush {
+            file: Some(self.file),
+            ack: ack_tx,
+        })?;
+        ack_rx.recv().map_err(|_| writer_gone())?
+    }
+}
+
+impl<D: Device> Drop for SpillPageFile<D> {
+    fn drop(&mut self) {
+        let _ = self.device.shared.send(SpillOp::Detach { file: self.file });
+    }
+}
+
+impl<D: Device> StorageDevice for SpillWriteDevice<D> {
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+
+    fn create(&self, name: &str) -> twrs_storage::Result<Box<dyn PageFile>> {
+        // Created eagerly on the wrapped device so the name exists at once;
+        // only the page writes are deferred.
+        let handle = self.inner.create(name)?;
+        let file = self.shared.next_file_id.fetch_add(1, Ordering::Relaxed);
+        self.shared.send(SpillOp::Attach { file, handle })?;
+        Ok(Box::new(SpillPageFile {
+            device: self.clone(),
+            name: name.to_string(),
+            file,
+            page_size: self.inner.page_size(),
+            pages: 0,
+        }))
+    }
+
+    fn open(&self, name: &str) -> twrs_storage::Result<Box<dyn PageFile>> {
+        self.barrier()?;
+        self.inner.open(name)
+    }
+
+    fn remove(&self, name: &str) -> twrs_storage::Result<()> {
+        self.barrier()?;
+        self.inner.remove(name)
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.inner.exists(name)
+    }
+
+    fn list(&self) -> Vec<String> {
+        self.inner.list()
+    }
+
+    fn io_stats(&self) -> &twrs_storage::IoStats {
+        self.inner.io_stats()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Prefetched merge sources
+// ---------------------------------------------------------------------------
+
+/// The consumer end of one background prefetch thread: the thread reads the
+/// run in `read_ahead`-record batches and stays up to `queue_batches`
+/// batches ahead of the merge loop.
+struct PrefetchSource {
+    rx: Receiver<std::result::Result<Vec<Record>, SortError>>,
+    buffer: VecDeque<Record>,
+    worker: Option<JoinHandle<()>>,
+    done: bool,
+}
+
+impl PrefetchSource {
+    fn spawn<D: Device>(
+        device: D,
+        handle: RunHandle,
+        read_ahead: usize,
+        queue_batches: usize,
+    ) -> Self {
+        let (tx, rx) = sync_channel(queue_batches.max(1));
+        let batch = read_ahead.max(1);
+        let worker = std::thread::spawn(move || {
+            let mut cursor = match RunCursor::open(&device, &handle) {
+                Ok(cursor) => cursor,
+                Err(e) => {
+                    let _ = tx.send(Err(e));
+                    return;
+                }
+            };
+            loop {
+                let mut chunk = Vec::with_capacity(batch);
+                for _ in 0..batch {
+                    match cursor.next_record() {
+                        Ok(Some(record)) => chunk.push(record),
+                        Ok(None) => break,
+                        Err(e) => {
+                            let _ = tx.send(Err(e));
+                            return;
+                        }
+                    }
+                }
+                let finished = chunk.len() < batch;
+                if !chunk.is_empty() && tx.send(Ok(chunk)).is_err() {
+                    // Merge side hung up (error path): stop quietly.
+                    return;
+                }
+                if finished {
+                    return;
+                }
+            }
+        });
+        PrefetchSource {
+            rx,
+            buffer: VecDeque::new(),
+            worker: Some(worker),
+            done: false,
+        }
+    }
+
+    fn join(mut self) {
+        if let Some(worker) = self.worker.take() {
+            if let Err(panic) = worker.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+    }
+}
+
+impl MergeSource for PrefetchSource {
+    fn next_record(&mut self) -> Result<Option<Record>> {
+        if self.buffer.is_empty() && !self.done {
+            match self.rx.recv() {
+                Ok(Ok(chunk)) => self.buffer = chunk.into(),
+                Ok(Err(e)) => {
+                    self.done = true;
+                    return Err(e);
+                }
+                // Disconnected: the prefetcher finished its run.
+                Err(_) => self.done = true,
+            }
+        }
+        Ok(self.buffer.pop_front())
+    }
+}
+
+/// One multi-pass merge step with a prefetch thread per input run.
+fn merge_batch_prefetched<D: Device>(
+    device: &D,
+    batch: &[RunHandle],
+    output: &str,
+    read_ahead: usize,
+    queue_batches: usize,
+) -> Result<u64> {
+    let mut sources: Vec<PrefetchSource> = batch
+        .iter()
+        .map(|handle| {
+            PrefetchSource::spawn(device.clone(), handle.clone(), read_ahead, queue_batches)
+        })
+        .collect();
+    let writer = RunWriter::<Record>::create(device, output)?;
+    let written = merge_sources(&mut sources, writer)?;
+    for source in sources {
+        source.join();
+    }
+    Ok(written)
+}
+
+// ---------------------------------------------------------------------------
+// The parallel sorter
+// ---------------------------------------------------------------------------
+
+/// Configuration of the parallel sorting pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelSorterConfig {
+    /// Number of generation shards (worker threads). The memory budget of
+    /// the run-generation algorithm is divided over the shards so total
+    /// memory stays fixed; see [`ShardableGenerator`].
+    pub threads: usize,
+    /// Merge-phase configuration, exactly as in the sequential sorter; the
+    /// read-ahead also sets the prefetch batch size.
+    pub merge: MergeConfig,
+    /// When `true`, the output is scanned after the merge and verified to
+    /// be sorted and complete (reported separately, like the sequential
+    /// sorter's verify phase).
+    pub verify: bool,
+    /// Capacity (in queued operations, i.e. pages) of each shard's bounded
+    /// spill-writer channel.
+    pub spill_queue_pages: usize,
+    /// How many read-ahead batches each merge prefetch thread may buffer.
+    pub prefetch_batches: usize,
+    /// Records per round-robin parcel when dealing the input to shards.
+    /// Determines the (deterministic) shard contents; larger parcels
+    /// amortise channel traffic.
+    pub shard_batch_records: usize,
+}
+
+impl Default for ParallelSorterConfig {
+    fn default() -> Self {
+        ParallelSorterConfig {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            merge: MergeConfig::default(),
+            verify: false,
+            spill_queue_pages: 64,
+            prefetch_batches: 4,
+            shard_batch_records: 256,
+        }
+    }
+}
+
+impl ParallelSorterConfig {
+    /// A configuration with an explicit thread count and defaults elsewhere.
+    pub fn with_threads(threads: usize) -> Self {
+        ParallelSorterConfig {
+            threads,
+            ..Self::default()
+        }
+    }
+
+    /// The sequential [`SorterConfig`] this parallel configuration mirrors
+    /// (same merge parameters and verify flag).
+    pub fn sequential(&self) -> SorterConfig {
+        SorterConfig {
+            merge: self.merge,
+            verify: self.verify,
+        }
+    }
+}
+
+/// What one generation shard did: its slice of the input, its runs and the
+/// I/O its worker (including its spill writer) performed, measured on the
+/// shard's own [`ScopedDevice`].
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Index of the shard (0-based).
+    pub shard: usize,
+    /// Records this shard consumed from the input.
+    pub records: u64,
+    /// Runs this shard generated.
+    pub num_runs: usize,
+    /// Run-generation I/O of this shard alone.
+    pub io: IoStatsSnapshot,
+}
+
+/// Report of one parallel sort: the familiar aggregated [`SortReport`] plus
+/// the per-shard breakdown.
+///
+/// The aggregated report attributes phases from device-level snapshot
+/// deltas, exactly like the sequential sorter — so run generation includes
+/// coordinator-side input reads (e.g. the `sort_file` dataset scan). The
+/// shards perform all of the phase's *writes*, so the aggregated
+/// `pages_written` equals the field-wise shard sum ([`shard_io_sum`]) by
+/// construction; shard seeks are measured by each shard's private head
+/// model (see [`ScopedDevice`]).
+///
+/// [`shard_io_sum`]: ParallelSortReport::shard_io_sum
+#[derive(Debug, Clone)]
+pub struct ParallelSortReport {
+    /// The aggregated report, directly comparable with the sequential
+    /// sorter's.
+    pub report: SortReport,
+    /// Number of generation shards used.
+    pub threads: usize,
+    /// Per-shard breakdown, indexed by shard.
+    pub shards: Vec<ShardReport>,
+}
+
+impl ParallelSortReport {
+    /// Field-wise sum of the per-shard run-generation I/O counters.
+    pub fn shard_io_sum(&self) -> IoStatsSnapshot {
+        let model = self.shards.first().map(|s| s.io.model).unwrap_or_default();
+        self.shards
+            .iter()
+            .fold(IoStatsSnapshot::zero(model), |acc, s| acc.merged(&s.io))
+    }
+
+    /// `true` when the report's I/O accounting is internally consistent —
+    /// the invariant the equivalence suite pins:
+    ///
+    /// * the aggregated run-generation `pages_written` equals the
+    ///   field-wise sum of the per-shard counters (the shards perform all
+    ///   of the phase's writes);
+    /// * the aggregated `pages_read` covers at least the shards' own reads
+    ///   (the remainder is coordinator-side input reading, which belongs
+    ///   to the phase but to no shard);
+    /// * the shard record counts sum to the total.
+    pub fn io_is_consistent(&self) -> bool {
+        let sum = self.shard_io_sum();
+        let gen = &self.report.run_generation;
+        let records: u64 = self.shards.iter().map(|s| s.records).sum();
+        sum.counters.pages_written == gen.pages_written
+            && gen.pages_read >= sum.counters.pages_read
+            && records == self.report.records
+    }
+}
+
+/// What a finished generation worker hands back to the coordinator.
+struct ShardOutcome {
+    set: RunSet,
+    io: IoStatsSnapshot,
+}
+
+/// An external sorter that parallelises run generation across budget-divided
+/// shards, overlaps spill writes with heap work, and prefetches merge input
+/// in the background. See the module documentation for the architecture.
+pub struct ParallelExternalSorter<G: ShardableGenerator> {
+    generator: G,
+    config: ParallelSorterConfig,
+}
+
+impl<G: ShardableGenerator> ParallelExternalSorter<G> {
+    /// Creates a parallel sorter with the default configuration (one shard
+    /// per available core).
+    pub fn new(generator: G) -> Self {
+        ParallelExternalSorter {
+            generator,
+            config: ParallelSorterConfig::default(),
+        }
+    }
+
+    /// Creates a parallel sorter with an explicit configuration.
+    pub fn with_config(generator: G, config: ParallelSorterConfig) -> Self {
+        ParallelExternalSorter { generator, config }
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> ParallelSorterConfig {
+        self.config
+    }
+
+    /// A reference to the run-generation algorithm being sharded.
+    pub fn generator(&self) -> &G {
+        &self.generator
+    }
+
+    /// Sorts the records produced by `input` into the forward run file
+    /// `output` on `device`. The output is byte-identical to what
+    /// [`ExternalSorter::sort_iter`](crate::sorter::ExternalSorter::sort_iter)
+    /// produces for the same input.
+    pub fn sort_iter<D: Device>(
+        &mut self,
+        device: &D,
+        input: &mut dyn Iterator<Item = Record>,
+        output: &str,
+    ) -> Result<ParallelSortReport> {
+        let threads = self.config.threads;
+        if threads == 0 {
+            return Err(SortError::InvalidConfig(
+                "parallel sorter needs at least one thread".into(),
+            ));
+        }
+        let namer = Arc::new(SpillNamer::new(format!("psort-{output}")));
+        let result = self.sort_iter_inner(device, input, output, &namer);
+        // Clean up spill files on success *and* on error — by this point
+        // every worker thread has been joined (generate_sharded joins all
+        // shards before reporting a failure), so no detached writer can
+        // recreate a removed name.
+        let cleanup = namer.cleanup(device);
+        let report = result?;
+        cleanup?;
+        Ok(report)
+    }
+
+    fn sort_iter_inner<D: Device>(
+        &mut self,
+        device: &D,
+        input: &mut dyn Iterator<Item = Record>,
+        output: &str,
+        namer: &Arc<SpillNamer>,
+    ) -> Result<ParallelSortReport> {
+        let threads = self.config.threads;
+
+        // --- Sharded run generation ------------------------------------
+        // The phase is attributed from the device-level delta, exactly like
+        // the sequential sorter: that way coordinator-side input reads (a
+        // `sort_file` input dataset, or any caller iterator that reads the
+        // same device) land in `run_generation` instead of being dropped.
+        // The per-shard scoped statistics provide the breakdown of the
+        // work the shards themselves did (all of the phase's writes).
+        let before = device.stats();
+        let started = Instant::now();
+        let outcomes = self.generate_sharded(device, namer, input)?;
+        let run_wall = started.elapsed();
+        let after_runs = device.stats();
+
+        let mut runs: Vec<RunHandle> = Vec::new();
+        let mut records = 0u64;
+        let mut shards = Vec::with_capacity(outcomes.len());
+        for (index, outcome) in outcomes.into_iter().enumerate() {
+            records += outcome.set.records;
+            shards.push(ShardReport {
+                shard: index,
+                records: outcome.set.records,
+                num_runs: outcome.set.num_runs(),
+                io: outcome.io,
+            });
+            runs.extend(outcome.set.runs);
+        }
+        let run_set = RunSet { runs, records };
+        let run_phase = PhaseReport::from_delta(run_wall, after_runs.since(&before));
+
+        // --- Prefetched merge ------------------------------------------
+        let merge = self.config.merge;
+        let prefetch = self.config.prefetch_batches;
+        let started = Instant::now();
+        let merge_report = merge_passes(
+            device,
+            namer.as_ref(),
+            run_set.runs.clone(),
+            output,
+            merge.fan_in,
+            |batch, name| {
+                merge_batch_prefetched(device, batch, name, merge.read_ahead_records, prefetch)
+            },
+        )?;
+        let merge_wall = started.elapsed();
+        let after_merge = device.stats();
+        let merge_phase = PhaseReport::from_delta(merge_wall, after_merge.since(&after_runs));
+
+        // --- Optional verification (own snapshot window) ----------------
+        let verify_phase = verify_phase_report(
+            device,
+            self.config.verify,
+            output,
+            run_set.records,
+            &after_merge,
+        )?;
+
+        Ok(ParallelSortReport {
+            report: SortReport {
+                generator: self.generator.label(),
+                records: run_set.records,
+                num_runs: run_set.num_runs(),
+                average_run_length: run_set.average_run_length(),
+                relative_run_length: run_set.relative_run_length(self.generator.memory_records()),
+                run_generation: run_phase,
+                merge: merge_phase,
+                verify: verify_phase,
+                merge_report,
+            },
+            threads,
+            shards,
+        })
+    }
+
+    /// Sorts a dataset previously materialised on the device (see
+    /// `twrs_workloads::materialize`) into the forward run file `output`.
+    pub fn sort_file<D: Device>(
+        &mut self,
+        device: &D,
+        input: &str,
+        output: &str,
+    ) -> Result<ParallelSortReport> {
+        let reader = twrs_storage::RunReader::<Record>::open(device, input)?;
+        let mut iter = reader.map(|r| r.expect("input dataset is readable"));
+        self.sort_iter(device, &mut iter, output)
+    }
+
+    /// Spawns the generation workers, deals the input to them round-robin
+    /// and collects their run sets in shard order.
+    fn generate_sharded<D: Device>(
+        &self,
+        device: &D,
+        namer: &Arc<SpillNamer>,
+        input: &mut dyn Iterator<Item = Record>,
+    ) -> Result<Vec<ShardOutcome>> {
+        let threads = self.config.threads;
+        let queue_depth = self.config.spill_queue_pages;
+        let mut senders: Vec<Option<SyncSender<Vec<Record>>>> = Vec::with_capacity(threads);
+        let mut workers = Vec::with_capacity(threads);
+        for index in 0..threads {
+            let (tx, rx) = sync_channel::<Vec<Record>>(2);
+            senders.push(Some(tx));
+            let mut generator = self.generator.shard(index, threads);
+            let scoped = ScopedDevice::new(device.clone());
+            let namer = Arc::clone(namer);
+            workers.push(std::thread::spawn(move || -> Result<ShardOutcome> {
+                let spill = SpillWriteDevice::new(scoped.clone(), queue_depth);
+                let mut shard_input = rx.into_iter().flatten();
+                let set = generator.generate(&spill, namer.as_ref(), &mut shard_input)?;
+                // Drain the spill queue (and surface writer errors) before
+                // reading the shard's I/O statistics.
+                spill.barrier()?;
+                drop(spill);
+                Ok(ShardOutcome {
+                    set,
+                    io: scoped.local_stats(),
+                })
+            }));
+        }
+
+        // Deal the input in round-robin parcels. A worker that failed early
+        // drops its receiver; we stop feeding it and let the join below
+        // surface its error. When every worker is gone there is no point
+        // draining the rest of the input.
+        let parcel = self.config.shard_batch_records.max(1);
+        let mut shard = 0usize;
+        let mut live = threads;
+        while live > 0 {
+            let batch: Vec<Record> = input.take(parcel).collect();
+            if batch.is_empty() {
+                break;
+            }
+            if let Some(tx) = senders[shard].as_ref() {
+                if tx.send(batch).is_err() {
+                    senders[shard] = None;
+                    live -= 1;
+                }
+            }
+            shard = (shard + 1) % threads;
+        }
+        drop(senders);
+
+        // Join every worker before reporting anything, so no shard is left
+        // running (and writing spill files) after this function returns.
+        let results: Vec<std::thread::Result<Result<ShardOutcome>>> =
+            workers.into_iter().map(|worker| worker.join()).collect();
+        let mut outcomes = Vec::with_capacity(threads);
+        for result in results {
+            match result {
+                Ok(outcome) => outcomes.push(outcome?),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+        Ok(outcomes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load_sort_store::LoadSortStore;
+    use crate::replacement_selection::ReplacementSelection;
+    use crate::sorter::ExternalSorter;
+    use twrs_storage::SimDevice;
+    use twrs_workloads::{Distribution, DistributionKind};
+
+    fn config(threads: usize) -> ParallelSorterConfig {
+        ParallelSorterConfig {
+            threads,
+            merge: MergeConfig {
+                fan_in: 4,
+                read_ahead_records: 64,
+            },
+            verify: true,
+            spill_queue_pages: 8,
+            prefetch_batches: 2,
+            shard_batch_records: 100,
+        }
+    }
+
+    fn read_records(device: &SimDevice, name: &str) -> Vec<Record> {
+        RunCursor::open(device, &RunHandle::Forward(name.into()))
+            .unwrap()
+            .read_all()
+            .unwrap()
+    }
+
+    #[test]
+    fn shard_budgets_sum_to_the_total() {
+        for (total, shards) in [(100, 4), (101, 4), (7, 7), (1_000, 3), (13, 5)] {
+            let sum: usize = (0..shards).map(|i| shard_budget(total, i, shards)).sum();
+            assert_eq!(sum, total, "total {total} over {shards} shards");
+        }
+        // Degenerate: fewer records than shards — every shard still gets 1.
+        for i in 0..4 {
+            assert_eq!(shard_budget(2, i, 4), 1);
+        }
+    }
+
+    #[test]
+    fn parallel_sort_matches_sequential_output() {
+        for threads in [1, 2, 3, 5] {
+            let device = SimDevice::new();
+            let mut seq = ExternalSorter::with_config(
+                ReplacementSelection::new(120),
+                config(threads).sequential(),
+            );
+            let mut input = Distribution::new(DistributionKind::RandomUniform, 4_000, 5).records();
+            seq.sort_iter(&device, &mut input, "seq").unwrap();
+
+            let mut par = ParallelExternalSorter::with_config(
+                ReplacementSelection::new(120),
+                config(threads),
+            );
+            let mut input = Distribution::new(DistributionKind::RandomUniform, 4_000, 5).records();
+            let report = par.sort_iter(&device, &mut input, "par").unwrap();
+
+            assert_eq!(report.threads, threads);
+            assert_eq!(report.report.records, 4_000);
+            assert!(report.io_is_consistent());
+            assert_eq!(
+                read_records(&device, "seq"),
+                read_records(&device, "par"),
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_input_produces_empty_output() {
+        let device = SimDevice::new();
+        let mut par = ParallelExternalSorter::with_config(LoadSortStore::new(64), config(4));
+        let mut input = std::iter::empty();
+        let report = par.sort_iter(&device, &mut input, "out").unwrap();
+        assert_eq!(report.report.records, 0);
+        assert_eq!(report.report.num_runs, 0);
+        assert!(report.io_is_consistent());
+        assert!(read_records(&device, "out").is_empty());
+    }
+
+    #[test]
+    fn zero_threads_is_rejected() {
+        let device = SimDevice::new();
+        let mut par = ParallelExternalSorter::with_config(LoadSortStore::new(64), config(0));
+        let mut input = std::iter::empty();
+        assert!(matches!(
+            par.sort_iter(&device, &mut input, "out"),
+            Err(SortError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn temporary_files_are_cleaned_up() {
+        let device = SimDevice::new();
+        let mut par = ParallelExternalSorter::with_config(ReplacementSelection::new(50), config(3));
+        let mut input = Distribution::new(DistributionKind::MixedBalanced, 2_000, 2).records();
+        par.sort_iter(&device, &mut input, "final").unwrap();
+        assert_eq!(device.list(), vec!["final".to_string()]);
+    }
+
+    #[test]
+    fn spill_device_defers_writes_until_flush_barrier() {
+        let device = SimDevice::new();
+        let spill = SpillWriteDevice::new(device.clone(), 16);
+        let page = vec![42u8; device.page_size()];
+        let mut file = spill.create("f").unwrap();
+        file.write_page(0, &page).unwrap();
+        file.write_page(1, &page).unwrap();
+        assert_eq!(file.num_pages(), 2);
+        file.flush().unwrap();
+        // After the barrier, the wrapped device has both pages.
+        let mut direct = device.open("f").unwrap();
+        assert_eq!(direct.num_pages(), 2);
+        let mut buf = vec![0u8; device.page_size()];
+        direct.read_page(1, &mut buf).unwrap();
+        assert_eq!(buf, page);
+    }
+
+    #[test]
+    fn spill_device_read_page_sees_queued_writes() {
+        let device = SimDevice::new();
+        let spill = SpillWriteDevice::new(device.clone(), 16);
+        let page = vec![7u8; device.page_size()];
+        let mut file = spill.create("f").unwrap();
+        file.write_page(0, &page).unwrap();
+        let mut buf = vec![0u8; device.page_size()];
+        file.read_page(0, &mut buf).unwrap();
+        assert_eq!(buf, page);
+    }
+
+    #[test]
+    fn spill_device_rejects_wrong_page_size() {
+        let device = SimDevice::new();
+        let spill = SpillWriteDevice::new(device, 4);
+        let mut file = spill.create("f").unwrap();
+        assert!(matches!(
+            file.write_page(0, &[0u8; 3]),
+            Err(StorageError::PageSizeMismatch { .. })
+        ));
+    }
+}

@@ -15,6 +15,7 @@
 //! the weakness 2WRS addresses.
 
 use crate::error::{Result, SortError};
+use crate::parallel::{shard_budget, ShardableGenerator};
 use crate::run_generation::{Device, ForwardRunBuilder, RunGenerator, RunSet};
 use twrs_heaps::{BinaryHeap, HeapKind, RunRecord};
 use twrs_storage::SpillNamer;
@@ -30,6 +31,12 @@ impl ReplacementSelection {
     /// Creates the algorithm with a heap of `memory_records` records.
     pub fn new(memory_records: usize) -> Self {
         ReplacementSelection { memory_records }
+    }
+}
+
+impl ShardableGenerator for ReplacementSelection {
+    fn shard(&self, index: usize, shards: usize) -> Self {
+        ReplacementSelection::new(shard_budget(self.memory_records, index, shards))
     }
 }
 

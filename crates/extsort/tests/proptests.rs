@@ -4,8 +4,9 @@
 
 use proptest::prelude::*;
 use twrs_extsort::{
-    polyphase_merge, ExternalSorter, KWayMerger, LoadSortStore, MergeConfig, ReplacementSelection,
-    RunCursor, RunGenerator, RunHandle, SorterConfig,
+    polyphase_merge, ExternalSorter, KWayMerger, LoadSortStore, MergeConfig,
+    ParallelExternalSorter, ParallelSorterConfig, ReplacementSelection, RunCursor, RunGenerator,
+    RunHandle, SorterConfig,
 };
 use twrs_storage::{SimDevice, SpillNamer};
 use twrs_workloads::Record;
@@ -76,6 +77,79 @@ proptest! {
             .read_all()
             .unwrap();
         prop_assert_eq!(output, sorted_copy(&input));
+    }
+
+    /// The parallel sorter equals a std sort (and therefore the sequential
+    /// sorter) for arbitrary inputs, thread counts, fan-ins, read-aheads
+    /// and pipeline queue depths — and its I/O accounting is honest: the
+    /// aggregated counters are exactly the shard sums, and splitting the
+    /// memory budget across shards never *reduces* the spill volume below
+    /// the single-threaded sorter's.
+    #[test]
+    fn parallel_sorter_matches_sequential_and_accounts_io(
+        keys in prop::collection::vec(0u64..1_000_000, 0..1_200),
+        memory in 4usize..150,
+        threads in 1usize..8,
+        fan_in in 2usize..8,
+        read_ahead in 1usize..256,
+        queue in 1usize..64,
+        parcel in 1usize..200,
+    ) {
+        let input = records_from(&keys);
+        let merge = MergeConfig { fan_in, read_ahead_records: read_ahead };
+
+        // Sequential reference on its own device.
+        let seq_device = SimDevice::new();
+        let mut seq = ExternalSorter::with_config(
+            ReplacementSelection::new(memory),
+            SorterConfig { merge, verify: true },
+        );
+        let mut iter = input.clone().into_iter();
+        let seq_report = seq.sort_iter(&seq_device, &mut iter, "out").unwrap();
+
+        // Parallel sorter with the same total budget and merge parameters.
+        let par_device = SimDevice::new();
+        let mut par = ParallelExternalSorter::with_config(
+            ReplacementSelection::new(memory),
+            ParallelSorterConfig {
+                threads,
+                merge,
+                verify: true,
+                spill_queue_pages: queue,
+                prefetch_batches: 1 + queue % 4,
+                shard_batch_records: parcel,
+            },
+        );
+        let mut iter = input.clone().into_iter();
+        let report = par.sort_iter(&par_device, &mut iter, "out").unwrap();
+
+        // Output equals the sorted input (hence the sequential output).
+        let output = RunCursor::open(&par_device, &RunHandle::Forward("out".into()))
+            .unwrap()
+            .read_all()
+            .unwrap();
+        prop_assert_eq!(output, sorted_copy(&input));
+        prop_assert_eq!(report.report.records as usize, input.len());
+
+        // Honest accounting: the shards own all generation writes, and the
+        // phase's reads cover everything the shards read…
+        prop_assert!(report.io_is_consistent());
+        let sum = report.shard_io_sum();
+        prop_assert_eq!(sum.counters.pages_written, report.report.run_generation.pages_written);
+        prop_assert!(report.report.run_generation.pages_read >= sum.counters.pages_read);
+        // …every shard that generated runs also reports the writes for
+        // them…
+        for shard in &report.shards {
+            prop_assert!(shard.num_runs == 0 || shard.io.counters.pages_written > 0);
+        }
+        // …and dividing memory across shards can only produce more runs
+        // and more spill pages than the single big heap, never fewer
+        // (dropped I/O would show up here as an impossible decrease).
+        prop_assert!(report.report.num_runs >= seq_report.num_runs || threads == 1);
+        prop_assert!(
+            report.report.run_generation.pages_written
+                >= seq_report.run_generation.pages_written
+        );
     }
 
     /// Polyphase merge and k-way merge agree on the same run set.

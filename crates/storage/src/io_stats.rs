@@ -59,6 +59,8 @@ impl DiskModel {
 /// Raw I/O counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IoCounters {
+    // When adding a field here, extend `merged` and `IoStatsSnapshot::since`
+    // as well so phase attribution and shard aggregation stay lossless.
     /// Pages read from the device.
     pub pages_read: u64,
     /// Pages written to the device.
@@ -69,6 +71,20 @@ pub struct IoCounters {
     pub files_created: u64,
     /// Files removed from the device.
     pub files_removed: u64,
+}
+
+impl IoCounters {
+    /// Field-wise sum of two counter sets; used to aggregate the per-thread
+    /// statistics of a parallel sort into one total.
+    pub fn merged(&self, other: &IoCounters) -> IoCounters {
+        IoCounters {
+            pages_read: self.pages_read + other.pages_read,
+            pages_written: self.pages_written + other.pages_written,
+            seeks: self.seeks + other.seeks,
+            files_created: self.files_created + other.files_created,
+            files_removed: self.files_removed + other.files_removed,
+        }
+    }
 }
 
 /// A point-in-time snapshot of the device counters together with the
@@ -90,6 +106,28 @@ impl IoStatsSnapshot {
     /// Simulated elapsed time under the device's disk model.
     pub fn simulated_time(&self) -> Duration {
         self.model.elapsed(self.counters.seeks, self.pages_total())
+    }
+
+    /// Field-wise sum of two snapshots, keeping `self`'s disk model. The
+    /// aggregation used when per-thread [`IoStats`] of a sharded sort are
+    /// rolled up into one total; seeks are summed as measured by each
+    /// thread's own head model.
+    pub fn merged(&self, other: &IoStatsSnapshot) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            counters: self.counters.merged(&other.counters),
+            model: self.model,
+        }
+    }
+
+    /// A zeroed snapshot carrying `model`; the identity of [`merged`]
+    /// (useful as the starting accumulator when summing shard snapshots).
+    ///
+    /// [`merged`]: IoStatsSnapshot::merged
+    pub fn zero(model: DiskModel) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            counters: IoCounters::default(),
+            model,
+        }
     }
 
     /// Difference between two snapshots (`self - earlier`), useful to
@@ -264,6 +302,32 @@ mod tests {
         // After a reset the next read repositions the head again.
         stats.record_access(7, 1, 1, false);
         assert_eq!(stats.snapshot().counters.seeks, 1);
+    }
+
+    #[test]
+    fn merged_snapshots_sum_every_counter() {
+        let a = IoStats::new(DiskModel::default());
+        a.record_access(1, 0, 2, false);
+        a.record_access(1, 2, 3, true);
+        a.record_create();
+        let b = IoStats::new(DiskModel::default());
+        b.record_access(9, 4, 5, false); // non-adjacent start: one seek
+        b.record_remove();
+        let sum = a.snapshot().merged(&b.snapshot());
+        assert_eq!(sum.counters.pages_read, 7);
+        assert_eq!(sum.counters.pages_written, 3);
+        assert_eq!(sum.counters.seeks, 2);
+        assert_eq!(sum.counters.files_created, 1);
+        assert_eq!(sum.counters.files_removed, 1);
+    }
+
+    #[test]
+    fn zero_is_the_merge_identity() {
+        let stats = IoStats::new(DiskModel::default());
+        stats.record_access(1, 0, 4, true);
+        let snap = stats.snapshot();
+        let total = IoStatsSnapshot::zero(snap.model).merged(&snap);
+        assert_eq!(total, snap);
     }
 
     #[test]

@@ -38,13 +38,15 @@ pub mod page;
 pub mod record;
 pub mod reverse_file;
 pub mod run_file;
+pub mod scoped;
 pub mod spill;
 
 pub use device::{FileDevice, PageFile, SimDevice, StorageDevice};
 pub use error::{Result, StorageError};
-pub use io_stats::{DiskModel, IoStats, IoStatsSnapshot};
+pub use io_stats::{DiskModel, IoCounters, IoStats, IoStatsSnapshot};
 pub use page::{PageBuf, DEFAULT_PAGE_SIZE};
 pub use record::FixedSizeRecord;
 pub use reverse_file::{ReverseRunReader, ReverseRunWriter};
 pub use run_file::{RunReader, RunWriter};
+pub use scoped::ScopedDevice;
 pub use spill::SpillNamer;

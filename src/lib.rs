@@ -41,6 +41,39 @@
 //! // Theorem 4: a single run, where RS would have produced 50.
 //! assert_eq!(report.num_runs, 1);
 //! ```
+//!
+//! # Parallel quick start
+//!
+//! The same pipeline scales across cores with
+//! [`ParallelExternalSorter`](extsort::ParallelExternalSorter): the input
+//! is dealt to `threads` generation shards, spill writes move to dedicated
+//! writer threads behind bounded channels, and the final merge prefetches
+//! every run in the background. The *total* memory budget is unchanged —
+//! each shard's generator gets `memory / threads` records (remainder to
+//! the first shards), so 4 threads below run 2WRS with 250-record heaps
+//! each. The sorted output is byte-identical to the sequential sorter's.
+//!
+//! ```
+//! use two_way_replacement_selection::prelude::*;
+//!
+//! let device = SimDevice::new();
+//! let input = Distribution::new(DistributionKind::MixedBalanced, 20_000, 7);
+//!
+//! let twrs = TwoWayReplacementSelection::new(TwrsConfig::recommended(1_000));
+//! let config = ParallelSorterConfig {
+//!     verify: true,
+//!     ..ParallelSorterConfig::with_threads(4)
+//! };
+//! let mut sorter = ParallelExternalSorter::with_config(twrs, config);
+//! let report = sorter
+//!     .sort_iter(&device, &mut input.records(), "sorted")
+//!     .expect("sort succeeds");
+//!
+//! assert_eq!(report.report.records, 20_000);
+//! assert_eq!(report.shards.len(), 4);
+//! // Aggregated I/O counters are exactly the per-shard sums.
+//! assert!(report.io_is_consistent());
+//! ```
 
 #![warn(missing_docs)]
 
@@ -57,9 +90,10 @@ pub mod prelude {
         BufferSetup, InputHeuristic, OutputHeuristic, TwoWayReplacementSelection, TwrsConfig,
     };
     pub use twrs_extsort::{
-        ExternalSorter, LoadSortStore, MergeConfig, ReplacementSelection, RunCursor, RunGenerator,
-        RunHandle, SortReport, SorterConfig,
+        ExternalSorter, LoadSortStore, MergeConfig, ParallelExternalSorter, ParallelSortReport,
+        ParallelSorterConfig, ReplacementSelection, RunCursor, RunGenerator, RunHandle,
+        ShardableGenerator, SortReport, SorterConfig,
     };
-    pub use twrs_storage::{FileDevice, SimDevice, SpillNamer, StorageDevice};
+    pub use twrs_storage::{FileDevice, ScopedDevice, SimDevice, SpillNamer, StorageDevice};
     pub use twrs_workloads::{Distribution, DistributionKind, Record};
 }
