@@ -7,7 +7,7 @@ use twrs_extsort::{
     polyphase_merge, KWayMerger, LoadSortStore, MergeConfig, RunGenerator, RunHandle,
 };
 use twrs_storage::{SimDevice, SpillNamer};
-use twrs_workloads::{Distribution, DistributionKind};
+use twrs_workloads::{Distribution, DistributionKind, Record};
 
 fn build_runs(device: &SimDevice, namer: &SpillNamer, runs: usize, per_run: u64) -> Vec<RunHandle> {
     let mut generator = LoadSortStore::new(per_run as usize);
@@ -32,7 +32,7 @@ fn bench_merges(c: &mut Criterion) {
                 fan_in: 10,
                 read_ahead_records: 256,
             })
-            .merge_into(&device, &namer, runs, "out")
+            .merge_into::<_, Record>(&device, &namer, runs, "out")
             .expect("merge succeeds")
             .output_records
         })
@@ -43,7 +43,7 @@ fn bench_merges(c: &mut Criterion) {
             let device = SimDevice::new();
             let namer = SpillNamer::new("poly");
             let runs = build_runs(&device, &namer, 20, 1_024);
-            polyphase_merge(&device, &namer, runs, 6, "out").expect("merge succeeds")
+            polyphase_merge::<_, Record>(&device, &namer, runs, 6, "out").expect("merge succeeds")
         })
     });
 

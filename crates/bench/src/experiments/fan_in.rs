@@ -11,7 +11,7 @@ use crate::report::{fmt_duration, Table};
 use std::time::{Duration, Instant};
 use twrs_extsort::{KWayMerger, LoadSortStore, MergeConfig, RunGenerator, RunHandle};
 use twrs_storage::{DiskModel, SimDevice, SpillNamer, StorageDevice};
-use twrs_workloads::{Distribution, DistributionKind};
+use twrs_workloads::{Distribution, DistributionKind, Record};
 
 /// One measured fan-in point.
 #[derive(Debug, Clone, Copy)]
@@ -84,7 +84,7 @@ pub fn measure(experiment: FanInExperiment) -> Vec<FanInPoint> {
         });
         let started = Instant::now();
         let report = merger
-            .merge_into(&device, &namer, runs, "sorted")
+            .merge_into::<_, Record>(&device, &namer, runs, "sorted")
             .expect("merge succeeds");
         let cpu = started.elapsed();
         let stats = device.stats();

@@ -7,7 +7,7 @@ use twrs_extsort::{
     polyphase_merge, polyphase_schedule, KWayMerger, LoadSortStore, MergeConfig, RunGenerator,
 };
 use twrs_storage::{SimDevice, SpillNamer, StorageDevice};
-use twrs_workloads::{Distribution, DistributionKind};
+use twrs_workloads::{Distribution, DistributionKind, Record};
 
 /// Renders the polyphase schedule of Table 2.1 for the paper's example
 /// starting distribution `{8, 10, 3, 0, 8, 11}`.
@@ -67,7 +67,7 @@ pub fn compare(runs: usize, records_per_run: u64) -> MergeComparison {
         fan_in: 10,
         read_ahead_records: 256,
     })
-    .merge_into(&device, &namer, run_set, "kway")
+    .merge_into::<_, Record>(&device, &namer, run_set, "kway")
     .expect("k-way merge succeeds");
     let kway_cpu = started.elapsed();
     let kway_stats = device.stats();
@@ -77,7 +77,8 @@ pub fn compare(runs: usize, records_per_run: u64) -> MergeComparison {
     let run_set = build(&device, &namer);
     device.reset_stats();
     let started = Instant::now();
-    polyphase_merge(&device, &namer, run_set, 6, "poly").expect("polyphase merge succeeds");
+    polyphase_merge::<_, Record>(&device, &namer, run_set, 6, "poly")
+        .expect("polyphase merge succeeds");
     let poly_cpu = started.elapsed();
     let poly_stats = device.stats();
 

@@ -4,7 +4,7 @@ use super::HeuristicContext;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use twrs_heaps::HeapSide;
-use twrs_workloads::Record;
+use twrs_storage::SortableRecord;
 
 /// The six input heuristics of the paper (factor γ of the ANOVA, levels
 /// k = 0..5 in Table 5.1).
@@ -78,8 +78,9 @@ impl InputHeuristicState {
     }
 
     /// Chooses the heap that should store `record` when both heaps could
-    /// accept it.
-    pub fn choose(&mut self, record: &Record, ctx: &HeuristicContext) -> HeapSide {
+    /// accept it. Key comparisons use the record's
+    /// [`sort_key`](SortableRecord::sort_key) projection.
+    pub fn choose<R: SortableRecord>(&mut self, record: &R, ctx: &HeuristicContext) -> HeapSide {
         match self.heuristic {
             InputHeuristic::Random => {
                 if self.rng.gen::<bool>() {
@@ -93,8 +94,8 @@ impl InputHeuristicState {
                 self.next_side = side.opposite();
                 side
             }
-            InputHeuristic::Mean => threshold_choice(record.key, ctx.input_mean),
-            InputHeuristic::Median => threshold_choice(record.key, ctx.input_median),
+            InputHeuristic::Mean => threshold_choice(record.sort_key(), ctx.input_mean),
+            InputHeuristic::Median => threshold_choice(record.sort_key(), ctx.input_median),
             InputHeuristic::Useful => {
                 if ctx.top_usefulness() >= ctx.bottom_usefulness() {
                     HeapSide::Top
@@ -140,33 +141,33 @@ mod tests {
     fn mean_routes_by_threshold() {
         let mut state = InputHeuristicState::new(InputHeuristic::Mean, 1);
         let ctx = ctx_with_mean(100);
-        assert_eq!(state.choose(&Record::from_key(150), &ctx), HeapSide::Top);
-        assert_eq!(state.choose(&Record::from_key(50), &ctx), HeapSide::Bottom);
-        assert_eq!(state.choose(&Record::from_key(100), &ctx), HeapSide::Bottom);
+        assert_eq!(state.choose(&150u64, &ctx), HeapSide::Top);
+        assert_eq!(state.choose(&50u64, &ctx), HeapSide::Bottom);
+        assert_eq!(state.choose(&100u64, &ctx), HeapSide::Bottom);
     }
 
     #[test]
     fn median_routes_by_threshold() {
         let mut state = InputHeuristicState::new(InputHeuristic::Median, 1);
         let ctx = ctx_with_mean(42);
-        assert_eq!(state.choose(&Record::from_key(43), &ctx), HeapSide::Top);
-        assert_eq!(state.choose(&Record::from_key(41), &ctx), HeapSide::Bottom);
+        assert_eq!(state.choose(&43u64, &ctx), HeapSide::Top);
+        assert_eq!(state.choose(&41u64, &ctx), HeapSide::Bottom);
     }
 
     #[test]
     fn missing_threshold_defaults_to_top() {
         let mut state = InputHeuristicState::new(InputHeuristic::Mean, 1);
         let ctx = HeuristicContext::default();
-        assert_eq!(state.choose(&Record::from_key(1), &ctx), HeapSide::Top);
+        assert_eq!(state.choose(&1u64, &ctx), HeapSide::Top);
     }
 
     #[test]
     fn alternate_alternates() {
         let mut state = InputHeuristicState::new(InputHeuristic::Alternate, 1);
         let ctx = HeuristicContext::default();
-        let first = state.choose(&Record::from_key(1), &ctx);
-        let second = state.choose(&Record::from_key(2), &ctx);
-        let third = state.choose(&Record::from_key(3), &ctx);
+        let first = state.choose(&1u64, &ctx);
+        let second = state.choose(&2u64, &ctx);
+        let third = state.choose(&3u64, &ctx);
         assert_ne!(first, second);
         assert_eq!(first, third);
     }
@@ -177,7 +178,7 @@ mod tests {
         let ctx = HeuristicContext::default();
         let mut tops = 0;
         for i in 0..200 {
-            if state.choose(&Record::from_key(i), &ctx) == HeapSide::Top {
+            if state.choose(&i, &ctx) == HeapSide::Top {
                 tops += 1;
             }
         }
@@ -189,9 +190,7 @@ mod tests {
         let ctx = HeuristicContext::default();
         let run = |seed: u64| {
             let mut state = InputHeuristicState::new(InputHeuristic::Random, seed);
-            (0..32)
-                .map(|i| state.choose(&Record::from_key(i), &ctx))
-                .collect::<Vec<_>>()
+            (0..32).map(|i| state.choose(&i, &ctx)).collect::<Vec<_>>()
         };
         assert_eq!(run(3), run(3));
         assert_ne!(run(3), run(4));
@@ -207,7 +206,7 @@ mod tests {
             bottom_pops: 50,
             ..HeuristicContext::default()
         };
-        assert_eq!(state.choose(&Record::from_key(1), &ctx), HeapSide::Bottom);
+        assert_eq!(state.choose(&1u64, &ctx), HeapSide::Bottom);
     }
 
     #[test]
@@ -218,7 +217,7 @@ mod tests {
             bottom_len: 20,
             ..HeuristicContext::default()
         };
-        assert_eq!(state.choose(&Record::from_key(1), &ctx), HeapSide::Bottom);
+        assert_eq!(state.choose(&1u64, &ctx), HeapSide::Bottom);
     }
 
     #[test]

@@ -7,13 +7,17 @@
 //! algorithm falls back to a running mean over everything seen so far.
 
 use std::collections::VecDeque;
-use twrs_workloads::Record;
+use twrs_storage::SortableRecord;
 
 /// FIFO buffer of upcoming input records with O(1) mean and an approximate
 /// median over its contents.
+///
+/// The mean and median are computed over the records'
+/// [`sort_key`](SortableRecord::sort_key) projections, which is what the
+/// Mean/Median input heuristics compare against.
 #[derive(Debug, Clone)]
-pub struct InputBuffer {
-    queue: VecDeque<Record>,
+pub struct InputBuffer<R: SortableRecord> {
+    queue: VecDeque<R>,
     capacity: usize,
     /// Sum of the keys currently in the buffer (for the Mean heuristic).
     key_sum: u128,
@@ -23,7 +27,7 @@ pub struct InputBuffer {
     seen_sum: u128,
 }
 
-impl InputBuffer {
+impl<R: SortableRecord> InputBuffer<R> {
     /// Creates a buffer holding at most `capacity` records (0 disables it).
     pub fn new(capacity: usize) -> Self {
         InputBuffer {
@@ -58,33 +62,33 @@ impl InputBuffer {
 
     /// Pushes a record at the back of the FIFO. Panics if the buffer is
     /// full; callers refill through [`InputBuffer::refill_from`].
-    pub fn push(&mut self, record: Record) {
+    pub fn push(&mut self, record: R) {
         assert!(
             self.queue.len() < self.capacity,
             "input buffer overflow: capacity {}",
             self.capacity
         );
-        self.key_sum += u128::from(record.key);
-        self.seen_sum += u128::from(record.key);
+        self.key_sum += u128::from(record.sort_key());
+        self.seen_sum += u128::from(record.sort_key());
         self.seen_count += 1;
         self.queue.push_back(record);
     }
 
     /// Pops the record at the front of the FIFO.
-    pub fn pop(&mut self) -> Option<Record> {
+    pub fn pop(&mut self) -> Option<R> {
         let record = self.queue.pop_front()?;
-        self.key_sum -= u128::from(record.key);
+        self.key_sum -= u128::from(record.sort_key());
         Some(record)
     }
 
     /// Tops the buffer up from `source` and returns the next record in
     /// arrival order: the front of the buffer, or the next source record
     /// directly when the buffer is disabled.
-    pub fn next_from(&mut self, source: &mut dyn Iterator<Item = Record>) -> Option<Record> {
+    pub fn next_from(&mut self, source: &mut dyn Iterator<Item = R>) -> Option<R> {
         if self.capacity == 0 {
             let record = source.next();
-            if let Some(r) = record {
-                self.seen_sum += u128::from(r.key);
+            if let Some(r) = &record {
+                self.seen_sum += u128::from(r.sort_key());
                 self.seen_count += 1;
             }
             return record;
@@ -94,7 +98,7 @@ impl InputBuffer {
     }
 
     /// Fills the buffer to capacity from `source`.
-    pub fn refill_from(&mut self, source: &mut dyn Iterator<Item = Record>) {
+    pub fn refill_from(&mut self, source: &mut dyn Iterator<Item = R>) {
         while self.queue.len() < self.capacity {
             match source.next() {
                 Some(record) => self.push(record),
@@ -130,7 +134,7 @@ impl InputBuffer {
         let len = self.queue.len();
         let samples = len.min(101);
         let mut keys: Vec<u64> = (0..samples)
-            .map(|i| self.queue[i * len / samples].key)
+            .map(|i| self.queue[i * len / samples].sort_key())
             .collect();
         keys.sort_unstable();
         Some(keys[keys.len() / 2])
@@ -140,6 +144,7 @@ impl InputBuffer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use twrs_workloads::Record;
 
     fn records(keys: &[u64]) -> Vec<Record> {
         keys.iter().map(|k| Record::from_key(*k)).collect()
@@ -202,7 +207,7 @@ mod tests {
 
     #[test]
     fn empty_buffer_has_no_statistics() {
-        let buffer = InputBuffer::new(8);
+        let buffer = InputBuffer::<Record>::new(8);
         assert_eq!(buffer.mean_key(), None);
         assert_eq!(buffer.median_key(), None);
     }

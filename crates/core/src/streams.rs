@@ -22,33 +22,32 @@
 //! already uses for records that arrive too late).
 
 use twrs_extsort::{Device, ForwardRunBuilder, Result, ReverseRunBuilder, RunHandle};
-use twrs_storage::SpillNamer;
-use twrs_workloads::Record;
+use twrs_storage::{SortableRecord, SpillNamer};
 
 /// The four output streams of the run currently being generated.
-pub struct RunStreams<'a, D: Device> {
-    stream1: ForwardRunBuilder<'a, D>,
-    stream2: ReverseRunBuilder<'a, D>,
-    stream3: ForwardRunBuilder<'a, D>,
-    stream4: ReverseRunBuilder<'a, D>,
+pub struct RunStreams<'a, D: Device, R: SortableRecord> {
+    stream1: ForwardRunBuilder<'a, D, R>,
+    stream2: ReverseRunBuilder<'a, D, R>,
+    stream3: ForwardRunBuilder<'a, D, R>,
+    stream4: ReverseRunBuilder<'a, D, R>,
 
     /// First and last record written to stream 1 (increasing).
-    s1_first: Option<Record>,
-    s1_last: Option<Record>,
+    s1_first: Option<R>,
+    s1_last: Option<R>,
     /// First and last record written to stream 2 (decreasing).
-    s2_first: Option<Record>,
-    s2_last: Option<Record>,
+    s2_first: Option<R>,
+    s2_last: Option<R>,
     /// First and last record written to stream 3 (increasing).
-    s3_first: Option<Record>,
-    s3_last: Option<Record>,
+    s3_first: Option<R>,
+    s3_last: Option<R>,
     /// First and last record written to stream 4 (decreasing).
-    s4_first: Option<Record>,
-    s4_last: Option<Record>,
+    s4_first: Option<R>,
+    s4_last: Option<R>,
 
     records: u64,
 }
 
-impl<'a, D: Device> RunStreams<'a, D> {
+impl<'a, D: Device, R: SortableRecord> RunStreams<'a, D, R> {
     /// Creates the stream set for a new run.
     pub fn new(device: &'a D, namer: &'a SpillNamer, reverse_pages_per_file: u64) -> Self {
         RunStreams {
@@ -75,40 +74,40 @@ impl<'a, D: Device> RunStreams<'a, D> {
 
     /// The largest record that the "lower side" of the run (streams 4, 3
     /// and 2) has committed to; stream 1 may only accept records ≥ this.
-    fn upper_floor(&self) -> Option<Record> {
-        [self.s4_first, self.s3_last, self.s2_first, self.s1_last]
+    fn upper_floor(&self) -> Option<&R> {
+        [&self.s4_first, &self.s3_last, &self.s2_first, &self.s1_last]
             .into_iter()
-            .flatten()
+            .filter_map(Option::as_ref)
             .max()
     }
 
     /// The smallest record that the "upper side" of the run (streams 3, 2
     /// and 1) has committed to; stream 4 may only accept records ≤ this.
-    fn lower_cap(&self) -> Option<Record> {
-        [self.s3_first, self.s2_last, self.s1_first, self.s4_last]
+    fn lower_cap(&self) -> Option<&R> {
+        [&self.s3_first, &self.s2_last, &self.s1_first, &self.s4_last]
             .into_iter()
-            .flatten()
+            .filter_map(Option::as_ref)
             .min()
     }
 
     /// `true` when `record` can be appended to stream 1 without breaking
     /// either its monotonicity or the cross-stream ordering.
-    pub fn accepts_stream1(&self, record: &Record) -> bool {
-        self.upper_floor().is_none_or(|floor| *record >= floor)
+    pub fn accepts_stream1(&self, record: &R) -> bool {
+        self.upper_floor().is_none_or(|floor| record >= floor)
     }
 
     /// `true` when `record` can be appended to stream 4 without breaking
     /// either its monotonicity or the cross-stream ordering.
-    pub fn accepts_stream4(&self, record: &Record) -> bool {
-        self.lower_cap().is_none_or(|cap| *record <= cap)
+    pub fn accepts_stream4(&self, record: &R) -> bool {
+        self.lower_cap().is_none_or(|cap| record <= cap)
     }
 
     /// Appends a record to stream 1 (the TopHeap's increasing stream).
-    pub fn push_stream1(&mut self, record: Record) -> Result<()> {
+    pub fn push_stream1(&mut self, record: R) -> Result<()> {
         debug_assert!(self.accepts_stream1(&record));
         self.stream1.push(&record)?;
         if self.s1_first.is_none() {
-            self.s1_first = Some(record);
+            self.s1_first = Some(record.clone());
         }
         self.s1_last = Some(record);
         self.records += 1;
@@ -116,11 +115,11 @@ impl<'a, D: Device> RunStreams<'a, D> {
     }
 
     /// Appends a record to stream 4 (the BottomHeap's decreasing stream).
-    pub fn push_stream4(&mut self, record: Record) -> Result<()> {
+    pub fn push_stream4(&mut self, record: R) -> Result<()> {
         debug_assert!(self.accepts_stream4(&record));
         self.stream4.push(&record)?;
         if self.s4_first.is_none() {
-            self.s4_first = Some(record);
+            self.s4_first = Some(record.clone());
         }
         self.s4_last = Some(record);
         self.records += 1;
@@ -131,14 +130,14 @@ impl<'a, D: Device> RunStreams<'a, D> {
     /// ascending; they are written in descending order as the reverse-file
     /// format expects. Used by the run-start bootstrap flush (§4.3:
     /// "flushes the records to Streams 1 and 4").
-    pub fn push_stream4_from_ascending(&mut self, records: &[Record]) -> Result<()> {
+    pub fn push_stream4_from_ascending(&mut self, records: &[R]) -> Result<()> {
         for record in records.iter().rev() {
-            debug_assert!(self.s4_last.is_none_or(|last| *record <= last));
+            debug_assert!(self.s4_last.as_ref().is_none_or(|last| record <= last));
             self.stream4.push(record)?;
             if self.s4_first.is_none() {
-                self.s4_first = Some(*record);
+                self.s4_first = Some(record.clone());
             }
-            self.s4_last = Some(*record);
+            self.s4_last = Some(record.clone());
             self.records += 1;
         }
         Ok(())
@@ -146,14 +145,14 @@ impl<'a, D: Device> RunStreams<'a, D> {
 
     /// Appends a batch of ascending records to stream 1. Used by the
     /// run-start bootstrap flush.
-    pub fn push_stream1_ascending(&mut self, records: &[Record]) -> Result<()> {
+    pub fn push_stream1_ascending(&mut self, records: &[R]) -> Result<()> {
         for record in records {
-            debug_assert!(self.s1_last.is_none_or(|last| *record >= last));
+            debug_assert!(self.s1_last.as_ref().is_none_or(|last| record >= last));
             self.stream1.push(record)?;
             if self.s1_first.is_none() {
-                self.s1_first = Some(*record);
+                self.s1_first = Some(record.clone());
             }
-            self.s1_last = Some(*record);
+            self.s1_last = Some(record.clone());
             self.records += 1;
         }
         Ok(())
@@ -161,14 +160,14 @@ impl<'a, D: Device> RunStreams<'a, D> {
 
     /// Appends a batch of ascending records to stream 3 (the victim
     /// buffer's lower, increasing stream).
-    pub fn push_stream3_ascending(&mut self, records: &[Record]) -> Result<()> {
+    pub fn push_stream3_ascending(&mut self, records: &[R]) -> Result<()> {
         for record in records {
-            debug_assert!(self.s3_last.is_none_or(|last| *record >= last));
+            debug_assert!(self.s3_last.as_ref().is_none_or(|last| record >= last));
             self.stream3.push(record)?;
             if self.s3_first.is_none() {
-                self.s3_first = Some(*record);
+                self.s3_first = Some(record.clone());
             }
-            self.s3_last = Some(*record);
+            self.s3_last = Some(record.clone());
             self.records += 1;
         }
         Ok(())
@@ -177,14 +176,14 @@ impl<'a, D: Device> RunStreams<'a, D> {
     /// Appends a batch of records to stream 2 (the victim buffer's upper,
     /// decreasing stream). `records` must be sorted ascending; they are
     /// written in descending order as the reverse-file format expects.
-    pub fn push_stream2_from_ascending(&mut self, records: &[Record]) -> Result<()> {
+    pub fn push_stream2_from_ascending(&mut self, records: &[R]) -> Result<()> {
         for record in records.iter().rev() {
-            debug_assert!(self.s2_last.is_none_or(|last| *record <= last));
+            debug_assert!(self.s2_last.as_ref().is_none_or(|last| record <= last));
             self.stream2.push(record)?;
             if self.s2_first.is_none() {
-                self.s2_first = Some(*record);
+                self.s2_first = Some(record.clone());
             }
-            self.s2_last = Some(*record);
+            self.s2_last = Some(record.clone());
             self.records += 1;
         }
         Ok(())
@@ -193,8 +192,10 @@ impl<'a, D: Device> RunStreams<'a, D> {
     /// Debug snapshot of the stream boundary records (keys only), used by
     /// temporary diagnostics.
     pub fn debug_bounds(&self) -> String {
-        fn k(r: &Option<Record>) -> String {
-            r.map(|x| x.key.to_string()).unwrap_or_else(|| "-".into())
+        fn k<R: SortableRecord>(r: &Option<R>) -> String {
+            r.as_ref()
+                .map(|x| x.sort_key().to_string())
+                .unwrap_or_else(|| "-".into())
         }
         format!(
             "s1[{},{}] s2[{},{}] s3[{},{}] s4[{},{}]",
@@ -211,11 +212,16 @@ impl<'a, D: Device> RunStreams<'a, D> {
 
     /// The first record output in the current run through any stream, used
     /// by the *MinDistance* output heuristic.
-    pub fn first_output(&self) -> Option<Record> {
-        [self.s1_first, self.s2_first, self.s3_first, self.s4_first]
-            .into_iter()
-            .flatten()
-            .min_by_key(|r| (r.key, r.payload))
+    pub fn first_output(&self) -> Option<&R> {
+        [
+            &self.s1_first,
+            &self.s2_first,
+            &self.s3_first,
+            &self.s4_first,
+        ]
+        .into_iter()
+        .filter_map(Option::as_ref)
+        .min()
     }
 
     /// Closes the run: finishes every non-empty stream file and, when the
@@ -244,6 +250,7 @@ mod tests {
     use super::*;
     use twrs_extsort::RunCursor;
     use twrs_storage::SimDevice;
+    use twrs_workloads::Record;
 
     fn rec(key: u64) -> Record {
         Record::from_key(key)
@@ -272,7 +279,7 @@ mod tests {
         let count = streams.finish(&mut runs).unwrap();
         assert_eq!(count, 8);
         assert_eq!(runs.len(), 1);
-        let mut cursor = RunCursor::open(&device, &runs[0]).unwrap();
+        let mut cursor = RunCursor::<Record>::open(&device, &runs[0]).unwrap();
         let keys: Vec<u64> = cursor.read_all().unwrap().iter().map(|r| r.key).collect();
         assert_eq!(keys, vec![37, 38, 39, 40, 50, 51, 52, 53]);
     }
@@ -301,7 +308,7 @@ mod tests {
     fn empty_run_produces_no_handle() {
         let device = SimDevice::new();
         let namer = SpillNamer::new("s");
-        let streams = RunStreams::new(&device, &namer, 4);
+        let streams = RunStreams::<_, Record>::new(&device, &namer, 4);
         let mut runs = Vec::new();
         assert_eq!(streams.finish(&mut runs).unwrap(), 0);
         assert!(runs.is_empty());
@@ -330,6 +337,7 @@ mod tests {
         streams.push_stream1(rec(70)).unwrap();
         streams.push_stream4(rec(30)).unwrap();
         assert_eq!(streams.first_output().unwrap().key, 30);
+        assert_eq!(streams.records(), 2);
     }
 
     #[test]

@@ -36,8 +36,7 @@ use twrs_extsort::{
     Device, Result, RunGenerator, RunHandle, RunSet, ShardableGenerator, SortError,
 };
 use twrs_heaps::{DualHeap, HeapSide, RunRecord, TwoWayOrder};
-use twrs_storage::SpillNamer;
-use twrs_workloads::Record;
+use twrs_storage::{SortableRecord, SpillNamer};
 
 /// Ordering of run-tagged records inside the dual heap: both sides order by
 /// run first (so next-run records sink), then the top side ascending and the
@@ -45,12 +44,12 @@ use twrs_workloads::Record;
 #[derive(Debug, Clone, Copy, Default)]
 struct RunOrder;
 
-impl TwoWayOrder<RunRecord<Record>> for RunOrder {
-    fn cmp_top(&self, a: &RunRecord<Record>, b: &RunRecord<Record>) -> Ordering {
+impl<R: SortableRecord> TwoWayOrder<RunRecord<R>> for RunOrder {
+    fn cmp_top(&self, a: &RunRecord<R>, b: &RunRecord<R>) -> Ordering {
         a.run.cmp(&b.run).then_with(|| a.value.cmp(&b.value))
     }
 
-    fn cmp_bottom(&self, a: &RunRecord<Record>, b: &RunRecord<Record>) -> Ordering {
+    fn cmp_bottom(&self, a: &RunRecord<R>, b: &RunRecord<R>) -> Ordering {
         a.run.cmp(&b.run).then_with(|| b.value.cmp(&a.value))
     }
 }
@@ -126,11 +125,11 @@ impl RunGenerator for TwoWayReplacementSelection {
         self.config.memory_records
     }
 
-    fn generate<D: Device>(
+    fn generate<D: Device, R: SortableRecord>(
         &mut self,
         device: &D,
         namer: &SpillNamer,
-        input: &mut dyn Iterator<Item = Record>,
+        input: &mut dyn Iterator<Item = R>,
     ) -> Result<RunSet> {
         if self.config.memory_records == 0 {
             return Err(SortError::InvalidConfig(
@@ -153,28 +152,28 @@ enum EmitOutcome {
     Deferred,
 }
 
-struct Runner<'a, D: Device> {
+struct Runner<'a, D: Device, R: SortableRecord> {
     device: &'a D,
     namer: &'a SpillNamer,
     config: TwrsConfig,
 
-    dual: DualHeap<RunRecord<Record>, RunOrder>,
-    input_buffer: InputBuffer,
-    victim: VictimBuffer,
+    dual: DualHeap<RunRecord<R>, RunOrder>,
+    input_buffer: InputBuffer<R>,
+    victim: VictimBuffer<R>,
     input_heuristic: InputHeuristicState,
     output_heuristic: OutputHeuristicState,
 
     current_run: u64,
-    streams: Option<RunStreams<'a, D>>,
+    streams: Option<RunStreams<'a, D, R>>,
     bootstrap_done: bool,
-    first_output: Option<Record>,
+    first_output: Option<R>,
 
     runs: Vec<RunHandle>,
     total_records: u64,
     stats: TwrsRunStats,
 }
 
-impl<'a, D: Device> Runner<'a, D> {
+impl<'a, D: Device, R: SortableRecord> Runner<'a, D, R> {
     fn new(device: &'a D, namer: &'a SpillNamer, config: TwrsConfig) -> Self {
         Runner {
             device,
@@ -195,7 +194,7 @@ impl<'a, D: Device> Runner<'a, D> {
         }
     }
 
-    fn run(&mut self, input: &mut dyn Iterator<Item = Record>) -> Result<RunSet> {
+    fn run(&mut self, input: &mut dyn Iterator<Item = R>) -> Result<RunSet> {
         // Phase 1: fill both heaps from the input (doubleHeap.fill).
         while self.dual.len() < self.dual.capacity() {
             match self.input_buffer.next_from(input) {
@@ -298,7 +297,7 @@ impl<'a, D: Device> Runner<'a, D> {
         if self.dual.len() < 2 {
             return;
         }
-        let mut records: Vec<Record> = self
+        let mut records: Vec<R> = self
             .dual
             .drain()
             .into_iter()
@@ -311,11 +310,14 @@ impl<'a, D: Device> Runner<'a, D> {
         // two sides equally provisioned and gives the 2×-memory behaviour
         // on unstructured input.
         let span = records[records.len() - 1]
-            .key
-            .saturating_sub(records[0].key);
+            .sort_key()
+            .saturating_sub(records[0].sort_key());
         let gap_split = crate::victim::largest_gap_split(&records);
         let split = if gap_split < records.len()
-            && records[gap_split].key - records[gap_split - 1].key >= span / 2
+            && records[gap_split]
+                .sort_key()
+                .saturating_sub(records[gap_split - 1].sort_key())
+                >= span / 2
         {
             gap_split
         } else {
@@ -393,9 +395,9 @@ impl<'a, D: Device> Runner<'a, D> {
     // Emission
     // ---------------------------------------------------------------------
 
-    fn emit(&mut self, record: Record, side: HeapSide) -> Result<EmitOutcome> {
+    fn emit(&mut self, record: R, side: HeapSide) -> Result<EmitOutcome> {
         if self.first_output.is_none() {
-            self.first_output = Some(record);
+            self.first_output = Some(record.clone());
         }
         // Bootstrap: the first victim-buffer's worth of outputs of every run
         // is parked in the buffer so the valid range can be picked as the
@@ -498,7 +500,7 @@ impl<'a, D: Device> Runner<'a, D> {
     /// Which run a new input record belongs to: the current run when some
     /// stream of the current run could still accept it, the next run
     /// otherwise.
-    fn classify_run(&self, record: &Record) -> u64 {
+    fn classify_run(&self, record: &R) -> u64 {
         if !self.bootstrap_done {
             // Anything output during the bootstrap lands in the victim
             // buffer, so every record is still usable in the current run.
@@ -515,7 +517,7 @@ impl<'a, D: Device> Runner<'a, D> {
     /// Which heap stores a new record. The heuristic only gets a say when
     /// the record could be emitted by either heap; otherwise the heap that
     /// can still emit it wins.
-    fn choose_insert_side(&mut self, record: &Record) -> HeapSide {
+    fn choose_insert_side(&mut self, record: &R) -> HeapSide {
         let (can_top, can_bottom) = match self.streams.as_ref() {
             None => (true, true),
             Some(_) if !self.bootstrap_done => {
@@ -525,8 +527,9 @@ impl<'a, D: Device> Runner<'a, D> {
                 // stray value; keep such records on the side whose output
                 // order they follow.
                 let ctx = self.context();
-                let above_top_root = ctx.top_root.is_none_or(|root| record.key >= root);
-                let below_bottom_root = ctx.bottom_root.is_none_or(|root| record.key <= root);
+                let above_top_root = ctx.top_root.is_none_or(|root| record.sort_key() >= root);
+                let below_bottom_root =
+                    ctx.bottom_root.is_none_or(|root| record.sort_key() <= root);
                 if above_top_root || below_bottom_root {
                     (above_top_root, below_bottom_root)
                 } else {
@@ -548,7 +551,7 @@ impl<'a, D: Device> Runner<'a, D> {
         }
     }
 
-    fn push_dual(&mut self, side: HeapSide, record: RunRecord<Record>) -> Result<()> {
+    fn push_dual(&mut self, side: HeapSide, record: RunRecord<R>) -> Result<()> {
         self.dual.push(side, record).map_err(|_| {
             SortError::InvalidConfig(
                 "internal error: dual heap overflow during two-way replacement selection".into(),
@@ -569,9 +572,9 @@ impl<'a, D: Device> Runner<'a, D> {
             } else {
                 None
             },
-            first_output: self.first_output.map(|r| r.key),
-            top_root: self.dual.peek(HeapSide::Top).map(|r| r.value.key),
-            bottom_root: self.dual.peek(HeapSide::Bottom).map(|r| r.value.key),
+            first_output: self.first_output.as_ref().map(SortableRecord::sort_key),
+            top_root: self.dual.peek(HeapSide::Top).map(|r| r.value.sort_key()),
+            bottom_root: self.dual.peek(HeapSide::Bottom).map(|r| r.value.sort_key()),
         }
     }
 }
@@ -592,7 +595,7 @@ mod tests {
     use crate::heuristics::output::OutputHeuristic;
     use twrs_extsort::RunCursor;
     use twrs_storage::SimDevice;
-    use twrs_workloads::{Distribution, DistributionKind};
+    use twrs_workloads::{Distribution, DistributionKind, Record};
 
     fn generate(config: TwrsConfig, input: Vec<Record>) -> (SimDevice, RunSet, TwrsRunStats) {
         let device = SimDevice::new();
@@ -604,9 +607,9 @@ mod tests {
     }
 
     fn check_runs(device: &SimDevice, set: &RunSet, mut expected: Vec<Record>) {
-        let mut all = Vec::new();
+        let mut all: Vec<Record> = Vec::new();
         for handle in &set.runs {
-            let mut cursor = RunCursor::open(device, handle).unwrap();
+            let mut cursor = RunCursor::<Record>::open(device, handle).unwrap();
             let run = cursor.read_all().unwrap();
             assert!(
                 run.windows(2).all(|w| w[0] <= w[1]),
@@ -793,7 +796,7 @@ mod tests {
         let device = SimDevice::new();
         let namer = SpillNamer::new("twrs");
         let mut generator = TwoWayReplacementSelection::new(TwrsConfig::recommended(0));
-        let mut input = std::iter::empty();
+        let mut input = std::iter::empty::<Record>();
         assert!(matches!(
             generator.generate(&device, &namer, &mut input),
             Err(SortError::InvalidConfig(_))

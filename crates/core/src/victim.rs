@@ -14,19 +14,19 @@
 //! range can be chosen as the *largest* gap among them rather than simply
 //! the gap between the two heap roots.
 
-use twrs_workloads::Record;
+use twrs_storage::SortableRecord;
 
 /// The victim buffer of one 2WRS instance.
 #[derive(Debug, Clone)]
-pub struct VictimBuffer {
+pub struct VictimBuffer<R: SortableRecord> {
     capacity: usize,
-    records: Vec<Record>,
+    records: Vec<R>,
     /// Exclusive bounds of the keys the buffer currently accepts; `None`
     /// until the first (bootstrap) flush of the run.
-    range: Option<(Record, Record)>,
+    range: Option<(R, R)>,
 }
 
-impl VictimBuffer {
+impl<R: SortableRecord> VictimBuffer<R> {
     /// Creates a victim buffer holding at most `capacity` records
     /// (0 disables it).
     pub fn new(capacity: usize) -> Self {
@@ -64,15 +64,15 @@ impl VictimBuffer {
 
     /// The currently accepted (exclusive) range, when one has been
     /// established.
-    pub fn range(&self) -> Option<(Record, Record)> {
-        self.range
+    pub fn range(&self) -> Option<(R, R)> {
+        self.range.clone()
     }
 
     /// `true` when `record` falls strictly inside the accepted range and
     /// there is room to store it (Algorithm 2's `victimBuffer.fit`). Always
     /// `false` before the bootstrap flush of the run, as the paper
     /// specifies.
-    pub fn fits(&self, record: &Record) -> bool {
+    pub fn fits(&self, record: &R) -> bool {
         if !self.is_enabled() || self.is_full() {
             return false;
         }
@@ -85,7 +85,7 @@ impl VictimBuffer {
     /// Stores a record. Callers must have checked [`VictimBuffer::fits`] (or
     /// be performing the bootstrap, which stores unconditionally while the
     /// buffer has room).
-    pub fn push(&mut self, record: Record) {
+    pub fn push(&mut self, record: R) {
         debug_assert!(self.records.len() < self.capacity);
         self.records.push(record);
     }
@@ -99,7 +99,7 @@ impl VictimBuffer {
     /// Either part may be empty (e.g. a single buffered record produces an
     /// empty upper part and disables the buffer until the next flush or
     /// run).
-    pub fn flush_split(&mut self) -> (Vec<Record>, Vec<Record>) {
+    pub fn flush_split(&mut self) -> (Vec<R>, Vec<R>) {
         self.records.sort_unstable();
         let sorted = std::mem::take(&mut self.records);
         if sorted.is_empty() {
@@ -113,7 +113,7 @@ impl VictimBuffer {
             (lower, upper)
         };
         self.range = match (lower.last(), upper.first()) {
-            (Some(lo), Some(hi)) if lo < hi => Some((*lo, *hi)),
+            (Some(lo), Some(hi)) if lo < hi => Some((lo.clone(), hi.clone())),
             _ => None,
         };
         (lower, upper)
@@ -122,7 +122,7 @@ impl VictimBuffer {
     /// Sorts and drains the buffered records without splitting (used at the
     /// end of a run, when everything still buffered belongs to the lower
     /// stream).
-    pub fn drain_sorted(&mut self) -> Vec<Record> {
+    pub fn drain_sorted(&mut self) -> Vec<R> {
         self.records.sort_unstable();
         self.range = None;
         std::mem::take(&mut self.records)
@@ -143,14 +143,18 @@ impl VictimBuffer {
 /// the records left in memory at their largest gap for the same reason the
 /// victim buffer does: the gap is the natural boundary between the
 /// decreasing and the increasing side of the new run.
-pub(crate) fn largest_gap_split(sorted: &[Record]) -> usize {
+pub(crate) fn largest_gap_split<R: SortableRecord>(sorted: &[R]) -> usize {
     if sorted.len() < 2 {
         return sorted.len();
     }
     let mut best_gap = 0u64;
     let mut best_index = sorted.len();
     for i in 1..sorted.len() {
-        let gap = sorted[i].key - sorted[i - 1].key;
+        // Saturating: a non-monotone (buggy) `sort_key` must only degrade
+        // the heuristic, never panic or wrap (the SortableRecord contract).
+        let gap = sorted[i]
+            .sort_key()
+            .saturating_sub(sorted[i - 1].sort_key());
         if gap > best_gap {
             best_gap = gap;
             best_index = i;
@@ -167,6 +171,7 @@ pub(crate) fn largest_gap_split(sorted: &[Record]) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use twrs_workloads::Record;
 
     fn records(keys: &[u64]) -> Vec<Record> {
         keys.iter().map(|k| Record::from_key(*k)).collect()

@@ -9,9 +9,8 @@
 //! merge-based sorters against an independent implementation.
 
 use crate::error::{Result, SortError};
-use crate::run_generation::Device;
-use twrs_storage::{RunReader, RunWriter, SpillNamer};
-use twrs_workloads::Record;
+use crate::run_generation::{Device, FallibleRecords};
+use twrs_storage::{RunReader, RunWriter, SortableRecord, SpillNamer};
 
 /// Configuration of the external distribution sort.
 #[derive(Debug, Clone, Copy)]
@@ -72,11 +71,18 @@ impl DistributionSort {
     }
 
     /// Sorts `input` into the forward run file `output` on `device`.
-    pub fn sort<D: Device>(
+    ///
+    /// Bucket key ranges are derived from
+    /// [`SortableRecord::sort_key`]; records whose type keeps the default
+    /// (constant) projection all land in one bucket whose degenerate key
+    /// range falls straight back to an in-memory sort of everything — still
+    /// correct, but unbounded memory and no partitioning benefit. Give such
+    /// record types a real `sort_key` before distribution-sorting them.
+    pub fn sort<D: Device, R: SortableRecord>(
         &self,
         device: &D,
         namer: &SpillNamer,
-        input: &mut dyn Iterator<Item = Record>,
+        input: &mut dyn Iterator<Item = R>,
         output: &str,
     ) -> Result<DistributionSortReport> {
         if self.config.memory_records == 0 {
@@ -90,10 +96,10 @@ impl DistributionSort {
             ));
         }
         let mut report = DistributionSortReport::default();
-        let mut writer = RunWriter::<Record>::create(device, output)?;
+        let mut writer = RunWriter::<R>::create(device, output)?;
 
         // Buffer up to a memory's worth; if everything fits, sort directly.
-        let mut head: Vec<Record> = Vec::with_capacity(self.config.memory_records);
+        let mut head: Vec<R> = Vec::with_capacity(self.config.memory_records);
         head.extend(input.take(self.config.memory_records));
         if head.len() < self.config.memory_records {
             head.sort_unstable();
@@ -102,7 +108,7 @@ impl DistributionSort {
             for r in &head {
                 writer.push(r)?;
             }
-            writer.finish()?;
+            finish_output(device, writer, output)?;
             return Ok(report);
         }
 
@@ -112,53 +118,94 @@ impl DistributionSort {
         // bucket ranges is the distribution-sort analogue of choosing the
         // quicksort pivot); records falling outside the sampled range are
         // clamped into the edge buckets.
-        let sample_lo = head.iter().map(|r| r.key).min().unwrap_or(0);
+        let sample_lo = head.iter().map(SortableRecord::sort_key).min().unwrap_or(0);
         let sample_hi = head
             .iter()
-            .map(|r| r.key)
+            .map(SortableRecord::sort_key)
             .max()
             .unwrap_or(0)
             .saturating_add(1);
-        let spilled = self.partition(
+        let spilled = match self.partition(
             device,
             namer,
             &mut head.drain(..).chain(input),
             sample_lo,
             sample_hi,
             &mut report,
-        )?;
+        ) {
+            Ok(spilled) => spilled,
+            Err(error) => {
+                drop(writer);
+                let _ = device.remove(output);
+                return Err(error);
+            }
+        };
         report.records = spilled.iter().map(|b| b.records).sum();
 
-        // Sort each bucket in key order and append to the output.
-        for bucket in spilled {
-            self.sort_bucket(device, namer, bucket, &mut writer, 1, &mut report)?;
+        // Sort each bucket in key order and append to the output. On a
+        // failure, remove the buckets not yet consumed and the partial
+        // output, so a failed sort leaks no files.
+        let mut buckets = spilled.into_iter();
+        while let Some(bucket) = buckets.next() {
+            if let Err(error) = self.sort_bucket(device, namer, bucket, &mut writer, 1, &mut report)
+            {
+                for leftover in buckets {
+                    let _ = device.remove(&leftover.name);
+                }
+                drop(writer);
+                let _ = device.remove(output);
+                return Err(error);
+            }
         }
-        writer.finish()?;
+        finish_output(device, writer, output)?;
         Ok(report)
     }
 
     /// Splits a record stream into `buckets` files by uniform key ranges
-    /// within `[lo, hi]`.
-    fn partition<D: Device>(
+    /// within `[lo, hi]`. On `Err`, every bucket file this pass created is
+    /// removed (best effort).
+    fn partition<D: Device, R: SortableRecord>(
         &self,
         device: &D,
         namer: &SpillNamer,
-        input: &mut dyn Iterator<Item = Record>,
+        input: &mut dyn Iterator<Item = R>,
         lo: u64,
         hi: u64,
         report: &mut DistributionSortReport,
     ) -> Result<Vec<Bucket>> {
+        let mut created: Vec<String> = Vec::new();
+        let result = self.partition_inner(device, namer, input, lo, hi, report, &mut created);
+        if result.is_err() {
+            for name in created {
+                let _ = device.remove(&name);
+            }
+        }
+        result
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn partition_inner<D: Device, R: SortableRecord>(
+        &self,
+        device: &D,
+        namer: &SpillNamer,
+        input: &mut dyn Iterator<Item = R>,
+        lo: u64,
+        hi: u64,
+        report: &mut DistributionSortReport,
+        created: &mut Vec<String>,
+    ) -> Result<Vec<Bucket>> {
         report.partition_passes += 1;
         let buckets = self.config.buckets as u64;
         let width = ((hi - lo) / buckets).max(1);
-        let mut writers: Vec<(String, RunWriter<Record>)> = Vec::with_capacity(buckets as usize);
+        let mut writers: Vec<(String, RunWriter<R>)> = Vec::with_capacity(buckets as usize);
         for _ in 0..buckets {
             let name = namer.next_name("bucket");
-            let writer = RunWriter::<Record>::create(device, &name)?;
+            let writer = RunWriter::<R>::create(device, &name)?;
+            created.push(name.clone());
             writers.push((name, writer));
         }
         for record in input {
-            let idx = (((record.key.saturating_sub(lo)) / width).min(buckets - 1)) as usize;
+            let idx = (((record.sort_key().saturating_sub(lo)) / width).min(buckets - 1)) as usize;
             writers[idx].1.push(&record)?;
         }
         let mut out = Vec::with_capacity(buckets as usize);
@@ -181,12 +228,33 @@ impl DistributionSort {
     }
 
     /// Sorts one bucket, recursing when it does not fit in memory.
-    fn sort_bucket<D: Device>(
+    ///
+    /// On `Err`, this bucket's file and every descendant file it created
+    /// are removed (best effort), so a failed sort leaks no spill files at
+    /// any recursion depth.
+    fn sort_bucket<D: Device, R: SortableRecord>(
         &self,
         device: &D,
         namer: &SpillNamer,
         bucket: Bucket,
-        writer: &mut RunWriter<Record>,
+        writer: &mut RunWriter<R>,
+        depth: usize,
+        report: &mut DistributionSortReport,
+    ) -> Result<()> {
+        let name = bucket.name.clone();
+        let result = self.sort_bucket_inner(device, namer, bucket, writer, depth, report);
+        if result.is_err() && device.exists(&name) {
+            let _ = device.remove(&name);
+        }
+        result
+    }
+
+    fn sort_bucket_inner<D: Device, R: SortableRecord>(
+        &self,
+        device: &D,
+        namer: &SpillNamer,
+        bucket: Bucket,
+        writer: &mut RunWriter<R>,
         depth: usize,
         report: &mut DistributionSortReport,
     ) -> Result<()> {
@@ -198,7 +266,7 @@ impl DistributionSort {
             || depth >= self.config.max_depth
             || bucket.hi <= bucket.lo + 1
         {
-            let mut reader = RunReader::<Record>::open(device, &bucket.name)?;
+            let mut reader = RunReader::<R>::open(device, &bucket.name)?;
             let mut records = reader.read_all()?;
             records.sort_unstable();
             for r in &records {
@@ -209,15 +277,50 @@ impl DistributionSort {
             return Ok(());
         }
         // Recursive partitioning of an oversized bucket.
-        let reader = RunReader::<Record>::open(device, &bucket.name)?;
-        let mut iter = reader.map(|r| r.expect("bucket file is readable"));
+        let reader = RunReader::<R>::open(device, &bucket.name)?;
+        let mut failed = None;
+        let mut iter = FallibleRecords {
+            reader,
+            error: &mut failed,
+        };
         let children = self.partition(device, namer, &mut iter, bucket.lo, bucket.hi, report)?;
+        if let Some(error) = failed {
+            // The bucket could not be read back: remove the child files the
+            // partitioning pass already created (the wrapper removes the
+            // bucket itself).
+            for child in &children {
+                let _ = device.remove(&child.name);
+            }
+            return Err(error.into());
+        }
         device.remove(&bucket.name)?;
-        for child in children {
-            self.sort_bucket(device, namer, child, writer, depth + 1, report)?;
+        let mut children = children.into_iter();
+        while let Some(child) = children.next() {
+            if let Err(error) = self.sort_bucket(device, namer, child, writer, depth + 1, report) {
+                // The failing child cleaned up after itself; remove its
+                // not-yet-consumed siblings.
+                for leftover in children {
+                    let _ = device.remove(&leftover.name);
+                }
+                return Err(error);
+            }
         }
         Ok(())
     }
+}
+
+/// Finishes the output run, removing the partial file when the final
+/// header/flush write fails so an errored sort leaves nothing behind.
+fn finish_output<D: Device, R: SortableRecord>(
+    device: &D,
+    writer: RunWriter<R>,
+    output: &str,
+) -> Result<()> {
+    if let Err(error) = writer.finish() {
+        let _ = device.remove(output);
+        return Err(error.into());
+    }
+    Ok(())
 }
 
 #[derive(Debug, Clone)]
@@ -233,7 +336,7 @@ mod tests {
     use super::*;
     use crate::run_generation::{RunCursor, RunHandle};
     use twrs_storage::SimDevice;
-    use twrs_workloads::{Distribution, DistributionKind};
+    use twrs_workloads::{Distribution, DistributionKind, Record};
 
     fn sort_with(
         config: DistributionSortConfig,
@@ -244,7 +347,8 @@ mod tests {
         let sorter = DistributionSort::new(config);
         let mut iter = input.into_iter();
         let report = sorter.sort(&device, &namer, &mut iter, "out").unwrap();
-        let mut cursor = RunCursor::open(&device, &RunHandle::Forward("out".into())).unwrap();
+        let mut cursor =
+            RunCursor::<Record>::open(&device, &RunHandle::Forward("out".into())).unwrap();
         (cursor.read_all().unwrap(), report)
     }
 
@@ -319,7 +423,7 @@ mod tests {
     fn invalid_configs_are_rejected() {
         let device = SimDevice::new();
         let namer = SpillNamer::new("ds");
-        let mut empty = std::iter::empty();
+        let mut empty = std::iter::empty::<Record>();
         let no_memory = DistributionSort::new(DistributionSortConfig {
             memory_records: 0,
             buckets: 4,
@@ -334,7 +438,7 @@ mod tests {
             buckets: 1,
             max_depth: 2,
         });
-        let mut empty = std::iter::empty();
+        let mut empty = std::iter::empty::<Record>();
         assert!(matches!(
             one_bucket.sort(&device, &namer, &mut empty, "o"),
             Err(SortError::InvalidConfig(_))
@@ -362,7 +466,8 @@ mod tests {
             ExternalSorter::with_config(ReplacementSelection::new(400), SorterConfig::default());
         let mut iter = input.into_iter();
         sorter.sort_iter(&device, &mut iter, "merge_out").unwrap();
-        let mut cursor = RunCursor::open(&device, &RunHandle::Forward("merge_out".into())).unwrap();
+        let mut cursor =
+            RunCursor::<Record>::open(&device, &RunHandle::Forward("merge_out".into())).unwrap();
         let merge_output = cursor.read_all().unwrap();
 
         assert_eq!(ds_output, merge_output);

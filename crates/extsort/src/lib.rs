@@ -19,6 +19,9 @@
 //! * [`sorter`] — [`sorter::ExternalSorter`], the run-generation + merge
 //!   pipeline measured in Chapter 6, instrumented with per-phase I/O and
 //!   timing reports;
+//! * [`sort_job`] — [`sort_job::SortJob`], the builder-style front door
+//!   that drives either sorter from one description of the work
+//!   (`SortJob::new(g).on(&device).threads(n).run_iter(input, "out")`);
 //! * [`parallel`] — [`parallel::ParallelExternalSorter`], the sharded
 //!   variant of the same pipeline: run generation fans out over
 //!   budget-divided worker threads, spill writes move to dedicated writer
@@ -35,6 +38,7 @@ pub mod merge;
 pub mod parallel;
 pub mod replacement_selection;
 pub mod run_generation;
+pub mod sort_job;
 pub mod sorter;
 
 pub use error::{Result, SortError};
@@ -49,4 +53,5 @@ pub use replacement_selection::ReplacementSelection;
 pub use run_generation::{
     Device, ForwardRunBuilder, ReverseRunBuilder, RunCursor, RunGenerator, RunHandle, RunSet,
 };
+pub use sort_job::{BoundSortJob, SortJob, SortJobReport};
 pub use sorter::{ExternalSorter, PhaseReport, SortReport, SorterConfig};

@@ -9,8 +9,7 @@
 use crate::error::{Result, SortError};
 use crate::parallel::{shard_budget, ShardableGenerator};
 use crate::run_generation::{Device, ForwardRunBuilder, RunGenerator, RunSet};
-use twrs_storage::SpillNamer;
-use twrs_workloads::Record;
+use twrs_storage::{SortableRecord, SpillNamer};
 
 /// Load-Sort-Store run generation.
 #[derive(Debug, Clone)]
@@ -41,11 +40,11 @@ impl RunGenerator for LoadSortStore {
         self.memory_records
     }
 
-    fn generate<D: Device>(
+    fn generate<D: Device, R: SortableRecord>(
         &mut self,
         device: &D,
         namer: &SpillNamer,
-        input: &mut dyn Iterator<Item = Record>,
+        input: &mut dyn Iterator<Item = R>,
     ) -> Result<RunSet> {
         if self.memory_records == 0 {
             return Err(SortError::InvalidConfig(
@@ -54,7 +53,7 @@ impl RunGenerator for LoadSortStore {
         }
         let mut runs = Vec::new();
         let mut total = 0u64;
-        let mut buffer: Vec<Record> = Vec::with_capacity(self.memory_records);
+        let mut buffer: Vec<R> = Vec::with_capacity(self.memory_records);
         loop {
             buffer.clear();
             buffer.extend(input.take(self.memory_records));
@@ -83,7 +82,7 @@ mod tests {
     use super::*;
     use crate::run_generation::RunCursor;
     use twrs_storage::SimDevice;
-    use twrs_workloads::{Distribution, DistributionKind};
+    use twrs_workloads::{Distribution, DistributionKind, Record};
 
     fn generate(memory: usize, records: u64) -> (SimDevice, RunSet) {
         let device = SimDevice::new();
@@ -112,9 +111,9 @@ mod tests {
     #[test]
     fn every_run_is_sorted_and_nothing_is_lost() {
         let (device, set) = generate(64, 500);
-        let mut all = Vec::new();
+        let mut all: Vec<Record> = Vec::new();
         for handle in &set.runs {
-            let mut cursor = RunCursor::open(&device, handle).unwrap();
+            let mut cursor = RunCursor::<Record>::open(&device, handle).unwrap();
             let run = cursor.read_all().unwrap();
             assert!(run.windows(2).all(|w| w[0] <= w[1]));
             all.extend(run);
@@ -139,7 +138,7 @@ mod tests {
         let device = SimDevice::new();
         let namer = SpillNamer::new("lss");
         let mut generator = LoadSortStore::new(0);
-        let mut input = std::iter::empty();
+        let mut input = std::iter::empty::<Record>();
         assert!(matches!(
             generator.generate(&device, &namer, &mut input),
             Err(SortError::InvalidConfig(_))

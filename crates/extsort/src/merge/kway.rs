@@ -13,8 +13,7 @@ use crate::error::{Result, SortError};
 use crate::merge::loser_tree::LoserTree;
 use crate::run_generation::{Device, RunCursor, RunHandle};
 use std::collections::VecDeque;
-use twrs_storage::{RunWriter, SpillNamer};
-use twrs_workloads::Record;
+use twrs_storage::{RunWriter, SortableRecord, SpillNamer};
 
 /// Configuration of the k-way merge phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,34 +83,39 @@ impl KWayMerger {
     /// Intermediate runs are created through `namer` and removed as soon as
     /// they have been consumed. Returns the merge report; the output file is
     /// a normal forward run readable with
-    /// [`RunCursor`](crate::run_generation::RunCursor).
-    pub fn merge_into<D: Device>(
+    /// [`RunCursor`].
+    pub fn merge_into<D: Device, R: SortableRecord>(
         &self,
         device: &D,
         namer: &SpillNamer,
         runs: Vec<RunHandle>,
         output: &str,
     ) -> Result<MergeReport> {
-        merge_passes(
+        merge_passes::<D, R, _>(
             device,
             namer,
             runs,
             output,
             self.config.fan_in,
-            |batch, name| self.merge_batch(device, batch, name),
+            |batch, name| self.merge_batch::<D, R>(device, batch, name),
         )
     }
 
     /// Merges one batch of runs into the forward run `output`.
-    fn merge_batch<D: Device>(&self, device: &D, batch: &[RunHandle], output: &str) -> Result<u64> {
-        let mut sources: Vec<BufferedCursor> = batch
+    fn merge_batch<D: Device, R: SortableRecord>(
+        &self,
+        device: &D,
+        batch: &[RunHandle],
+        output: &str,
+    ) -> Result<u64> {
+        let mut sources: Vec<BufferedCursor<R>> = batch
             .iter()
             .map(|handle| {
                 RunCursor::open(device, handle)
                     .map(|cursor| BufferedCursor::new(cursor, self.config.read_ahead_records))
             })
             .collect::<Result<_>>()?;
-        let writer = RunWriter::<Record>::create(device, output)?;
+        let writer = RunWriter::<R>::create(device, output)?;
         merge_sources(&mut sources, writer)
     }
 }
@@ -122,7 +126,7 @@ impl KWayMerger {
 /// inputs, and always leaves the result under the `output` name (an empty
 /// run when `runs` is empty). `merge_batch(batch, name)` performs one step
 /// and returns the records written.
-pub(crate) fn merge_passes<D, F>(
+pub(crate) fn merge_passes<D, R, F>(
     device: &D,
     namer: &SpillNamer,
     runs: Vec<RunHandle>,
@@ -132,6 +136,7 @@ pub(crate) fn merge_passes<D, F>(
 ) -> Result<MergeReport>
 where
     D: Device,
+    R: SortableRecord,
     F: FnMut(&[RunHandle], &str) -> Result<u64>,
 {
     if fan_in < 2 {
@@ -144,7 +149,7 @@ where
 
     if queue.is_empty() {
         // No input at all: produce an empty output run for uniformity.
-        let writer = RunWriter::<Record>::create(device, output)?;
+        let writer = RunWriter::<R>::create(device, output)?;
         writer.finish()?;
         return Ok(report);
     }
@@ -189,13 +194,13 @@ where
 /// A stream of ascending records feeding one leaf of the merge tree: a
 /// [`BufferedCursor`] reading synchronously, or the consumer end of a
 /// background prefetch thread in the parallel sorter.
-pub(crate) trait MergeSource {
+pub(crate) trait MergeSource<R: SortableRecord> {
     /// The next record of the stream, or `None` at the end.
-    fn next_record(&mut self) -> Result<Option<Record>>;
+    fn next_record(&mut self) -> Result<Option<R>>;
 }
 
-impl MergeSource for BufferedCursor {
-    fn next_record(&mut self) -> Result<Option<Record>> {
+impl<R: SortableRecord> MergeSource<R> for BufferedCursor<R> {
+    fn next_record(&mut self) -> Result<Option<R>> {
         BufferedCursor::next_record(self)
     }
 }
@@ -203,11 +208,11 @@ impl MergeSource for BufferedCursor {
 /// The inner loop shared by the sequential and parallel mergers: drains
 /// `sources` through a loser tree into `writer` and returns the number of
 /// records written.
-pub(crate) fn merge_sources<S: MergeSource>(
+pub(crate) fn merge_sources<R: SortableRecord, S: MergeSource<R>>(
     sources: &mut [S],
-    mut writer: RunWriter<Record>,
+    mut writer: RunWriter<R>,
 ) -> Result<u64> {
-    let mut heads: Vec<Option<Record>> = sources
+    let mut heads: Vec<Option<R>> = sources
         .iter_mut()
         .map(|s| s.next_record())
         .collect::<Result<_>>()?;
@@ -263,15 +268,15 @@ pub(crate) fn remove_run(
 }
 
 /// A run cursor with a read-ahead buffer.
-pub(crate) struct BufferedCursor {
-    cursor: RunCursor,
-    buffer: VecDeque<Record>,
+pub(crate) struct BufferedCursor<R: SortableRecord> {
+    cursor: RunCursor<R>,
+    buffer: VecDeque<R>,
     read_ahead: usize,
     exhausted: bool,
 }
 
-impl BufferedCursor {
-    pub(crate) fn new(cursor: RunCursor, read_ahead: usize) -> Self {
+impl<R: SortableRecord> BufferedCursor<R> {
+    pub(crate) fn new(cursor: RunCursor<R>, read_ahead: usize) -> Self {
         BufferedCursor {
             cursor,
             buffer: VecDeque::with_capacity(read_ahead.max(1)),
@@ -280,7 +285,7 @@ impl BufferedCursor {
         }
     }
 
-    fn next_record(&mut self) -> Result<Option<Record>> {
+    fn next_record(&mut self) -> Result<Option<R>> {
         if self.buffer.is_empty() && !self.exhausted {
             for _ in 0..self.read_ahead {
                 match self.cursor.next_record()? {
@@ -302,7 +307,7 @@ mod tests {
     use crate::load_sort_store::LoadSortStore;
     use crate::run_generation::{RunGenerator, RunSet};
     use twrs_storage::{SimDevice, SpillNamer, StorageDevice};
-    use twrs_workloads::{Distribution, DistributionKind};
+    use twrs_workloads::{Distribution, DistributionKind, Record};
 
     fn make_runs(device: &SimDevice, namer: &SpillNamer, records: u64, memory: usize) -> RunSet {
         let mut generator = LoadSortStore::new(memory);
@@ -311,7 +316,8 @@ mod tests {
     }
 
     fn read_output(device: &SimDevice, name: &str) -> Vec<Record> {
-        let mut cursor = RunCursor::open(device, &RunHandle::Forward(name.into())).unwrap();
+        let mut cursor =
+            RunCursor::<Record>::open(device, &RunHandle::Forward(name.into())).unwrap();
         cursor.read_all().unwrap()
     }
 
@@ -326,7 +332,7 @@ mod tests {
             read_ahead_records: 64,
         });
         let report = merger
-            .merge_into(&device, &namer, set.runs.clone(), "sorted")
+            .merge_into::<_, Record>(&device, &namer, set.runs.clone(), "sorted")
             .unwrap();
         assert_eq!(report.output_records, 5_000);
         let output = read_output(&device, "sorted");
@@ -347,7 +353,7 @@ mod tests {
             read_ahead_records: 64,
         });
         let report = merger
-            .merge_into(&device, &namer, set.runs, "sorted")
+            .merge_into::<_, Record>(&device, &namer, set.runs, "sorted")
             .unwrap();
         assert_eq!(report.merge_steps, 1);
         assert_eq!(report.records_written, 2_000);
@@ -362,7 +368,7 @@ mod tests {
         assert_eq!(set.num_runs(), 1);
         let merger = KWayMerger::default();
         let report = merger
-            .merge_into(&device, &namer, set.runs, "sorted")
+            .merge_into::<_, Record>(&device, &namer, set.runs, "sorted")
             .unwrap();
         assert_eq!(report.output_records, 100);
         assert_eq!(read_output(&device, "sorted").len(), 100);
@@ -374,7 +380,7 @@ mod tests {
         let namer = SpillNamer::new("m");
         let merger = KWayMerger::default();
         let report = merger
-            .merge_into(&device, &namer, Vec::new(), "sorted")
+            .merge_into::<_, Record>(&device, &namer, Vec::new(), "sorted")
             .unwrap();
         assert_eq!(report.output_records, 0);
         assert!(read_output(&device, "sorted").is_empty());
@@ -390,7 +396,7 @@ mod tests {
             read_ahead_records: 32,
         });
         merger
-            .merge_into(&device, &namer, set.runs, "sorted")
+            .merge_into::<_, Record>(&device, &namer, set.runs, "sorted")
             .unwrap();
         // Only the final output (plus the original unsorted input, which we
         // never created here) should remain on the device.
@@ -407,7 +413,7 @@ mod tests {
             read_ahead_records: 32,
         });
         assert!(matches!(
-            merger.merge_into(&device, &namer, Vec::new(), "out"),
+            merger.merge_into::<_, Record>(&device, &namer, Vec::new(), "out"),
             Err(SortError::InvalidConfig(_))
         ));
     }
@@ -424,7 +430,7 @@ mod tests {
                 read_ahead_records: read_ahead,
             });
             merger
-                .merge_into(&device, &namer, set.runs, "sorted")
+                .merge_into::<_, Record>(&device, &namer, set.runs, "sorted")
                 .unwrap();
             device.stats().counters.seeks
         };

@@ -15,8 +15,7 @@ use crate::error::{Result, SortError};
 use crate::merge::kway::{KWayMerger, MergeConfig};
 use crate::run_generation::{Device, RunCursor, RunHandle};
 use std::collections::VecDeque;
-use twrs_storage::{RunWriter, SpillNamer};
-use twrs_workloads::Record;
+use twrs_storage::{RunWriter, SortableRecord, SpillNamer};
 
 /// Computes the evolution of the number of runs on each tape during a
 /// polyphase merge, starting from `initial` (one entry per tape, at least
@@ -74,7 +73,7 @@ pub fn polyphase_schedule(initial: &[u64]) -> Vec<Vec<u64>> {
 /// the remaining tape starts empty and receives the first merge output. The
 /// function returns the number of merge steps (individual k-way merges)
 /// performed.
-pub fn polyphase_merge<D: Device>(
+pub fn polyphase_merge<D: Device, R: SortableRecord>(
     device: &D,
     namer: &SpillNamer,
     runs: Vec<RunHandle>,
@@ -103,7 +102,7 @@ pub fn polyphase_merge<D: Device>(
         let total_runs: usize = tapes.iter().map(VecDeque::len).sum();
         if total_runs == 0 {
             // No input at all: create an empty output run.
-            RunWriter::<Record>::create(device, output)?.finish()?;
+            RunWriter::<R>::create(device, output)?.finish()?;
             return Ok(merge_steps);
         }
         if total_runs == 1 {
@@ -112,7 +111,7 @@ pub fn polyphase_merge<D: Device>(
                 .iter_mut()
                 .find_map(|t| t.pop_front())
                 .expect("one run remains");
-            merger.merge_into(device, namer, vec![last], output)?;
+            merger.merge_into::<D, R>(device, namer, vec![last], output)?;
             return Ok(merge_steps + 1);
         }
         // If a merge round emptied every tape except the previous output
@@ -156,7 +155,7 @@ pub fn polyphase_merge<D: Device>(
                 .map(|i| tapes[*i].pop_front().expect("tape checked non-empty"))
                 .collect();
             let name = namer.next_name("tape");
-            merger.merge_into(device, namer, batch, &name)?;
+            merger.merge_into::<D, R>(device, namer, batch, &name)?;
             merge_steps += 1;
             tapes[output_tape].push_back(RunHandle::Forward(name));
             if input_indices.iter().any(|i| tapes[*i].is_empty()) {
@@ -168,8 +167,8 @@ pub fn polyphase_merge<D: Device>(
 
 /// Reads a polyphase output for verification (test helper, also used by the
 /// merge-phase experiment binary).
-pub fn read_output<D: Device>(device: &D, output: &str) -> Result<Vec<Record>> {
-    let mut cursor = RunCursor::open(device, &RunHandle::Forward(output.to_string()))?;
+pub fn read_output<D: Device, R: SortableRecord>(device: &D, output: &str) -> Result<Vec<R>> {
+    let mut cursor = RunCursor::<R>::open(device, &RunHandle::Forward(output.to_string()))?;
     cursor.read_all()
 }
 
@@ -215,9 +214,9 @@ mod tests {
         let set = generator.generate(&device, &namer, &mut input).unwrap();
         assert_eq!(set.num_runs(), 25);
 
-        let steps = polyphase_merge(&device, &namer, set.runs, 4, "sorted").unwrap();
+        let steps = polyphase_merge::<_, Record>(&device, &namer, set.runs, 4, "sorted").unwrap();
         assert!(steps > 1);
-        let output = read_output(&device, "sorted").unwrap();
+        let output = read_output::<_, Record>(&device, "sorted").unwrap();
         assert_eq!(output.len(), 2_500);
         assert!(output.windows(2).all(|w| w[0] <= w[1]));
     }
@@ -229,8 +228,8 @@ mod tests {
         let mut generator = LoadSortStore::new(1_000);
         let mut input = Distribution::new(DistributionKind::RandomUniform, 300, 2).records();
         let set = generator.generate(&device, &namer, &mut input).unwrap();
-        polyphase_merge(&device, &namer, set.runs, 4, "sorted").unwrap();
-        let output = read_output(&device, "sorted").unwrap();
+        polyphase_merge::<_, Record>(&device, &namer, set.runs, 4, "sorted").unwrap();
+        let output = read_output::<_, Record>(&device, "sorted").unwrap();
         assert_eq!(output.len(), 300);
     }
 
@@ -238,8 +237,8 @@ mod tests {
     fn merge_empty_input() {
         let device = SimDevice::new();
         let namer = SpillNamer::new("pp");
-        polyphase_merge(&device, &namer, Vec::new(), 4, "sorted").unwrap();
-        let output = read_output(&device, "sorted").unwrap();
+        polyphase_merge::<_, Record>(&device, &namer, Vec::new(), 4, "sorted").unwrap();
+        let output = read_output::<_, Record>(&device, "sorted").unwrap();
         assert!(output.is_empty());
     }
 
@@ -248,7 +247,7 @@ mod tests {
         let device = SimDevice::new();
         let namer = SpillNamer::new("pp");
         assert!(matches!(
-            polyphase_merge(&device, &namer, Vec::new(), 2, "out"),
+            polyphase_merge::<_, Record>(&device, &namer, Vec::new(), 2, "out"),
             Err(SortError::InvalidConfig(_))
         ));
     }
@@ -262,8 +261,8 @@ mod tests {
         let mut generator = LoadSortStore::new(64);
         let mut iter = input.clone().into_iter();
         let set = generator.generate(&device, &namer, &mut iter).unwrap();
-        polyphase_merge(&device, &namer, set.runs, 5, "sorted").unwrap();
-        let mut output = read_output(&device, "sorted").unwrap();
+        polyphase_merge::<_, Record>(&device, &namer, set.runs, 5, "sorted").unwrap();
+        let mut output = read_output::<_, Record>(&device, "sorted").unwrap();
         let mut expected = input;
         output.sort_unstable();
         expected.sort_unstable();

@@ -22,8 +22,8 @@
 //!    every input run through a background prefetch thread that stays one
 //!    read-ahead batch ahead of the loser tree.
 //!
-//! Because [`Record`](twrs_workloads::Record)'s ordering is total over all
-//! of its bytes, the fully merged output is **byte-identical** to the
+//! Because [`SortableRecord`] requires a *total* order, the fully merged
+//! output is **byte-identical** to the
 //! sequential sorter's output for every thread count — the equivalence test
 //! suite (`tests/parallel_equivalence.rs`) pins this. Phases are attributed
 //! from device-level snapshot deltas exactly like the sequential sorter
@@ -34,7 +34,9 @@
 
 use crate::error::{Result, SortError};
 use crate::merge::kway::{merge_passes, merge_sources, MergeConfig, MergeSource};
-use crate::run_generation::{Device, RunCursor, RunGenerator, RunHandle, RunSet};
+use crate::run_generation::{
+    sort_dataset_file, Device, RunCursor, RunGenerator, RunHandle, RunSet,
+};
 use crate::sorter::{verify_phase_report, PhaseReport, SortReport, SorterConfig};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -43,9 +45,9 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 use twrs_storage::{
-    IoStatsSnapshot, PageFile, RunWriter, ScopedDevice, SpillNamer, StorageDevice, StorageError,
+    IoStatsSnapshot, PageFile, RunWriter, ScopedDevice, SortableRecord, SpillNamer, StorageDevice,
+    StorageError,
 };
-use twrs_workloads::Record;
 
 // ---------------------------------------------------------------------------
 // Memory-budget sharding
@@ -354,14 +356,14 @@ impl<D: Device> StorageDevice for SpillWriteDevice<D> {
 /// The consumer end of one background prefetch thread: the thread reads the
 /// run in `read_ahead`-record batches and stays up to `queue_batches`
 /// batches ahead of the merge loop.
-struct PrefetchSource {
-    rx: Receiver<std::result::Result<Vec<Record>, SortError>>,
-    buffer: VecDeque<Record>,
+struct PrefetchSource<R: SortableRecord> {
+    rx: Receiver<std::result::Result<Vec<R>, SortError>>,
+    buffer: VecDeque<R>,
     worker: Option<JoinHandle<()>>,
     done: bool,
 }
 
-impl PrefetchSource {
+impl<R: SortableRecord> PrefetchSource<R> {
     fn spawn<D: Device>(
         device: D,
         handle: RunHandle,
@@ -371,7 +373,7 @@ impl PrefetchSource {
         let (tx, rx) = sync_channel(queue_batches.max(1));
         let batch = read_ahead.max(1);
         let worker = std::thread::spawn(move || {
-            let mut cursor = match RunCursor::open(&device, &handle) {
+            let mut cursor = match RunCursor::<R>::open(&device, &handle) {
                 Ok(cursor) => cursor,
                 Err(e) => {
                     let _ = tx.send(Err(e));
@@ -417,8 +419,8 @@ impl PrefetchSource {
     }
 }
 
-impl MergeSource for PrefetchSource {
-    fn next_record(&mut self) -> Result<Option<Record>> {
+impl<R: SortableRecord> MergeSource<R> for PrefetchSource<R> {
+    fn next_record(&mut self) -> Result<Option<R>> {
         if self.buffer.is_empty() && !self.done {
             match self.rx.recv() {
                 Ok(Ok(chunk)) => self.buffer = chunk.into(),
@@ -435,20 +437,20 @@ impl MergeSource for PrefetchSource {
 }
 
 /// One multi-pass merge step with a prefetch thread per input run.
-fn merge_batch_prefetched<D: Device>(
+fn merge_batch_prefetched<D: Device, R: SortableRecord>(
     device: &D,
     batch: &[RunHandle],
     output: &str,
     read_ahead: usize,
     queue_batches: usize,
 ) -> Result<u64> {
-    let mut sources: Vec<PrefetchSource> = batch
+    let mut sources: Vec<PrefetchSource<R>> = batch
         .iter()
         .map(|handle| {
             PrefetchSource::spawn(device.clone(), handle.clone(), read_ahead, queue_batches)
         })
         .collect();
-    let writer = RunWriter::<Record>::create(device, output)?;
+    let writer = RunWriter::<R>::create(device, output)?;
     let written = merge_sources(&mut sources, writer)?;
     for source in sources {
         source.join();
@@ -603,6 +605,11 @@ pub struct ParallelExternalSorter<G: ShardableGenerator> {
 impl<G: ShardableGenerator> ParallelExternalSorter<G> {
     /// Creates a parallel sorter with the default configuration (one shard
     /// per available core).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the `SortJob` builder front door instead: \
+                `SortJob::new(generator).on(&device).threads(n).run_iter(input, \"out\")`"
+    )]
     pub fn new(generator: G) -> Self {
         ParallelExternalSorter {
             generator,
@@ -629,10 +636,10 @@ impl<G: ShardableGenerator> ParallelExternalSorter<G> {
     /// `output` on `device`. The output is byte-identical to what
     /// [`ExternalSorter::sort_iter`](crate::sorter::ExternalSorter::sort_iter)
     /// produces for the same input.
-    pub fn sort_iter<D: Device>(
+    pub fn sort_iter<D: Device, R: SortableRecord>(
         &mut self,
         device: &D,
-        input: &mut dyn Iterator<Item = Record>,
+        input: &mut dyn Iterator<Item = R>,
         output: &str,
     ) -> Result<ParallelSortReport> {
         let threads = self.config.threads;
@@ -653,10 +660,10 @@ impl<G: ShardableGenerator> ParallelExternalSorter<G> {
         Ok(report)
     }
 
-    fn sort_iter_inner<D: Device>(
+    fn sort_iter_inner<D: Device, R: SortableRecord>(
         &mut self,
         device: &D,
-        input: &mut dyn Iterator<Item = Record>,
+        input: &mut dyn Iterator<Item = R>,
         output: &str,
         namer: &Arc<SpillNamer>,
     ) -> Result<ParallelSortReport> {
@@ -695,14 +702,20 @@ impl<G: ShardableGenerator> ParallelExternalSorter<G> {
         let merge = self.config.merge;
         let prefetch = self.config.prefetch_batches;
         let started = Instant::now();
-        let merge_report = merge_passes(
+        let merge_report = merge_passes::<D, R, _>(
             device,
             namer.as_ref(),
             run_set.runs.clone(),
             output,
             merge.fan_in,
             |batch, name| {
-                merge_batch_prefetched(device, batch, name, merge.read_ahead_records, prefetch)
+                merge_batch_prefetched::<D, R>(
+                    device,
+                    batch,
+                    name,
+                    merge.read_ahead_records,
+                    prefetch,
+                )
             },
         )?;
         let merge_wall = started.elapsed();
@@ -710,7 +723,7 @@ impl<G: ShardableGenerator> ParallelExternalSorter<G> {
         let merge_phase = PhaseReport::from_delta(merge_wall, after_merge.since(&after_runs));
 
         // --- Optional verification (own snapshot window) ----------------
-        let verify_phase = verify_phase_report(
+        let verify_phase = verify_phase_report::<D, R>(
             device,
             self.config.verify,
             output,
@@ -735,33 +748,46 @@ impl<G: ShardableGenerator> ParallelExternalSorter<G> {
         })
     }
 
-    /// Sorts a dataset previously materialised on the device (see
-    /// `twrs_workloads::materialize`) into the forward run file `output`.
-    pub fn sort_file<D: Device>(
+    /// Sorts a dataset of `R` records previously materialised on the
+    /// device (see `twrs_workloads::materialize`) into the forward run file
+    /// `output`.
+    ///
+    /// The record type cannot be inferred from the file names, so call this
+    /// as `sorter.sort_file_as::<_, MyRecord>(…)`. For the default paper
+    /// record the facade crate provides a `sort_file` extension method with
+    /// the historical signature.
+    ///
+    /// A corrupt or truncated input dataset surfaces as an
+    /// [`SortError::Storage`] error, never as a panic. The pipeline sorts
+    /// the readable prefix before the error is detected (the generators
+    /// see an ordinary end of stream), but the partial output file and the
+    /// spill files are cleaned up, so no valid-looking truncated result
+    /// survives.
+    pub fn sort_file_as<D: Device, R: SortableRecord>(
         &mut self,
         device: &D,
         input: &str,
         output: &str,
     ) -> Result<ParallelSortReport> {
-        let reader = twrs_storage::RunReader::<Record>::open(device, input)?;
-        let mut iter = reader.map(|r| r.expect("input dataset is readable"));
-        self.sort_iter(device, &mut iter, output)
+        sort_dataset_file::<D, R, _>(device, input, output, |iter| {
+            self.sort_iter(device, iter, output)
+        })
     }
 
     /// Spawns the generation workers, deals the input to them round-robin
     /// and collects their run sets in shard order.
-    fn generate_sharded<D: Device>(
+    fn generate_sharded<D: Device, R: SortableRecord>(
         &self,
         device: &D,
         namer: &Arc<SpillNamer>,
-        input: &mut dyn Iterator<Item = Record>,
+        input: &mut dyn Iterator<Item = R>,
     ) -> Result<Vec<ShardOutcome>> {
         let threads = self.config.threads;
         let queue_depth = self.config.spill_queue_pages;
-        let mut senders: Vec<Option<SyncSender<Vec<Record>>>> = Vec::with_capacity(threads);
+        let mut senders: Vec<Option<SyncSender<Vec<R>>>> = Vec::with_capacity(threads);
         let mut workers = Vec::with_capacity(threads);
         for index in 0..threads {
-            let (tx, rx) = sync_channel::<Vec<Record>>(2);
+            let (tx, rx) = sync_channel::<Vec<R>>(2);
             senders.push(Some(tx));
             let mut generator = self.generator.shard(index, threads);
             let scoped = ScopedDevice::new(device.clone());
@@ -789,7 +815,7 @@ impl<G: ShardableGenerator> ParallelExternalSorter<G> {
         let mut shard = 0usize;
         let mut live = threads;
         while live > 0 {
-            let batch: Vec<Record> = input.take(parcel).collect();
+            let batch: Vec<R> = input.take(parcel).collect();
             if batch.is_empty() {
                 break;
             }
@@ -825,7 +851,7 @@ mod tests {
     use crate::replacement_selection::ReplacementSelection;
     use crate::sorter::ExternalSorter;
     use twrs_storage::SimDevice;
-    use twrs_workloads::{Distribution, DistributionKind};
+    use twrs_workloads::{Distribution, DistributionKind, Record};
 
     fn config(threads: usize) -> ParallelSorterConfig {
         ParallelSorterConfig {
@@ -842,7 +868,7 @@ mod tests {
     }
 
     fn read_records(device: &SimDevice, name: &str) -> Vec<Record> {
-        RunCursor::open(device, &RunHandle::Forward(name.into()))
+        RunCursor::<Record>::open(device, &RunHandle::Forward(name.into()))
             .unwrap()
             .read_all()
             .unwrap()
@@ -893,7 +919,7 @@ mod tests {
     fn empty_input_produces_empty_output() {
         let device = SimDevice::new();
         let mut par = ParallelExternalSorter::with_config(LoadSortStore::new(64), config(4));
-        let mut input = std::iter::empty();
+        let mut input = std::iter::empty::<Record>();
         let report = par.sort_iter(&device, &mut input, "out").unwrap();
         assert_eq!(report.report.records, 0);
         assert_eq!(report.report.num_runs, 0);
@@ -905,7 +931,7 @@ mod tests {
     fn zero_threads_is_rejected() {
         let device = SimDevice::new();
         let mut par = ParallelExternalSorter::with_config(LoadSortStore::new(64), config(0));
-        let mut input = std::iter::empty();
+        let mut input = std::iter::empty::<Record>();
         assert!(matches!(
             par.sort_iter(&device, &mut input, "out"),
             Err(SortError::InvalidConfig(_))

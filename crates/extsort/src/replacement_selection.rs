@@ -18,8 +18,7 @@ use crate::error::{Result, SortError};
 use crate::parallel::{shard_budget, ShardableGenerator};
 use crate::run_generation::{Device, ForwardRunBuilder, RunGenerator, RunSet};
 use twrs_heaps::{BinaryHeap, HeapKind, RunRecord};
-use twrs_storage::SpillNamer;
-use twrs_workloads::Record;
+use twrs_storage::{SortableRecord, SpillNamer};
 
 /// Classic replacement selection run generation.
 #[derive(Debug, Clone)]
@@ -49,18 +48,18 @@ impl RunGenerator for ReplacementSelection {
         self.memory_records
     }
 
-    fn generate<D: Device>(
+    fn generate<D: Device, R: SortableRecord>(
         &mut self,
         device: &D,
         namer: &SpillNamer,
-        input: &mut dyn Iterator<Item = Record>,
+        input: &mut dyn Iterator<Item = R>,
     ) -> Result<RunSet> {
         if self.memory_records == 0 {
             return Err(SortError::InvalidConfig(
                 "replacement selection needs a heap of at least one record".into(),
             ));
         }
-        let mut heap: BinaryHeap<RunRecord<Record>> =
+        let mut heap: BinaryHeap<RunRecord<R>> =
             BinaryHeap::with_capacity(HeapKind::Min, self.memory_records);
 
         // Phase 1: fill the heap (heap.fill in Algorithm 1). No record needs
@@ -115,7 +114,7 @@ mod tests {
     use super::*;
     use crate::run_generation::RunCursor;
     use twrs_storage::SimDevice;
-    use twrs_workloads::{Distribution, DistributionKind};
+    use twrs_workloads::{Distribution, DistributionKind, Record};
 
     fn run_rs(memory: usize, input: Vec<Record>) -> (SimDevice, RunSet) {
         let device = SimDevice::new();
@@ -127,9 +126,9 @@ mod tests {
     }
 
     fn check_runs_sorted_and_complete(device: &SimDevice, set: &RunSet, mut expected: Vec<Record>) {
-        let mut all = Vec::new();
+        let mut all: Vec<Record> = Vec::new();
         for handle in &set.runs {
-            let mut cursor = RunCursor::open(device, handle).unwrap();
+            let mut cursor = RunCursor::<Record>::open(device, handle).unwrap();
             let run = cursor.read_all().unwrap();
             assert!(
                 run.windows(2).all(|w| w[0] <= w[1]),
@@ -217,7 +216,7 @@ mod tests {
         let device = SimDevice::new();
         let namer = SpillNamer::new("rs");
         let mut generator = ReplacementSelection::new(0);
-        let mut input = std::iter::empty();
+        let mut input = std::iter::empty::<Record>();
         assert!(matches!(
             generator.generate(&device, &namer, &mut input),
             Err(SortError::InvalidConfig(_))

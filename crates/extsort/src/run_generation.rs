@@ -11,9 +11,9 @@
 
 use crate::error::Result;
 use twrs_storage::{
-    ReverseRunReader, ReverseRunWriter, RunReader, RunWriter, SpillNamer, StorageDevice,
+    ReverseRunReader, ReverseRunWriter, RunReader, RunWriter, SortableRecord, SpillNamer,
+    StorageDevice, StorageError,
 };
-use twrs_workloads::Record;
 
 /// Device bound required by run generation: the reverse-file writer needs to
 /// create part files on demand, so the device must be cloneable and owned.
@@ -97,6 +97,11 @@ impl RunSet {
 ///
 /// Implementations read the whole `input` iterator and write sorted runs to
 /// `device`, naming them through `namer` so the caller can clean them up.
+///
+/// [`generate`](RunGenerator::generate) is generic over the record type, so
+/// one generator value serves every [`SortableRecord`] — the concrete record
+/// is chosen at the call site (usually inferred from the input iterator).
+/// The memory budget is expressed in *records*, whatever their size.
 pub trait RunGenerator {
     /// Short human-readable name used in reports ("RS", "2WRS", "LSS", …).
     fn label(&self) -> &'static str;
@@ -106,30 +111,30 @@ pub trait RunGenerator {
     fn memory_records(&self) -> usize;
 
     /// Consumes `input` and produces a [`RunSet`] on `device`.
-    fn generate<D: Device>(
+    fn generate<D: Device, R: SortableRecord>(
         &mut self,
         device: &D,
         namer: &SpillNamer,
-        input: &mut dyn Iterator<Item = Record>,
+        input: &mut dyn Iterator<Item = R>,
     ) -> Result<RunSet>;
 }
 
 /// A unified ascending-order reader over either kind of run.
-pub enum RunCursor {
+pub enum RunCursor<R: SortableRecord> {
     /// Cursor over a forward run file.
-    Forward(RunReader<Record>),
+    Forward(RunReader<R>),
     /// Cursor over a reverse (Appendix A) run.
-    Reverse(ReverseRunReader<Record>),
+    Reverse(ReverseRunReader<R>),
     /// Cursor over a chain of runs read one after another.
     Chain {
         /// The component cursors, in ascending key-range order.
-        parts: Vec<RunCursor>,
+        parts: Vec<RunCursor<R>>,
         /// Index of the component currently being read.
         current: usize,
     },
 }
 
-impl RunCursor {
+impl<R: SortableRecord> RunCursor<R> {
     /// Opens the run named by `handle` on `device`.
     pub fn open(device: &dyn StorageDevice, handle: &RunHandle) -> Result<Self> {
         Ok(match handle {
@@ -160,7 +165,7 @@ impl RunCursor {
     }
 
     /// Returns the next record in ascending order, or `None` at the end.
-    pub fn next_record(&mut self) -> Result<Option<Record>> {
+    pub fn next_record(&mut self) -> Result<Option<R>> {
         match self {
             RunCursor::Forward(r) => Ok(r.next_record()?),
             RunCursor::Reverse(r) => Ok(r.next_record()?),
@@ -177,7 +182,7 @@ impl RunCursor {
     }
 
     /// Reads the whole remaining run into a vector (mainly for tests).
-    pub fn read_all(&mut self) -> Result<Vec<Record>> {
+    pub fn read_all(&mut self) -> Result<Vec<R>> {
         let mut out = Vec::new();
         while let Some(r) = self.next_record()? {
             out.push(r);
@@ -186,17 +191,85 @@ impl RunCursor {
     }
 }
 
+/// Iterator over a [`RunReader`] that stops at the first read error and
+/// parks it for the caller to inspect once iteration is over. This is how
+/// fallible dataset scans feed the `&mut dyn Iterator` inputs of the
+/// pipeline: a corrupt or truncated input surfaces as a [`StorageError`]
+/// from the caller instead of a panic mid-sort.
+pub(crate) struct FallibleRecords<'e, R: SortableRecord> {
+    pub(crate) reader: RunReader<R>,
+    pub(crate) error: &'e mut Option<StorageError>,
+}
+
+impl<R: SortableRecord> Iterator for FallibleRecords<'_, R> {
+    type Item = R;
+
+    fn next(&mut self) -> Option<R> {
+        if self.error.is_some() {
+            return None;
+        }
+        match self.reader.next_record() {
+            Ok(record) => record,
+            Err(e) => {
+                *self.error = Some(e);
+                None
+            }
+        }
+    }
+}
+
+/// Shared `sort_file` plumbing of the sequential and parallel sorters:
+/// opens the dataset `input` on `device`, feeds it to `sort` through a
+/// [`FallibleRecords`] adapter, and — when the dataset turned out corrupt
+/// or truncated — removes the partial `output` file and surfaces the read
+/// error instead of the sort result.
+///
+/// The pipeline cannot abort mid-phase on a read error (the generators see
+/// an ordinary end of stream), so the sort runs to completion on the
+/// readable prefix before the error is reported; the valid-looking partial
+/// output never survives, though.
+pub(crate) fn sort_dataset_file<D, R, T>(
+    device: &D,
+    input: &str,
+    output: &str,
+    sort: impl FnOnce(&mut FallibleRecords<'_, R>) -> Result<T>,
+) -> Result<T>
+where
+    D: StorageDevice,
+    R: SortableRecord,
+{
+    let reader = RunReader::<R>::open(device, input)?;
+    let mut read_error = None;
+    let mut iter = FallibleRecords {
+        reader,
+        error: &mut read_error,
+    };
+    let result = sort(&mut iter);
+    drop(iter);
+    match read_error {
+        Some(error) => {
+            // The sort ran to completion on the truncated prefix; do not
+            // leave that valid-looking partial output behind.
+            if device.exists(output) {
+                let _ = device.remove(output);
+            }
+            Err(error.into())
+        }
+        None => result,
+    }
+}
+
 /// Incrementally builds a forward run, opening the file lazily on the first
 /// record so empty runs never touch the device. Shared by every
 /// run-generation algorithm (including 2WRS in `twrs-core`).
-pub struct ForwardRunBuilder<'a, D: Device> {
+pub struct ForwardRunBuilder<'a, D: Device, R: SortableRecord> {
     device: &'a D,
     namer: &'a SpillNamer,
-    writer: Option<RunWriter<Record>>,
+    writer: Option<RunWriter<R>>,
     name: Option<String>,
 }
 
-impl<'a, D: Device> ForwardRunBuilder<'a, D> {
+impl<'a, D: Device, R: SortableRecord> ForwardRunBuilder<'a, D, R> {
     /// Creates a builder that will allocate run names through `namer`.
     pub fn new(device: &'a D, namer: &'a SpillNamer) -> Self {
         ForwardRunBuilder {
@@ -208,7 +281,7 @@ impl<'a, D: Device> ForwardRunBuilder<'a, D> {
     }
 
     /// Appends a record to the current run, opening it lazily.
-    pub fn push(&mut self, record: &Record) -> Result<()> {
+    pub fn push(&mut self, record: &R) -> Result<()> {
         if self.writer.is_none() {
             let name = self.namer.next_name("run");
             self.writer = Some(RunWriter::create(self.device, &name)?);
@@ -239,15 +312,15 @@ impl<'a, D: Device> ForwardRunBuilder<'a, D> {
 /// Incrementally builds a reverse (Appendix A) run for streams produced in
 /// decreasing order, with the same lazy-open behaviour as
 /// [`ForwardRunBuilder`]. Used by the decreasing streams of 2WRS.
-pub struct ReverseRunBuilder<'a, D: Device> {
+pub struct ReverseRunBuilder<'a, D: Device, R: SortableRecord> {
     device: &'a D,
     namer: &'a SpillNamer,
     pages_per_file: u64,
-    writer: Option<ReverseRunWriter<Record>>,
+    writer: Option<ReverseRunWriter<R>>,
     name: Option<String>,
 }
 
-impl<'a, D: Device> ReverseRunBuilder<'a, D> {
+impl<'a, D: Device, R: SortableRecord> ReverseRunBuilder<'a, D, R> {
     /// Creates a builder whose part files will have `pages_per_file` pages.
     pub fn new(device: &'a D, namer: &'a SpillNamer, pages_per_file: u64) -> Self {
         ReverseRunBuilder {
@@ -260,7 +333,7 @@ impl<'a, D: Device> ReverseRunBuilder<'a, D> {
     }
 
     /// Appends the next (smaller or equal) record of the decreasing stream.
-    pub fn push(&mut self, record: &Record) -> Result<()> {
+    pub fn push(&mut self, record: &R) -> Result<()> {
         if self.writer.is_none() {
             let name = self.namer.next_name("rev");
             self.writer = Some(ReverseRunWriter::with_pages_per_file(
@@ -327,7 +400,7 @@ mod tests {
         // Forward run with ascending records.
         let mut fwd = ForwardRunBuilder::new(&device, &namer);
         for k in 0..100u64 {
-            fwd.push(&Record::new(k, k)).unwrap();
+            fwd.push(&k).unwrap();
         }
         let mut runs = Vec::new();
         fwd.finish_run(&mut runs).unwrap();
@@ -335,13 +408,13 @@ mod tests {
         // Reverse run receiving the same records in descending order.
         let mut rev = ReverseRunBuilder::new(&device, &namer, 4);
         for k in (0..100u64).rev() {
-            rev.push(&Record::new(k, k)).unwrap();
+            rev.push(&k).unwrap();
         }
         rev.finish_run(&mut runs).unwrap();
 
         assert_eq!(runs.len(), 2);
-        let mut first = RunCursor::open(&device, &runs[0]).unwrap();
-        let mut second = RunCursor::open(&device, &runs[1]).unwrap();
+        let mut first = RunCursor::<u64>::open(&device, &runs[0]).unwrap();
+        let mut second = RunCursor::<u64>::open(&device, &runs[1]).unwrap();
         assert_eq!(first.len(), 100);
         assert_eq!(second.len(), 100);
         assert_eq!(first.read_all().unwrap(), second.read_all().unwrap());
@@ -351,10 +424,10 @@ mod tests {
     fn empty_builders_produce_no_runs() {
         let device = SimDevice::new();
         let namer = SpillNamer::new("t");
-        let mut fwd = ForwardRunBuilder::new(&device, &namer);
+        let mut fwd = ForwardRunBuilder::<_, u64>::new(&device, &namer);
         let mut runs = Vec::new();
         assert_eq!(fwd.finish_run(&mut runs).unwrap(), 0);
-        let mut rev = ReverseRunBuilder::new(&device, &namer, 4);
+        let mut rev = ReverseRunBuilder::<_, u64>::new(&device, &namer, 4);
         assert_eq!(rev.finish_run(&mut runs).unwrap(), 0);
         assert!(runs.is_empty());
     }

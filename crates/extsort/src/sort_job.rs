@@ -1,0 +1,317 @@
+//! The builder-style front door of the whole sorting pipeline.
+//!
+//! [`ExternalSorter`] and
+//! [`ParallelExternalSorter`] are
+//! the two engines of the pipeline; [`SortJob`] is the single entry point
+//! that drives either of them from one description of the work:
+//!
+//! ```
+//! use twrs_extsort::{ReplacementSelection, SortJob};
+//! use twrs_storage::SimDevice;
+//! use twrs_workloads::{Distribution, DistributionKind};
+//!
+//! let device = SimDevice::new();
+//! let input = Distribution::new(DistributionKind::RandomUniform, 10_000, 7);
+//! let report = SortJob::new(ReplacementSelection::new(200))
+//!     .on(&device)
+//!     .threads(4)
+//!     .verify(true)
+//!     .run_iter(input.records(), "sorted")
+//!     .expect("sort succeeds");
+//! assert_eq!(report.report.records, 10_000);
+//! assert_eq!(report.threads, 4);
+//! ```
+//!
+//! `threads(1)` (the default) runs the sequential sorter; any larger count
+//! runs the sharded parallel sorter. Both paths produce **byte-identical**
+//! output for the same input, so the thread count is purely a performance
+//! knob. The record type is a free parameter: `run_iter` infers it from the
+//! input iterator, `run_file_as` takes it explicitly (a file name cannot
+//! reveal it).
+
+use crate::error::{Result, SortError};
+use crate::merge::kway::MergeConfig;
+use crate::parallel::{
+    ParallelExternalSorter, ParallelSortReport, ParallelSorterConfig, ShardReport,
+    ShardableGenerator,
+};
+use crate::run_generation::{sort_dataset_file, Device};
+use crate::sorter::{ExternalSorter, SortReport, SorterConfig};
+use twrs_storage::SortableRecord;
+
+/// The report of one [`SortJob`] run: the familiar aggregated
+/// [`SortReport`] plus, when the job ran in parallel, the per-shard
+/// breakdown.
+#[derive(Debug, Clone)]
+pub struct SortJobReport {
+    /// Aggregated per-phase report, identical in shape for the sequential
+    /// and the parallel path (directly comparable across thread counts).
+    pub report: SortReport,
+    /// Number of generation threads the job used (1 = sequential path).
+    pub threads: usize,
+    /// Per-shard breakdown of the run-generation phase; `None` when the
+    /// job ran on the sequential path.
+    pub shards: Option<Vec<ShardReport>>,
+}
+
+impl SortJobReport {
+    /// `true` when the job ran the sharded parallel pipeline.
+    pub fn is_parallel(&self) -> bool {
+        self.shards.is_some()
+    }
+
+    /// `true` when the report's I/O accounting is internally consistent:
+    /// for a parallel run, exactly
+    /// [`ParallelSortReport::io_is_consistent`] (the aggregated
+    /// run-generation writes equal the field-wise shard sums, the phase's
+    /// reads cover the shards' own reads, and the shard record counts sum
+    /// to the total); trivially `true` for a sequential run, whose phases
+    /// are measured directly on the device.
+    pub fn io_is_consistent(&self) -> bool {
+        match &self.shards {
+            None => true,
+            // Delegate to the engine's invariant so the two reports can
+            // never drift apart.
+            Some(shards) => ParallelSortReport {
+                report: self.report.clone(),
+                threads: self.threads,
+                shards: shards.clone(),
+            }
+            .io_is_consistent(),
+        }
+    }
+}
+
+/// Builder describing a sort before a device is attached; created with
+/// [`SortJob::new`] and bound to a device with [`SortJob::on`].
+///
+/// See the [module documentation](self) for the full chain.
+#[derive(Debug, Clone)]
+pub struct SortJob<G> {
+    generator: G,
+    threads: usize,
+    config: SorterConfig,
+}
+
+impl<G> SortJob<G> {
+    /// Starts describing a sort that uses `generator` for run generation.
+    ///
+    /// Defaults: one thread (the sequential pipeline), no verification
+    /// pass, and the default [`MergeConfig`] — exactly the behaviour of
+    /// `ExternalSorter` with a default [`SorterConfig`].
+    pub fn new(generator: G) -> Self {
+        SortJob {
+            generator,
+            threads: 1,
+            config: SorterConfig::default(),
+        }
+    }
+
+    /// Sets the number of generation threads. `1` (the default) selects
+    /// the sequential pipeline; larger counts select the sharded parallel
+    /// pipeline with the generator's memory budget divided across shards.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Enables or disables the post-merge verification scan (reported in
+    /// its own phase window, never polluting the merge attribution).
+    pub fn verify(mut self, verify: bool) -> Self {
+        self.config.verify = verify;
+        self
+    }
+
+    /// Replaces the whole pipeline configuration (merge parameters and
+    /// verify flag) in one call.
+    pub fn config(mut self, config: SorterConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the merge-phase configuration (fan-in and per-run read-ahead).
+    pub fn merge(mut self, merge: MergeConfig) -> Self {
+        self.config.merge = merge;
+        self
+    }
+
+    /// Binds the job to a storage device, after which it can run.
+    ///
+    /// The device handle is cloned; every [`Device`] in this workspace is a
+    /// cheap shared handle onto the same underlying storage.
+    pub fn on<D: Device>(self, device: &D) -> BoundSortJob<G, D> {
+        BoundSortJob {
+            job: self,
+            device: device.clone(),
+        }
+    }
+}
+
+/// A [`SortJob`] bound to a device: the runnable form of the builder.
+///
+/// All of [`SortJob`]'s setters are available here too, so the chain order
+/// does not matter.
+#[derive(Debug, Clone)]
+pub struct BoundSortJob<G, D: Device> {
+    job: SortJob<G>,
+    device: D,
+}
+
+impl<G, D: Device> BoundSortJob<G, D> {
+    /// Sets the number of generation threads; see [`SortJob::threads`].
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.job = self.job.threads(threads);
+        self
+    }
+
+    /// Enables or disables the verification scan; see [`SortJob::verify`].
+    pub fn verify(mut self, verify: bool) -> Self {
+        self.job = self.job.verify(verify);
+        self
+    }
+
+    /// Replaces the pipeline configuration; see [`SortJob::config`].
+    pub fn config(mut self, config: SorterConfig) -> Self {
+        self.job = self.job.config(config);
+        self
+    }
+
+    /// Sets the merge-phase configuration; see [`SortJob::merge`].
+    pub fn merge(mut self, merge: MergeConfig) -> Self {
+        self.job = self.job.merge(merge);
+        self
+    }
+
+    /// The parallel configuration this job expands to for its thread count
+    /// (also meaningful for `threads == 1`, where it mirrors the
+    /// sequential [`SorterConfig`]).
+    fn parallel_config(&self) -> ParallelSorterConfig {
+        ParallelSorterConfig {
+            threads: self.job.threads,
+            merge: self.job.config.merge,
+            verify: self.job.config.verify,
+            ..ParallelSorterConfig::default()
+        }
+    }
+
+    /// Sorts the records produced by `input` into the forward run file
+    /// `output` on the bound device and returns the unified report.
+    pub fn run_iter<R: SortableRecord>(
+        self,
+        mut input: impl Iterator<Item = R>,
+        output: &str,
+    ) -> Result<SortJobReport>
+    where
+        G: ShardableGenerator,
+    {
+        match self.job.threads {
+            0 => Err(SortError::InvalidConfig(
+                "a sort job needs at least one thread".into(),
+            )),
+            1 => {
+                let mut sorter = ExternalSorter::with_config(self.job.generator, self.job.config);
+                let report = sorter.sort_iter(&self.device, &mut input, output)?;
+                Ok(SortJobReport {
+                    report,
+                    threads: 1,
+                    shards: None,
+                })
+            }
+            threads => {
+                let config = self.parallel_config();
+                let mut sorter = ParallelExternalSorter::with_config(self.job.generator, config);
+                let parallel = sorter.sort_iter(&self.device, &mut input, output)?;
+                Ok(SortJobReport {
+                    report: parallel.report,
+                    threads,
+                    shards: Some(parallel.shards),
+                })
+            }
+        }
+    }
+
+    /// Sorts a dataset of `R` records previously materialised on the bound
+    /// device (see `twrs_workloads::materialize`) into the forward run file
+    /// `output`.
+    ///
+    /// The record type cannot be inferred from the file names, so call
+    /// this as `.run_file_as::<MyRecord>(…)`. For the default paper record
+    /// the facade crate provides a `run_file` extension method. A corrupt
+    /// or truncated input surfaces as an error, never a panic, and the
+    /// partial output file is removed.
+    pub fn run_file_as<R: SortableRecord>(self, input: &str, output: &str) -> Result<SortJobReport>
+    where
+        G: ShardableGenerator,
+    {
+        let device = self.device.clone();
+        sort_dataset_file::<D, R, _>(&device, input, output, |iter| self.run_iter(iter, output))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load_sort_store::LoadSortStore;
+    use crate::replacement_selection::ReplacementSelection;
+    use crate::run_generation::{RunCursor, RunHandle};
+    use twrs_storage::SimDevice;
+    use twrs_workloads::{Distribution, DistributionKind, Record};
+
+    fn read_records(device: &SimDevice, name: &str) -> Vec<Record> {
+        RunCursor::<Record>::open(device, &RunHandle::Forward(name.into()))
+            .unwrap()
+            .read_all()
+            .unwrap()
+    }
+
+    #[test]
+    fn sequential_and_parallel_paths_agree() {
+        let device = SimDevice::new();
+        let input = Distribution::new(DistributionKind::MixedBalanced, 3_000, 3);
+        let seq = SortJob::new(ReplacementSelection::new(100))
+            .on(&device)
+            .verify(true)
+            .run_iter(input.records(), "seq")
+            .unwrap();
+        let par = SortJob::new(ReplacementSelection::new(100))
+            .on(&device)
+            .threads(3)
+            .verify(true)
+            .run_iter(input.records(), "par")
+            .unwrap();
+        assert!(!seq.is_parallel());
+        assert!(par.is_parallel());
+        assert_eq!(par.shards.as_ref().map(Vec::len), Some(3));
+        assert!(seq.io_is_consistent());
+        assert!(par.io_is_consistent());
+        assert_eq!(read_records(&device, "seq"), read_records(&device, "par"));
+    }
+
+    #[test]
+    fn setters_compose_in_any_order() {
+        let device = SimDevice::new();
+        let input = Distribution::new(DistributionKind::RandomUniform, 500, 9);
+        let report = SortJob::new(LoadSortStore::new(64))
+            .threads(2)
+            .on(&device)
+            .merge(MergeConfig {
+                fan_in: 3,
+                read_ahead_records: 16,
+            })
+            .verify(true)
+            .run_iter(input.records(), "out")
+            .unwrap();
+        assert_eq!(report.threads, 2);
+        assert_eq!(report.report.records, 500);
+    }
+
+    #[test]
+    fn zero_threads_is_rejected() {
+        let device = SimDevice::new();
+        let result = SortJob::new(LoadSortStore::new(64))
+            .on(&device)
+            .threads(0)
+            .run_iter(std::iter::empty::<Record>(), "out");
+        assert!(matches!(result, Err(SortError::InvalidConfig(_))));
+    }
+}

@@ -9,10 +9,11 @@
 
 use crate::error::{Result, SortError};
 use crate::merge::kway::{KWayMerger, MergeConfig, MergeReport};
-use crate::run_generation::{Device, RunCursor, RunGenerator, RunHandle, RunSet};
+use crate::run_generation::{
+    sort_dataset_file, Device, RunCursor, RunGenerator, RunHandle, RunSet,
+};
 use std::time::{Duration, Instant};
-use twrs_storage::{IoStatsSnapshot, SpillNamer};
-use twrs_workloads::Record;
+use twrs_storage::{IoStatsSnapshot, SortableRecord, SpillNamer};
 
 /// Configuration of the sorting pipeline that is independent of the
 /// run-generation algorithm.
@@ -106,6 +107,13 @@ pub struct ExternalSorter<G: RunGenerator> {
 
 impl<G: RunGenerator> ExternalSorter<G> {
     /// Creates a sorter with the default pipeline configuration.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the `SortJob` builder front door instead \
+                (`SortJob::new(generator).on(&device).run_iter(input, \"out\")`), \
+                or `ExternalSorter::with_config` for a generator that does not \
+                implement `ShardableGenerator`"
+    )]
     pub fn new(generator: G) -> Self {
         ExternalSorter {
             generator,
@@ -130,10 +138,10 @@ impl<G: RunGenerator> ExternalSorter<G> {
 
     /// Sorts the records produced by `input` into the forward run file
     /// `output` on `device`.
-    pub fn sort_iter<D: Device>(
+    pub fn sort_iter<D: Device, R: SortableRecord>(
         &mut self,
         device: &D,
-        input: &mut dyn Iterator<Item = Record>,
+        input: &mut dyn Iterator<Item = R>,
         output: &str,
     ) -> Result<SortReport> {
         let namer = SpillNamer::new(format!("sort-{output}"));
@@ -149,13 +157,14 @@ impl<G: RunGenerator> ExternalSorter<G> {
         // --- Merge phase -----------------------------------------------
         let merger = KWayMerger::new(self.config.merge);
         let started = Instant::now();
-        let merge_report = merger.merge_into(device, &namer, run_set.runs.clone(), output)?;
+        let merge_report =
+            merger.merge_into::<D, R>(device, &namer, run_set.runs.clone(), output)?;
         let merge_wall = started.elapsed();
         let after_merge = device.stats();
         let merge_phase = PhaseReport::from_delta(merge_wall, after_merge.since(&after_runs));
 
         // --- Optional verification -------------------------------------
-        let verify_phase = verify_phase_report(
+        let verify_phase = verify_phase_report::<D, R>(
             device,
             self.config.verify,
             output,
@@ -177,17 +186,29 @@ impl<G: RunGenerator> ExternalSorter<G> {
         })
     }
 
-    /// Sorts a dataset previously materialised on the device (see
-    /// `twrs_workloads::materialize`) into the forward run file `output`.
-    pub fn sort_file<D: Device>(
+    /// Sorts a dataset of `R` records previously materialised on the
+    /// device (see `twrs_workloads::materialize`) into the forward run file
+    /// `output`.
+    ///
+    /// The record type cannot be inferred from the file names, so call this
+    /// as `sorter.sort_file_as::<_, MyRecord>(…)`. For the default paper
+    /// record the facade crate provides a `sort_file` extension method with
+    /// the historical signature.
+    ///
+    /// A corrupt or truncated input dataset surfaces as an
+    /// [`SortError::Storage`] error, never as a panic. The pipeline sorts
+    /// the readable prefix before the error is detected (the generators
+    /// see an ordinary end of stream), but the partial output file is
+    /// removed, so no valid-looking truncated result survives.
+    pub fn sort_file_as<D: Device, R: SortableRecord>(
         &mut self,
         device: &D,
         input: &str,
         output: &str,
     ) -> Result<SortReport> {
-        let reader = twrs_storage::RunReader::<Record>::open(device, input)?;
-        let mut iter = reader.map(|r| r.expect("input dataset is readable"));
-        self.sort_iter(device, &mut iter, output)
+        sort_dataset_file::<D, R, _>(device, input, output, |iter| {
+            self.sort_iter(device, iter, output)
+        })
     }
 }
 
@@ -195,7 +216,7 @@ impl<G: RunGenerator> ExternalSorter<G> {
 /// window (starting at `after_merge`, the snapshot that closed the merge
 /// phase) so its read pass is attributed to the `verify` report, never to
 /// the merge phase. Shared by the sequential and parallel sorters.
-pub(crate) fn verify_phase_report<D: twrs_storage::StorageDevice>(
+pub(crate) fn verify_phase_report<D: twrs_storage::StorageDevice, R: SortableRecord>(
     device: &D,
     enabled: bool,
     output: &str,
@@ -206,7 +227,7 @@ pub(crate) fn verify_phase_report<D: twrs_storage::StorageDevice>(
         return Ok(None);
     }
     let started = Instant::now();
-    verify_sorted(device, output, records)?;
+    verify_sorted::<R>(device, output, records)?;
     let verify_wall = started.elapsed();
     let after_verify = device.stats();
     Ok(Some(PhaseReport::from_delta(
@@ -217,17 +238,17 @@ pub(crate) fn verify_phase_report<D: twrs_storage::StorageDevice>(
 
 /// Checks that the run `output` is sorted and contains `expected_records`
 /// records.
-pub fn verify_sorted(
+pub fn verify_sorted<R: SortableRecord>(
     device: &dyn twrs_storage::StorageDevice,
     output: &str,
     expected_records: u64,
 ) -> Result<()> {
-    let mut cursor = RunCursor::open(device, &RunHandle::Forward(output.to_string()))?;
+    let mut cursor = RunCursor::<R>::open(device, &RunHandle::Forward(output.to_string()))?;
     let mut count = 0u64;
-    let mut previous: Option<Record> = None;
+    let mut previous: Option<R> = None;
     while let Some(record) = cursor.next_record()? {
-        if let Some(prev) = previous {
-            if record < prev {
+        if let Some(prev) = &previous {
+            if &record < prev {
                 return Err(SortError::VerificationFailed(format!(
                     "output not sorted at record {count}: {record:?} < {prev:?}"
                 )));
@@ -250,7 +271,7 @@ mod tests {
     use crate::load_sort_store::LoadSortStore;
     use crate::replacement_selection::ReplacementSelection;
     use twrs_storage::{SimDevice, StorageDevice};
-    use twrs_workloads::{materialize, Distribution, DistributionKind};
+    use twrs_workloads::{materialize, Distribution, DistributionKind, Record};
 
     fn sorted_config() -> SorterConfig {
         SorterConfig {
@@ -295,7 +316,9 @@ mod tests {
         materialize(&device, "input", dist.records()).unwrap();
         let mut sorter =
             ExternalSorter::with_config(ReplacementSelection::new(100), sorted_config());
-        let report = sorter.sort_file(&device, "input", "out").unwrap();
+        let report = sorter
+            .sort_file_as::<_, Record>(&device, "input", "out")
+            .unwrap();
         assert_eq!(report.records, 3_000);
         // Reverse-sorted input is RS's worst case: runs equal to memory.
         assert_eq!(report.num_runs, 30);
@@ -310,7 +333,7 @@ mod tests {
         writer.push(&Record::from_key(1)).unwrap();
         writer.finish().unwrap();
         assert!(matches!(
-            verify_sorted(&device, "bad", 2),
+            verify_sorted::<Record>(&device, "bad", 2),
             Err(SortError::VerificationFailed(_))
         ));
         // Sorted but wrong count.
@@ -318,7 +341,7 @@ mod tests {
         writer.push(&Record::from_key(1)).unwrap();
         writer.finish().unwrap();
         assert!(matches!(
-            verify_sorted(&device, "short", 2),
+            verify_sorted::<Record>(&device, "short", 2),
             Err(SortError::VerificationFailed(_))
         ));
     }
@@ -359,7 +382,7 @@ mod tests {
     fn empty_input_sorts_to_empty_output() {
         let device = SimDevice::new();
         let mut sorter = ExternalSorter::with_config(LoadSortStore::new(16), sorted_config());
-        let mut input = std::iter::empty();
+        let mut input = std::iter::empty::<Record>();
         let report = sorter.sort_iter(&device, &mut input, "out").unwrap();
         assert_eq!(report.records, 0);
         assert_eq!(report.num_runs, 0);

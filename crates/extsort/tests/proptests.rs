@@ -42,9 +42,12 @@ proptest! {
         let set = generator.generate(&device, &namer, &mut iter).unwrap();
         prop_assert_eq!(set.records as usize, input.len());
 
-        let mut all = Vec::new();
+        let mut all: Vec<Record> = Vec::new();
         for handle in &set.runs {
-            let run = RunCursor::open(&device, handle).unwrap().read_all().unwrap();
+            let run = RunCursor::<Record>::open(&device, handle)
+                .unwrap()
+                .read_all()
+                .unwrap();
             prop_assert!(run.windows(2).all(|w| w[0] <= w[1]));
             all.extend(run);
         }
@@ -72,7 +75,7 @@ proptest! {
         let report = sorter.sort_iter(&device, &mut iter, "out").unwrap();
         prop_assert_eq!(report.records as usize, input.len());
 
-        let output = RunCursor::open(&device, &RunHandle::Forward("out".into()))
+        let output = RunCursor::<Record>::open(&device, &RunHandle::Forward("out".into()))
             .unwrap()
             .read_all()
             .unwrap();
@@ -124,7 +127,7 @@ proptest! {
         let report = par.sort_iter(&par_device, &mut iter, "out").unwrap();
 
         // Output equals the sorted input (hence the sequential output).
-        let output = RunCursor::open(&par_device, &RunHandle::Forward("out".into()))
+        let output = RunCursor::<Record>::open(&par_device, &RunHandle::Forward("out".into()))
             .unwrap()
             .read_all()
             .unwrap();
@@ -168,13 +171,13 @@ proptest! {
             let mut iter = input.clone().into_iter();
             let set = generator.generate(&device, &namer, &mut iter).unwrap();
             if use_polyphase {
-                polyphase_merge(&device, &namer, set.runs, tapes, "out").unwrap();
+                polyphase_merge::<_, Record>(&device, &namer, set.runs, tapes, "out").unwrap();
             } else {
                 KWayMerger::new(MergeConfig { fan_in: tapes.max(2), read_ahead_records: 64 })
-                    .merge_into(&device, &namer, set.runs, "out")
+                    .merge_into::<_, Record>(&device, &namer, set.runs, "out")
                     .unwrap();
             }
-            RunCursor::open(&device, &RunHandle::Forward("out".into()))
+            RunCursor::<Record>::open(&device, &RunHandle::Forward("out".into()))
                 .unwrap()
                 .read_all()
                 .unwrap()

@@ -15,12 +15,17 @@
 //!   marked for the *next* run order after every record of the *current*
 //!   run (and symmetrically for the max heap), which is how both RS and
 //!   2WRS keep next-run records at the bottom of the heap (§3.3).
-//! * [`heapsort`] — the §3.2 internal sorting algorithm, used both as a
+//! * [`heapsort`](mod@heapsort) — the §3.2 internal sorting algorithm, used both as a
 //!   pedagogical baseline and as the victim-buffer sorter fallback.
 //!
 //! The heaps are deliberately simple, allocation-free after construction and
 //! fully safe; every operation is `O(log n)` and the structures expose
 //! `debug_validate` hooks used by the test-suite property tests.
+//!
+//! Everything here is generic over any `Ord` payload: the sort pipeline
+//! instantiates these structures with `RunRecord<R>` for every
+//! `twrs_storage::SortableRecord` it sorts, so no heap code ever names a
+//! concrete record type.
 
 #![warn(missing_docs)]
 

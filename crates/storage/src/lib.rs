@@ -45,7 +45,7 @@ pub use device::{FileDevice, PageFile, SimDevice, StorageDevice};
 pub use error::{Result, StorageError};
 pub use io_stats::{DiskModel, IoCounters, IoStats, IoStatsSnapshot};
 pub use page::{PageBuf, DEFAULT_PAGE_SIZE};
-pub use record::FixedSizeRecord;
+pub use record::{FixedSizeRecord, SortableRecord};
 pub use reverse_file::{ReverseRunReader, ReverseRunWriter};
 pub use run_file::{RunReader, RunWriter};
 pub use scoped::ScopedDevice;

@@ -23,6 +23,83 @@ pub trait FixedSizeRecord: Sized {
     fn read_from(buf: &[u8]) -> Self;
 }
 
+/// A record the external-sort pipeline can order, move between threads and
+/// spill to storage.
+///
+/// `Debug` is required so verification failures and diagnostics can show
+/// the offending record.
+///
+/// This is the bound every layer of the pipeline (heaps, run generation,
+/// merging, the sorters and the [`SortJob`] front door) places on its record
+/// type parameter: the record must serialize to a fixed number of bytes
+/// ([`FixedSizeRecord`]), have a *total* order (`Ord` — ties must be broken
+/// deterministically, e.g. by a payload or row id, so that independently
+/// produced sorted outputs are byte-identical), and be cheaply clonable and
+/// sendable across the parallel sorter's shard threads.
+///
+/// # The cached-key hook
+///
+/// [`sort_key`](SortableRecord::sort_key) projects the record onto a `u64`
+/// that *weakly respects* the record order:
+///
+/// ```text
+/// a <= b  ⟹  a.sort_key() <= b.sort_key()
+/// ```
+///
+/// The pipeline uses it only for cheap arithmetic that full `Ord`
+/// comparisons cannot provide — the Mean/Median input heuristics of 2WRS,
+/// the victim buffer's largest-gap split, and the bucket ranges of the
+/// distribution sort. It never affects *correctness*, only how well those
+/// heuristics partition the key space, so the default implementation
+/// (constant `0`) is always safe: heuristics degrade to their trivial
+/// behaviour and every sorter still produces fully sorted output.
+/// Implementors with an ordered numeric or byte-prefix key should override
+/// it (e.g. `u64::from_be_bytes(prefix)` for an 8-byte string prefix).
+///
+/// `SortJob` is re-exported by the facade crate; see its documentation for
+/// a worked "bring your own record type" example.
+///
+/// [`SortJob`]: https://docs.rs/two_way_replacement_selection
+pub trait SortableRecord: FixedSizeRecord + Ord + Clone + Send + std::fmt::Debug + 'static {
+    /// A `u64` projection of the sort key, monotone with respect to `Ord`
+    /// (see the trait documentation). Used by heuristics and gap
+    /// computations only; defaults to `0`, which is always correct but
+    /// makes key-space heuristics trivial.
+    fn sort_key(&self) -> u64 {
+        0
+    }
+}
+
+macro_rules! impl_sortable_for_uint {
+    ($($t:ty),*) => {
+        $(
+            impl SortableRecord for $t {
+                fn sort_key(&self) -> u64 {
+                    u64::from(*self)
+                }
+            }
+        )*
+    };
+}
+
+impl_sortable_for_uint!(u32, u64);
+
+macro_rules! impl_sortable_for_int {
+    ($($t:ty => $u:ty),*) => {
+        $(
+            impl SortableRecord for $t {
+                fn sort_key(&self) -> u64 {
+                    // Shift the signed range into the unsigned one so the
+                    // projection stays monotone across zero.
+                    u64::from((*self as $u) ^ (1 << (<$t>::BITS - 1)))
+                }
+            }
+        )*
+    };
+}
+
+impl_sortable_for_int!(i32 => u32, i64 => u64);
+
 macro_rules! impl_fixed_for_int {
     ($($t:ty),*) => {
         $(
@@ -69,5 +146,16 @@ mod tests {
         assert_eq!(<u32 as FixedSizeRecord>::SIZE, 4);
         assert_eq!(<u64 as FixedSizeRecord>::SIZE, 8);
         assert_eq!(<i64 as FixedSizeRecord>::SIZE, 8);
+    }
+
+    #[test]
+    fn integer_sort_keys_are_monotone() {
+        assert!(5u64.sort_key() < 9u64.sort_key());
+        assert!(5u32.sort_key() < 9u32.sort_key());
+        // Signed projections stay monotone across zero.
+        assert!((-3i32).sort_key() < 0i32.sort_key());
+        assert!(0i32.sort_key() < 3i32.sort_key());
+        assert!(i64::MIN.sort_key() < (-1i64).sort_key());
+        assert!((-1i64).sort_key() < i64::MAX.sort_key());
     }
 }

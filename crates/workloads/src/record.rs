@@ -1,6 +1,6 @@
 //! The record type sorted throughout the reproduction.
 
-use twrs_storage::FixedSizeRecord;
+use twrs_storage::{FixedSizeRecord, SortableRecord};
 
 /// A fixed-size sortable record.
 ///
@@ -55,6 +55,12 @@ impl FixedSizeRecord for Record {
             key: u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes")),
             payload: u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes")),
         }
+    }
+}
+
+impl SortableRecord for Record {
+    fn sort_key(&self) -> u64 {
+        self.key
     }
 }
 

@@ -5,26 +5,29 @@
 //! cargo run --release --example parallel_sort
 //! ```
 //!
-//! The example sorts one million random records twice — once with the
-//! single-threaded reference sorter and once with the parallel sorter using
-//! every available core — and compares the reports. The parallel sorter
-//! divides the *same* total memory budget across its shards (here: 10 000
-//! records split over N workers, so per-shard heaps shrink as threads grow),
-//! ships spill writes to dedicated writer threads over bounded channels, and
-//! prefetches every merge input in the background. Its output is
-//! byte-identical to the sequential sorter's.
+//! The example sorts one million random records twice through the same
+//! `SortJob` builder — once with `threads(1)` (the sequential pipeline) and
+//! once with one thread per available core — and compares the reports. The
+//! parallel path divides the *same* total memory budget across its shards
+//! (here: 10 000 records split over N workers, so per-shard heaps shrink as
+//! threads grow), ships spill writes to dedicated writer threads over
+//! bounded channels, and prefetches every merge input in the background.
+//! Its output is byte-identical to the sequential path's.
 
 use two_way_replacement_selection::extsort::sorter::verify_sorted;
-use two_way_replacement_selection::extsort::{ParallelExternalSorter, ParallelSorterConfig};
 use two_way_replacement_selection::prelude::*;
 use two_way_replacement_selection::workloads::materialize;
 
 fn main() {
     let records: u64 = 1_000_000;
     let memory: usize = 10_000;
+    // At least two shards so the example exercises the sharded path even
+    // on a single-CPU machine (threads(1) would select the sequential
+    // pipeline).
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(1);
+        .unwrap_or(1)
+        .max(2);
 
     let device = SimDevice::new();
     let input = Distribution::new(DistributionKind::RandomUniform, records, 42);
@@ -38,16 +41,12 @@ fn main() {
 
     // --- Single-threaded reference -------------------------------------
     let twrs = TwoWayReplacementSelection::new(TwrsConfig::recommended(memory));
-    let mut sequential = ExternalSorter::with_config(
-        twrs,
-        SorterConfig {
-            merge,
-            verify: false,
-        },
-    );
-    let seq = sequential
-        .sort_file(&device, "input", "sorted-seq")
-        .expect("sequential sort succeeds");
+    let seq = SortJob::new(twrs)
+        .on(&device)
+        .merge(merge)
+        .run_file("input", "sorted-seq")
+        .expect("sequential sort succeeds")
+        .report;
     println!(
         "\nsequential          : {:?} wall ({} runs, {} merge steps)",
         seq.total_wall(),
@@ -60,15 +59,11 @@ fn main() {
     // memory budget is `memory / threads` (remainder to the first shards),
     // so total memory stays fixed no matter the thread count.
     let twrs = TwoWayReplacementSelection::new(TwrsConfig::recommended(memory));
-    let config = ParallelSorterConfig {
-        threads,
-        merge,
-        verify: false,
-        ..ParallelSorterConfig::default()
-    };
-    let mut parallel = ParallelExternalSorter::with_config(twrs, config);
-    let par = parallel
-        .sort_file(&device, "input", "sorted-par")
+    let par = SortJob::new(twrs)
+        .on(&device)
+        .threads(threads)
+        .merge(merge)
+        .run_file("input", "sorted-par")
         .expect("parallel sort succeeds");
 
     println!(
@@ -82,7 +77,7 @@ fn main() {
     println!("speedup             : {speedup:.2}x");
 
     println!("\nper-shard breakdown (run generation):");
-    for shard in &par.shards {
+    for shard in par.shards.as_deref().unwrap_or_default() {
         println!(
             "  shard {:>2}: {:>8} records, {:>4} runs, {:>6} pages written, {:>5} seeks",
             shard.shard,
@@ -98,8 +93,8 @@ fn main() {
     );
 
     // --- The two outputs are the same file, byte for byte ---------------
-    verify_sorted(&device, "sorted-seq", records).expect("sequential output verified");
-    verify_sorted(&device, "sorted-par", records).expect("parallel output verified");
+    verify_sorted::<Record>(&device, "sorted-seq", records).expect("sequential output verified");
+    verify_sorted::<Record>(&device, "sorted-par", records).expect("parallel output verified");
     let mut seq_file = device.open("sorted-seq").expect("open sequential output");
     let mut par_file = device.open("sorted-par").expect("open parallel output");
     assert_eq!(seq_file.num_pages(), par_file.num_pages());

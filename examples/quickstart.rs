@@ -13,7 +13,7 @@
 
 use two_way_replacement_selection::extsort::sorter::verify_sorted;
 use two_way_replacement_selection::prelude::*;
-use two_way_replacement_selection::workloads::materialize;
+use two_way_replacement_selection::workloads::{materialize, Record};
 
 fn main() {
     let records: u64 = 1_000_000;
@@ -30,26 +30,26 @@ fn main() {
     materialize(&device, "input", input.records()).expect("write input dataset");
     println!("input: {records} random records ({memory} records of sort memory)");
 
-    // 3. Build the sorter: 2WRS with the paper's recommended configuration
+    // 3. Describe the sort: 2WRS with the paper's recommended configuration
     //    (both buffers, 2 % of memory, Mean input heuristic, Random output
-    //    heuristic), merged with the fan-in found optimal in §6.1.1.
+    //    heuristic), merged with the fan-in found optimal in §6.1.1. The
+    //    `SortJob` builder fronts the whole pipeline; `.threads(n)` would
+    //    run the same job sharded over n workers.
     let twrs = TwoWayReplacementSelection::new(TwrsConfig::recommended(memory));
-    let config = SorterConfig {
-        merge: MergeConfig {
-            fan_in: 10,
-            read_ahead_records: 1_024,
-        },
-        verify: false,
-    };
-    let mut sorter = ExternalSorter::with_config(twrs, config);
 
     // 4. Sort.
-    let report = sorter
-        .sort_file(&device, "input", "sorted")
-        .expect("external sort succeeds");
+    let report = SortJob::new(twrs)
+        .on(&device)
+        .merge(MergeConfig {
+            fan_in: 10,
+            read_ahead_records: 1_024,
+        })
+        .run_file("input", "sorted")
+        .expect("external sort succeeds")
+        .report;
 
     // 5. Verify and report.
-    verify_sorted(&device, "sorted", records).expect("output is sorted and complete");
+    verify_sorted::<Record>(&device, "sorted", records).expect("output is sorted and complete");
     println!("runs generated      : {}", report.num_runs);
     println!(
         "average run length  : {:.0} records ({:.2}x memory)",

@@ -8,18 +8,24 @@
 //!
 //! * [`heaps`] — binary heap, shared dual-heap array, heapsort.
 //! * [`storage`] — page devices (real and simulated), run files, the
-//!   Appendix A reverse-record file format and I/O accounting.
-//! * [`workloads`] — the record type and the six evaluation input
+//!   Appendix A reverse-record file format, I/O accounting and the
+//!   [`SortableRecord`](storage::SortableRecord) trait every record type
+//!   sorted by the pipeline implements.
+//! * [`workloads`] — the default paper record and the six evaluation input
 //!   distributions.
 //! * [`extsort`] — run-generation trait and baselines (classic replacement
 //!   selection, Load-Sort-Store), k-way and polyphase merging, distribution
-//!   sort and the end-to-end external sorter.
+//!   sort, the sequential and parallel external sorters, and the
+//!   [`SortJob`](extsort::SortJob) builder that fronts them all.
 //! * [`core`] — two-way replacement selection itself (the paper's
 //!   contribution).
 //! * [`analysis`] — ANOVA, the design-of-experiments runner, the snowplow
 //!   model of RS and the closed-form run-length theory.
 //!
 //! # Quick start
+//!
+//! One builder drives the whole pipeline. Pick a run-generation algorithm,
+//! bind a device, and run:
 //!
 //! ```
 //! use two_way_replacement_selection::prelude::*;
@@ -29,29 +35,27 @@
 //! let device = SimDevice::new();
 //! let input = Distribution::new(DistributionKind::ReverseSorted, 50_000, 7);
 //!
-//! // Sort it with two-way replacement selection (recommended configuration)
-//! // inside the standard external-sort pipeline.
 //! let twrs = TwoWayReplacementSelection::new(TwrsConfig::recommended(1_000));
-//! let mut sorter = ExternalSorter::new(twrs);
-//! let report = sorter
-//!     .sort_iter(&device, &mut input.records(), "sorted")
+//! let report = SortJob::new(twrs)
+//!     .on(&device)
+//!     .verify(true)
+//!     .run_iter(input.records(), "sorted")
 //!     .expect("sort succeeds");
 //!
-//! assert_eq!(report.records, 50_000);
+//! assert_eq!(report.report.records, 50_000);
 //! // Theorem 4: a single run, where RS would have produced 50.
-//! assert_eq!(report.num_runs, 1);
+//! assert_eq!(report.report.num_runs, 1);
 //! ```
 //!
-//! # Parallel quick start
+//! # Going parallel
 //!
-//! The same pipeline scales across cores with
-//! [`ParallelExternalSorter`](extsort::ParallelExternalSorter): the input
-//! is dealt to `threads` generation shards, spill writes move to dedicated
-//! writer threads behind bounded channels, and the final merge prefetches
-//! every run in the background. The *total* memory budget is unchanged —
-//! each shard's generator gets `memory / threads` records (remainder to
-//! the first shards), so 4 threads below run 2WRS with 250-record heaps
-//! each. The sorted output is byte-identical to the sequential sorter's.
+//! The thread count is the only thing that changes; `threads(1)` (the
+//! default) runs the sequential pipeline, anything larger shards run
+//! generation over worker threads, moves spill writes to dedicated writer
+//! threads and prefetches every merge input in the background. The *total*
+//! memory budget is unchanged — each shard's generator gets
+//! `memory / threads` records — and the sorted output is **byte-identical**
+//! across thread counts:
 //!
 //! ```
 //! use two_way_replacement_selection::prelude::*;
@@ -60,20 +64,99 @@
 //! let input = Distribution::new(DistributionKind::MixedBalanced, 20_000, 7);
 //!
 //! let twrs = TwoWayReplacementSelection::new(TwrsConfig::recommended(1_000));
-//! let config = ParallelSorterConfig {
-//!     verify: true,
-//!     ..ParallelSorterConfig::with_threads(4)
-//! };
-//! let mut sorter = ParallelExternalSorter::with_config(twrs, config);
-//! let report = sorter
-//!     .sort_iter(&device, &mut input.records(), "sorted")
+//! let report = SortJob::new(twrs)
+//!     .on(&device)
+//!     .threads(4)
+//!     .verify(true)
+//!     .run_iter(input.records(), "sorted")
 //!     .expect("sort succeeds");
 //!
 //! assert_eq!(report.report.records, 20_000);
-//! assert_eq!(report.shards.len(), 4);
-//! // Aggregated I/O counters are exactly the per-shard sums.
+//! assert_eq!(report.shards.as_ref().map(Vec::len), Some(4));
+//! // Aggregated I/O counters reconcile with the per-shard sums.
 //! assert!(report.io_is_consistent());
 //! ```
+//!
+//! # Bring your own record type
+//!
+//! Every layer of the pipeline is generic over
+//! [`SortableRecord`](storage::SortableRecord): a fixed-size serialization,
+//! a total order, and an optional cached `u64` key projection that feeds the
+//! 2WRS heuristics. The paper's `Record` (64-bit key + 64-bit payload) is
+//! just the default. A 32-byte event record with an 8-byte string-prefix
+//! key sorts through the exact same machinery:
+//!
+//! ```
+//! use two_way_replacement_selection::prelude::*;
+//! use two_way_replacement_selection::storage::{FixedSizeRecord, SortableRecord};
+//!
+//! #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+//! struct UserEvent {
+//!     /// First 8 bytes of the user id; lexicographic order.
+//!     prefix: [u8; 8],
+//!     timestamp: u64,
+//!     payload: [u8; 16],
+//! }
+//!
+//! impl FixedSizeRecord for UserEvent {
+//!     const SIZE: usize = 32;
+//!
+//!     fn write_to(&self, buf: &mut [u8]) {
+//!         buf[0..8].copy_from_slice(&self.prefix);
+//!         buf[8..16].copy_from_slice(&self.timestamp.to_le_bytes());
+//!         buf[16..32].copy_from_slice(&self.payload);
+//!     }
+//!
+//!     fn read_from(buf: &[u8]) -> Self {
+//!         UserEvent {
+//!             prefix: buf[0..8].try_into().expect("8 bytes"),
+//!             timestamp: u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes")),
+//!             payload: buf[16..32].try_into().expect("16 bytes"),
+//!         }
+//!     }
+//! }
+//!
+//! impl SortableRecord for UserEvent {
+//!     // The cached-key hook: a u64 projection of the leading sort key,
+//!     // monotone with respect to Ord, used by the 2WRS heuristics.
+//!     fn sort_key(&self) -> u64 {
+//!         u64::from_be_bytes(self.prefix)
+//!     }
+//! }
+//!
+//! let device = SimDevice::new();
+//! let events = (0..5_000u64).rev().map(|i| UserEvent {
+//!     prefix: (i % 257 * 1_000_003).to_be_bytes(),
+//!     timestamp: i,
+//!     payload: [0; 16],
+//! });
+//! let twrs = TwoWayReplacementSelection::new(TwrsConfig::recommended(500));
+//! let report = SortJob::new(twrs)
+//!     .on(&device)
+//!     .verify(true)
+//!     .run_iter(events, "events-sorted")
+//!     .expect("sort succeeds");
+//! assert_eq!(report.report.records, 5_000);
+//! ```
+//!
+//! # Migrating from the pre-builder entry points
+//!
+//! | before                                                   | after                                                        |
+//! |----------------------------------------------------------|--------------------------------------------------------------|
+//! | `ExternalSorter::new(g).sort_iter(&d, &mut it, "out")`   | `SortJob::new(g).on(&d).run_iter(it, "out")`                 |
+//! | `ExternalSorter::with_config(g, cfg).sort_iter(…)`       | `SortJob::new(g).config(cfg).on(&d).run_iter(…)`             |
+//! | `ParallelExternalSorter::new(g).sort_iter(…)`            | `SortJob::new(g).on(&d).threads(n).run_iter(…)`              |
+//! | `sorter.sort_file(&d, "in", "out")`                      | `SortJob::new(g).on(&d).run_file("in", "out")`¹              |
+//! | `RunCursor::open(…)` (implicitly `Record`)               | `RecordRunCursor::open(…)` or `RunCursor::<R>::open(…)`      |
+//!
+//! ¹ `run_file` (and the `sort_file` method on the old sorters) is provided
+//! for the default [`Record`] by the [`RecordSortExt`]
+//! and [`RecordJobExt`] extension traits in the [`prelude`]; for any other
+//! record type use `run_file_as::<R>` / `sort_file_as::<_, R>`, since a
+//! file name cannot reveal its record type. The old `ExternalSorter` /
+//! `ParallelExternalSorter` constructors keep working (they are what the
+//! builder drives) — only the `new` constructors are deprecated in favour
+//! of the builder; `with_config` remains the power-user escape hatch.
 
 #![warn(missing_docs)]
 
@@ -84,16 +167,96 @@ pub use twrs_heaps as heaps;
 pub use twrs_storage as storage;
 pub use twrs_workloads as workloads;
 
+use extsort::{
+    BoundSortJob, Device, ParallelSortReport, Result, RunGenerator, ShardableGenerator,
+    SortJobReport, SortReport,
+};
+use workloads::Record;
+
+/// Cursor over runs of the default paper [`Record`] —
+/// the pre-redesign `RunCursor`, which was not generic.
+pub type RecordRunCursor = extsort::RunCursor<Record>;
+
+/// Reader over datasets of the default paper [`Record`].
+pub type RecordRunReader = storage::RunReader<Record>;
+
+/// Record-typed `sort_file` for the two sorter engines, specialised to the
+/// default paper [`Record`].
+///
+/// The generic engines expose `sort_file_as::<_, R>` because a file name
+/// cannot reveal its record type; this extension trait restores the
+/// historical `sort_file` signature for the default record. It is exported
+/// by the [`prelude`].
+pub trait RecordSortExt {
+    /// The engine's report type ([`SortReport`] or [`ParallelSortReport`]).
+    type Report;
+
+    /// Sorts a materialised dataset of default records into the forward
+    /// run file `output`. Corrupt input surfaces as an error, not a panic.
+    fn sort_file<D: Device>(
+        &mut self,
+        device: &D,
+        input: &str,
+        output: &str,
+    ) -> Result<Self::Report>;
+}
+
+impl<G: RunGenerator> RecordSortExt for extsort::ExternalSorter<G> {
+    type Report = SortReport;
+
+    fn sort_file<D: Device>(
+        &mut self,
+        device: &D,
+        input: &str,
+        output: &str,
+    ) -> Result<SortReport> {
+        self.sort_file_as::<D, Record>(device, input, output)
+    }
+}
+
+impl<G: ShardableGenerator> RecordSortExt for extsort::ParallelExternalSorter<G> {
+    type Report = ParallelSortReport;
+
+    fn sort_file<D: Device>(
+        &mut self,
+        device: &D,
+        input: &str,
+        output: &str,
+    ) -> Result<ParallelSortReport> {
+        self.sort_file_as::<D, Record>(device, input, output)
+    }
+}
+
+/// Record-typed `run_file` for the [`SortJob`](extsort::SortJob) builder,
+/// specialised to the default paper [`Record`].
+///
+/// Exported by the [`prelude`]; for other record types use
+/// `run_file_as::<R>`.
+pub trait RecordJobExt {
+    /// Sorts a materialised dataset of default records into the forward
+    /// run file `output` on the job's device.
+    fn run_file(self, input: &str, output: &str) -> Result<SortJobReport>;
+}
+
+impl<G: ShardableGenerator, D: Device> RecordJobExt for BoundSortJob<G, D> {
+    fn run_file(self, input: &str, output: &str) -> Result<SortJobReport> {
+        self.run_file_as::<Record>(input, output)
+    }
+}
+
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
+    pub use crate::{RecordJobExt, RecordRunCursor, RecordRunReader, RecordSortExt};
     pub use twrs_core::{
         BufferSetup, InputHeuristic, OutputHeuristic, TwoWayReplacementSelection, TwrsConfig,
     };
     pub use twrs_extsort::{
-        ExternalSorter, LoadSortStore, MergeConfig, ParallelExternalSorter, ParallelSortReport,
-        ParallelSorterConfig, ReplacementSelection, RunCursor, RunGenerator, RunHandle,
-        ShardableGenerator, SortReport, SorterConfig,
+        BoundSortJob, ExternalSorter, LoadSortStore, MergeConfig, ParallelExternalSorter,
+        ParallelSortReport, ParallelSorterConfig, ReplacementSelection, RunCursor, RunGenerator,
+        RunHandle, ShardableGenerator, SortJob, SortJobReport, SortReport, SorterConfig,
     };
-    pub use twrs_storage::{FileDevice, ScopedDevice, SimDevice, SpillNamer, StorageDevice};
+    pub use twrs_storage::{
+        FileDevice, ScopedDevice, SimDevice, SortableRecord, SpillNamer, StorageDevice,
+    };
     pub use twrs_workloads::{Distribution, DistributionKind, Record};
 }

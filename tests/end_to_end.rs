@@ -31,7 +31,7 @@ fn full_sort_and_verify<G: RunGenerator, D: StorageDevice + Clone + Send + 'stat
         .sort_iter(device, &mut input, "sorted")
         .expect("sort succeeds");
     assert_eq!(report.records, records);
-    verify_sorted(device, "sorted", records).expect("output verified");
+    verify_sorted::<Record>(device, "sorted", records).expect("output verified");
     device.remove("sorted").expect("cleanup");
 }
 
@@ -70,18 +70,18 @@ fn materialised_datasets_round_trip_and_sort() {
     let mut reader = read_dataset(&device, "table").expect("open dataset");
     assert_eq!(reader.read_all().expect("read dataset"), expected);
 
-    let mut sorter = ExternalSorter::new(TwoWayReplacementSelection::new(TwrsConfig::recommended(
+    let report = SortJob::new(TwoWayReplacementSelection::new(TwrsConfig::recommended(
         250,
-    )));
-    let report = sorter
-        .sort_file(&device, "table", "table_sorted")
-        .expect("sort succeeds");
-    assert_eq!(report.records, 10_000);
+    )))
+    .on(&device)
+    .run_file("table", "table_sorted")
+    .expect("sort succeeds");
+    assert_eq!(report.report.records, 10_000);
 
     let mut sorted = expected;
     sorted.sort_unstable();
-    let mut cursor =
-        RunCursor::open(&device, &RunHandle::Forward("table_sorted".into())).expect("open output");
+    let mut cursor = RecordRunCursor::open(&device, &RunHandle::Forward("table_sorted".into()))
+        .expect("open output");
     assert_eq!(cursor.read_all().expect("read output"), sorted);
 }
 
@@ -97,9 +97,10 @@ fn polyphase_merge_agrees_with_kway_merge() {
         .expect("run generation succeeds");
 
     // Merge one copy with polyphase and compare against a std sort.
-    polyphase_merge(&device, &namer, set.runs, 4, "poly_out").expect("polyphase succeeds");
-    let mut cursor =
-        RunCursor::open(&device, &RunHandle::Forward("poly_out".into())).expect("open output");
+    polyphase_merge::<_, Record>(&device, &namer, set.runs, 4, "poly_out")
+        .expect("polyphase succeeds");
+    let mut cursor = RecordRunCursor::open(&device, &RunHandle::Forward("poly_out".into()))
+        .expect("open output");
     let merged = cursor.read_all().expect("read output");
     let mut expected = input;
     expected.sort_unstable();
@@ -129,29 +130,30 @@ fn distribution_sort_agrees_with_the_merge_pipeline() {
         .sort(&device, &namer, &mut iter, "bucket_sorted")
         .expect("distribution sort succeeds");
 
-    let mut sorter = ExternalSorter::new(TwoWayReplacementSelection::new(TwrsConfig::recommended(
+    SortJob::new(TwoWayReplacementSelection::new(TwrsConfig::recommended(
         300,
-    )));
-    let mut iter = input.into_iter();
-    sorter
-        .sort_iter(&device, &mut iter, "merge_sorted")
-        .expect("merge sort succeeds");
+    )))
+    .on(&device)
+    .run_iter(input.into_iter(), "merge_sorted")
+    .expect("merge sort succeeds");
 
-    let mut a = RunCursor::open(&device, &RunHandle::Forward("bucket_sorted".into())).unwrap();
-    let mut b = RunCursor::open(&device, &RunHandle::Forward("merge_sorted".into())).unwrap();
+    let mut a =
+        RecordRunCursor::open(&device, &RunHandle::Forward("bucket_sorted".into())).unwrap();
+    let mut b = RecordRunCursor::open(&device, &RunHandle::Forward("merge_sorted".into())).unwrap();
     assert_eq!(a.read_all().unwrap(), b.read_all().unwrap());
 }
 
 #[test]
 fn io_accounting_splits_phases() {
     let device = SimDevice::new();
-    let mut sorter = ExternalSorter::new(TwoWayReplacementSelection::new(TwrsConfig::recommended(
+    let input = Distribution::new(DistributionKind::RandomUniform, 8_000, 2);
+    let report = SortJob::new(TwoWayReplacementSelection::new(TwrsConfig::recommended(
         200,
-    )));
-    let mut input = Distribution::new(DistributionKind::RandomUniform, 8_000, 2).records();
-    let report = sorter
-        .sort_iter(&device, &mut input, "out")
-        .expect("sort succeeds");
+    )))
+    .on(&device)
+    .run_iter(input.records(), "out")
+    .expect("sort succeeds")
+    .report;
     // Run generation writes the runs; the merge reads them back and writes
     // the output: both phases show I/O and the totals are consistent. (Run
     // generation may write slightly more than the merge reads because the

@@ -1,0 +1,255 @@
+//! Pinning suite for the `SortJob` builder front door.
+//!
+//! * `threads(1)` and `threads(4)` produce **byte-identical** output files;
+//! * builder defaults reproduce the old `ExternalSorter::new` behaviour
+//!   field-for-field on a fixed seed;
+//! * a corrupt/truncated input dataset surfaces as an `Err` from
+//!   `run_file` / `sort_file`, never a panic (regression for the old
+//!   `.expect("input dataset is readable")` paths).
+
+mod common;
+
+use common::file_bytes;
+use two_way_replacement_selection::prelude::*;
+use two_way_replacement_selection::storage::{PageBuf, StorageError};
+use two_way_replacement_selection::workloads::materialize;
+
+const SEED: u64 = 20_107;
+const RECORDS: u64 = 5_000;
+const MEMORY: usize = 250;
+
+fn input() -> Distribution {
+    Distribution::new(DistributionKind::MixedBalanced, RECORDS, SEED)
+}
+
+#[test]
+fn one_thread_and_four_threads_produce_byte_identical_output() {
+    let device = SimDevice::new();
+    let one = SortJob::new(TwoWayReplacementSelection::new(TwrsConfig::recommended(
+        MEMORY,
+    )))
+    .on(&device)
+    .threads(1)
+    .verify(true)
+    .run_iter(input().records(), "one")
+    .expect("1-thread job succeeds");
+    let four = SortJob::new(TwoWayReplacementSelection::new(TwrsConfig::recommended(
+        MEMORY,
+    )))
+    .on(&device)
+    .threads(4)
+    .verify(true)
+    .run_iter(input().records(), "four")
+    .expect("4-thread job succeeds");
+
+    assert!(!one.is_parallel());
+    assert!(four.is_parallel());
+    assert_eq!(one.report.records, RECORDS);
+    assert_eq!(four.report.records, RECORDS);
+    assert!(four.io_is_consistent());
+    assert_eq!(
+        file_bytes(&device, "one"),
+        file_bytes(&device, "four"),
+        "thread count must not change a single output byte"
+    );
+}
+
+#[test]
+fn builder_defaults_match_the_old_sequential_front_door() {
+    // The deprecated `ExternalSorter::new` is the pre-redesign default
+    // entry point; `SortJob::new(g).on(&device)` must behave identically.
+    let old_device = SimDevice::new();
+    #[allow(deprecated)]
+    let mut old = ExternalSorter::new(ReplacementSelection::new(MEMORY));
+    let mut iter = input().records();
+    let old_report = old
+        .sort_iter(&old_device, &mut iter, "out")
+        .expect("old front door sorts");
+
+    let new_device = SimDevice::new();
+    let new_report = SortJob::new(ReplacementSelection::new(MEMORY))
+        .on(&new_device)
+        .run_iter(input().records(), "out")
+        .expect("builder sorts");
+
+    // Same defaults ⇒ same report, field for field (wall-clock aside).
+    assert_eq!(new_report.threads, 1);
+    assert!(new_report.shards.is_none());
+    let (old_r, new_r) = (&old_report, &new_report.report);
+    assert_eq!(new_r.generator, old_r.generator);
+    assert_eq!(new_r.records, old_r.records);
+    assert_eq!(new_r.num_runs, old_r.num_runs);
+    assert_eq!(new_r.average_run_length, old_r.average_run_length);
+    assert_eq!(new_r.relative_run_length, old_r.relative_run_length);
+    assert_eq!(new_r.merge_report, old_r.merge_report);
+    assert_eq!(
+        new_r.run_generation.pages_written,
+        old_r.run_generation.pages_written
+    );
+    assert_eq!(
+        new_r.run_generation.pages_read,
+        old_r.run_generation.pages_read
+    );
+    assert_eq!(new_r.run_generation.seeks, old_r.run_generation.seeks);
+    assert_eq!(new_r.merge.pages_written, old_r.merge.pages_written);
+    assert_eq!(new_r.merge.pages_read, old_r.merge.pages_read);
+    assert_eq!(new_r.merge.seeks, old_r.merge.seeks);
+    // Default = no verification pass, like the old constructor.
+    assert!(new_r.verify.is_none());
+    assert!(old_r.verify.is_none());
+    assert_eq!(
+        file_bytes(&new_device, "out"),
+        file_bytes(&old_device, "out")
+    );
+}
+
+#[test]
+fn builder_config_matches_with_config() {
+    let cfg = SorterConfig {
+        merge: MergeConfig {
+            fan_in: 3,
+            read_ahead_records: 32,
+        },
+        verify: true,
+    };
+    let old_device = SimDevice::new();
+    let mut old = ExternalSorter::with_config(LoadSortStore::new(MEMORY), cfg);
+    let mut iter = input().records();
+    let old_report = old.sort_iter(&old_device, &mut iter, "out").unwrap();
+
+    let new_device = SimDevice::new();
+    let new_report = SortJob::new(LoadSortStore::new(MEMORY))
+        .config(cfg)
+        .on(&new_device)
+        .run_iter(input().records(), "out")
+        .unwrap();
+
+    assert_eq!(new_report.report.merge_report, old_report.merge_report);
+    assert!(new_report.report.verify.is_some());
+    assert_eq!(
+        file_bytes(&new_device, "out"),
+        file_bytes(&old_device, "out")
+    );
+}
+
+/// Writes a structurally valid run-file header claiming `claimed` records
+/// but provides only one (partial) data page, so reading past it fails.
+fn write_truncated_dataset(device: &SimDevice, name: &str, claimed: u64) {
+    let page_size = device.page_size();
+    let mut file = device.create(name).expect("create dataset");
+    let mut header = PageBuf::new(page_size);
+    let bytes = header.as_bytes_mut();
+    bytes[0..4].copy_from_slice(&0x5457_5253u32.to_le_bytes()); // "TWRS" magic
+    bytes[4..8].copy_from_slice(&16u32.to_le_bytes()); // Record::SIZE
+    bytes[8..16].copy_from_slice(&claimed.to_le_bytes());
+    file.write_page(0, header.as_bytes()).expect("write header");
+    // One data page only — far fewer than `claimed` records' worth.
+    let data = PageBuf::new(page_size);
+    file.write_page(1, data.as_bytes()).expect("write one page");
+    file.flush().expect("flush");
+}
+
+#[test]
+fn sequential_sort_file_reports_truncated_input_as_an_error() {
+    let device = SimDevice::new();
+    write_truncated_dataset(&device, "truncated", 100_000);
+    let mut sorter =
+        ExternalSorter::with_config(ReplacementSelection::new(MEMORY), SorterConfig::default());
+    let result = sorter.sort_file(&device, "truncated", "out");
+    assert!(
+        matches!(
+            result,
+            Err(two_way_replacement_selection::extsort::SortError::Storage(
+                _
+            ))
+        ),
+        "expected a storage error, got {result:?}"
+    );
+    // No valid-looking partial output may survive the failure.
+    assert!(!device.exists("out"), "partial output left behind");
+}
+
+#[test]
+fn parallel_sort_file_reports_truncated_input_as_an_error() {
+    let device = SimDevice::new();
+    write_truncated_dataset(&device, "truncated", 100_000);
+    let mut sorter = ParallelExternalSorter::with_config(
+        ReplacementSelection::new(MEMORY),
+        ParallelSorterConfig::with_threads(3),
+    );
+    let result = sorter.sort_file(&device, "truncated", "out");
+    assert!(
+        matches!(
+            result,
+            Err(two_way_replacement_selection::extsort::SortError::Storage(
+                _
+            ))
+        ),
+        "expected a storage error, got {result:?}"
+    );
+    // The failed sort must not leave spill files or a partial output
+    // behind.
+    let mut leftovers = device.list();
+    leftovers.retain(|name| name.starts_with("psort-"));
+    assert!(
+        leftovers.is_empty(),
+        "spill files left behind: {leftovers:?}"
+    );
+    assert!(!device.exists("out"), "partial output left behind");
+}
+
+#[test]
+fn sort_job_run_file_reports_truncated_input_as_an_error() {
+    for threads in [1, 4] {
+        let device = SimDevice::new();
+        write_truncated_dataset(&device, "truncated", 50_000);
+        let result = SortJob::new(LoadSortStore::new(MEMORY))
+            .on(&device)
+            .threads(threads)
+            .run_file("truncated", "out");
+        assert!(
+            result.is_err(),
+            "truncated input must fail ({threads} threads)"
+        );
+        assert!(
+            !device.exists("out"),
+            "partial output left behind ({threads} threads)"
+        );
+    }
+}
+
+#[test]
+fn sort_file_still_works_on_healthy_input() {
+    let device = SimDevice::new();
+    materialize(&device, "input", input().records()).expect("materialise");
+    let report = SortJob::new(ReplacementSelection::new(MEMORY))
+        .on(&device)
+        .verify(true)
+        .run_file("input", "out")
+        .expect("healthy dataset sorts");
+    assert_eq!(report.report.records, RECORDS);
+}
+
+#[test]
+fn record_size_mismatch_is_an_error_not_a_panic() {
+    // A dataset of u64 keys read as 16-byte Records: the header record
+    // size does not match, which must surface from `open`, as an error.
+    let device = SimDevice::new();
+    let mut writer =
+        two_way_replacement_selection::storage::RunWriter::<u64>::create(&device, "keys")
+            .expect("create dataset");
+    for k in 0..1_000u64 {
+        writer.push(&k).expect("write key");
+    }
+    writer.finish().expect("finish");
+
+    let mut sorter =
+        ExternalSorter::with_config(ReplacementSelection::new(MEMORY), SorterConfig::default());
+    let result = sorter.sort_file(&device, "keys", "out");
+    match result {
+        Err(two_way_replacement_selection::extsort::SortError::Storage(
+            StorageError::CorruptHeader(_),
+        )) => {}
+        other => panic!("expected a corrupt-header error, got {other:?}"),
+    }
+}
