@@ -30,4 +30,7 @@ pub mod theory;
 pub use anova::{AnovaTable, FactorialAnova, FactorialData, TermSummary, TukeyComparison};
 pub use doe::{paper_factorial_experiment, ExperimentPoint, FactorLevels, PaperFactors};
 pub use model::{SnowplowModel, SnowplowSnapshot};
-pub use theory::{rs_expected_relative_run_length, twrs_expected_relative_run_length, Expectation};
+pub use theory::{
+    expected_relative_run_length, lss_expected_relative_run_length,
+    rs_expected_relative_run_length, twrs_expected_relative_run_length, Expectation,
+};

@@ -75,6 +75,20 @@ pub fn rs_expected_relative_run_length(
         DistributionKind::MixedBalanced | DistributionKind::MixedImbalanced { .. } => {
             Expectation::RelativeToMemory(2.0)
         }
+        // Displacement bounded by the memory size is absorbed entirely by
+        // the selection heap (the snowplow never runs dry), so the input
+        // behaves like sorted input; beyond the bound it degrades towards
+        // random input.
+        DistributionKind::AlmostSorted { max_displacement } => {
+            if max_displacement as usize <= memory {
+                Expectation::SingleRun
+            } else {
+                Expectation::RelativeToMemory(2.0)
+            }
+        }
+        // Low cardinality does not help RS: arrival order is still random,
+        // so the snowplow argument gives twice the memory.
+        DistributionKind::DuplicateHeavy { .. } => Expectation::RelativeToMemory(2.0),
     }
 }
 
@@ -85,7 +99,7 @@ pub fn twrs_expected_relative_run_length(
     records: u64,
     memory: usize,
 ) -> Expectation {
-    let _ = (records, memory);
+    let _ = records;
     match kind {
         // Theorem 2.
         DistributionKind::Sorted => Expectation::SingleRun,
@@ -102,6 +116,50 @@ pub fn twrs_expected_relative_run_length(
         DistributionKind::MixedBalanced | DistributionKind::MixedImbalanced { .. } => {
             Expectation::FractionOfInput(0.5)
         }
+        // 2WRS is never worse than RS on nearly-sorted input: the ascending
+        // heap alone absorbs the bounded displacement.
+        DistributionKind::AlmostSorted { max_displacement } => {
+            if max_displacement as usize <= memory {
+                Expectation::SingleRun
+            } else {
+                Expectation::RelativeToMemory(2.0)
+            }
+        }
+        // §5.2.4 carries over: random arrival order, twice the memory.
+        DistributionKind::DuplicateHeavy { .. } => Expectation::RelativeToMemory(2.0),
+    }
+}
+
+/// Expected relative run length of Load-Sort-Store, which fills memory,
+/// sorts it and stores it: runs of exactly the memory size regardless of
+/// the input distribution (§2.1.1) — a single run only when the whole input
+/// fits in memory.
+pub fn lss_expected_relative_run_length(
+    _kind: DistributionKind,
+    records: u64,
+    memory: usize,
+) -> Expectation {
+    if records as usize <= memory {
+        Expectation::SingleRun
+    } else {
+        Expectation::RelativeToMemory(1.0)
+    }
+}
+
+/// Dispatches the analytical run-length expectation by the generator label
+/// reported by the sorting pipeline (`"RS"`, `"LSS"`, `"2WRS"`); `None` for
+/// generators without a closed-form expectation.
+pub fn expected_relative_run_length(
+    generator: &str,
+    kind: DistributionKind,
+    records: u64,
+    memory: usize,
+) -> Option<Expectation> {
+    match generator {
+        "RS" => Some(rs_expected_relative_run_length(kind, records, memory)),
+        "LSS" => Some(lss_expected_relative_run_length(kind, records, memory)),
+        "2WRS" => Some(twrs_expected_relative_run_length(kind, records, memory)),
+        _ => None,
     }
 }
 
@@ -171,6 +229,56 @@ mod tests {
             memory,
         );
         assert!((twrs_alt.relative_run_length(records, memory) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn almost_sorted_expectation_switches_on_the_memory_bound() {
+        let kind = DistributionKind::AlmostSorted {
+            max_displacement: 100,
+        };
+        assert_eq!(
+            rs_expected_relative_run_length(kind, 10_000, 200),
+            Expectation::SingleRun
+        );
+        assert_eq!(
+            rs_expected_relative_run_length(kind, 10_000, 50),
+            Expectation::RelativeToMemory(2.0)
+        );
+        assert_eq!(
+            twrs_expected_relative_run_length(kind, 10_000, 200),
+            Expectation::SingleRun
+        );
+    }
+
+    #[test]
+    fn lss_runs_are_exactly_the_memory_size() {
+        let kind = DistributionKind::RandomUniform;
+        assert_eq!(
+            lss_expected_relative_run_length(kind, 10_000, 500),
+            Expectation::RelativeToMemory(1.0)
+        );
+        assert_eq!(
+            lss_expected_relative_run_length(kind, 400, 500),
+            Expectation::SingleRun
+        );
+    }
+
+    #[test]
+    fn dispatcher_matches_pipeline_labels() {
+        let kind = DistributionKind::DuplicateHeavy { distinct: 16 };
+        assert_eq!(
+            expected_relative_run_length("RS", kind, 10_000, 500),
+            Some(Expectation::RelativeToMemory(2.0))
+        );
+        assert_eq!(
+            expected_relative_run_length("LSS", kind, 10_000, 500),
+            Some(Expectation::RelativeToMemory(1.0))
+        );
+        assert_eq!(
+            expected_relative_run_length("2WRS", kind, 10_000, 500),
+            Some(Expectation::RelativeToMemory(2.0))
+        );
+        assert_eq!(expected_relative_run_length("DS", kind, 10_000, 500), None);
     }
 
     #[test]

@@ -17,12 +17,18 @@
 //! | Figures 6.2–6.7 (timing) | [`experiments::timing`] | `timing_figures` |
 //! | Figure 3.8 (snowplow model) | [`experiments::model`] | `snowplow_model` |
 //! | Table 2.1 (polyphase merge) | [`experiments::merge_phase`] | `merge_phase` |
+//!
+//! Beyond the paper's artefacts, the [`suite`] module is the repo's
+//! measurement backbone: a declarative scenario matrix executed by the
+//! `bench_suite` binary into machine-readable `BENCH_<id>.json` reports,
+//! with a deterministic-I/O baseline gate CI runs on every PR.
 
 #![warn(missing_docs)]
 
 pub mod experiments;
 pub mod report;
 pub mod scale;
+pub mod suite;
 
 pub use report::Table;
 pub use scale::Scale;

@@ -1,0 +1,257 @@
+//! The deterministic-metrics regression gate.
+//!
+//! Under the simulated device, pages read/written, run counts and (on the
+//! sequential path) seeks are pure functions of the scenario — identical on
+//! every machine. `crates/bench/baseline.json` pins them for the quick
+//! matrix; CI re-runs the matrix and fails on any drift, so an accounting
+//! or algorithmic regression cannot land silently. Intentional changes
+//! update the baseline in the same PR via `bench_suite --update-baseline`.
+//!
+//! Baseline schema (`"schema": "twrs-bench-baseline/v1"`): a `scenarios`
+//! object keyed by scenario id, each value the scenario's `deterministic`
+//! block from the bench report (`seeks` is `null` for multi-threaded
+//! scenarios, which are compared on pages and runs only).
+
+use super::json::Json;
+use super::report::{deterministic_json, BenchReport};
+
+/// Identifier of the baseline format.
+pub const BASELINE_SCHEMA: &str = "twrs-bench-baseline/v1";
+
+/// One divergence between the baseline and a fresh run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Drift {
+    /// Scenario id the drift belongs to.
+    pub scenario: String,
+    /// Human-readable description of what changed.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Drift {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.scenario, self.detail)
+    }
+}
+
+/// Serializes the deterministic subset of `report` as a baseline document.
+pub fn baseline_from_report(report: &BenchReport) -> Json {
+    Json::obj(vec![
+        ("schema", Json::Str(BASELINE_SCHEMA.into())),
+        ("matrix", Json::Str(report.matrix.into())),
+        (
+            "scenarios",
+            Json::Obj(
+                report
+                    .results
+                    .iter()
+                    .map(|r| (r.scenario.id(), deterministic_json(&r.deterministic())))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn counter_drift(
+    drifts: &mut Vec<Drift>,
+    scenario: &str,
+    field: &str,
+    baseline: Option<&Json>,
+    measured: Option<u64>,
+) {
+    let pinned = baseline.and_then(Json::as_u64);
+    // A null (or absent) field on either side means "not comparable here"
+    // — that is itself a drift unless both sides agree it is absent.
+    match (pinned, measured) {
+        (Some(p), Some(m)) if p == m => {}
+        (None, None) => {}
+        (Some(p), Some(m)) => drifts.push(Drift {
+            scenario: scenario.to_string(),
+            detail: format!("{field}: baseline {p}, measured {m}"),
+        }),
+        (Some(p), None) => drifts.push(Drift {
+            scenario: scenario.to_string(),
+            detail: format!("{field}: baseline {p}, but no longer measured"),
+        }),
+        (None, Some(m)) => drifts.push(Drift {
+            scenario: scenario.to_string(),
+            detail: format!("{field}: measured {m}, but not pinned in the baseline"),
+        }),
+    }
+}
+
+/// Compares a fresh report against a parsed baseline document. Returns
+/// every drift found: counter mismatches, scenarios missing from the
+/// baseline, stale baseline entries the matrix no longer produces, and
+/// matrix/schema mismatches.
+pub fn compare(baseline: &Json, report: &BenchReport) -> Vec<Drift> {
+    let mut drifts = Vec::new();
+    if baseline.get("schema").and_then(Json::as_str) != Some(BASELINE_SCHEMA) {
+        drifts.push(Drift {
+            scenario: "<baseline>".into(),
+            detail: format!("unrecognized schema (expected {BASELINE_SCHEMA})"),
+        });
+        return drifts;
+    }
+    if baseline.get("matrix").and_then(Json::as_str) != Some(report.matrix) {
+        drifts.push(Drift {
+            scenario: "<baseline>".into(),
+            detail: format!(
+                "baseline pins matrix {:?}, report ran {:?}",
+                baseline.get("matrix").and_then(Json::as_str).unwrap_or("?"),
+                report.matrix
+            ),
+        });
+        return drifts;
+    }
+    let empty = Json::Obj(vec![]);
+    let pinned = baseline.get("scenarios").unwrap_or(&empty);
+
+    for result in &report.results {
+        let id = result.scenario.id();
+        let Some(entry) = pinned.get(&id) else {
+            drifts.push(Drift {
+                scenario: id,
+                detail: "scenario not in the baseline (run `bench_suite --update-baseline`)".into(),
+            });
+            continue;
+        };
+        let det = result.deterministic();
+        counter_drift(
+            &mut drifts,
+            &id,
+            "pages_read",
+            entry.get("pages_read"),
+            Some(det.pages_read),
+        );
+        counter_drift(
+            &mut drifts,
+            &id,
+            "pages_written",
+            entry.get("pages_written"),
+            Some(det.pages_written),
+        );
+        counter_drift(&mut drifts, &id, "runs", entry.get("runs"), Some(det.runs));
+        counter_drift(&mut drifts, &id, "seeks", entry.get("seeks"), det.seeks);
+    }
+
+    // Baseline entries whose scenario the matrix no longer produces.
+    if let Some(pairs) = pinned.as_obj() {
+        for (id, _) in pairs {
+            if !report.results.iter().any(|r| &r.scenario.id() == id) {
+                drifts.push(Drift {
+                    scenario: id.clone(),
+                    detail: "stale baseline entry: scenario not in the current matrix".into(),
+                });
+            }
+        }
+    }
+    drifts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::matrix::{GeneratorKind, RecordType, Scenario, ScenarioMatrix};
+    use twrs_workloads::DistributionKind;
+
+    fn report() -> BenchReport {
+        let matrix = ScenarioMatrix {
+            name: "quick",
+            scenarios: vec![
+                Scenario {
+                    generator: GeneratorKind::Lss,
+                    distribution: DistributionKind::Sorted,
+                    records: 1_000,
+                    memory: 100,
+                    threads: 1,
+                    record_type: RecordType::Record,
+                    seed: 42,
+                },
+                Scenario {
+                    generator: GeneratorKind::Lss,
+                    distribution: DistributionKind::Sorted,
+                    records: 1_000,
+                    memory: 100,
+                    threads: 4,
+                    record_type: RecordType::Record,
+                    seed: 42,
+                },
+            ],
+        };
+        BenchReport::run(&matrix, "test", |_| {}).unwrap()
+    }
+
+    #[test]
+    fn fresh_baseline_has_no_drift() {
+        let report = report();
+        let baseline = baseline_from_report(&report);
+        // Through a render/parse round trip, exactly like CI reads the
+        // committed file.
+        let parsed = Json::parse(&baseline.render()).unwrap();
+        assert_eq!(compare(&parsed, &report), Vec::new());
+    }
+
+    #[test]
+    fn perturbed_counter_is_detected() {
+        let report = report();
+        let mut baseline = baseline_from_report(&report);
+        // Perturb one pinned pages_written value.
+        let Json::Obj(ref mut pairs) = baseline else {
+            panic!()
+        };
+        let scenarios = pairs.iter_mut().find(|(k, _)| k == "scenarios").unwrap();
+        let Json::Obj(ref mut entries) = scenarios.1 else {
+            panic!()
+        };
+        let Json::Obj(ref mut first) = entries[0].1 else {
+            panic!()
+        };
+        let pw = first
+            .iter_mut()
+            .find(|(k, _)| k == "pages_written")
+            .unwrap();
+        pw.1 = Json::counter(999_999);
+        let drifts = compare(&baseline, &report);
+        assert_eq!(drifts.len(), 1);
+        assert!(drifts[0].detail.contains("pages_written"));
+        assert!(drifts[0].detail.contains("999999"));
+    }
+
+    #[test]
+    fn missing_and_stale_scenarios_are_detected() {
+        let mut report = report();
+        let baseline = baseline_from_report(&report);
+        // Drop one scenario from the report: its baseline entry is stale.
+        let removed = report.results.pop().unwrap();
+        let drifts = compare(&baseline, &report);
+        assert_eq!(drifts.len(), 1);
+        assert_eq!(drifts[0].scenario, removed.scenario.id());
+        assert!(drifts[0].detail.contains("stale"));
+        // And an empty baseline reports every scenario as missing.
+        let empty = Json::obj(vec![
+            ("schema", Json::Str(BASELINE_SCHEMA.into())),
+            ("matrix", Json::Str("quick".into())),
+            ("scenarios", Json::Obj(vec![])),
+        ]);
+        let drifts = compare(&empty, &report);
+        assert_eq!(drifts.len(), report.results.len());
+        assert!(drifts[0].detail.contains("not in the baseline"));
+    }
+
+    #[test]
+    fn matrix_and_schema_mismatches_short_circuit() {
+        let report = report();
+        let wrong_matrix = Json::obj(vec![
+            ("schema", Json::Str(BASELINE_SCHEMA.into())),
+            ("matrix", Json::Str("full".into())),
+            ("scenarios", Json::Obj(vec![])),
+        ]);
+        let drifts = compare(&wrong_matrix, &report);
+        assert_eq!(drifts.len(), 1);
+        assert!(drifts[0].detail.contains("matrix"));
+        let wrong_schema = Json::obj(vec![("schema", Json::Str("nope/v0".into()))]);
+        let drifts = compare(&wrong_schema, &report);
+        assert_eq!(drifts.len(), 1);
+        assert!(drifts[0].detail.contains("schema"));
+    }
+}

@@ -1,0 +1,225 @@
+//! Argument parsing and top-level flow of the `bench_suite` binary.
+//!
+//! Lives in the library so the whole flow — including flag handling and
+//! exit codes — is unit-testable; the binary is a one-line wrapper around
+//! [`run`].
+
+use super::baseline::{baseline_from_report, compare};
+use super::json::Json;
+use super::matrix::ScenarioMatrix;
+use super::report::BenchReport;
+use std::path::Path;
+
+/// Default location of the committed baseline, relative to the workspace
+/// root (where both CI and `cargo run` execute).
+pub const DEFAULT_BASELINE: &str = "crates/bench/baseline.json";
+
+const USAGE: &str = "\
+bench_suite — run the scenario-matrix bench suite
+
+USAGE:
+    bench_suite [OPTIONS]
+
+OPTIONS:
+    --quick                Run the reduced PR-CI matrix (default: full matrix)
+    --id <ID>              Report id, used in the default output name [default: local]
+    --out <PATH>           Write the JSON report here [default: BENCH_<id>.json]
+    --markdown <PATH>      Also write a markdown summary table
+    --baseline <PATH>      Baseline file for the deterministic-metrics gate
+                           [default: crates/bench/baseline.json]
+    --check-baseline       Compare deterministic counters against the baseline;
+                           exit 1 on any drift
+    --update-baseline      Rewrite the baseline from this run (commit the result)
+    --list                 Print the scenario ids of the selected matrix and exit
+    -h, --help             Print this help
+";
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Options {
+    /// Run the reduced matrix.
+    pub quick: bool,
+    /// Report id.
+    pub id: String,
+    /// JSON output path (defaults to `BENCH_<id>.json`).
+    pub out: String,
+    /// Optional markdown output path.
+    pub markdown: Option<String>,
+    /// Baseline path.
+    pub baseline: String,
+    /// Compare against the baseline and fail on drift.
+    pub check_baseline: bool,
+    /// Rewrite the baseline from this run.
+    pub update_baseline: bool,
+    /// Only list scenario ids.
+    pub list: bool,
+    /// Print usage and exit.
+    pub help: bool,
+}
+
+impl Options {
+    /// Parses the argument list (without the program name).
+    pub fn parse(args: &[String]) -> Result<Options, String> {
+        let mut options = Options {
+            quick: false,
+            id: "local".to_string(),
+            out: String::new(),
+            markdown: None,
+            baseline: DEFAULT_BASELINE.to_string(),
+            check_baseline: false,
+            update_baseline: false,
+            list: false,
+            help: false,
+        };
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            let mut value = |name: &str| {
+                iter.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} needs a value"))
+            };
+            match arg.as_str() {
+                "--quick" => options.quick = true,
+                "--id" => options.id = value("--id")?,
+                "--out" => options.out = value("--out")?,
+                "--markdown" => options.markdown = Some(value("--markdown")?),
+                "--baseline" => options.baseline = value("--baseline")?,
+                "--check-baseline" => options.check_baseline = true,
+                "--update-baseline" => options.update_baseline = true,
+                "--list" => options.list = true,
+                "-h" | "--help" => options.help = true,
+                other => return Err(format!("unknown option {other} (see --help)")),
+            }
+        }
+        if options.out.is_empty() {
+            options.out = format!("BENCH_{}.json", options.id);
+        }
+        if options.check_baseline && options.update_baseline {
+            return Err("--check-baseline and --update-baseline are mutually exclusive".into());
+        }
+        Ok(options)
+    }
+
+    fn matrix(&self) -> ScenarioMatrix {
+        if self.quick {
+            ScenarioMatrix::quick()
+        } else {
+            ScenarioMatrix::full()
+        }
+    }
+}
+
+fn write_file(path: &str, contents: &str) -> Result<(), String> {
+    std::fs::write(path, contents).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+/// Runs the suite for the given arguments. Returns the process exit code
+/// (`0` success, `1` baseline drift); hard failures come back as `Err` and
+/// also exit `1`.
+pub fn run(args: &[String]) -> Result<i32, String> {
+    let options = Options::parse(args)?;
+    if options.help {
+        println!("{USAGE}");
+        return Ok(0);
+    }
+    let matrix = options.matrix();
+    if options.list {
+        for scenario in &matrix.scenarios {
+            println!("{}", scenario.id());
+        }
+        return Ok(0);
+    }
+
+    eprintln!("running {} matrix: {} scenarios", matrix.name, matrix.len());
+    let report = BenchReport::run(&matrix, options.id.clone(), |id| eprintln!("  done {id}"))?;
+
+    write_file(&options.out, &report.to_json().render())?;
+    eprintln!("wrote {}", options.out);
+    if let Some(markdown) = &options.markdown {
+        write_file(markdown, &report.to_markdown())?;
+        eprintln!("wrote {markdown}");
+    }
+    print!("{}", report.to_table().render());
+
+    if options.update_baseline {
+        write_file(&options.baseline, &baseline_from_report(&report).render())?;
+        eprintln!("baseline updated: {}", options.baseline);
+        return Ok(0);
+    }
+    if options.check_baseline {
+        if !Path::new(&options.baseline).exists() {
+            return Err(format!(
+                "baseline {} not found; run with --update-baseline first",
+                options.baseline
+            ));
+        }
+        let text = std::fs::read_to_string(&options.baseline)
+            .map_err(|e| format!("cannot read {}: {e}", options.baseline))?;
+        let baseline =
+            Json::parse(&text).map_err(|e| format!("cannot parse {}: {e}", options.baseline))?;
+        let drifts = compare(&baseline, &report);
+        if drifts.is_empty() {
+            eprintln!(
+                "baseline gate: {} scenarios match {}",
+                report.results.len(),
+                options.baseline
+            );
+        } else {
+            eprintln!(
+                "baseline gate FAILED: {} drift(s) against {}",
+                drifts.len(),
+                options.baseline
+            );
+            for drift in &drifts {
+                eprintln!("  {drift}");
+            }
+            eprintln!(
+                "if the change is intentional, refresh the baseline in this PR:\n  \
+                 cargo run --release --bin bench_suite -- --quick --update-baseline"
+            );
+            return Ok(1);
+        }
+    }
+    Ok(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        Options::parse(&owned)
+    }
+
+    #[test]
+    fn defaults_and_derived_output_name() {
+        let options = parse(&[]).unwrap();
+        assert!(!options.quick);
+        assert_eq!(options.out, "BENCH_local.json");
+        assert_eq!(options.baseline, DEFAULT_BASELINE);
+        let options = parse(&["--id", "pr4"]).unwrap();
+        assert_eq!(options.out, "BENCH_pr4.json");
+        let options = parse(&["--quick", "--out", "x.json"]).unwrap();
+        assert!(options.quick);
+        assert_eq!(options.out, "x.json");
+    }
+
+    #[test]
+    fn rejects_unknown_flags_missing_values_and_conflicts() {
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--out"]).is_err());
+        assert!(parse(&["--check-baseline", "--update-baseline"]).is_err());
+    }
+
+    #[test]
+    fn list_and_help_short_circuit_without_running_the_matrix() {
+        // Running the whole matrix is the binary's job (and CI's); here we
+        // only exercise the flows that must not touch the filesystem.
+        assert_eq!(
+            run(&["--quick".to_string(), "--list".to_string()]).unwrap(),
+            0
+        );
+        assert_eq!(run(&["--help".to_string()]).unwrap(), 0);
+    }
+}

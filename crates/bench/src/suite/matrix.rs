@@ -1,0 +1,339 @@
+//! The declarative scenario matrix: which sorts the suite measures.
+//!
+//! A [`Scenario`] is one fully specified sort — run-generation algorithm ×
+//! input distribution × memory budget × generation threads × record type —
+//! always executed on a fresh simulated device with a fixed seed, so every
+//! scenario is deterministic and its I/O counters are machine-independent.
+//! [`ScenarioMatrix::quick`] is the reduced matrix PR CI runs on every
+//! change; [`ScenarioMatrix::full`] is the on-demand evaluation matrix.
+
+use twrs_workloads::DistributionKind;
+
+/// The run-generation algorithm of a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeneratorKind {
+    /// Classic replacement selection (Algorithm 1).
+    Rs,
+    /// Load-Sort-Store (§2.1.1).
+    Lss,
+    /// Two-way replacement selection with the recommended configuration.
+    Twrs,
+}
+
+impl GeneratorKind {
+    /// All generators, in the order the paper introduces them.
+    pub fn all() -> [GeneratorKind; 3] {
+        [GeneratorKind::Rs, GeneratorKind::Lss, GeneratorKind::Twrs]
+    }
+
+    /// The label the sorting pipeline reports for this generator.
+    pub fn label(&self) -> &'static str {
+        match self {
+            GeneratorKind::Rs => "RS",
+            GeneratorKind::Lss => "LSS",
+            GeneratorKind::Twrs => "2WRS",
+        }
+    }
+
+    /// A lowercase slug used in scenario ids.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            GeneratorKind::Rs => "rs",
+            GeneratorKind::Lss => "lss",
+            GeneratorKind::Twrs => "2wrs",
+        }
+    }
+}
+
+/// The record type a scenario sorts. The input distribution is always
+/// generated as the paper's `Record` stream and mapped monotonically onto
+/// the requested type, so the distribution shape is identical across types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordType {
+    /// The paper's 16-byte key + payload record.
+    Record,
+    /// The 32-byte `UserEvent` (string-prefix key) record.
+    UserEvent,
+    /// A bare `u64` key (8 bytes, the smallest sortable record).
+    U64,
+}
+
+impl RecordType {
+    /// A lowercase slug used in scenario ids and reports.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            RecordType::Record => "record",
+            RecordType::UserEvent => "user-event",
+            RecordType::U64 => "u64",
+        }
+    }
+
+    /// The on-device size of one record, in bytes.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            RecordType::Record => 16,
+            RecordType::UserEvent => 32,
+            RecordType::U64 => 8,
+        }
+    }
+}
+
+/// One fully specified sort of the matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scenario {
+    /// Run-generation algorithm.
+    pub generator: GeneratorKind,
+    /// Input distribution shape.
+    pub distribution: DistributionKind,
+    /// Number of input records.
+    pub records: u64,
+    /// Memory budget of the generator, in records.
+    pub memory: usize,
+    /// Generation threads (1 = sequential pipeline).
+    pub threads: usize,
+    /// Record type the sort runs on.
+    pub record_type: RecordType,
+    /// Seed of the input distribution.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// A stable, human-readable identifier, unique within a matrix; the key
+    /// the baseline gate matches scenarios by.
+    pub fn id(&self) -> String {
+        format!(
+            "{}-{}-{}-n{}-m{}-t{}",
+            self.generator.slug(),
+            self.distribution.label(),
+            self.record_type.slug(),
+            self.records,
+            self.memory,
+            self.threads
+        )
+    }
+}
+
+/// The distributions of the scenario matrix: the uniform/sorted/reverse
+/// trio plus the two workload shapes beyond the paper set (bounded
+/// displacement and low cardinality).
+pub fn matrix_distributions() -> [DistributionKind; 5] {
+    [
+        DistributionKind::RandomUniform,
+        DistributionKind::Sorted,
+        DistributionKind::ReverseSorted,
+        DistributionKind::AlmostSorted {
+            max_displacement: 100,
+        },
+        DistributionKind::DuplicateHeavy { distinct: 16 },
+    ]
+}
+
+/// The seed every scenario uses (one fixed seed keeps reports comparable
+/// across runs and machines).
+pub const MATRIX_SEED: u64 = 42;
+
+/// A named list of scenarios.
+#[derive(Debug, Clone)]
+pub struct ScenarioMatrix {
+    /// `"quick"` or `"full"`; recorded in the report and the baseline so a
+    /// baseline is never compared against the wrong matrix.
+    pub name: &'static str,
+    /// The scenarios, in execution order.
+    pub scenarios: Vec<Scenario>,
+}
+
+impl ScenarioMatrix {
+    /// The reduced matrix PR CI runs on every change: every generator ×
+    /// the five matrix distributions × both thread counts on the default
+    /// record, plus record-type coverage on the random and duplicate-heavy
+    /// inputs. 44 scenarios, each small enough that the whole matrix runs
+    /// in seconds.
+    pub fn quick() -> Self {
+        let mut scenarios = Vec::new();
+        let records = 6_000;
+        let memory = 300;
+        for generator in GeneratorKind::all() {
+            for distribution in matrix_distributions() {
+                for threads in [1, 4] {
+                    scenarios.push(Scenario {
+                        generator,
+                        distribution,
+                        records,
+                        memory,
+                        threads,
+                        record_type: RecordType::Record,
+                        seed: MATRIX_SEED,
+                    });
+                }
+            }
+        }
+        // Record-type coverage: the wider and the narrower record through
+        // every generator on random input, both thread counts.
+        for generator in GeneratorKind::all() {
+            for record_type in [RecordType::UserEvent, RecordType::U64] {
+                for threads in [1, 4] {
+                    scenarios.push(Scenario {
+                        generator,
+                        distribution: DistributionKind::RandomUniform,
+                        records,
+                        memory,
+                        threads,
+                        record_type,
+                        seed: MATRIX_SEED,
+                    });
+                }
+            }
+        }
+        // Duplicate-heavy input on the bare-key record: maximal tie
+        // density, since equal keys have no payload tie-breaker.
+        for threads in [1, 4] {
+            scenarios.push(Scenario {
+                generator: GeneratorKind::Twrs,
+                distribution: DistributionKind::DuplicateHeavy { distinct: 16 },
+                records,
+                memory,
+                threads,
+                record_type: RecordType::U64,
+                seed: MATRIX_SEED,
+            });
+        }
+        ScenarioMatrix {
+            name: "quick",
+            scenarios,
+        }
+    }
+
+    /// The full evaluation matrix: the five matrix distributions plus the
+    /// paper's alternating and mixed shapes, two memory budgets, both
+    /// thread counts on the default record, and full record-type coverage
+    /// at the small budget.
+    pub fn full() -> Self {
+        let mut scenarios = Vec::new();
+        let records = 20_000;
+        let mut distributions: Vec<DistributionKind> = matrix_distributions().to_vec();
+        distributions.push(DistributionKind::Alternating { sections: 10 });
+        distributions.push(DistributionKind::MixedBalanced);
+        for generator in GeneratorKind::all() {
+            for &distribution in &distributions {
+                for memory in [300, 1_200] {
+                    for threads in [1, 4] {
+                        scenarios.push(Scenario {
+                            generator,
+                            distribution,
+                            records,
+                            memory,
+                            threads,
+                            record_type: RecordType::Record,
+                            seed: MATRIX_SEED,
+                        });
+                    }
+                }
+            }
+        }
+        for generator in GeneratorKind::all() {
+            for distribution in matrix_distributions() {
+                for record_type in [RecordType::UserEvent, RecordType::U64] {
+                    for threads in [1, 4] {
+                        scenarios.push(Scenario {
+                            generator,
+                            distribution,
+                            records,
+                            memory: 300,
+                            threads,
+                            record_type,
+                            seed: MATRIX_SEED,
+                        });
+                    }
+                }
+            }
+        }
+        ScenarioMatrix {
+            name: "full",
+            scenarios,
+        }
+    }
+
+    /// Number of scenarios.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// `true` when the matrix has no scenarios.
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn coverage(matrix: &ScenarioMatrix) -> (BTreeSet<&str>, BTreeSet<&str>, BTreeSet<usize>) {
+        let generators = matrix
+            .scenarios
+            .iter()
+            .map(|s| s.generator.label())
+            .collect();
+        let distributions = matrix
+            .scenarios
+            .iter()
+            .map(|s| s.distribution.label())
+            .collect();
+        let threads = matrix.scenarios.iter().map(|s| s.threads).collect();
+        (generators, distributions, threads)
+    }
+
+    #[test]
+    fn quick_matrix_covers_the_acceptance_floor() {
+        let quick = ScenarioMatrix::quick();
+        let (generators, distributions, threads) = coverage(&quick);
+        assert_eq!(generators.len(), 3, "all three generators");
+        assert!(distributions.len() >= 4, "at least four distributions");
+        assert_eq!(threads, BTreeSet::from([1, 4]), "both thread counts");
+        // Record-type coverage beyond the default record.
+        let record_types: BTreeSet<&str> = quick
+            .scenarios
+            .iter()
+            .map(|s| s.record_type.slug())
+            .collect();
+        assert_eq!(record_types.len(), 3);
+    }
+
+    #[test]
+    fn scenario_ids_are_unique_within_each_matrix() {
+        for matrix in [ScenarioMatrix::quick(), ScenarioMatrix::full()] {
+            let ids: BTreeSet<String> = matrix.scenarios.iter().map(Scenario::id).collect();
+            assert_eq!(ids.len(), matrix.len(), "duplicate id in {}", matrix.name);
+            assert!(!matrix.is_empty());
+        }
+    }
+
+    #[test]
+    fn full_matrix_is_a_superset_of_quick_coverage() {
+        let quick = ScenarioMatrix::quick();
+        let full = ScenarioMatrix::full();
+        let (qg, qd, qt) = coverage(&quick);
+        let (fg, fd, ft) = coverage(&full);
+        assert!(qg.is_subset(&fg));
+        assert!(qd.is_subset(&fd));
+        assert!(qt.is_subset(&ft));
+        assert!(ScenarioMatrix::full().len() > ScenarioMatrix::quick().len());
+    }
+
+    #[test]
+    fn ids_are_stable() {
+        let scenario = Scenario {
+            generator: GeneratorKind::Twrs,
+            distribution: DistributionKind::AlmostSorted {
+                max_displacement: 100,
+            },
+            records: 6_000,
+            memory: 300,
+            threads: 4,
+            record_type: RecordType::UserEvent,
+            seed: MATRIX_SEED,
+        };
+        assert_eq!(scenario.id(), "2wrs-almost-sorted-user-event-n6000-m300-t4");
+    }
+}

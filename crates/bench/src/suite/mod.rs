@@ -1,0 +1,44 @@
+//! The scenario-matrix bench suite: machine-readable `BENCH_<id>.json`
+//! reports and the deterministic-I/O regression gate.
+//!
+//! The criterion benches under `benches/` give wall-clock numbers and the
+//! experiment binaries reproduce the paper's tables, but neither persists
+//! a comparable result. This module is the measurement backbone that does:
+//!
+//! 1. [`matrix`] declares *what* to measure — run-generation algorithm ×
+//!    input distribution × memory budget × thread count × record type,
+//!    with a reduced [`ScenarioMatrix::quick`] for PR CI and a
+//!    [`ScenarioMatrix::full`] evaluation matrix;
+//! 2. [`runner`] executes each scenario through the `SortJob` front door
+//!    on a fresh `SimDevice` and captures throughput, run counts (measured
+//!    vs. the `twrs-analysis` closed-form prediction) and per-phase pages,
+//!    seeks and simulated I/O time;
+//! 3. [`report`] serializes the results as `BENCH_<id>.json` (schema
+//!    `twrs-bench-suite/v1`) plus a markdown summary table;
+//! 4. [`baseline`] compares the machine-independent counters against the
+//!    committed `crates/bench/baseline.json` and reports any drift — the
+//!    CI regression gate;
+//! 5. [`json`] is the self-contained JSON writer/parser underneath (the
+//!    offline build has no `serde`; see `crates/compat/`);
+//! 6. [`cli`] is the `bench_suite` binary's argument handling and flow.
+//!
+//! ```no_run
+//! use twrs_bench::suite::{BenchReport, ScenarioMatrix};
+//!
+//! let report = BenchReport::run(&ScenarioMatrix::quick(), "demo", |_| {}).unwrap();
+//! std::fs::write("BENCH_demo.json", report.to_json().render()).unwrap();
+//! println!("{}", report.to_markdown());
+//! ```
+
+pub mod baseline;
+pub mod cli;
+pub mod json;
+pub mod matrix;
+pub mod report;
+pub mod runner;
+
+pub use baseline::{baseline_from_report, compare, Drift, BASELINE_SCHEMA};
+pub use json::Json;
+pub use matrix::{GeneratorKind, RecordType, Scenario, ScenarioMatrix};
+pub use report::{BenchReport, SCHEMA};
+pub use runner::{run_scenario, DeterministicCounters, PhaseMetrics, ScenarioResult};

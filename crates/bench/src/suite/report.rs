@@ -1,0 +1,303 @@
+//! The machine-readable `BENCH_<id>.json` report and its markdown summary.
+//!
+//! Schema (`"schema": "twrs-bench-suite/v1"`):
+//!
+//! ```json
+//! {
+//!   "schema": "twrs-bench-suite/v1",
+//!   "id": "pr4",
+//!   "matrix": "quick",
+//!   "scenario_count": 44,
+//!   "disk_model": { "seek_us": 8000, "rotational_us": 4200, "transfer_page_us": 50 },
+//!   "scenarios": [
+//!     {
+//!       "id": "rs-random-record-n6000-m300-t1",
+//!       "generator": "RS", "distribution": "random", "record_type": "record",
+//!       "records": 6000, "memory_records": 300, "threads": 1, "seed": 42,
+//!       "wall_us": 1234, "simulated_io_us": 56789, "records_per_sec": 4861448.2,
+//!       "runs": 10, "avg_run_length": 600.0,
+//!       "relative_run_length": 2.0, "predicted_relative_run_length": 2.0,
+//!       "phases": {
+//!         "run_generation": { "wall_us": 1, "pages_read": 0, "pages_written": 24, "seeks": 0, "simulated_io_us": 1200 },
+//!         "merge": { "..." : "same shape" },
+//!         "verify": { "..." : "same shape, or null when disabled" }
+//!       },
+//!       "deterministic": { "pages_read": 48, "pages_written": 48, "runs": 10, "seeks": 13 },
+//!       "io_consistent": true
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! Wall-clock fields vary by machine; everything under `deterministic` is
+//! identical everywhere (`seeks` is `null` for multi-threaded scenarios,
+//! where read interleaving is scheduler-dependent) and is what the CI
+//! baseline gate pins.
+
+use super::json::Json;
+use super::matrix::ScenarioMatrix;
+use super::runner::{run_scenario, suite_disk_model, PhaseMetrics, ScenarioResult};
+use crate::report::Table;
+
+/// Identifier of the report format, bumped on breaking schema changes.
+pub const SCHEMA: &str = "twrs-bench-suite/v1";
+
+/// A fully executed scenario matrix.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Caller-chosen report id (e.g. the PR number or CI run id).
+    pub id: String,
+    /// Name of the matrix that was run (`"quick"` / `"full"`).
+    pub matrix: &'static str,
+    /// Per-scenario measurements, in matrix order.
+    pub results: Vec<ScenarioResult>,
+}
+
+impl BenchReport {
+    /// Runs every scenario of `matrix` and collects the results. The
+    /// optional `progress` callback receives each scenario id as it
+    /// finishes (the CLI prints them; tests pass `None`-like no-ops).
+    pub fn run(
+        matrix: &ScenarioMatrix,
+        id: impl Into<String>,
+        mut progress: impl FnMut(&str),
+    ) -> Result<Self, String> {
+        let mut results = Vec::with_capacity(matrix.len());
+        for scenario in &matrix.scenarios {
+            let result = run_scenario(scenario)?;
+            if !result.io_consistent {
+                return Err(format!(
+                    "scenario {}: I/O accounting did not reconcile",
+                    scenario.id()
+                ));
+            }
+            progress(&scenario.id());
+            results.push(result);
+        }
+        Ok(BenchReport {
+            id: id.into(),
+            matrix: matrix.name,
+            results,
+        })
+    }
+
+    /// Serializes the full report.
+    pub fn to_json(&self) -> Json {
+        let model = suite_disk_model();
+        Json::obj(vec![
+            ("schema", Json::Str(SCHEMA.into())),
+            ("id", Json::Str(self.id.clone())),
+            ("matrix", Json::Str(self.matrix.into())),
+            ("scenario_count", Json::counter(self.results.len() as u64)),
+            (
+                "disk_model",
+                Json::obj(vec![
+                    ("seek_us", Json::Num(model.seek_us)),
+                    ("rotational_us", Json::Num(model.rotational_us)),
+                    ("transfer_page_us", Json::Num(model.transfer_page_us)),
+                ]),
+            ),
+            (
+                "scenarios",
+                Json::Arr(self.results.iter().map(scenario_json).collect()),
+            ),
+        ])
+    }
+
+    /// Renders the human-facing summary table as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# Bench suite report `{}` ({} matrix, {} scenarios)\n\n",
+            self.id,
+            self.matrix,
+            self.results.len()
+        ));
+        out.push_str(
+            "| scenario | krec/s | runs | avg run len | rel (meas/pred) | pages R | pages W | seeks | sim I/O ms |\n",
+        );
+        out.push_str("|---|---:|---:|---:|---:|---:|---:|---:|---:|\n");
+        for result in &self.results {
+            let det = result.deterministic();
+            let predicted = result
+                .predicted_relative_run_length
+                .map_or("—".to_string(), |p| format!("{p:.2}"));
+            out.push_str(&format!(
+                "| {} | {:.0} | {} | {:.1} | {:.2} / {} | {} | {} | {} | {:.1} |\n",
+                result.scenario.id(),
+                result.records_per_sec / 1_000.0,
+                det.runs,
+                result.average_run_length,
+                result.relative_run_length,
+                predicted,
+                det.pages_read,
+                det.pages_written,
+                det.seeks.map_or("—".to_string(), |s| s.to_string()),
+                result.simulated_io_us as f64 / 1_000.0,
+            ));
+        }
+        out
+    }
+
+    /// Renders the plain-text summary the CLI prints to stdout (same rows
+    /// as the markdown, in the experiment binaries' table style).
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::new(
+            format!("bench suite `{}` — {} matrix", self.id, self.matrix),
+            &[
+                "scenario", "krec/s", "runs", "avg", "rel", "pred", "pR", "pW", "seeks", "simIO",
+            ],
+        );
+        for result in &self.results {
+            let det = result.deterministic();
+            table.row(vec![
+                result.scenario.id(),
+                format!("{:.0}", result.records_per_sec / 1_000.0),
+                det.runs.to_string(),
+                format!("{:.1}", result.average_run_length),
+                format!("{:.2}", result.relative_run_length),
+                result
+                    .predicted_relative_run_length
+                    .map_or("-".to_string(), |p| format!("{p:.2}")),
+                det.pages_read.to_string(),
+                det.pages_written.to_string(),
+                det.seeks.map_or("-".to_string(), |s| s.to_string()),
+                format!("{:.1}ms", result.simulated_io_us as f64 / 1_000.0),
+            ]);
+        }
+        table
+    }
+}
+
+fn phase_json(phase: &PhaseMetrics) -> Json {
+    Json::obj(vec![
+        ("wall_us", Json::counter(phase.wall_us)),
+        ("pages_read", Json::counter(phase.pages_read)),
+        ("pages_written", Json::counter(phase.pages_written)),
+        ("seeks", Json::counter(phase.seeks)),
+        ("simulated_io_us", Json::counter(phase.simulated_io_us)),
+    ])
+}
+
+fn scenario_json(result: &ScenarioResult) -> Json {
+    let scenario = &result.scenario;
+    let det = result.deterministic();
+    Json::obj(vec![
+        ("id", Json::Str(scenario.id())),
+        ("generator", Json::Str(scenario.generator.label().into())),
+        (
+            "distribution",
+            Json::Str(scenario.distribution.label().into()),
+        ),
+        ("record_type", Json::Str(scenario.record_type.slug().into())),
+        (
+            "record_size_bytes",
+            Json::counter(scenario.record_type.size_bytes() as u64),
+        ),
+        ("records", Json::counter(scenario.records)),
+        ("memory_records", Json::counter(scenario.memory as u64)),
+        ("threads", Json::counter(scenario.threads as u64)),
+        ("seed", Json::counter(scenario.seed)),
+        ("wall_us", Json::counter(result.wall_us)),
+        ("simulated_io_us", Json::counter(result.simulated_io_us)),
+        ("records_per_sec", Json::Num(result.records_per_sec)),
+        ("runs", Json::counter(result.num_runs)),
+        ("avg_run_length", Json::Num(result.average_run_length)),
+        ("relative_run_length", Json::Num(result.relative_run_length)),
+        (
+            "predicted_relative_run_length",
+            result
+                .predicted_relative_run_length
+                .map_or(Json::Null, Json::Num),
+        ),
+        (
+            "phases",
+            Json::obj(vec![
+                ("run_generation", phase_json(&result.run_generation)),
+                ("merge", phase_json(&result.merge)),
+                (
+                    "verify",
+                    result.verify.as_ref().map_or(Json::Null, phase_json),
+                ),
+            ]),
+        ),
+        ("deterministic", deterministic_json(&det)),
+        ("io_consistent", Json::Bool(result.io_consistent)),
+    ])
+}
+
+pub(crate) fn deterministic_json(det: &super::runner::DeterministicCounters) -> Json {
+    Json::obj(vec![
+        ("pages_read", Json::counter(det.pages_read)),
+        ("pages_written", Json::counter(det.pages_written)),
+        ("runs", Json::counter(det.runs)),
+        ("seeks", det.seeks.map_or(Json::Null, Json::counter)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::matrix::{GeneratorKind, RecordType, Scenario, MATRIX_SEED};
+    use twrs_workloads::DistributionKind;
+
+    fn tiny_matrix() -> ScenarioMatrix {
+        let scenarios = [1usize, 4]
+            .into_iter()
+            .map(|threads| Scenario {
+                generator: GeneratorKind::Rs,
+                distribution: DistributionKind::RandomUniform,
+                records: 1_500,
+                memory: 128,
+                threads,
+                record_type: RecordType::Record,
+                seed: MATRIX_SEED,
+            })
+            .collect();
+        ScenarioMatrix {
+            name: "quick",
+            scenarios,
+        }
+    }
+
+    #[test]
+    fn report_serializes_and_reparses() {
+        let report = BenchReport::run(&tiny_matrix(), "test", |_| {}).unwrap();
+        let text = report.to_json().render();
+        let parsed = Json::parse(&text).expect("valid json");
+        assert_eq!(parsed.get("schema").and_then(Json::as_str), Some(SCHEMA));
+        assert_eq!(parsed.get("matrix").and_then(Json::as_str), Some("quick"));
+        let scenarios = parsed.get("scenarios").and_then(Json::as_arr).unwrap();
+        assert_eq!(scenarios.len(), 2);
+        let first = &scenarios[0];
+        assert_eq!(first.get("generator").and_then(Json::as_str), Some("RS"));
+        assert_eq!(first.get("threads").and_then(Json::as_u64), Some(1));
+        let det = first.get("deterministic").unwrap();
+        assert!(det.get("pages_written").and_then(Json::as_u64).unwrap() > 0);
+        assert!(det.get("seeks").and_then(Json::as_u64).is_some());
+        // The 4-thread scenario reports null seeks.
+        let det4 = scenarios[1].get("deterministic").unwrap();
+        assert_eq!(det4.get("seeks"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn markdown_and_table_cover_every_scenario() {
+        let report = BenchReport::run(&tiny_matrix(), "test", |_| {}).unwrap();
+        let markdown = report.to_markdown();
+        let table = report.to_table().render();
+        for result in &report.results {
+            assert!(markdown.contains(&result.scenario.id()));
+            assert!(table.contains(&result.scenario.id()));
+        }
+        assert!(markdown.contains("| scenario |"));
+    }
+
+    #[test]
+    fn progress_callback_sees_every_scenario_id() {
+        let matrix = tiny_matrix();
+        let mut seen = Vec::new();
+        BenchReport::run(&matrix, "test", |id| seen.push(id.to_string())).unwrap();
+        let expected: Vec<String> = matrix.scenarios.iter().map(Scenario::id).collect();
+        assert_eq!(seen, expected);
+    }
+}

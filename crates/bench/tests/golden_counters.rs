@@ -1,0 +1,106 @@
+//! Golden deterministic-I/O counters: one small scenario per generator.
+//!
+//! The CI baseline gate (`bench_suite --check-baseline` against
+//! `crates/bench/baseline.json`) pins the whole quick matrix, but it only
+//! runs in CI. These tests pin the exact page, seek and run counts of one
+//! scenario per run-generation algorithm so a plain `cargo test -q` catches
+//! accounting or algorithmic drift too — on any machine, because the
+//! simulated device makes the counters pure functions of the scenario.
+//!
+//! The pinned values are intentionally the same as the corresponding
+//! baseline entries: if one of these tests fails, the baseline gate would
+//! fail for the same reason, and both must be updated in the same PR
+//! (`cargo run --release --bin bench_suite -- --quick --update-baseline`).
+
+use twrs_bench::suite::{run_scenario, DeterministicCounters, GeneratorKind, RecordType, Scenario};
+use twrs_workloads::DistributionKind;
+
+fn golden(generator: GeneratorKind, expected: DeterministicCounters) {
+    let scenario = Scenario {
+        generator,
+        distribution: DistributionKind::RandomUniform,
+        records: 6_000,
+        memory: 300,
+        threads: 1,
+        record_type: RecordType::Record,
+        seed: 42,
+    };
+    let result = run_scenario(&scenario).expect("scenario runs");
+    assert_eq!(
+        result.deterministic(),
+        expected,
+        "deterministic counters drifted for {} — if intentional, update this \
+         test AND crates/bench/baseline.json in the same PR",
+        scenario.id()
+    );
+}
+
+#[test]
+fn rs_random_counters_are_pinned() {
+    golden(
+        GeneratorKind::Rs,
+        DeterministicCounters {
+            pages_read: 91,
+            pages_written: 104,
+            runs: 11,
+            seeks: Some(45),
+        },
+    );
+}
+
+#[test]
+fn lss_random_counters_are_pinned() {
+    golden(
+        GeneratorKind::Lss,
+        DeterministicCounters {
+            pages_read: 111,
+            pages_written: 134,
+            runs: 20,
+            seeks: Some(83),
+        },
+    );
+}
+
+#[test]
+fn twrs_random_counters_are_pinned() {
+    golden(
+        GeneratorKind::Twrs,
+        DeterministicCounters {
+            pages_read: 136,
+            pages_written: 159,
+            runs: 11,
+            seeks: Some(81),
+        },
+    );
+}
+
+#[test]
+fn golden_scenarios_match_the_committed_baseline() {
+    // The values pinned above must agree with crates/bench/baseline.json,
+    // so the off-CI golden tests and the CI gate can never drift apart.
+    // The baseline lives next to this crate; CARGO_MANIFEST_DIR makes the
+    // lookup independent of the test's working directory.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/baseline.json");
+    let text = std::fs::read_to_string(path).expect("committed baseline exists");
+    let baseline = twrs_bench::suite::Json::parse(&text).expect("baseline parses");
+    let scenarios = baseline.get("scenarios").expect("scenarios object");
+    for (slug, pinned) in [
+        ("rs", (91, 104, 11, 45)),
+        ("lss", (111, 134, 20, 83)),
+        ("2wrs", (136, 159, 11, 81)),
+    ] {
+        let id = format!("{slug}-random-record-n6000-m300-t1");
+        let entry = scenarios.get(&id).unwrap_or_else(|| panic!("{id} pinned"));
+        let get = |k: &str| entry.get(k).and_then(|v| v.as_u64()).unwrap();
+        assert_eq!(
+            (
+                get("pages_read"),
+                get("pages_written"),
+                get("runs"),
+                get("seeks")
+            ),
+            (pinned.0, pinned.1, pinned.2, pinned.3),
+            "{id}: golden test and baseline.json disagree"
+        );
+    }
+}

@@ -36,7 +36,7 @@ use crate::parallel::{
     ShardableGenerator,
 };
 use crate::run_generation::{sort_dataset_file, Device};
-use crate::sorter::{ExternalSorter, SortReport, SorterConfig};
+use crate::sorter::{ExternalSorter, PhaseReport, SortReport, SorterConfig};
 use twrs_storage::SortableRecord;
 
 /// The report of one [`SortJob`] run: the familiar aggregated
@@ -58,6 +58,62 @@ impl SortJobReport {
     /// `true` when the job ran the sharded parallel pipeline.
     pub fn is_parallel(&self) -> bool {
         self.shards.is_some()
+    }
+
+    /// Number of runs the generation phase produced.
+    pub fn num_runs(&self) -> usize {
+        self.report.num_runs
+    }
+
+    /// Average run length in records.
+    pub fn average_run_length(&self) -> f64 {
+        self.report.average_run_length
+    }
+
+    /// The phases the job measured, in pipeline order: run generation,
+    /// merge and (when enabled) the verification scan.
+    pub fn phases(&self) -> impl Iterator<Item = &PhaseReport> {
+        [&self.report.run_generation, &self.report.merge]
+            .into_iter()
+            .chain(self.report.verify.as_ref())
+    }
+
+    /// Pages read across every measured phase (including the optional
+    /// verification scan).
+    pub fn total_pages_read(&self) -> u64 {
+        self.phases().map(|p| p.pages_read).sum()
+    }
+
+    /// Pages written across every measured phase.
+    pub fn total_pages_written(&self) -> u64 {
+        self.phases().map(|p| p.pages_written).sum()
+    }
+
+    /// Seeks across every measured phase.
+    pub fn total_seeks(&self) -> u64 {
+        self.phases().map(|p| p.seeks).sum()
+    }
+
+    /// Simulated I/O time across every measured phase — deterministic on
+    /// the simulated device, which makes it comparable across machines.
+    pub fn total_simulated_io(&self) -> std::time::Duration {
+        self.phases().map(|p| p.simulated_io).sum()
+    }
+
+    /// Wall-clock time across every measured phase.
+    pub fn total_wall(&self) -> std::time::Duration {
+        self.phases().map(|p| p.wall).sum()
+    }
+
+    /// Input records sorted per wall-clock second, over all phases; `0.0`
+    /// when the job finished too fast for the clock to register.
+    pub fn records_per_second(&self) -> f64 {
+        let secs = self.total_wall().as_secs_f64();
+        if secs > 0.0 {
+            self.report.records as f64 / secs
+        } else {
+            0.0
+        }
     }
 
     /// `true` when the report's I/O accounting is internally consistent:
@@ -303,6 +359,37 @@ mod tests {
             .unwrap();
         assert_eq!(report.threads, 2);
         assert_eq!(report.report.records, 500);
+    }
+
+    #[test]
+    fn aggregate_accessors_sum_every_phase() {
+        let device = SimDevice::new();
+        let input = Distribution::new(DistributionKind::RandomUniform, 2_000, 5);
+        let job = SortJob::new(ReplacementSelection::new(100))
+            .on(&device)
+            .verify(true)
+            .run_iter(input.records(), "out")
+            .unwrap();
+        let report = &job.report;
+        let verify = report.verify.expect("verify phase present");
+        assert_eq!(job.phases().count(), 3);
+        assert_eq!(
+            job.total_pages_read(),
+            report.run_generation.pages_read + report.merge.pages_read + verify.pages_read
+        );
+        assert_eq!(
+            job.total_pages_written(),
+            report.run_generation.pages_written + report.merge.pages_written + verify.pages_written
+        );
+        assert_eq!(
+            job.total_seeks(),
+            report.run_generation.seeks + report.merge.seeks + verify.seeks
+        );
+        assert_eq!(job.num_runs(), report.num_runs);
+        assert_eq!(job.average_run_length(), report.average_run_length);
+        assert!(job.total_simulated_io() > std::time::Duration::ZERO);
+        // 2000 records in some positive wall time.
+        assert!(job.records_per_second() >= 0.0);
     }
 
     #[test]

@@ -43,6 +43,27 @@ pub enum DistributionKind {
         /// Number of descending records between consecutive ascending ones.
         descending_per_ascending: u32,
     },
+    /// Ascending keys where every record is displaced from its sorted
+    /// position by at most `max_displacement` positions (a bulk load whose
+    /// source was sorted on a correlated column). When the displacement
+    /// bound fits in memory, replacement selection absorbs the disorder
+    /// entirely and emits a single run.
+    AlmostSorted {
+        /// Upper bound, in record positions, on how far any record sits
+        /// from its position in the fully sorted output.
+        max_displacement: u32,
+    },
+    /// Independent uniformly random keys drawn from only `distinct` values
+    /// (a low-cardinality column: country codes, status flags). Run-length
+    /// behaviour matches random input — ties break on the payload — but the
+    /// duplicate density stresses comparison and heuristic paths. The
+    /// ±U(1,1000) jitter is never applied to this shape (it would spread
+    /// the buckets back into distinct keys); replicated executions differ
+    /// through the seeded bucket draw instead.
+    DuplicateHeavy {
+        /// Number of distinct key values in the input.
+        distinct: u32,
+    },
 }
 
 impl DistributionKind {
@@ -70,6 +91,8 @@ impl DistributionKind {
             DistributionKind::RandomUniform => "random",
             DistributionKind::MixedBalanced => "mixed",
             DistributionKind::MixedImbalanced { .. } => "mixed-imbalanced",
+            DistributionKind::AlmostSorted { .. } => "almost-sorted",
+            DistributionKind::DuplicateHeavy { .. } => "duplicate-heavy",
         }
     }
 }
@@ -216,6 +239,19 @@ impl DistributionIter {
                     KEY_RANGE.saturating_sub(k * seq_step)
                 }
             }
+            DistributionKind::AlmostSorted { max_displacement } => {
+                // A forward shove of up to `max_displacement` positions: the
+                // record can overtake at most that many of its successors,
+                // so no record ends up farther than the bound from its
+                // sorted position.
+                let shove = self.rng.gen_range(0..=u64::from(max_displacement));
+                (i + shove).min(n - 1) * step
+            }
+            DistributionKind::DuplicateHeavy { distinct } => {
+                let distinct = u64::from(distinct.max(1));
+                let value_step = (KEY_RANGE / distinct).max(1);
+                self.rng.gen_range(0..distinct) * value_step
+            }
         }
     }
 }
@@ -229,7 +265,12 @@ impl Iterator for DistributionIter {
         }
         let i = self.produced;
         let mut key = self.base_key(i);
-        if self.jitter {
+        // Duplicate-heavy input is *defined* by its low key cardinality;
+        // per-record jitter would spread the buckets back into (nearly)
+        // distinct keys. Replicated executions already differ through the
+        // seeded bucket draw, so the jitter's purpose is served without it.
+        let duplicate_heavy = matches!(self.kind, DistributionKind::DuplicateHeavy { .. });
+        if self.jitter && !duplicate_heavy {
             key = key.saturating_add(self.rng.gen_range(1..=JITTER_RANGE));
         }
         self.produced += 1;
@@ -369,6 +410,61 @@ mod tests {
             .map(|(_, k)| *k)
             .collect();
         assert!(desc.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn almost_sorted_displacement_is_bounded() {
+        let d = 40u32;
+        let records = Distribution::new(
+            DistributionKind::AlmostSorted {
+                max_displacement: d,
+            },
+            5_000,
+            13,
+        )
+        .collect();
+        let mut sorted = records.clone();
+        sorted.sort_unstable();
+        // Each record sits within `max_displacement` positions of its
+        // sorted slot (the property RS exploits to emit a single run).
+        for (pos, record) in records.iter().enumerate() {
+            let sorted_pos = sorted.binary_search(record).expect("record present");
+            assert!(
+                pos.abs_diff(sorted_pos) <= d as usize,
+                "record {pos} displaced to {sorted_pos}"
+            );
+        }
+        // And it is genuinely not sorted.
+        assert_ne!(records, sorted);
+    }
+
+    #[test]
+    fn duplicate_heavy_uses_few_distinct_keys() {
+        // The defining property must hold with AND without jitter: the
+        // jitter is documented as a no-op for this shape (it would spread
+        // the buckets into ~n distinct keys and silently turn every
+        // duplicate-heavy scenario into a random one).
+        for jitter in [false, true] {
+            let keys = keys(
+                DistributionKind::DuplicateHeavy { distinct: 16 },
+                4_000,
+                jitter,
+            );
+            let mut unique: Vec<u64> = keys.clone();
+            unique.sort_unstable();
+            unique.dedup();
+            assert!(
+                unique.len() <= 16,
+                "jitter={jitter}: distinct = {}",
+                unique.len()
+            );
+            // Random order: roughly half the adjacent pairs ascend.
+            let asc = ascending_fraction(&keys);
+            assert!(
+                (0.35..0.65).contains(&asc),
+                "jitter={jitter}: ascending fraction = {asc}"
+            );
+        }
     }
 
     #[test]

@@ -15,7 +15,14 @@
 //! * [`composite`] — concatenations and the anticorrelated-columns database
 //!   scenario used to motivate the basic shapes;
 //! * [`dataset`] — helpers to materialise a workload onto a storage device
-//!   and measure how sorted an input already is.
+//!   and measure how sorted an input already is;
+//! * [`user_event::UserEvent`] — a second, wider record type (32-byte
+//!   event) with a monotone mapping from [`record::Record`], so every
+//!   distribution can be replayed through the generic pipeline.
+//!
+//! Beyond the paper's six shapes, [`distributions::DistributionKind`] adds
+//! *almost-sorted* (bounded displacement) and *duplicate-heavy* (low key
+//! cardinality) inputs for the scenario matrix of `twrs-bench`.
 
 #![warn(missing_docs)]
 
@@ -23,8 +30,10 @@ pub mod composite;
 pub mod dataset;
 pub mod distributions;
 pub mod record;
+pub mod user_event;
 
 pub use composite::{AnticorrelatedTable, Concatenation};
 pub use dataset::{materialize, read_dataset, sortedness, DatasetStats};
 pub use distributions::{Distribution, DistributionKind, KEY_RANGE};
 pub use record::Record;
+pub use user_event::UserEvent;

@@ -1,0 +1,17 @@
+//! The scenario-matrix bench suite binary.
+//!
+//! Lives in the facade package so `cargo run --release --bin bench_suite`
+//! works from the workspace root; the whole implementation — matrix,
+//! runner, JSON report and baseline gate — is `twrs_bench::suite` (see its
+//! module docs and `bench_suite --help` for usage).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match twrs_bench::suite::cli::run(&args) {
+        Ok(code) => std::process::exit(code),
+        Err(message) => {
+            eprintln!("bench_suite: {message}");
+            std::process::exit(1);
+        }
+    }
+}
