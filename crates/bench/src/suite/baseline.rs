@@ -130,6 +130,15 @@ pub fn compare(baseline: &Json, report: &BenchReport) -> Vec<Drift> {
             entry.get("pages_written"),
             Some(det.pages_written),
         );
+        // For stream scenarios this pins the headline invariant: zero
+        // final-pass pages, forever.
+        counter_drift(
+            &mut drifts,
+            &id,
+            "final_pass_pages_written",
+            entry.get("final_pass_pages_written"),
+            Some(det.final_pass_pages_written),
+        );
         counter_drift(&mut drifts, &id, "runs", entry.get("runs"), Some(det.runs));
         counter_drift(&mut drifts, &id, "seeks", entry.get("seeks"), det.seeks);
     }
@@ -151,7 +160,7 @@ pub fn compare(baseline: &Json, report: &BenchReport) -> Vec<Drift> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::suite::matrix::{GeneratorKind, RecordType, Scenario, ScenarioMatrix};
+    use crate::suite::matrix::{GeneratorKind, RecordType, Scenario, ScenarioMatrix, SinkMode};
     use twrs_workloads::DistributionKind;
 
     fn report() -> BenchReport {
@@ -165,6 +174,7 @@ mod tests {
                     memory: 100,
                     threads: 1,
                     record_type: RecordType::Record,
+                    sink: SinkMode::File,
                     seed: 42,
                 },
                 Scenario {
@@ -174,6 +184,7 @@ mod tests {
                     memory: 100,
                     threads: 4,
                     record_type: RecordType::Record,
+                    sink: SinkMode::File,
                     seed: 42,
                 },
             ],

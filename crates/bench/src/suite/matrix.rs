@@ -1,9 +1,10 @@
 //! The declarative scenario matrix: which sorts the suite measures.
 //!
 //! A [`Scenario`] is one fully specified sort — run-generation algorithm ×
-//! input distribution × memory budget × generation threads × record type —
-//! always executed on a fresh simulated device with a fixed seed, so every
-//! scenario is deterministic and its I/O counters are machine-independent.
+//! input distribution × memory budget × generation threads × record type ×
+//! output sink (file or stream) — always executed on a fresh simulated
+//! device with a fixed seed, so every scenario is deterministic and its I/O
+//! counters are machine-independent.
 //! [`ScenarioMatrix::quick`] is the reduced matrix PR CI runs on every
 //! change; [`ScenarioMatrix::full`] is the on-demand evaluation matrix.
 
@@ -78,6 +79,29 @@ impl RecordType {
     }
 }
 
+/// Where the final merge pass of a scenario delivers its output: the
+/// classic named output file, or a lazy `SortedStream` consumed by the
+/// runner (zero final-pass page writes — the saving the suite attributes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SinkMode {
+    /// `SortJob::run_iter` — final merge drains into a device file.
+    #[default]
+    File,
+    /// `SortJob::stream_iter` — final merge suspended and drained through
+    /// the iterator; the runner counts and order-checks the records.
+    Stream,
+}
+
+impl SinkMode {
+    /// A lowercase slug used in scenario ids and reports.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            SinkMode::File => "file",
+            SinkMode::Stream => "stream",
+        }
+    }
+}
+
 /// One fully specified sort of the matrix.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Scenario {
@@ -93,22 +117,30 @@ pub struct Scenario {
     pub threads: usize,
     /// Record type the sort runs on.
     pub record_type: RecordType,
+    /// Output shape of the final merge pass.
+    pub sink: SinkMode,
     /// Seed of the input distribution.
     pub seed: u64,
 }
 
 impl Scenario {
     /// A stable, human-readable identifier, unique within a matrix; the key
-    /// the baseline gate matches scenarios by.
+    /// the baseline gate matches scenarios by. File-sink scenarios keep the
+    /// historical id shape; stream scenarios carry a `-stream` suffix.
     pub fn id(&self) -> String {
+        let sink = match self.sink {
+            SinkMode::File => "",
+            SinkMode::Stream => "-stream",
+        };
         format!(
-            "{}-{}-{}-n{}-m{}-t{}",
+            "{}-{}-{}-n{}-m{}-t{}{}",
             self.generator.slug(),
             self.distribution.label(),
             self.record_type.slug(),
             self.records,
             self.memory,
-            self.threads
+            self.threads,
+            sink
         )
     }
 }
@@ -145,9 +177,10 @@ pub struct ScenarioMatrix {
 impl ScenarioMatrix {
     /// The reduced matrix PR CI runs on every change: every generator ×
     /// the five matrix distributions × both thread counts on the default
-    /// record, plus record-type coverage on the random and duplicate-heavy
-    /// inputs. 44 scenarios, each small enough that the whole matrix runs
-    /// in seconds.
+    /// record, record-type coverage on the random and duplicate-heavy
+    /// inputs, plus the stream-sink slice (every generator × both thread
+    /// counts through `stream_iter`). 50 scenarios, each small enough that
+    /// the whole matrix runs in seconds.
     pub fn quick() -> Self {
         let mut scenarios = Vec::new();
         let records = 6_000;
@@ -162,6 +195,7 @@ impl ScenarioMatrix {
                         memory,
                         threads,
                         record_type: RecordType::Record,
+                        sink: SinkMode::File,
                         seed: MATRIX_SEED,
                     });
                 }
@@ -179,6 +213,7 @@ impl ScenarioMatrix {
                         memory,
                         threads,
                         record_type,
+                        sink: SinkMode::File,
                         seed: MATRIX_SEED,
                     });
                 }
@@ -194,13 +229,40 @@ impl ScenarioMatrix {
                 memory,
                 threads,
                 record_type: RecordType::U64,
+                sink: SinkMode::File,
                 seed: MATRIX_SEED,
             });
         }
+        // Sink axis: the same random/record slice through `stream_iter`,
+        // pinning that a streamed sort writes zero final-pass pages while
+        // its generation and intermediate-merge counters match the file
+        // scenarios above.
+        scenarios.extend(Self::stream_slice(records, memory));
         ScenarioMatrix {
             name: "quick",
             scenarios,
         }
+    }
+
+    /// The stream-sink slice shared by both matrices: every generator on
+    /// random input, both thread counts, default record.
+    fn stream_slice(records: u64, memory: usize) -> Vec<Scenario> {
+        let mut scenarios = Vec::new();
+        for generator in GeneratorKind::all() {
+            for threads in [1, 4] {
+                scenarios.push(Scenario {
+                    generator,
+                    distribution: DistributionKind::RandomUniform,
+                    records,
+                    memory,
+                    threads,
+                    record_type: RecordType::Record,
+                    sink: SinkMode::Stream,
+                    seed: MATRIX_SEED,
+                });
+            }
+        }
+        scenarios
     }
 
     /// The full evaluation matrix: the five matrix distributions plus the
@@ -224,6 +286,7 @@ impl ScenarioMatrix {
                             memory,
                             threads,
                             record_type: RecordType::Record,
+                            sink: SinkMode::File,
                             seed: MATRIX_SEED,
                         });
                     }
@@ -241,12 +304,14 @@ impl ScenarioMatrix {
                             memory: 300,
                             threads,
                             record_type,
+                            sink: SinkMode::File,
                             seed: MATRIX_SEED,
                         });
                     }
                 }
             }
         }
+        scenarios.extend(Self::stream_slice(records, 300));
         ScenarioMatrix {
             name: "full",
             scenarios,
@@ -332,8 +397,53 @@ mod tests {
             memory: 300,
             threads: 4,
             record_type: RecordType::UserEvent,
+            sink: SinkMode::File,
             seed: MATRIX_SEED,
         };
+        // File-sink ids keep the pre-sink-axis shape, so the historical
+        // baseline entries stay addressable.
         assert_eq!(scenario.id(), "2wrs-almost-sorted-user-event-n6000-m300-t4");
+        let stream = Scenario {
+            sink: SinkMode::Stream,
+            ..scenario
+        };
+        assert_eq!(
+            stream.id(),
+            "2wrs-almost-sorted-user-event-n6000-m300-t4-stream"
+        );
+    }
+
+    #[test]
+    fn both_matrices_cover_the_sink_axis() {
+        for matrix in [ScenarioMatrix::quick(), ScenarioMatrix::full()] {
+            let streams: Vec<&Scenario> = matrix
+                .scenarios
+                .iter()
+                .filter(|s| s.sink == SinkMode::Stream)
+                .collect();
+            let generators: BTreeSet<&str> = streams.iter().map(|s| s.generator.label()).collect();
+            let threads: BTreeSet<usize> = streams.iter().map(|s| s.threads).collect();
+            assert_eq!(
+                generators.len(),
+                3,
+                "{}: every generator streams",
+                matrix.name
+            );
+            assert_eq!(threads, BTreeSet::from([1, 4]), "{}", matrix.name);
+            // Every stream scenario has a file twin with identical inputs,
+            // so the report can attribute the saved final pass directly.
+            for stream in streams {
+                let twin = Scenario {
+                    sink: SinkMode::File,
+                    ..*stream
+                };
+                assert!(
+                    matrix.scenarios.contains(&twin),
+                    "{}: file twin of {}",
+                    matrix.name,
+                    stream.id()
+                );
+            }
+        }
     }
 }

@@ -39,6 +39,6 @@ pub mod runner;
 
 pub use baseline::{baseline_from_report, compare, Drift, BASELINE_SCHEMA};
 pub use json::Json;
-pub use matrix::{GeneratorKind, RecordType, Scenario, ScenarioMatrix};
+pub use matrix::{GeneratorKind, RecordType, Scenario, ScenarioMatrix, SinkMode};
 pub use report::{BenchReport, SCHEMA};
 pub use runner::{run_scenario, DeterministicCounters, PhaseMetrics, ScenarioResult};

@@ -7,12 +7,13 @@
 //!   "schema": "twrs-bench-suite/v1",
 //!   "id": "pr4",
 //!   "matrix": "quick",
-//!   "scenario_count": 44,
+//!   "scenario_count": 50,
 //!   "disk_model": { "seek_us": 8000, "rotational_us": 4200, "transfer_page_us": 50 },
 //!   "scenarios": [
 //!     {
 //!       "id": "rs-random-record-n6000-m300-t1",
 //!       "generator": "RS", "distribution": "random", "record_type": "record",
+//!       "sink": "file", "final_pass_pages_written": 97,
 //!       "records": 6000, "memory_records": 300, "threads": 1, "seed": 42,
 //!       "wall_us": 1234, "simulated_io_us": 56789, "records_per_sec": 4861448.2,
 //!       "runs": 10, "avg_run_length": 600.0,
@@ -20,9 +21,9 @@
 //!       "phases": {
 //!         "run_generation": { "wall_us": 1, "pages_read": 0, "pages_written": 24, "seeks": 0, "simulated_io_us": 1200 },
 //!         "merge": { "..." : "same shape" },
-//!         "verify": { "..." : "same shape, or null when disabled" }
+//!         "verify": { "..." : "same shape, or null for sink/stream scenarios" }
 //!       },
-//!       "deterministic": { "pages_read": 48, "pages_written": 48, "runs": 10, "seeks": 13 },
+//!       "deterministic": { "pages_read": 48, "pages_written": 48, "final_pass_pages_written": 97, "runs": 10, "seeks": 13 },
 //!       "io_consistent": true
 //!     }
 //!   ]
@@ -32,7 +33,11 @@
 //! Wall-clock fields vary by machine; everything under `deterministic` is
 //! identical everywhere (`seeks` is `null` for multi-threaded scenarios,
 //! where read interleaving is scheduler-dependent) and is what the CI
-//! baseline gate pins.
+//! baseline gate pins. `"sink": "stream"` scenarios run through
+//! `SortJob::stream_iter`; their pinned `final_pass_pages_written` is `0` —
+//! the gated "stream writes zero final-pass pages" invariant — and their
+//! phase metrics cover generation plus the intermediate merge passes only
+//! (the suspended final merge happens while the runner drains the stream).
 
 use super::json::Json;
 use super::matrix::ScenarioMatrix;
@@ -114,16 +119,16 @@ impl BenchReport {
             self.results.len()
         ));
         out.push_str(
-            "| scenario | krec/s | runs | avg run len | rel (meas/pred) | pages R | pages W | seeks | sim I/O ms |\n",
+            "| scenario | krec/s | runs | avg run len | rel (meas/pred) | pages R | pages W | final W | seeks | sim I/O ms |\n",
         );
-        out.push_str("|---|---:|---:|---:|---:|---:|---:|---:|---:|\n");
+        out.push_str("|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n");
         for result in &self.results {
             let det = result.deterministic();
             let predicted = result
                 .predicted_relative_run_length
                 .map_or("—".to_string(), |p| format!("{p:.2}"));
             out.push_str(&format!(
-                "| {} | {:.0} | {} | {:.1} | {:.2} / {} | {} | {} | {} | {:.1} |\n",
+                "| {} | {:.0} | {} | {:.1} | {:.2} / {} | {} | {} | {} | {} | {:.1} |\n",
                 result.scenario.id(),
                 result.records_per_sec / 1_000.0,
                 det.runs,
@@ -132,6 +137,7 @@ impl BenchReport {
                 predicted,
                 det.pages_read,
                 det.pages_written,
+                det.final_pass_pages_written,
                 det.seeks.map_or("—".to_string(), |s| s.to_string()),
                 result.simulated_io_us as f64 / 1_000.0,
             ));
@@ -145,7 +151,8 @@ impl BenchReport {
         let mut table = Table::new(
             format!("bench suite `{}` — {} matrix", self.id, self.matrix),
             &[
-                "scenario", "krec/s", "runs", "avg", "rel", "pred", "pR", "pW", "seeks", "simIO",
+                "scenario", "krec/s", "runs", "avg", "rel", "pred", "pR", "pW", "fpW", "seeks",
+                "simIO",
             ],
         );
         for result in &self.results {
@@ -161,6 +168,7 @@ impl BenchReport {
                     .map_or("-".to_string(), |p| format!("{p:.2}")),
                 det.pages_read.to_string(),
                 det.pages_written.to_string(),
+                det.final_pass_pages_written.to_string(),
                 det.seeks.map_or("-".to_string(), |s| s.to_string()),
                 format!("{:.1}ms", result.simulated_io_us as f64 / 1_000.0),
             ]);
@@ -190,6 +198,11 @@ fn scenario_json(result: &ScenarioResult) -> Json {
             Json::Str(scenario.distribution.label().into()),
         ),
         ("record_type", Json::Str(scenario.record_type.slug().into())),
+        ("sink", Json::Str(scenario.sink.slug().into())),
+        (
+            "final_pass_pages_written",
+            Json::counter(result.final_pass_pages_written),
+        ),
         (
             "record_size_bytes",
             Json::counter(scenario.record_type.size_bytes() as u64),
@@ -230,6 +243,10 @@ pub(crate) fn deterministic_json(det: &super::runner::DeterministicCounters) -> 
     Json::obj(vec![
         ("pages_read", Json::counter(det.pages_read)),
         ("pages_written", Json::counter(det.pages_written)),
+        (
+            "final_pass_pages_written",
+            Json::counter(det.final_pass_pages_written),
+        ),
         ("runs", Json::counter(det.runs)),
         ("seeks", det.seeks.map_or(Json::Null, Json::counter)),
     ])
@@ -238,7 +255,7 @@ pub(crate) fn deterministic_json(det: &super::runner::DeterministicCounters) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::suite::matrix::{GeneratorKind, RecordType, Scenario, MATRIX_SEED};
+    use crate::suite::matrix::{GeneratorKind, RecordType, Scenario, SinkMode, MATRIX_SEED};
     use twrs_workloads::DistributionKind;
 
     fn tiny_matrix() -> ScenarioMatrix {
@@ -251,6 +268,7 @@ mod tests {
                 memory: 128,
                 threads,
                 record_type: RecordType::Record,
+                sink: SinkMode::File,
                 seed: MATRIX_SEED,
             })
             .collect();

@@ -3,13 +3,14 @@
 //! and throughput, run counts (measured vs. the `twrs-analysis`
 //! prediction), and per-phase pages, seeks and simulated I/O time.
 
-use super::matrix::{GeneratorKind, RecordType, Scenario};
+use super::matrix::{GeneratorKind, RecordType, Scenario, SinkMode};
 use twrs_analysis::theory::expected_relative_run_length;
 use twrs_core::{TwoWayReplacementSelection, TwrsConfig};
 use twrs_extsort::{
-    LoadSortStore, PhaseReport, ReplacementSelection, ShardableGenerator, SortJob, SortJobReport,
+    FinalPassKind, LoadSortStore, PhaseReport, ReplacementSelection, ShardableGenerator, SortJob,
+    SortJobReport,
 };
-use twrs_storage::{DiskModel, SimDevice, SortableRecord};
+use twrs_storage::{DiskModel, SimDevice, SortableRecord, StorageDevice};
 use twrs_workloads::{Distribution, UserEvent};
 
 /// One phase's metrics, flattened for serialization. Pages and seeks are
@@ -51,6 +52,10 @@ pub struct DeterministicCounters {
     pub pages_read: u64,
     /// Total pages written across all phases.
     pub pages_written: u64,
+    /// Pages the final merge pass alone wrote. Deterministically **zero**
+    /// for stream scenarios — the invariant the baseline gate pins: a
+    /// streamed sort must never regress into paying a final write pass.
+    pub final_pass_pages_written: u64,
     /// Number of runs the generation phase produced.
     pub runs: u64,
     /// Total seeks across all phases; `None` when the scenario ran with
@@ -84,8 +89,14 @@ pub struct ScenarioResult {
     pub run_generation: PhaseMetrics,
     /// Merge phase metrics.
     pub merge: PhaseMetrics,
-    /// Verification-scan metrics (the suite always verifies its output).
+    /// Verification-scan metrics. The suite verifies file outputs with the
+    /// pipeline's scan; stream scenarios are order- and count-checked
+    /// inline while draining (no separate phase), so this is `None` there.
     pub verify: Option<PhaseMetrics>,
+    /// How the scenario's final merge pass delivered its output.
+    pub final_pass: FinalPassKind,
+    /// Pages the final pass alone wrote (`0` for stream scenarios).
+    pub final_pass_pages_written: u64,
     /// Whether the report's I/O accounting reconciled (shard sums vs.
     /// aggregated phases).
     pub io_consistent: bool,
@@ -103,6 +114,7 @@ impl ScenarioResult {
         DeterministicCounters {
             pages_read: sum(|p| p.pages_read),
             pages_written: sum(|p| p.pages_written),
+            final_pass_pages_written: self.final_pass_pages_written,
             runs: self.num_runs,
             seeks: (self.scenario.threads == 1).then(|| sum(|p| p.seeks)),
         }
@@ -134,12 +146,50 @@ where
         I: Iterator<Item = R>,
     {
         let device = SimDevice::new();
-        SortJob::new(generator)
+        let job = SortJob::new(generator)
             .on(&device)
             .threads(scenario.threads)
-            .verify(true)
-            .run_iter(input, "sorted")
-            .map_err(|e| format!("scenario {} failed: {e}", scenario.id()))
+            .verify(true);
+        match scenario.sink {
+            SinkMode::File => job
+                .run_iter(input, "sorted")
+                .map_err(|e| format!("scenario {} failed: {e}", scenario.id())),
+            SinkMode::Stream => {
+                // Drain the lazy stream, verifying order and completeness
+                // inline (the pipeline's verify pass is file-specific).
+                let stream = job
+                    .stream_iter(input)
+                    .map_err(|e| format!("scenario {} failed: {e}", scenario.id()))?;
+                let report = stream.report().clone();
+                let expected = stream.expected_records();
+                let mut drained = 0u64;
+                let mut previous: Option<R> = None;
+                for record in stream {
+                    let record = record.map_err(|e| format!("scenario {}: {e}", scenario.id()))?;
+                    if previous.as_ref().is_some_and(|prev| prev > &record) {
+                        return Err(format!(
+                            "scenario {}: stream output not sorted at record {drained}",
+                            scenario.id()
+                        ));
+                    }
+                    previous = Some(record);
+                    drained += 1;
+                }
+                if drained != expected {
+                    return Err(format!(
+                        "scenario {}: stream yielded {drained} of {expected} records",
+                        scenario.id()
+                    ));
+                }
+                if !device.list().is_empty() {
+                    return Err(format!(
+                        "scenario {}: drained stream left files on the device",
+                        scenario.id()
+                    ));
+                }
+                Ok(report)
+            }
+        }
     }
 
     match scenario.generator {
@@ -188,6 +238,8 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioResult, String> {
         run_generation: (&job.report.run_generation).into(),
         merge: (&job.report.merge).into(),
         verify: job.report.verify.as_ref().map(PhaseMetrics::from),
+        final_pass: job.final_pass,
+        final_pass_pages_written: job.final_pass_pages_written(),
         io_consistent: job.io_is_consistent(),
     })
 }
@@ -205,6 +257,7 @@ mod tests {
             memory: 200,
             threads,
             record_type: RecordType::Record,
+            sink: SinkMode::File,
             seed: 7,
         }
     }
@@ -254,6 +307,43 @@ mod tests {
         assert!((predicted - 0.5).abs() < 1e-9);
         let ratio = result.prediction_ratio().expect("ratio");
         assert!((0.7..1.3).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn stream_scenarios_write_zero_final_pass_pages() {
+        for generator in GeneratorKind::all() {
+            for threads in [1, 4] {
+                let file = scenario(generator, threads);
+                let stream = Scenario {
+                    sink: SinkMode::Stream,
+                    ..file
+                };
+                let file_result = run_scenario(&file).unwrap();
+                let stream_result = run_scenario(&stream).unwrap();
+                // The file path pays a final write pass; the stream never
+                // does — and the saving is exactly that pass.
+                assert!(file_result.deterministic().final_pass_pages_written > 0);
+                assert_eq!(
+                    stream_result.deterministic().final_pass_pages_written,
+                    0,
+                    "{}",
+                    stream.id()
+                );
+                assert_eq!(stream_result.final_pass, FinalPassKind::Streamed);
+                // Generation cost is identical across the sink axis: same
+                // input, same shards, same runs.
+                assert_eq!(
+                    stream_result.run_generation.pages_written,
+                    file_result.run_generation.pages_written,
+                    "{}",
+                    stream.id()
+                );
+                assert_eq!(stream_result.num_runs, file_result.num_runs);
+                // And a repeat run reproduces the stream counters exactly.
+                let again = run_scenario(&stream).unwrap();
+                assert_eq!(stream_result.deterministic(), again.deterministic());
+            }
+        }
     }
 
     #[test]

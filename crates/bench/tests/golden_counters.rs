@@ -12,19 +12,26 @@
 //! fail for the same reason, and both must be updated in the same PR
 //! (`cargo run --release --bin bench_suite -- --quick --update-baseline`).
 
-use twrs_bench::suite::{run_scenario, DeterministicCounters, GeneratorKind, RecordType, Scenario};
+use twrs_bench::suite::{
+    run_scenario, DeterministicCounters, GeneratorKind, RecordType, Scenario, SinkMode,
+};
 use twrs_workloads::DistributionKind;
 
-fn golden(generator: GeneratorKind, expected: DeterministicCounters) {
-    let scenario = Scenario {
+fn base_scenario(generator: GeneratorKind, sink: SinkMode) -> Scenario {
+    Scenario {
         generator,
         distribution: DistributionKind::RandomUniform,
         records: 6_000,
         memory: 300,
         threads: 1,
         record_type: RecordType::Record,
+        sink,
         seed: 42,
-    };
+    }
+}
+
+fn golden(generator: GeneratorKind, sink: SinkMode, expected: DeterministicCounters) {
+    let scenario = base_scenario(generator, sink);
     let result = run_scenario(&scenario).expect("scenario runs");
     assert_eq!(
         result.deterministic(),
@@ -39,9 +46,11 @@ fn golden(generator: GeneratorKind, expected: DeterministicCounters) {
 fn rs_random_counters_are_pinned() {
     golden(
         GeneratorKind::Rs,
+        SinkMode::File,
         DeterministicCounters {
             pages_read: 91,
             pages_written: 104,
+            final_pass_pages_written: 26,
             runs: 11,
             seeks: Some(45),
         },
@@ -52,9 +61,11 @@ fn rs_random_counters_are_pinned() {
 fn lss_random_counters_are_pinned() {
     golden(
         GeneratorKind::Lss,
+        SinkMode::File,
         DeterministicCounters {
             pages_read: 111,
             pages_written: 134,
+            final_pass_pages_written: 26,
             runs: 20,
             seeks: Some(83),
         },
@@ -65,13 +76,42 @@ fn lss_random_counters_are_pinned() {
 fn twrs_random_counters_are_pinned() {
     golden(
         GeneratorKind::Twrs,
+        SinkMode::File,
         DeterministicCounters {
             pages_read: 136,
             pages_written: 159,
+            final_pass_pages_written: 26,
             runs: 11,
             seeks: Some(81),
         },
     );
+}
+
+#[test]
+fn streamed_sorts_write_zero_final_pass_pages() {
+    // The headline invariant of the sink axis, pinned per generator: a
+    // streamed sort never pays the final write pass its file twin pays,
+    // and its generation/run structure is identical to the twin's.
+    for generator in GeneratorKind::all() {
+        let file = run_scenario(&base_scenario(generator, SinkMode::File)).unwrap();
+        let stream = run_scenario(&base_scenario(generator, SinkMode::Stream)).unwrap();
+        let file_det = file.deterministic();
+        let stream_det = stream.deterministic();
+        assert_eq!(
+            stream_det.final_pass_pages_written, 0,
+            "{:?}: streamed final pass must write nothing",
+            generator
+        );
+        assert_eq!(file_det.final_pass_pages_written, 26, "{generator:?}");
+        assert_eq!(stream_det.runs, file_det.runs, "{generator:?}");
+        // The stream's phase totals stop at the suspension point: exactly
+        // the file twin's writes minus the final pass.
+        assert_eq!(
+            stream_det.pages_written,
+            file_det.pages_written - file_det.final_pass_pages_written,
+            "{generator:?}"
+        );
+    }
 }
 
 #[test]
@@ -101,6 +141,23 @@ fn golden_scenarios_match_the_committed_baseline() {
             ),
             (pinned.0, pinned.1, pinned.2, pinned.3),
             "{id}: golden test and baseline.json disagree"
+        );
+        assert_eq!(
+            get("final_pass_pages_written"),
+            26,
+            "{id}: final-pass pin and baseline.json disagree"
+        );
+        // And the stream twin is pinned to zero final-pass pages — the
+        // invariant `--check-baseline` gates in CI.
+        let stream_entry = scenarios
+            .get(&format!("{id}-stream"))
+            .unwrap_or_else(|| panic!("{id}-stream pinned"));
+        assert_eq!(
+            stream_entry
+                .get("final_pass_pages_written")
+                .and_then(|v| v.as_u64()),
+            Some(0),
+            "{id}-stream: the baseline must pin zero final-pass pages"
         );
     }
 }

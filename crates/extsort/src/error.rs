@@ -15,6 +15,9 @@ pub enum SortError {
     InvalidConfig(String),
     /// The sorted output failed a verification check.
     VerificationFailed(String),
+    /// A [`RecordSink`](crate::sink::RecordSink) refused a record or was
+    /// finished twice — e.g. a channel sink whose receiver hung up.
+    SinkClosed(String),
 }
 
 impl fmt::Display for SortError {
@@ -23,6 +26,7 @@ impl fmt::Display for SortError {
             SortError::Storage(e) => write!(f, "storage error: {e}"),
             SortError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             SortError::VerificationFailed(msg) => write!(f, "verification failed: {msg}"),
+            SortError::SinkClosed(msg) => write!(f, "record sink closed: {msg}"),
         }
     }
 }
@@ -58,5 +62,12 @@ mod tests {
     fn config_errors_display_message() {
         let err = SortError::InvalidConfig("fan-in must be at least 2".into());
         assert!(err.to_string().contains("fan-in"));
+    }
+
+    #[test]
+    fn sink_errors_display_message() {
+        let err = SortError::SinkClosed("receiver hung up".into());
+        assert!(err.to_string().contains("sink closed"));
+        assert!(err.to_string().contains("receiver hung up"));
     }
 }

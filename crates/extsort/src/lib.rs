@@ -22,6 +22,12 @@
 //! * [`sort_job`] — [`sort_job::SortJob`], the builder-style front door
 //!   that drives either sorter from one description of the work
 //!   (`SortJob::new(g).on(&device).threads(n).run_iter(input, "out")`);
+//! * [`sink`] — the [`sink::RecordSink`] output abstraction: the final
+//!   merge pass drains into a device file, a `Vec`, a callback or a bounded
+//!   channel (`run_iter`/`run_file` are thin wrappers over the file sink);
+//! * [`stream`] — [`stream::SortedStream`], the pull-style counterpart: the
+//!   final k-way merge is suspended and performed lazily on `next()`, so a
+//!   streaming consumer pays **zero** final-output write I/O;
 //! * [`parallel`] — [`parallel::ParallelExternalSorter`], the sharded
 //!   variant of the same pipeline: run generation fans out over
 //!   budget-divided worker threads, spill writes move to dedicated writer
@@ -38,8 +44,10 @@ pub mod merge;
 pub mod parallel;
 pub mod replacement_selection;
 pub mod run_generation;
+pub mod sink;
 pub mod sort_job;
 pub mod sorter;
+pub mod stream;
 
 pub use error::{Result, SortError};
 pub use load_sort_store::LoadSortStore;
@@ -53,5 +61,7 @@ pub use replacement_selection::ReplacementSelection;
 pub use run_generation::{
     Device, ForwardRunBuilder, ReverseRunBuilder, RunCursor, RunGenerator, RunHandle, RunSet,
 };
+pub use sink::{CallbackSink, ChannelSink, FileSink, RecordSink, VecSink};
 pub use sort_job::{BoundSortJob, SortJob, SortJobReport};
-pub use sorter::{ExternalSorter, PhaseReport, SortReport, SorterConfig};
+pub use sorter::{ExternalSorter, FinalPassKind, PhaseReport, SortReport, SorterConfig};
+pub use stream::SortedStream;

@@ -12,6 +12,7 @@
 use crate::error::{Result, SortError};
 use crate::merge::loser_tree::LoserTree;
 use crate::run_generation::{Device, RunCursor, RunHandle};
+use crate::sink::{FileSink, RecordSink};
 use std::collections::VecDeque;
 use twrs_storage::{RunWriter, SortableRecord, SpillNamer};
 
@@ -91,6 +92,19 @@ impl KWayMerger {
         runs: Vec<RunHandle>,
         output: &str,
     ) -> Result<MergeReport> {
+        self.merge_into_outcome::<D, R>(device, namer, runs, output)
+            .map(|outcome| outcome.report)
+    }
+
+    /// [`merge_into`](KWayMerger::merge_into) plus the final-pass page
+    /// attribution the sorters report.
+    pub(crate) fn merge_into_outcome<D: Device, R: SortableRecord>(
+        &self,
+        device: &D,
+        namer: &SpillNamer,
+        runs: Vec<RunHandle>,
+        output: &str,
+    ) -> Result<MergePhaseOutcome> {
         merge_passes::<D, R, _>(
             device,
             namer,
@@ -101,42 +115,63 @@ impl KWayMerger {
         )
     }
 
-    /// Merges one batch of runs into the forward run `output`.
-    fn merge_batch<D: Device, R: SortableRecord>(
+    /// Opens each run of `batch` behind a read-ahead buffer, ready to feed
+    /// the merge tree (or a suspended stream).
+    pub(crate) fn open_sources<D: Device, R: SortableRecord>(
         &self,
         device: &D,
         batch: &[RunHandle],
-        output: &str,
-    ) -> Result<u64> {
-        let mut sources: Vec<BufferedCursor<R>> = batch
+    ) -> Result<Vec<BufferedCursor<R>>> {
+        batch
             .iter()
             .map(|handle| {
                 RunCursor::open(device, handle)
                     .map(|cursor| BufferedCursor::new(cursor, self.config.read_ahead_records))
             })
-            .collect::<Result<_>>()?;
+            .collect()
+    }
+
+    /// Merges one batch of runs into the forward run `output`.
+    pub(crate) fn merge_batch<D: Device, R: SortableRecord>(
+        &self,
+        device: &D,
+        batch: &[RunHandle],
+        output: &str,
+    ) -> Result<u64> {
+        let mut sources = self.open_sources::<D, R>(device, batch)?;
         let writer = RunWriter::<R>::create(device, output)?;
         merge_sources(&mut sources, writer)
     }
 }
 
-/// The multi-pass merge scheduler shared by [`KWayMerger`] and the parallel
-/// sorter's prefetching merger: batches at most `fan_in` runs per step,
-/// queues intermediate outputs until one run remains, removes consumed
-/// inputs, and always leaves the result under the `output` name (an empty
-/// run when `runs` is empty). `merge_batch(batch, name)` performs one step
-/// and returns the records written.
-pub(crate) fn merge_passes<D, R, F>(
+/// The runs left after the intermediate merge passes, plus the partial
+/// [`MergeReport`] those passes accumulated. At most `fan_in` runs remain,
+/// so one final merge step — into a file, a sink, or a suspended
+/// [`SortedStream`](crate::stream::SortedStream) — finishes the sort.
+pub(crate) struct ReducedRuns {
+    /// The surviving runs, at most `fan_in` of them, in queue order.
+    pub(crate) remaining: Vec<RunHandle>,
+    /// Steps and records of the intermediate passes only
+    /// (`output_records` still zero — the final pass has not run).
+    pub(crate) report: MergeReport,
+}
+
+/// The intermediate half of the multi-pass merge scheduler shared by
+/// [`KWayMerger`] and the parallel sorter's prefetching merger: batches at
+/// most `fan_in` runs per step and queues the intermediate outputs until no
+/// more than `fan_in` runs remain, removing consumed inputs as it goes.
+/// `merge_batch(batch, name)` performs one step and returns the records
+/// written. The final pass over the survivors is the caller's business —
+/// that is where the file, sink and stream outputs diverge.
+pub(crate) fn reduce_to_fan_in<D, F>(
     device: &D,
     namer: &SpillNamer,
     runs: Vec<RunHandle>,
-    output: &str,
     fan_in: usize,
-    mut merge_batch: F,
-) -> Result<MergeReport>
+    merge_batch: &mut F,
+) -> Result<ReducedRuns>
 where
     D: Device,
-    R: SortableRecord,
     F: FnMut(&[RunHandle], &str) -> Result<u64>,
 {
     if fan_in < 2 {
@@ -146,26 +181,9 @@ where
     }
     let mut report = MergeReport::default();
     let mut queue: VecDeque<RunHandle> = runs.into();
-
-    if queue.is_empty() {
-        // No input at all: produce an empty output run for uniformity.
-        let writer = RunWriter::<R>::create(device, output)?;
-        writer.finish()?;
-        return Ok(report);
-    }
-
-    // Keep merging batches of `fan_in` runs until one remains.
-    while queue.len() > 1 {
-        let batch: Vec<RunHandle> = {
-            let take = fan_in.min(queue.len());
-            queue.drain(..take).collect()
-        };
-        let is_final = queue.is_empty();
-        let name = if is_final {
-            output.to_string()
-        } else {
-            namer.next_name("merge")
-        };
+    while queue.len() > fan_in {
+        let batch: Vec<RunHandle> = queue.drain(..fan_in).collect();
+        let name = namer.next_name("merge");
         let written = merge_batch(&batch, &name)?;
         report.merge_steps += 1;
         report.records_written += written;
@@ -173,22 +191,100 @@ where
         for handle in &batch {
             remove_run(device, handle)?;
         }
-        if is_final {
-            report.output_records = written;
-            return Ok(report);
-        }
         queue.push_back(RunHandle::Forward(name));
     }
+    Ok(ReducedRuns {
+        remaining: queue.into(),
+        report,
+    })
+}
 
-    // A single run left without any merging needed: copy it to the
-    // output name so the caller always finds its result there.
-    let only = queue.pop_front().expect("queue has one element");
-    let written = merge_batch(std::slice::from_ref(&only), output)?;
-    remove_run(device, &only)?;
-    report.merge_steps += 1;
-    report.records_written += written;
-    report.output_records = written;
-    Ok(report)
+/// Outcome of the full merge phase when it runs to completion (file and
+/// sink outputs; a suspended stream never gets this far eagerly).
+pub(crate) struct MergePhaseOutcome {
+    /// The completed merge report.
+    pub(crate) report: MergeReport,
+    /// Pages the final pass alone wrote — the write I/O a streaming
+    /// consumer avoids entirely.
+    pub(crate) final_pass_pages_written: u64,
+}
+
+/// The shared final pass of the sink and stream sorters: drains the
+/// surviving runs' `sources` into `sink`, finishes the sink, removes the
+/// consumed runs and folds the step into `report`. Returns the pages the
+/// pass wrote on `device` (whatever the sink itself wrote — zero for the
+/// in-memory sinks), measured in its own snapshot window.
+pub(crate) fn finish_into_sink<D, R, S, K>(
+    device: &D,
+    sources: &mut [S],
+    sink: &mut K,
+    remaining: &[RunHandle],
+    report: &mut MergeReport,
+) -> Result<u64>
+where
+    D: Device,
+    R: SortableRecord,
+    S: MergeSource<R>,
+    K: RecordSink<R> + ?Sized,
+{
+    let before = device.stats();
+    let delivered = merge_sources_into(sources, sink)?;
+    sink.finish()?;
+    for handle in remaining {
+        remove_run(device, handle)?;
+    }
+    if !remaining.is_empty() {
+        report.merge_steps += 1;
+    }
+    report.records_written += delivered;
+    report.output_records = delivered;
+    Ok(device.stats().counters.pages_written - before.counters.pages_written)
+}
+
+/// The complete multi-pass merge into a named output file:
+/// [`reduce_to_fan_in`] followed by one final `merge_batch` into `output`
+/// (an empty run when `runs` is empty, a copy step when a single run is
+/// left, exactly as before the reduce/final split). The final pass's page
+/// writes are measured in their own snapshot window.
+pub(crate) fn merge_passes<D, R, F>(
+    device: &D,
+    namer: &SpillNamer,
+    runs: Vec<RunHandle>,
+    output: &str,
+    fan_in: usize,
+    mut merge_batch: F,
+) -> Result<MergePhaseOutcome>
+where
+    D: Device,
+    R: SortableRecord,
+    F: FnMut(&[RunHandle], &str) -> Result<u64>,
+{
+    let ReducedRuns {
+        remaining,
+        mut report,
+    } = reduce_to_fan_in(device, namer, runs, fan_in, &mut merge_batch)?;
+    let before_final = device.stats();
+
+    if remaining.is_empty() {
+        // No input at all: produce an empty output run for uniformity.
+        let writer = RunWriter::<R>::create(device, output)?;
+        writer.finish()?;
+    } else {
+        // The final step also covers the single-run case: the run is copied
+        // to the output name so the caller always finds its result there.
+        let written = merge_batch(&remaining, output)?;
+        for handle in &remaining {
+            remove_run(device, handle)?;
+        }
+        report.merge_steps += 1;
+        report.records_written += written;
+        report.output_records = written;
+    }
+    let final_writes = device.stats().counters.pages_written - before_final.counters.pages_written;
+    Ok(MergePhaseOutcome {
+        report,
+        final_pass_pages_written: final_writes,
+    })
 }
 
 /// A stream of ascending records feeding one leaf of the merge tree: a
@@ -207,11 +303,33 @@ impl<R: SortableRecord> MergeSource<R> for BufferedCursor<R> {
 
 /// The inner loop shared by the sequential and parallel mergers: drains
 /// `sources` through a loser tree into `writer` and returns the number of
-/// records written.
+/// records written. A thin wrapper of [`merge_sources_into`] over the file
+/// sink, which is what makes `run_iter`'s output byte-identical to a
+/// hand-rolled [`FileSink`] drain.
 pub(crate) fn merge_sources<R: SortableRecord, S: MergeSource<R>>(
     sources: &mut [S],
-    mut writer: RunWriter<R>,
+    writer: RunWriter<R>,
 ) -> Result<u64> {
+    let mut sink = FileSink::from_writer(writer);
+    let written = merge_sources_into(sources, &mut sink)?;
+    sink.finish()?;
+    Ok(written)
+}
+
+/// Drains `sources` through a loser tree into any [`RecordSink`] and
+/// returns the number of records delivered. The caller finishes the sink
+/// (so sink ownership stays with it — a failed push must still be able to
+/// clean up).
+pub(crate) fn merge_sources_into<R: SortableRecord, S: MergeSource<R>, K>(
+    sources: &mut [S],
+    sink: &mut K,
+) -> Result<u64>
+where
+    K: RecordSink<R> + ?Sized,
+{
+    if sources.is_empty() {
+        return Ok(0);
+    }
     let mut heads: Vec<Option<R>> = sources
         .iter_mut()
         .map(|s| s.next_record())
@@ -222,7 +340,7 @@ pub(crate) fn merge_sources<R: SortableRecord, S: MergeSource<R>>(
         let winner = tree.winner();
         match heads[winner].take() {
             Some(record) => {
-                writer.push(&record)?;
+                sink.push(record)?;
                 written += 1;
                 heads[winner] = sources[winner].next_record()?;
                 tree.replay(&heads, winner);
@@ -230,7 +348,6 @@ pub(crate) fn merge_sources<R: SortableRecord, S: MergeSource<R>>(
             None => break,
         }
     }
-    writer.finish()?;
     Ok(written)
 }
 
@@ -285,7 +402,7 @@ impl<R: SortableRecord> BufferedCursor<R> {
         }
     }
 
-    fn next_record(&mut self) -> Result<Option<R>> {
+    pub(crate) fn next_record(&mut self) -> Result<Option<R>> {
         if self.buffer.is_empty() && !self.exhausted {
             for _ in 0..self.read_ahead {
                 match self.cursor.next_record()? {

@@ -33,11 +33,19 @@
 //! shard sum by construction.
 
 use crate::error::{Result, SortError};
-use crate::merge::kway::{merge_passes, merge_sources, MergeConfig, MergeSource};
+use crate::merge::kway::{
+    finish_into_sink, merge_passes, merge_sources, reduce_to_fan_in, MergeConfig, MergeSource,
+    ReducedRuns,
+};
 use crate::run_generation::{
     sort_dataset_file, Device, RunCursor, RunGenerator, RunHandle, RunSet,
 };
-use crate::sorter::{verify_phase_report, PhaseReport, SortReport, SorterConfig};
+use crate::sink::RecordSink;
+use crate::sort_job::SortJobReport;
+use crate::sorter::{
+    assemble_report, verify_phase_report, FinalPassKind, PhaseReport, SortReport, SorterConfig,
+};
+use crate::stream::{unique_namespace, SortedStream, StreamSource};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
@@ -355,16 +363,18 @@ impl<D: Device> StorageDevice for SpillWriteDevice<D> {
 
 /// The consumer end of one background prefetch thread: the thread reads the
 /// run in `read_ahead`-record batches and stays up to `queue_batches`
-/// batches ahead of the merge loop.
-struct PrefetchSource<R: SortableRecord> {
-    rx: Receiver<std::result::Result<Vec<R>, SortError>>,
+/// batches ahead of the merge loop. Dropping the source disconnects the
+/// channel and joins the worker, so a half-consumed source (an early-dropped
+/// [`SortedStream`], an error path) never leaves a reader thread behind.
+pub(crate) struct PrefetchSource<R: SortableRecord> {
+    rx: Option<Receiver<std::result::Result<Vec<R>, SortError>>>,
     buffer: VecDeque<R>,
     worker: Option<JoinHandle<()>>,
     done: bool,
 }
 
 impl<R: SortableRecord> PrefetchSource<R> {
-    fn spawn<D: Device>(
+    pub(crate) fn spawn<D: Device>(
         device: D,
         handle: RunHandle,
         read_ahead: usize,
@@ -403,7 +413,7 @@ impl<R: SortableRecord> PrefetchSource<R> {
             }
         });
         PrefetchSource {
-            rx,
+            rx: Some(rx),
             buffer: VecDeque::new(),
             worker: Some(worker),
             done: false,
@@ -419,10 +429,23 @@ impl<R: SortableRecord> PrefetchSource<R> {
     }
 }
 
+impl<R: SortableRecord> Drop for PrefetchSource<R> {
+    fn drop(&mut self) {
+        // Disconnect first so a worker blocked on a full queue wakes up and
+        // exits, then wait for it (panics are swallowed here; the explicit
+        // `join` on the success path propagates them).
+        drop(self.rx.take());
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
 impl<R: SortableRecord> MergeSource<R> for PrefetchSource<R> {
     fn next_record(&mut self) -> Result<Option<R>> {
         if self.buffer.is_empty() && !self.done {
-            match self.rx.recv() {
+            let rx = self.rx.as_ref().expect("receiver lives until drop");
+            match rx.recv() {
                 Ok(Ok(chunk)) => self.buffer = chunk.into(),
                 Ok(Err(e)) => {
                     self.done = true;
@@ -668,41 +691,13 @@ impl<G: ShardableGenerator> ParallelExternalSorter<G> {
         namer: &Arc<SpillNamer>,
     ) -> Result<ParallelSortReport> {
         let threads = self.config.threads;
-
-        // --- Sharded run generation ------------------------------------
-        // The phase is attributed from the device-level delta, exactly like
-        // the sequential sorter: that way coordinator-side input reads (a
-        // `sort_file` input dataset, or any caller iterator that reads the
-        // same device) land in `run_generation` instead of being dropped.
-        // The per-shard scoped statistics provide the breakdown of the
-        // work the shards themselves did (all of the phase's writes).
-        let before = device.stats();
-        let started = Instant::now();
-        let outcomes = self.generate_sharded(device, namer, input)?;
-        let run_wall = started.elapsed();
-        let after_runs = device.stats();
-
-        let mut runs: Vec<RunHandle> = Vec::new();
-        let mut records = 0u64;
-        let mut shards = Vec::with_capacity(outcomes.len());
-        for (index, outcome) in outcomes.into_iter().enumerate() {
-            records += outcome.set.records;
-            shards.push(ShardReport {
-                shard: index,
-                records: outcome.set.records,
-                num_runs: outcome.set.num_runs(),
-                io: outcome.io,
-            });
-            runs.extend(outcome.set.runs);
-        }
-        let run_set = RunSet { runs, records };
-        let run_phase = PhaseReport::from_delta(run_wall, after_runs.since(&before));
+        let (run_set, shards, run_phase, after_runs) = self.generate_phase(device, namer, input)?;
 
         // --- Prefetched merge ------------------------------------------
         let merge = self.config.merge;
         let prefetch = self.config.prefetch_batches;
         let started = Instant::now();
-        let merge_report = merge_passes::<D, R, _>(
+        let outcome = merge_passes::<D, R, _>(
             device,
             namer.as_ref(),
             run_set.runs.clone(),
@@ -732,20 +727,281 @@ impl<G: ShardableGenerator> ParallelExternalSorter<G> {
         )?;
 
         Ok(ParallelSortReport {
-            report: SortReport {
-                generator: self.generator.label(),
-                records: run_set.records,
-                num_runs: run_set.num_runs(),
-                average_run_length: run_set.average_run_length(),
-                relative_run_length: run_set.relative_run_length(self.generator.memory_records()),
-                run_generation: run_phase,
-                merge: merge_phase,
-                verify: verify_phase,
-                merge_report,
-            },
+            report: self.report(
+                &run_set,
+                run_phase,
+                merge_phase,
+                verify_phase,
+                outcome.report,
+                FinalPassKind::File,
+                outcome.final_pass_pages_written,
+            ),
             threads,
             shards,
         })
+    }
+
+    /// Sorts the records produced by `input` straight into `sink`: the
+    /// final merge pass, fed by per-run background prefetch threads, drains
+    /// into the sink instead of writing an output file. See
+    /// [`ExternalSorter::sort_iter_sink`](crate::sorter::ExternalSorter::sort_iter_sink)
+    /// for the shared semantics (no verify phase, spill cleanup on a sink
+    /// failure).
+    pub fn sort_iter_sink<D: Device, R: SortableRecord, K>(
+        &mut self,
+        device: &D,
+        input: &mut dyn Iterator<Item = R>,
+        sink: &mut K,
+    ) -> Result<ParallelSortReport>
+    where
+        K: RecordSink<R> + ?Sized,
+    {
+        if self.config.threads == 0 {
+            return Err(SortError::InvalidConfig(
+                "parallel sorter needs at least one thread".into(),
+            ));
+        }
+        let namer = Arc::new(SpillNamer::new(unique_namespace("psort-sink")));
+        let result = self.sort_sink_inner(device, input, sink, &namer);
+        let cleanup = namer.cleanup(device);
+        let report = result?;
+        cleanup?;
+        Ok(report)
+    }
+
+    fn sort_sink_inner<D: Device, R: SortableRecord, K>(
+        &mut self,
+        device: &D,
+        input: &mut dyn Iterator<Item = R>,
+        sink: &mut K,
+        namer: &Arc<SpillNamer>,
+    ) -> Result<ParallelSortReport>
+    where
+        K: RecordSink<R> + ?Sized,
+    {
+        let threads = self.config.threads;
+        let (run_set, shards, run_phase, after_runs) = self.generate_phase(device, namer, input)?;
+
+        let started = Instant::now();
+        let ReducedRuns {
+            remaining,
+            report: mut merge_report,
+        } = self.reduce_phase::<D, R>(device, namer, run_set.runs.clone())?;
+
+        // --- Final pass: prefetch threads feed the sink ----------------
+        let mut sources = self.spawn_prefetchers::<D, R>(device, &remaining);
+        let final_writes =
+            finish_into_sink(device, &mut sources, sink, &remaining, &mut merge_report)?;
+        // Propagate any prefetcher panic (a plain drop would swallow it).
+        for source in sources {
+            source.join();
+        }
+        let merge_wall = started.elapsed();
+        let merge_phase = PhaseReport::from_delta(merge_wall, device.stats().since(&after_runs));
+
+        Ok(ParallelSortReport {
+            report: self.report(
+                &run_set,
+                run_phase,
+                merge_phase,
+                None,
+                merge_report,
+                FinalPassKind::Sink,
+                final_writes,
+            ),
+            threads,
+            shards,
+        })
+    }
+
+    /// Sorts the records produced by `input` into a lazy [`SortedStream`]
+    /// whose suspended final merge is fed by one background prefetch thread
+    /// per surviving run — the stream consumer overlaps with the
+    /// prefetchers' read I/O. See
+    /// [`ExternalSorter::sort_iter_stream`](crate::sorter::ExternalSorter::sort_iter_stream)
+    /// for the shared semantics (stream owns the spill files, zero
+    /// final-pass writes).
+    pub fn sort_iter_stream<D: Device, R: SortableRecord>(
+        &mut self,
+        device: &D,
+        input: &mut dyn Iterator<Item = R>,
+    ) -> Result<SortedStream<R>> {
+        if self.config.threads == 0 {
+            return Err(SortError::InvalidConfig(
+                "parallel sorter needs at least one thread".into(),
+            ));
+        }
+        let namer = Arc::new(SpillNamer::new(unique_namespace("psort-stream")));
+        match self.sort_stream_inner(device, input, &namer) {
+            Ok(stream) => Ok(stream),
+            Err(error) => {
+                let _ = namer.cleanup(device);
+                Err(error)
+            }
+        }
+    }
+
+    fn sort_stream_inner<D: Device, R: SortableRecord>(
+        &mut self,
+        device: &D,
+        input: &mut dyn Iterator<Item = R>,
+        namer: &Arc<SpillNamer>,
+    ) -> Result<SortedStream<R>> {
+        let threads = self.config.threads;
+        let (run_set, shards, run_phase, after_runs) = self.generate_phase(device, namer, input)?;
+
+        let started = Instant::now();
+        let ReducedRuns {
+            remaining,
+            report: merge_report,
+        } = self.reduce_phase::<D, R>(device, namer, run_set.runs.clone())?;
+        // Close the merge window at the suspension point, *before* the
+        // prefetch threads spawn: their background reads would otherwise
+        // race the snapshot and make the phase counters nondeterministic.
+        let merge_wall = started.elapsed();
+        let merge_phase = PhaseReport::from_delta(merge_wall, device.stats().since(&after_runs));
+        let sources: Vec<StreamSource<R>> = self
+            .spawn_prefetchers::<D, R>(device, &remaining)
+            .into_iter()
+            .map(StreamSource::Prefetch)
+            .collect();
+
+        let report = SortJobReport::parallel(ParallelSortReport {
+            report: self.report(
+                &run_set,
+                run_phase,
+                merge_phase,
+                None,
+                merge_report,
+                FinalPassKind::Streamed,
+                0,
+            ),
+            threads,
+            shards,
+        });
+        let cleanup_device = device.clone();
+        let cleanup_namer = Arc::clone(namer);
+        SortedStream::new(
+            sources,
+            report,
+            Box::new(move || {
+                cleanup_namer
+                    .cleanup(&cleanup_device)
+                    .map_err(SortError::from)
+            }),
+        )
+    }
+
+    /// Runs sharded generation in its own snapshot window and flattens the
+    /// shard outcomes.
+    ///
+    /// The phase is attributed from the device-level delta, exactly like
+    /// the sequential sorter: that way coordinator-side input reads (a
+    /// `sort_file` input dataset, or any caller iterator that reads the
+    /// same device) land in `run_generation` instead of being dropped. The
+    /// per-shard scoped statistics provide the breakdown of the work the
+    /// shards themselves did (all of the phase's writes).
+    #[allow(clippy::type_complexity)]
+    fn generate_phase<D: Device, R: SortableRecord>(
+        &self,
+        device: &D,
+        namer: &Arc<SpillNamer>,
+        input: &mut dyn Iterator<Item = R>,
+    ) -> Result<(RunSet, Vec<ShardReport>, PhaseReport, IoStatsSnapshot)> {
+        let before = device.stats();
+        let started = Instant::now();
+        let outcomes = self.generate_sharded(device, namer, input)?;
+        let run_wall = started.elapsed();
+        let after_runs = device.stats();
+
+        let mut runs: Vec<RunHandle> = Vec::new();
+        let mut records = 0u64;
+        let mut shards = Vec::with_capacity(outcomes.len());
+        for (index, outcome) in outcomes.into_iter().enumerate() {
+            records += outcome.set.records;
+            shards.push(ShardReport {
+                shard: index,
+                records: outcome.set.records,
+                num_runs: outcome.set.num_runs(),
+                io: outcome.io,
+            });
+            runs.extend(outcome.set.runs);
+        }
+        let run_set = RunSet { runs, records };
+        let run_phase = PhaseReport::from_delta(run_wall, after_runs.since(&before));
+        Ok((run_set, shards, run_phase, after_runs))
+    }
+
+    /// Runs the intermediate prefetched merge passes until at most `fan_in`
+    /// runs remain.
+    fn reduce_phase<D: Device, R: SortableRecord>(
+        &self,
+        device: &D,
+        namer: &Arc<SpillNamer>,
+        runs: Vec<RunHandle>,
+    ) -> Result<ReducedRuns> {
+        let merge = self.config.merge;
+        let prefetch = self.config.prefetch_batches;
+        reduce_to_fan_in(
+            device,
+            namer.as_ref(),
+            runs,
+            merge.fan_in,
+            &mut |batch: &[RunHandle], name: &str| {
+                merge_batch_prefetched::<D, R>(
+                    device,
+                    batch,
+                    name,
+                    merge.read_ahead_records,
+                    prefetch,
+                )
+            },
+        )
+    }
+
+    /// Spawns one background prefetch thread per run of `batch`.
+    fn spawn_prefetchers<D: Device, R: SortableRecord>(
+        &self,
+        device: &D,
+        batch: &[RunHandle],
+    ) -> Vec<PrefetchSource<R>> {
+        batch
+            .iter()
+            .map(|handle| {
+                PrefetchSource::spawn(
+                    device.clone(),
+                    handle.clone(),
+                    self.config.merge.read_ahead_records,
+                    self.config.prefetch_batches,
+                )
+            })
+            .collect()
+    }
+
+    /// Assembles the aggregated [`SortReport`] from the measured phases
+    /// (shared constructor with the sequential engine).
+    #[allow(clippy::too_many_arguments)]
+    fn report(
+        &self,
+        run_set: &RunSet,
+        run_generation: PhaseReport,
+        merge: PhaseReport,
+        verify: Option<PhaseReport>,
+        merge_report: crate::merge::kway::MergeReport,
+        final_pass: FinalPassKind,
+        final_pass_pages_written: u64,
+    ) -> SortReport {
+        assemble_report(
+            self.generator.label(),
+            self.generator.memory_records(),
+            run_set,
+            run_generation,
+            merge,
+            verify,
+            merge_report,
+            final_pass,
+            final_pass_pages_written,
+        )
     }
 
     /// Sorts a dataset of `R` records previously materialised on the
@@ -769,7 +1025,7 @@ impl<G: ShardableGenerator> ParallelExternalSorter<G> {
         input: &str,
         output: &str,
     ) -> Result<ParallelSortReport> {
-        sort_dataset_file::<D, R, _>(device, input, output, |iter| {
+        sort_dataset_file::<D, R, _>(device, input, Some(output), |iter| {
             self.sort_iter(device, iter, output)
         })
     }

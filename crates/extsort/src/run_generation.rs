@@ -221,17 +221,20 @@ impl<R: SortableRecord> Iterator for FallibleRecords<'_, R> {
 /// Shared `sort_file` plumbing of the sequential and parallel sorters:
 /// opens the dataset `input` on `device`, feeds it to `sort` through a
 /// [`FallibleRecords`] adapter, and — when the dataset turned out corrupt
-/// or truncated — removes the partial `output` file and surfaces the read
-/// error instead of the sort result.
+/// or truncated — removes the partial `output` file (when the sort writes
+/// one; stream and sink sorts pass `None`) and surfaces the read error
+/// instead of the sort result.
 ///
 /// The pipeline cannot abort mid-phase on a read error (the generators see
 /// an ordinary end of stream), so the sort runs to completion on the
 /// readable prefix before the error is reported; the valid-looking partial
-/// output never survives, though.
+/// output never survives, though. A successfully constructed `SortedStream`
+/// over a truncated dataset is dropped here too, which removes its spill
+/// files.
 pub(crate) fn sort_dataset_file<D, R, T>(
     device: &D,
     input: &str,
-    output: &str,
+    output: Option<&str>,
     sort: impl FnOnce(&mut FallibleRecords<'_, R>) -> Result<T>,
 ) -> Result<T>
 where
@@ -250,8 +253,10 @@ where
         Some(error) => {
             // The sort ran to completion on the truncated prefix; do not
             // leave that valid-looking partial output behind.
-            if device.exists(output) {
-                let _ = device.remove(output);
+            if let Some(output) = output {
+                if device.exists(output) {
+                    let _ = device.remove(output);
+                }
             }
             Err(error.into())
         }

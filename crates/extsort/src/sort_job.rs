@@ -36,7 +36,9 @@ use crate::parallel::{
     ShardableGenerator,
 };
 use crate::run_generation::{sort_dataset_file, Device};
-use crate::sorter::{ExternalSorter, PhaseReport, SortReport, SorterConfig};
+use crate::sink::RecordSink;
+use crate::sorter::{ExternalSorter, FinalPassKind, PhaseReport, SortReport, SorterConfig};
+use crate::stream::SortedStream;
 use twrs_storage::SortableRecord;
 
 /// The report of one [`SortJob`] run: the familiar aggregated
@@ -52,12 +54,45 @@ pub struct SortJobReport {
     /// Per-shard breakdown of the run-generation phase; `None` when the
     /// job ran on the sequential path.
     pub shards: Option<Vec<ShardReport>>,
+    /// How the final merge pass delivered the output: a device file
+    /// (`run_iter`/`run_file`), a caller [`RecordSink`] (`sink_iter`), or a
+    /// suspended [`SortedStream`] (`stream_iter`/`stream_file_as`). The
+    /// bench suite uses this together with
+    /// [`final_pass_pages_written`](SortJobReport::final_pass_pages_written)
+    /// to attribute the write pass a streaming consumer saves.
+    pub final_pass: FinalPassKind,
 }
 
 impl SortJobReport {
+    /// Wraps a sequential engine report.
+    pub(crate) fn sequential(report: SortReport) -> Self {
+        SortJobReport {
+            final_pass: report.final_pass,
+            report,
+            threads: 1,
+            shards: None,
+        }
+    }
+
+    /// Wraps a parallel engine report.
+    pub(crate) fn parallel(parallel: ParallelSortReport) -> Self {
+        SortJobReport {
+            final_pass: parallel.report.final_pass,
+            report: parallel.report,
+            threads: parallel.threads,
+            shards: Some(parallel.shards),
+        }
+    }
+
     /// `true` when the job ran the sharded parallel pipeline.
     pub fn is_parallel(&self) -> bool {
         self.shards.is_some()
+    }
+
+    /// Pages written by the final merge pass alone — `0` for a streamed
+    /// job, the output-file write for a file job.
+    pub fn final_pass_pages_written(&self) -> u64 {
+        self.report.final_pass_pages_written
     }
 
     /// Number of runs the generation phase produced.
@@ -267,23 +302,103 @@ impl<G, D: Device> BoundSortJob<G, D> {
             1 => {
                 let mut sorter = ExternalSorter::with_config(self.job.generator, self.job.config);
                 let report = sorter.sort_iter(&self.device, &mut input, output)?;
-                Ok(SortJobReport {
-                    report,
-                    threads: 1,
-                    shards: None,
-                })
+                Ok(SortJobReport::sequential(report))
             }
-            threads => {
+            _ => {
                 let config = self.parallel_config();
                 let mut sorter = ParallelExternalSorter::with_config(self.job.generator, config);
                 let parallel = sorter.sort_iter(&self.device, &mut input, output)?;
-                Ok(SortJobReport {
-                    report: parallel.report,
-                    threads,
-                    shards: Some(parallel.shards),
-                })
+                Ok(SortJobReport::parallel(parallel))
             }
         }
+    }
+
+    /// Sorts the records produced by `input` straight into `sink`: the
+    /// final merge pass drains into the sink, so a non-file sink performs
+    /// **zero final-output page writes** — no output file exists at all.
+    ///
+    /// The report's `final_pass` is [`FinalPassKind::Sink`]; the
+    /// verification flag is file-specific and ignored (the sink receives
+    /// ascending records by construction). If the sink fails mid-drain the
+    /// job removes every remaining run and spill file before returning the
+    /// error.
+    pub fn sink_iter<R: SortableRecord, K>(
+        self,
+        mut input: impl Iterator<Item = R>,
+        sink: &mut K,
+    ) -> Result<SortJobReport>
+    where
+        G: ShardableGenerator,
+        K: RecordSink<R> + ?Sized,
+    {
+        match self.job.threads {
+            0 => Err(SortError::InvalidConfig(
+                "a sort job needs at least one thread".into(),
+            )),
+            1 => {
+                let mut sorter = ExternalSorter::with_config(self.job.generator, self.job.config);
+                let report = sorter.sort_iter_sink(&self.device, &mut input, sink)?;
+                Ok(SortJobReport::sequential(report))
+            }
+            _ => {
+                let config = self.parallel_config();
+                let mut sorter = ParallelExternalSorter::with_config(self.job.generator, config);
+                let parallel = sorter.sort_iter_sink(&self.device, &mut input, sink)?;
+                Ok(SortJobReport::parallel(parallel))
+            }
+        }
+    }
+
+    /// Sorts the records produced by `input` into a lazy [`SortedStream`]:
+    /// run generation and the intermediate merge passes execute eagerly,
+    /// but the final k-way merge is suspended into the returned iterator
+    /// and performed on `next()` — no output file, zero final-pass write
+    /// I/O, and on the parallel path one background prefetch thread per
+    /// surviving run keeps feeding the stream.
+    ///
+    /// The stream yields exactly the record sequence `run_iter` would have
+    /// written, owns the sort's spill files, and removes them when it is
+    /// consumed, [`close`](SortedStream::close)d or dropped. Its
+    /// [`report`](SortedStream::report) snapshot has
+    /// `final_pass == `[`FinalPassKind::Streamed`].
+    pub fn stream_iter<R: SortableRecord>(
+        self,
+        mut input: impl Iterator<Item = R>,
+    ) -> Result<SortedStream<R>>
+    where
+        G: ShardableGenerator,
+    {
+        match self.job.threads {
+            0 => Err(SortError::InvalidConfig(
+                "a sort job needs at least one thread".into(),
+            )),
+            1 => {
+                let mut sorter = ExternalSorter::with_config(self.job.generator, self.job.config);
+                sorter.sort_iter_stream(&self.device, &mut input)
+            }
+            _ => {
+                let config = self.parallel_config();
+                let mut sorter = ParallelExternalSorter::with_config(self.job.generator, config);
+                sorter.sort_iter_stream(&self.device, &mut input)
+            }
+        }
+    }
+
+    /// Sorts a dataset of `R` records previously materialised on the bound
+    /// device into a lazy [`SortedStream`]; the streaming counterpart of
+    /// [`run_file_as`](BoundSortJob::run_file_as). Call as
+    /// `.stream_file_as::<MyRecord>(…)` (a file name cannot reveal its
+    /// record type); the facade crate provides a `stream_file` extension
+    /// method for the default paper record.
+    ///
+    /// A corrupt or truncated input surfaces as an error, never a panic,
+    /// and the sort's spill files are removed before the error is returned.
+    pub fn stream_file_as<R: SortableRecord>(self, input: &str) -> Result<SortedStream<R>>
+    where
+        G: ShardableGenerator,
+    {
+        let device = self.device.clone();
+        sort_dataset_file::<D, R, _>(&device, input, None, |iter| self.stream_iter(iter))
     }
 
     /// Sorts a dataset of `R` records previously materialised on the bound
@@ -300,7 +415,9 @@ impl<G, D: Device> BoundSortJob<G, D> {
         G: ShardableGenerator,
     {
         let device = self.device.clone();
-        sort_dataset_file::<D, R, _>(&device, input, output, |iter| self.run_iter(iter, output))
+        sort_dataset_file::<D, R, _>(&device, input, Some(output), |iter| {
+            self.run_iter(iter, output)
+        })
     }
 }
 

@@ -8,10 +8,14 @@
 //! the "run" and "total" series of Figures 6.2–6.7.
 
 use crate::error::{Result, SortError};
-use crate::merge::kway::{KWayMerger, MergeConfig, MergeReport};
+use crate::merge::kway::{finish_into_sink, KWayMerger, MergeConfig, MergeReport, ReducedRuns};
 use crate::run_generation::{
     sort_dataset_file, Device, RunCursor, RunGenerator, RunHandle, RunSet,
 };
+use crate::sink::RecordSink;
+use crate::sort_job::SortJobReport;
+use crate::stream::{unique_namespace, SortedStream, StreamSource};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use twrs_storage::{IoStatsSnapshot, SortableRecord, SpillNamer};
 
@@ -61,6 +65,24 @@ impl PhaseReport {
     }
 }
 
+/// How the final merge pass of a sort delivered its output.
+///
+/// Every sort reduces its runs to at most the merge fan-in with
+/// intermediate passes; the *final* pass is where the output shapes
+/// diverge, and where the write I/O of a sort can disappear entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FinalPassKind {
+    /// Drained into a named forward run file on the device
+    /// (`run_iter` / `run_file`): one full write pass over the output.
+    File,
+    /// Drained into a caller-provided [`RecordSink`]; the device sees only
+    /// whatever the sink itself writes (nothing, for the in-memory sinks).
+    Sink,
+    /// Suspended into a lazy [`SortedStream`] that merges on read: zero
+    /// final-pass writes by construction.
+    Streamed,
+}
+
 /// Full report of one external sort.
 #[derive(Debug, Clone)]
 pub struct SortReport {
@@ -83,8 +105,19 @@ pub struct SortReport {
     /// Reported separately so the extra read pass never pollutes the merge
     /// phase's I/O attribution.
     pub verify: Option<PhaseReport>,
-    /// Merge statistics (steps and rewrite passes).
+    /// Merge statistics (steps and rewrite passes). For a streamed sort
+    /// this covers the intermediate passes only — the suspended final pass
+    /// has not produced output when the report is taken.
     pub merge_report: MergeReport,
+    /// How the final merge pass delivered the sorted output.
+    pub final_pass: FinalPassKind,
+    /// Pages the final merge pass alone wrote, out of
+    /// [`merge`](SortReport::merge)'s total: the output-file write for
+    /// [`FinalPassKind::File`], whatever the sink wrote for
+    /// [`FinalPassKind::Sink`], and always `0` for
+    /// [`FinalPassKind::Streamed`] — the write pass a streaming consumer
+    /// saves.
+    pub final_pass_pages_written: u64,
 }
 
 impl SortReport {
@@ -138,6 +171,11 @@ impl<G: RunGenerator> ExternalSorter<G> {
 
     /// Sorts the records produced by `input` into the forward run file
     /// `output` on `device`.
+    ///
+    /// This is the file-sink specialisation of the pipeline: the final
+    /// merge pass drains into a `RunWriter` on the device. For other
+    /// destinations see [`sort_iter_sink`](ExternalSorter::sort_iter_sink)
+    /// and [`sort_iter_stream`](ExternalSorter::sort_iter_stream).
     pub fn sort_iter<D: Device, R: SortableRecord>(
         &mut self,
         device: &D,
@@ -145,20 +183,30 @@ impl<G: RunGenerator> ExternalSorter<G> {
         output: &str,
     ) -> Result<SortReport> {
         let namer = SpillNamer::new(format!("sort-{output}"));
+        let result = self.sort_iter_inner(device, input, output, &namer);
+        // Spill files are removed on success *and* on error, so a failed
+        // sort never leaves run or intermediate-merge files behind.
+        let cleanup = namer.cleanup(device);
+        let report = result?;
+        cleanup?;
+        Ok(report)
+    }
 
+    fn sort_iter_inner<D: Device, R: SortableRecord>(
+        &mut self,
+        device: &D,
+        input: &mut dyn Iterator<Item = R>,
+        output: &str,
+        namer: &SpillNamer,
+    ) -> Result<SortReport> {
         // --- Run generation phase -------------------------------------
-        let before = device.stats();
-        let started = Instant::now();
-        let run_set: RunSet = self.generator.generate(device, &namer, input)?;
-        let run_wall = started.elapsed();
-        let after_runs = device.stats();
-        let run_phase = PhaseReport::from_delta(run_wall, after_runs.since(&before));
+        let (run_set, run_phase, after_runs) = self.generate_phase(device, namer, input)?;
 
         // --- Merge phase -----------------------------------------------
         let merger = KWayMerger::new(self.config.merge);
         let started = Instant::now();
-        let merge_report =
-            merger.merge_into::<D, R>(device, &namer, run_set.runs.clone(), output)?;
+        let outcome =
+            merger.merge_into_outcome::<D, R>(device, namer, run_set.runs.clone(), output)?;
         let merge_wall = started.elapsed();
         let after_merge = device.stats();
         let merge_phase = PhaseReport::from_delta(merge_wall, after_merge.since(&after_runs));
@@ -171,19 +219,212 @@ impl<G: RunGenerator> ExternalSorter<G> {
             run_set.records,
             &after_merge,
         )?;
-        namer.cleanup(device)?;
 
-        Ok(SortReport {
-            generator: self.generator.label(),
-            records: run_set.records,
-            num_runs: run_set.num_runs(),
-            average_run_length: run_set.average_run_length(),
-            relative_run_length: run_set.relative_run_length(self.generator.memory_records()),
-            run_generation: run_phase,
-            merge: merge_phase,
-            verify: verify_phase,
+        Ok(self.report(
+            &run_set,
+            run_phase,
+            merge_phase,
+            verify_phase,
+            outcome.report,
+            FinalPassKind::File,
+            outcome.final_pass_pages_written,
+        ))
+    }
+
+    /// Sorts the records produced by `input` straight into `sink` —
+    /// the final merge pass drains into the sink instead of writing an
+    /// output file, so a non-file sink pays no final write pass at all.
+    ///
+    /// The verification flag is file-specific and ignored here (the sink
+    /// receives the records in ascending order by construction); the
+    /// report's `verify` phase is `None` and its `final_pass` is
+    /// [`FinalPassKind::Sink`]. A failing sink aborts the sort; the spill
+    /// files are removed before the error is returned.
+    pub fn sort_iter_sink<D: Device, R: SortableRecord, K>(
+        &mut self,
+        device: &D,
+        input: &mut dyn Iterator<Item = R>,
+        sink: &mut K,
+    ) -> Result<SortReport>
+    where
+        K: RecordSink<R> + ?Sized,
+    {
+        let namer = SpillNamer::new(unique_namespace("sort-sink"));
+        let result = self.sort_sink_inner(device, input, sink, &namer);
+        let cleanup = namer.cleanup(device);
+        let report = result?;
+        cleanup?;
+        Ok(report)
+    }
+
+    fn sort_sink_inner<D: Device, R: SortableRecord, K>(
+        &mut self,
+        device: &D,
+        input: &mut dyn Iterator<Item = R>,
+        sink: &mut K,
+        namer: &SpillNamer,
+    ) -> Result<SortReport>
+    where
+        K: RecordSink<R> + ?Sized,
+    {
+        let (run_set, run_phase, after_runs) = self.generate_phase(device, namer, input)?;
+
+        let merger = KWayMerger::new(self.config.merge);
+        let started = Instant::now();
+        let ReducedRuns {
+            remaining,
+            report: mut merge_report,
+        } = self.reduce_phase::<D, R>(device, namer, &merger, run_set.runs.clone())?;
+
+        // --- Final pass: straight into the sink ------------------------
+        let mut sources = merger.open_sources::<D, R>(device, &remaining)?;
+        let final_writes =
+            finish_into_sink(device, &mut sources, sink, &remaining, &mut merge_report)?;
+        let merge_wall = started.elapsed();
+        let merge_phase = PhaseReport::from_delta(merge_wall, device.stats().since(&after_runs));
+
+        Ok(self.report(
+            &run_set,
+            run_phase,
+            merge_phase,
+            None,
             merge_report,
-        })
+            FinalPassKind::Sink,
+            final_writes,
+        ))
+    }
+
+    /// Sorts the records produced by `input` into a lazy [`SortedStream`]:
+    /// runs are generated and reduced to at most the merge fan-in as usual,
+    /// but the final k-way merge is suspended into the returned iterator
+    /// and performed on `next()` — no output file, zero final-pass write
+    /// I/O.
+    ///
+    /// The stream owns the sort's spill files and removes them when it is
+    /// consumed, closed or dropped. The verification flag is file-specific
+    /// and ignored here.
+    pub fn sort_iter_stream<D: Device, R: SortableRecord>(
+        &mut self,
+        device: &D,
+        input: &mut dyn Iterator<Item = R>,
+    ) -> Result<SortedStream<R>> {
+        let namer = Arc::new(SpillNamer::new(unique_namespace("sort-stream")));
+        match self.sort_stream_inner(device, input, &namer) {
+            Ok(stream) => Ok(stream),
+            Err(error) => {
+                // The stream never came to own the spill files; remove
+                // whatever the failed sort left behind.
+                let _ = namer.cleanup(device);
+                Err(error)
+            }
+        }
+    }
+
+    fn sort_stream_inner<D: Device, R: SortableRecord>(
+        &mut self,
+        device: &D,
+        input: &mut dyn Iterator<Item = R>,
+        namer: &Arc<SpillNamer>,
+    ) -> Result<SortedStream<R>> {
+        let (run_set, run_phase, after_runs) = self.generate_phase(device, namer, input)?;
+
+        let merger = KWayMerger::new(self.config.merge);
+        let started = Instant::now();
+        let ReducedRuns {
+            remaining,
+            report: merge_report,
+        } = self.reduce_phase::<D, R>(device, namer, &merger, run_set.runs.clone())?;
+        // The merge window closes at the suspension point, before any
+        // source is opened: reads performed on behalf of the consumer
+        // (head pages, read-ahead) belong to consumption, not to the
+        // phases — which also keeps the phase counters deterministic.
+        let merge_wall = started.elapsed();
+        let merge_phase = PhaseReport::from_delta(merge_wall, device.stats().since(&after_runs));
+        let sources: Vec<StreamSource<R>> = merger
+            .open_sources::<D, R>(device, &remaining)?
+            .into_iter()
+            .map(StreamSource::Buffered)
+            .collect();
+
+        let report = SortJobReport::sequential(self.report(
+            &run_set,
+            run_phase,
+            merge_phase,
+            None,
+            merge_report,
+            FinalPassKind::Streamed,
+            0,
+        ));
+        let cleanup_device = device.clone();
+        let cleanup_namer = Arc::clone(namer);
+        SortedStream::new(
+            sources,
+            report,
+            Box::new(move || {
+                cleanup_namer
+                    .cleanup(&cleanup_device)
+                    .map_err(SortError::from)
+            }),
+        )
+    }
+
+    /// Runs the generation phase in its own snapshot window.
+    fn generate_phase<D: Device, R: SortableRecord>(
+        &mut self,
+        device: &D,
+        namer: &SpillNamer,
+        input: &mut dyn Iterator<Item = R>,
+    ) -> Result<(RunSet, PhaseReport, IoStatsSnapshot)> {
+        let before = device.stats();
+        let started = Instant::now();
+        let run_set: RunSet = self.generator.generate(device, namer, input)?;
+        let run_wall = started.elapsed();
+        let after_runs = device.stats();
+        let run_phase = PhaseReport::from_delta(run_wall, after_runs.since(&before));
+        Ok((run_set, run_phase, after_runs))
+    }
+
+    /// Runs the intermediate merge passes until at most `fan_in` runs
+    /// remain.
+    fn reduce_phase<D: Device, R: SortableRecord>(
+        &self,
+        device: &D,
+        namer: &SpillNamer,
+        merger: &KWayMerger,
+        runs: Vec<RunHandle>,
+    ) -> Result<ReducedRuns> {
+        crate::merge::kway::reduce_to_fan_in(
+            device,
+            namer,
+            runs,
+            self.config.merge.fan_in,
+            &mut |batch, name| merger.merge_batch::<D, R>(device, batch, name),
+        )
+    }
+
+    /// Assembles a [`SortReport`] from the measured phases.
+    #[allow(clippy::too_many_arguments)]
+    fn report(
+        &self,
+        run_set: &RunSet,
+        run_generation: PhaseReport,
+        merge: PhaseReport,
+        verify: Option<PhaseReport>,
+        merge_report: MergeReport,
+        final_pass: FinalPassKind,
+        final_pass_pages_written: u64,
+    ) -> SortReport {
+        assemble_report(
+            self.generator.label(),
+            self.generator.memory_records(),
+            run_set,
+            run_generation,
+            merge,
+            verify,
+            merge_report,
+            final_pass,
+            final_pass_pages_written,
+        )
     }
 
     /// Sorts a dataset of `R` records previously materialised on the
@@ -206,9 +447,39 @@ impl<G: RunGenerator> ExternalSorter<G> {
         input: &str,
         output: &str,
     ) -> Result<SortReport> {
-        sort_dataset_file::<D, R, _>(device, input, output, |iter| {
+        sort_dataset_file::<D, R, _>(device, input, Some(output), |iter| {
             self.sort_iter(device, iter, output)
         })
+    }
+}
+
+/// Assembles a [`SortReport`] from the measured phases of one sort; the
+/// single construction point shared by the sequential and parallel engines,
+/// so their reports can never drift in shape.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn assemble_report(
+    generator: &'static str,
+    memory_records: usize,
+    run_set: &RunSet,
+    run_generation: PhaseReport,
+    merge: PhaseReport,
+    verify: Option<PhaseReport>,
+    merge_report: MergeReport,
+    final_pass: FinalPassKind,
+    final_pass_pages_written: u64,
+) -> SortReport {
+    SortReport {
+        generator,
+        records: run_set.records,
+        num_runs: run_set.num_runs(),
+        average_run_length: run_set.average_run_length(),
+        relative_run_length: run_set.relative_run_length(memory_records),
+        run_generation,
+        merge,
+        verify,
+        merge_report,
+        final_pass,
+        final_pass_pages_written,
     }
 }
 

@@ -64,7 +64,9 @@ pub trait StorageDevice: Send + Sync {
     /// `true` when a file with this name exists.
     fn exists(&self, name: &str) -> bool;
 
-    /// Names of every file currently stored, in unspecified order.
+    /// Names of every file currently stored, in ascending lexicographic
+    /// (byte-wise) order — pinned so cleanup assertions and golden tests
+    /// are deterministic across devices and platforms.
     fn list(&self) -> Vec<String>;
 
     /// The shared I/O statistics of the device.
@@ -263,7 +265,9 @@ impl StorageDevice for SimDevice {
     }
 
     fn list(&self) -> Vec<String> {
-        self.shared.files.lock().keys().cloned().collect()
+        let mut names: Vec<String> = self.shared.files.lock().keys().cloned().collect();
+        names.sort_unstable();
+        names
     }
 
     fn io_stats(&self) -> &IoStats {
@@ -465,14 +469,16 @@ impl StorageDevice for FileDevice {
     }
 
     fn list(&self) -> Vec<String> {
-        std::fs::read_dir(&self.shared.root)
+        let mut names: Vec<String> = std::fs::read_dir(&self.shared.root)
             .map(|entries| {
                 entries
                     .filter_map(|e| e.ok())
                     .filter_map(|e| e.file_name().into_string().ok())
                     .collect()
             })
-            .unwrap_or_default()
+            .unwrap_or_default();
+        names.sort_unstable();
+        names
     }
 
     fn io_stats(&self) -> &IoStats {
@@ -620,9 +626,30 @@ mod tests {
         let device = SimDevice::new();
         device.create("one").unwrap();
         device.create("two").unwrap();
-        let mut names = device.list();
-        names.sort();
-        assert_eq!(names, vec!["one".to_string(), "two".to_string()]);
+        assert_eq!(device.list(), vec!["one".to_string(), "two".to_string()]);
+    }
+
+    #[test]
+    fn list_returns_sorted_names_on_both_devices() {
+        // Created deliberately out of order; `list` must come back sorted
+        // without the caller sorting — the order is part of the contract.
+        let check = |device: &dyn StorageDevice| {
+            for name in ["zeta", "alpha", "mid", "alpha.part1", "alpha.part0"] {
+                device.create(name).unwrap();
+            }
+            assert_eq!(
+                device.list(),
+                vec![
+                    "alpha".to_string(),
+                    "alpha.part0".to_string(),
+                    "alpha.part1".to_string(),
+                    "mid".to_string(),
+                    "zeta".to_string(),
+                ]
+            );
+        };
+        check(&SimDevice::new());
+        check(&FileDevice::temp().unwrap());
     }
 
     #[test]

@@ -139,6 +139,55 @@
 //! assert_eq!(report.report.records, 5_000);
 //! ```
 //!
+//! # Streaming consumers
+//!
+//! `run_iter` always pays one full write pass for the final output file.
+//! When the caller only wants to *iterate* the sorted records once — top-k,
+//! merge-join, dedup, a bulk load into another system — that pass is pure
+//! waste. Two alternatives remove it:
+//!
+//! * [`SortJob::stream_iter`](extsort::BoundSortJob::stream_iter) (and
+//!   `stream_file` / `stream_file_as` for materialised datasets) returns a
+//!   lazy [`SortedStream`]: run generation and the
+//!   intermediate merge passes run eagerly, but the final k-way merge is
+//!   suspended and performed on `next()`. No output file is ever written —
+//!   the stream's report pins `final_pass_pages_written == 0`. The stream
+//!   owns the sort's spill files and removes them when it is consumed,
+//!   closed or dropped, so even a `take(k)` that abandons the stream early
+//!   leaves the device clean.
+//! * [`SortJob::sink_iter`](extsort::BoundSortJob::sink_iter) drains the
+//!   final merge into any [`RecordSink`](extsort::RecordSink): a
+//!   [`VecSink`](extsort::VecSink), a [`CallbackSink`](extsort::CallbackSink),
+//!   a bounded [`ChannelSink`](extsort::ChannelSink) feeding a consumer
+//!   thread, or a [`FileSink`](extsort::FileSink) (which is exactly what
+//!   `run_iter` wraps).
+//!
+//! Top-k without a final write pass:
+//!
+//! ```
+//! use two_way_replacement_selection::prelude::*;
+//!
+//! let device = SimDevice::new();
+//! let input = Distribution::new(DistributionKind::RandomUniform, 20_000, 3);
+//!
+//! let stream = SortJob::new(ReplacementSelection::new(500))
+//!     .on(&device)
+//!     .threads(2)
+//!     .stream_iter(input.records())
+//!     .expect("sort runs");
+//! assert_eq!(stream.report().final_pass, FinalPassKind::Streamed);
+//! assert_eq!(stream.report().final_pass_pages_written(), 0);
+//!
+//! let top_10: Vec<Record> = stream.take(10).collect::<Result<_, _>>().unwrap();
+//! assert!(top_10.windows(2).all(|w| w[0] <= w[1]));
+//! // The abandoned stream cleaned its spill files up on drop.
+//! assert!(device.list().is_empty());
+//! ```
+//!
+//! A merge-join over two independently sorted streams works the same way —
+//! see `examples/merge_join.rs`; `examples/top_k.rs` measures the pages the
+//! stream saves against `run_iter`.
+//!
 //! # Migrating from the pre-builder entry points
 //!
 //! | before                                                   | after                                                        |
@@ -148,6 +197,8 @@
 //! | `ParallelExternalSorter::new(g).sort_iter(…)`            | `SortJob::new(g).on(&d).threads(n).run_iter(…)`              |
 //! | `sorter.sort_file(&d, "in", "out")`                      | `SortJob::new(g).on(&d).run_file("in", "out")`¹              |
 //! | `RunCursor::open(…)` (implicitly `Record`)               | `RecordRunCursor::open(…)` or `RunCursor::<R>::open(…)`      |
+//! | `run_iter(it, "out")` + `RecordRunCursor` scan of `"out"` | `stream_iter(it)` — same records, no `"out"` file, no final write pass |
+//! | `run_iter(it, "out")` + custom post-processing of `"out"` | `sink_iter(it, &mut sink)` with a [`RecordSink`](extsort::RecordSink) |
 //!
 //! ¹ `run_file` (and the `sort_file` method on the old sorters) is provided
 //! for the default [`Record`] by the [`RecordSortExt`]
@@ -169,7 +220,7 @@ pub use twrs_workloads as workloads;
 
 use extsort::{
     BoundSortJob, Device, ParallelSortReport, Result, RunGenerator, ShardableGenerator,
-    SortJobReport, SortReport,
+    SortJobReport, SortReport, SortedStream,
 };
 use workloads::Record;
 
@@ -227,20 +278,31 @@ impl<G: ShardableGenerator> RecordSortExt for extsort::ParallelExternalSorter<G>
     }
 }
 
-/// Record-typed `run_file` for the [`SortJob`](extsort::SortJob) builder,
-/// specialised to the default paper [`Record`].
+/// Record-typed `run_file` and `stream_file` for the
+/// [`SortJob`](extsort::SortJob) builder, specialised to the default paper
+/// [`Record`].
 ///
 /// Exported by the [`prelude`]; for other record types use
-/// `run_file_as::<R>`.
+/// `run_file_as::<R>` / `stream_file_as::<R>`.
 pub trait RecordJobExt {
     /// Sorts a materialised dataset of default records into the forward
     /// run file `output` on the job's device.
     fn run_file(self, input: &str, output: &str) -> Result<SortJobReport>;
+
+    /// Sorts a materialised dataset of default records into a lazy
+    /// [`SortedStream`] — same record sequence as
+    /// [`run_file`](RecordJobExt::run_file)'s output file, but merged on
+    /// read with zero final-pass write I/O.
+    fn stream_file(self, input: &str) -> Result<SortedStream<Record>>;
 }
 
 impl<G: ShardableGenerator, D: Device> RecordJobExt for BoundSortJob<G, D> {
     fn run_file(self, input: &str, output: &str) -> Result<SortJobReport> {
         self.run_file_as::<Record>(input, output)
+    }
+
+    fn stream_file(self, input: &str) -> Result<SortedStream<Record>> {
+        self.stream_file_as::<Record>(input)
     }
 }
 
@@ -251,9 +313,11 @@ pub mod prelude {
         BufferSetup, InputHeuristic, OutputHeuristic, TwoWayReplacementSelection, TwrsConfig,
     };
     pub use twrs_extsort::{
-        BoundSortJob, ExternalSorter, LoadSortStore, MergeConfig, ParallelExternalSorter,
-        ParallelSortReport, ParallelSorterConfig, ReplacementSelection, RunCursor, RunGenerator,
-        RunHandle, ShardableGenerator, SortJob, SortJobReport, SortReport, SorterConfig,
+        BoundSortJob, CallbackSink, ChannelSink, ExternalSorter, FileSink, FinalPassKind,
+        LoadSortStore, MergeConfig, ParallelExternalSorter, ParallelSortReport,
+        ParallelSorterConfig, RecordSink, ReplacementSelection, RunCursor, RunGenerator, RunHandle,
+        ShardableGenerator, SortJob, SortJobReport, SortReport, SortedStream, SorterConfig,
+        VecSink,
     };
     pub use twrs_storage::{
         FileDevice, ScopedDevice, SimDevice, SortableRecord, SpillNamer, StorageDevice,
