@@ -8,12 +8,35 @@
 //! update the baseline in the same PR via `bench_suite --update-baseline`.
 //!
 //! Baseline schema (`"schema": "twrs-bench-baseline/v1"`): a `scenarios`
-//! object keyed by scenario id, each value the scenario's `deterministic`
-//! block from the bench report (`seeks` is `null` for multi-threaded
-//! scenarios, which are compared on pages and runs only).
+//! object keyed by scenario id — single-sort ids and `service-`-prefixed
+//! multi-job ids share the namespace — each value the scenario's
+//! `deterministic` block from the bench report.
+//!
+//! ## `seeks` semantics
+//!
+//! The `seeks` field is an explicit `Option`: `null` **only** encodes "not
+//! deterministic for this scenario", never "zero" or "unknown". Seek counts
+//! depend on the order reads pass through the device's disk head, so:
+//!
+//! * **single-threaded scenarios** (`-t1` ids) always pin a concrete
+//!   number — a `null` there would silently drop coverage and is itself a
+//!   drift (`counter_drift` treats a `Some`/`None` disagreement between
+//!   baseline and measurement as a failure, in both directions);
+//! * **multi-threaded scenarios** (`-t4` ids) pin `null`, because the
+//!   interleaving of generation and prefetch threads through the shared
+//!   head is scheduler-dependent;
+//! * **service scenarios** (`service-` ids) pin a concrete sum even though
+//!   jobs run concurrently: every job is single-threaded on its own
+//!   [`ScopedDevice`](twrs_storage::ScopedDevice) scope (a private head),
+//!   so the per-job counts — and their order-independent sum — stay
+//!   deterministic.
+//!
+//! The `baseline_pins_seeks_exactly_for_single_threaded_scenarios` test in
+//! `tests/golden_counters.rs` enforces this contract on the committed file.
 
 use super::json::Json;
 use super::report::{deterministic_json, BenchReport};
+use super::runner::DeterministicCounters;
 
 /// Identifier of the baseline format.
 pub const BASELINE_SCHEMA: &str = "twrs-bench-baseline/v1";
@@ -45,6 +68,12 @@ pub fn baseline_from_report(report: &BenchReport) -> Json {
                     .results
                     .iter()
                     .map(|r| (r.scenario.id(), deterministic_json(&r.deterministic())))
+                    .chain(
+                        report
+                            .service_results
+                            .iter()
+                            .map(|r| (r.scenario.id(), deterministic_json(&r.deterministic()))),
+                    )
                     .collect(),
             ),
         ),
@@ -106,26 +135,38 @@ pub fn compare(baseline: &Json, report: &BenchReport) -> Vec<Drift> {
     let empty = Json::Obj(vec![]);
     let pinned = baseline.get("scenarios").unwrap_or(&empty);
 
-    for result in &report.results {
-        let id = result.scenario.id();
-        let Some(entry) = pinned.get(&id) else {
+    // Single-sort and multi-job service scenarios share the namespace and
+    // the deterministic-block shape, so one pass gates both.
+    let measured: Vec<(String, DeterministicCounters)> = report
+        .results
+        .iter()
+        .map(|r| (r.scenario.id(), r.deterministic()))
+        .chain(
+            report
+                .service_results
+                .iter()
+                .map(|r| (r.scenario.id(), r.deterministic())),
+        )
+        .collect();
+
+    for (id, det) in &measured {
+        let Some(entry) = pinned.get(id) else {
             drifts.push(Drift {
-                scenario: id,
+                scenario: id.clone(),
                 detail: "scenario not in the baseline (run `bench_suite --update-baseline`)".into(),
             });
             continue;
         };
-        let det = result.deterministic();
         counter_drift(
             &mut drifts,
-            &id,
+            id,
             "pages_read",
             entry.get("pages_read"),
             Some(det.pages_read),
         );
         counter_drift(
             &mut drifts,
-            &id,
+            id,
             "pages_written",
             entry.get("pages_written"),
             Some(det.pages_written),
@@ -134,19 +175,19 @@ pub fn compare(baseline: &Json, report: &BenchReport) -> Vec<Drift> {
         // final-pass pages, forever.
         counter_drift(
             &mut drifts,
-            &id,
+            id,
             "final_pass_pages_written",
             entry.get("final_pass_pages_written"),
             Some(det.final_pass_pages_written),
         );
-        counter_drift(&mut drifts, &id, "runs", entry.get("runs"), Some(det.runs));
-        counter_drift(&mut drifts, &id, "seeks", entry.get("seeks"), det.seeks);
+        counter_drift(&mut drifts, id, "runs", entry.get("runs"), Some(det.runs));
+        counter_drift(&mut drifts, id, "seeks", entry.get("seeks"), det.seeks);
     }
 
     // Baseline entries whose scenario the matrix no longer produces.
     if let Some(pairs) = pinned.as_obj() {
         for (id, _) in pairs {
-            if !report.results.iter().any(|r| &r.scenario.id() == id) {
+            if !measured.iter().any(|(m, _)| m == id) {
                 drifts.push(Drift {
                     scenario: id.clone(),
                     detail: "stale baseline entry: scenario not in the current matrix".into(),
@@ -245,7 +286,11 @@ mod tests {
             ("scenarios", Json::Obj(vec![])),
         ]);
         let drifts = compare(&empty, &report);
-        assert_eq!(drifts.len(), report.results.len());
+        assert_eq!(
+            drifts.len(),
+            report.results.len() + report.service_results.len(),
+            "service scenarios are gated too"
+        );
         assert!(drifts[0].detail.contains("not in the baseline"));
     }
 

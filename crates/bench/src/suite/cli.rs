@@ -8,6 +8,7 @@ use super::baseline::{baseline_from_report, compare};
 use super::json::Json;
 use super::matrix::ScenarioMatrix;
 use super::report::BenchReport;
+use super::service::service_slice;
 use std::path::Path;
 
 /// Default location of the committed baseline, relative to the workspace
@@ -22,6 +23,9 @@ USAGE:
 
 OPTIONS:
     --quick                Run the reduced PR-CI matrix (default: full matrix)
+    --service              Run only the multi-job service slice of the selected
+                           matrix (queue-latency percentiles; skips the
+                           single-sort scenarios and the baseline gate)
     --id <ID>              Report id, used in the default output name [default: local]
     --out <PATH>           Write the JSON report here [default: BENCH_<id>.json]
     --markdown <PATH>      Also write a markdown summary table
@@ -39,6 +43,8 @@ OPTIONS:
 pub struct Options {
     /// Run the reduced matrix.
     pub quick: bool,
+    /// Run only the service slice of the selected matrix.
+    pub service: bool,
     /// Report id.
     pub id: String,
     /// JSON output path (defaults to `BENCH_<id>.json`).
@@ -62,6 +68,7 @@ impl Options {
     pub fn parse(args: &[String]) -> Result<Options, String> {
         let mut options = Options {
             quick: false,
+            service: false,
             id: "local".to_string(),
             out: String::new(),
             markdown: None,
@@ -80,6 +87,7 @@ impl Options {
             };
             match arg.as_str() {
                 "--quick" => options.quick = true,
+                "--service" => options.service = true,
                 "--id" => options.id = value("--id")?,
                 "--out" => options.out = value("--out")?,
                 "--markdown" => options.markdown = Some(value("--markdown")?),
@@ -97,15 +105,29 @@ impl Options {
         if options.check_baseline && options.update_baseline {
             return Err("--check-baseline and --update-baseline are mutually exclusive".into());
         }
+        if options.service && (options.check_baseline || options.update_baseline) {
+            return Err(
+                "--service runs only the service slice; the baseline covers the whole \
+                 matrix, so gate or update it with a plain --quick / full run (the slice \
+                 is always included there)"
+                    .into(),
+            );
+        }
         Ok(options)
     }
 
     fn matrix(&self) -> ScenarioMatrix {
-        if self.quick {
+        let mut matrix = if self.quick {
             ScenarioMatrix::quick()
         } else {
             ScenarioMatrix::full()
+        };
+        if self.service {
+            // Keep the matrix name (it selects the service slice) but drop
+            // the single-sort scenarios.
+            matrix.scenarios.clear();
         }
+        matrix
     }
 }
 
@@ -127,10 +149,18 @@ pub fn run(args: &[String]) -> Result<i32, String> {
         for scenario in &matrix.scenarios {
             println!("{}", scenario.id());
         }
+        for scenario in service_slice(matrix.name) {
+            println!("{}", scenario.id());
+        }
         return Ok(0);
     }
 
-    eprintln!("running {} matrix: {} scenarios", matrix.name, matrix.len());
+    eprintln!(
+        "running {} matrix: {} scenarios + {} service scenarios",
+        matrix.name,
+        matrix.len(),
+        service_slice(matrix.name).len()
+    );
     let report = BenchReport::run(&matrix, options.id.clone(), |id| eprintln!("  done {id}"))?;
 
     write_file(&options.out, &report.to_json().render())?;
@@ -140,6 +170,9 @@ pub fn run(args: &[String]) -> Result<i32, String> {
         eprintln!("wrote {markdown}");
     }
     print!("{}", report.to_table().render());
+    if let Some(service_table) = report.service_table() {
+        print!("{}", service_table.render());
+    }
 
     if options.update_baseline {
         write_file(&options.baseline, &baseline_from_report(&report).render())?;
@@ -161,7 +194,7 @@ pub fn run(args: &[String]) -> Result<i32, String> {
         if drifts.is_empty() {
             eprintln!(
                 "baseline gate: {} scenarios match {}",
-                report.results.len(),
+                report.results.len() + report.service_results.len(),
                 options.baseline
             );
         } else {
@@ -210,6 +243,20 @@ mod tests {
         assert!(parse(&["--bogus"]).is_err());
         assert!(parse(&["--out"]).is_err());
         assert!(parse(&["--check-baseline", "--update-baseline"]).is_err());
+        // The service slice is gated as part of the full/quick runs; a
+        // slice-only run cannot meaningfully face the whole-matrix baseline.
+        assert!(parse(&["--service", "--check-baseline"]).is_err());
+        assert!(parse(&["--service", "--update-baseline"]).is_err());
+    }
+
+    #[test]
+    fn service_mode_keeps_the_slice_and_drops_the_single_sorts() {
+        let options = parse(&["--quick", "--service"]).unwrap();
+        assert!(options.service);
+        let matrix = options.matrix();
+        assert_eq!(matrix.name, "quick");
+        assert!(matrix.is_empty(), "single-sort scenarios dropped");
+        assert!(!service_slice(matrix.name).is_empty());
     }
 
     #[test]

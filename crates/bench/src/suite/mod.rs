@@ -20,7 +20,13 @@
 //!    CI regression gate;
 //! 5. [`json`] is the self-contained JSON writer/parser underneath (the
 //!    offline build has no `serde`; see `crates/compat/`);
-//! 6. [`cli`] is the `bench_suite` binary's argument handling and flow.
+//! 6. [`cli`] is the `bench_suite` binary's argument handling and flow;
+//! 7. [`service`] is the multi-job slice: each matrix replays a seeded
+//!    arrival trace against a `SortService` under a contended global
+//!    memory budget, reporting queue/sort latency percentiles
+//!    (wall-clock, ungated) and aggregate per-job I/O counters
+//!    (deterministic, baseline-gated). `bench_suite --service` runs only
+//!    this slice.
 //!
 //! ```no_run
 //! use twrs_bench::suite::{BenchReport, ScenarioMatrix};
@@ -36,9 +42,11 @@ pub mod json;
 pub mod matrix;
 pub mod report;
 pub mod runner;
+pub mod service;
 
 pub use baseline::{baseline_from_report, compare, Drift, BASELINE_SCHEMA};
 pub use json::Json;
 pub use matrix::{GeneratorKind, RecordType, Scenario, ScenarioMatrix, SinkMode};
 pub use report::{BenchReport, SCHEMA};
 pub use runner::{run_scenario, DeterministicCounters, PhaseMetrics, ScenarioResult};
+pub use service::{run_service_scenario, service_slice, ServiceScenario, ServiceScenarioResult};

@@ -42,7 +42,9 @@
 use super::json::Json;
 use super::matrix::ScenarioMatrix;
 use super::runner::{run_scenario, suite_disk_model, PhaseMetrics, ScenarioResult};
+use super::service::{run_service_scenario, service_slice, ServiceScenarioResult};
 use crate::report::Table;
+use twrs_extsort::LatencyPercentiles;
 
 /// Identifier of the report format, bumped on breaking schema changes.
 pub const SCHEMA: &str = "twrs-bench-suite/v1";
@@ -56,6 +58,9 @@ pub struct BenchReport {
     pub matrix: &'static str,
     /// Per-scenario measurements, in matrix order.
     pub results: Vec<ScenarioResult>,
+    /// Multi-job service scenario measurements (the matrix's service
+    /// slice; empty for matrices without one).
+    pub service_results: Vec<ServiceScenarioResult>,
 }
 
 impl BenchReport {
@@ -79,10 +84,17 @@ impl BenchReport {
             progress(&scenario.id());
             results.push(result);
         }
+        let mut service_results = Vec::new();
+        for scenario in service_slice(matrix.name) {
+            let result = run_service_scenario(&scenario)?;
+            progress(&scenario.id());
+            service_results.push(result);
+        }
         Ok(BenchReport {
             id: id.into(),
             matrix: matrix.name,
             results,
+            service_results,
         })
     }
 
@@ -105,6 +117,14 @@ impl BenchReport {
             (
                 "scenarios",
                 Json::Arr(self.results.iter().map(scenario_json).collect()),
+            ),
+            (
+                "service_scenario_count",
+                Json::counter(self.service_results.len() as u64),
+            ),
+            (
+                "service_scenarios",
+                Json::Arr(self.service_results.iter().map(service_json).collect()),
             ),
         ])
     }
@@ -142,7 +162,68 @@ impl BenchReport {
                 result.simulated_io_us as f64 / 1_000.0,
             ));
         }
+        if !self.service_results.is_empty() {
+            out.push_str(
+                "\n## Service scenarios\n\n\
+                 Queue latency is submission → memory lease held; sort latency is\n\
+                 execution only. Both are wall-clock (reported, not gated); the\n\
+                 page/run/seek sums are deterministic and baseline-gated.\n\n",
+            );
+            out.push_str(
+                "| scenario | jobs | grant | queue p50 ms | queue p99 ms | sort p50 ms | sort p99 ms | pages R | pages W | runs | seeks |\n",
+            );
+            out.push_str("|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n");
+            for result in &self.service_results {
+                let det = result.deterministic();
+                out.push_str(&format!(
+                    "| {} | {} | {} | {:.2} | {:.2} | {:.2} | {:.2} | {} | {} | {} | {} |\n",
+                    result.scenario.id(),
+                    result.jobs_completed,
+                    result.granted_memory,
+                    result.queue_latency.p50.as_secs_f64() * 1_000.0,
+                    result.queue_latency.p99.as_secs_f64() * 1_000.0,
+                    result.sort_latency.p50.as_secs_f64() * 1_000.0,
+                    result.sort_latency.p99.as_secs_f64() * 1_000.0,
+                    det.pages_read,
+                    det.pages_written,
+                    det.runs,
+                    det.seeks.map_or("—".to_string(), |s| s.to_string()),
+                ));
+            }
+        }
         out
+    }
+
+    /// The plain-text summary of the service slice, in the CLI table
+    /// style; `None` when the matrix had no service scenarios.
+    pub fn service_table(&self) -> Option<Table> {
+        if self.service_results.is_empty() {
+            return None;
+        }
+        let mut table = Table::new(
+            format!("service scenarios — {} matrix", self.matrix),
+            &[
+                "scenario", "jobs", "grant", "q p50", "q p99", "s p50", "s p99", "pR", "pW",
+                "runs", "seeks",
+            ],
+        );
+        for result in &self.service_results {
+            let det = result.deterministic();
+            table.row(vec![
+                result.scenario.id(),
+                result.jobs_completed.to_string(),
+                result.granted_memory.to_string(),
+                format!("{:.2}ms", result.queue_latency.p50.as_secs_f64() * 1_000.0),
+                format!("{:.2}ms", result.queue_latency.p99.as_secs_f64() * 1_000.0),
+                format!("{:.2}ms", result.sort_latency.p50.as_secs_f64() * 1_000.0),
+                format!("{:.2}ms", result.sort_latency.p99.as_secs_f64() * 1_000.0),
+                det.pages_read.to_string(),
+                det.pages_written.to_string(),
+                det.runs.to_string(),
+                det.seeks.map_or("-".to_string(), |s| s.to_string()),
+            ]);
+        }
+        Some(table)
     }
 
     /// Renders the plain-text summary the CLI prints to stdout (same rows
@@ -239,6 +320,48 @@ fn scenario_json(result: &ScenarioResult) -> Json {
     ])
 }
 
+fn latency_json(latency: &LatencyPercentiles) -> Json {
+    Json::obj(vec![
+        ("p50_us", Json::counter(latency.p50.as_micros() as u64)),
+        ("p95_us", Json::counter(latency.p95.as_micros() as u64)),
+        ("p99_us", Json::counter(latency.p99.as_micros() as u64)),
+        ("max_us", Json::counter(latency.max.as_micros() as u64)),
+    ])
+}
+
+fn service_json(result: &ServiceScenarioResult) -> Json {
+    let scenario = &result.scenario;
+    Json::obj(vec![
+        ("id", Json::Str(scenario.id())),
+        ("jobs", Json::counter(scenario.jobs as u64)),
+        ("tenants", Json::counter(scenario.tenants as u64)),
+        ("workers", Json::counter(scenario.workers as u64)),
+        (
+            "global_memory_records",
+            Json::counter(scenario.global_memory as u64),
+        ),
+        ("records_per_job", Json::counter(scenario.records)),
+        (
+            "memory_records_per_job",
+            Json::counter(scenario.memory as u64),
+        ),
+        ("seed", Json::counter(scenario.seed)),
+        (
+            "jobs_completed",
+            Json::counter(result.jobs_completed as u64),
+        ),
+        (
+            "granted_memory_records",
+            Json::counter(result.granted_memory as u64),
+        ),
+        ("max_leased", Json::counter(result.max_leased as u64)),
+        ("wall_us", Json::counter(result.wall_us)),
+        ("queue_latency", latency_json(&result.queue_latency)),
+        ("sort_latency", latency_json(&result.sort_latency)),
+        ("deterministic", deterministic_json(&result.deterministic())),
+    ])
+}
+
 pub(crate) fn deterministic_json(det: &super::runner::DeterministicCounters) -> Json {
     Json::obj(vec![
         ("pages_read", Json::counter(det.pages_read)),
@@ -315,7 +438,48 @@ mod tests {
         let matrix = tiny_matrix();
         let mut seen = Vec::new();
         BenchReport::run(&matrix, "test", |id| seen.push(id.to_string())).unwrap();
-        let expected: Vec<String> = matrix.scenarios.iter().map(Scenario::id).collect();
+        // Matrix scenarios first, then the matrix's service slice.
+        let mut expected: Vec<String> = matrix.scenarios.iter().map(Scenario::id).collect();
+        expected.extend(
+            crate::suite::service::service_slice(matrix.name)
+                .iter()
+                .map(|s| s.id()),
+        );
         assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn service_slice_rides_in_report_markdown_and_json() {
+        let report = BenchReport::run(&tiny_matrix(), "test", |_| {}).unwrap();
+        assert!(
+            !report.service_results.is_empty(),
+            "quick includes the slice"
+        );
+        let markdown = report.to_markdown();
+        assert!(markdown.contains("## Service scenarios"));
+        assert!(markdown.contains("queue p50"));
+        let parsed = Json::parse(&report.to_json().render()).unwrap();
+        let services = parsed
+            .get("service_scenarios")
+            .and_then(Json::as_arr)
+            .unwrap();
+        assert_eq!(services.len(), report.service_results.len());
+        let first = &services[0];
+        assert!(first
+            .get("id")
+            .and_then(Json::as_str)
+            .unwrap()
+            .starts_with("service-"));
+        let queue = first.get("queue_latency").unwrap();
+        assert!(queue.get("p50_us").and_then(Json::as_u64).is_some());
+        assert!(queue.get("p99_us").and_then(Json::as_u64).is_some());
+        // Aggregate counters are present and non-null seeks (single-threaded jobs).
+        let det = first.get("deterministic").unwrap();
+        assert!(det.get("seeks").and_then(Json::as_u64).is_some());
+        assert!(report
+            .service_table()
+            .unwrap()
+            .render()
+            .contains("service-"));
     }
 }

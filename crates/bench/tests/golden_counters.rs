@@ -114,6 +114,73 @@ fn streamed_sorts_write_zero_final_pass_pages() {
     }
 }
 
+/// The thread count a scenario id encodes (`...-t4`, `...-t1-stream`),
+/// or `None` for ids without a `-t<n>` segment (service scenarios).
+fn threads_in_id(id: &str) -> Option<u64> {
+    for (pos, _) in id.match_indices("-t") {
+        let rest = &id[pos + 2..];
+        let digits: &str = &rest[..rest
+            .char_indices()
+            .find(|(_, c)| !c.is_ascii_digit())
+            .map_or(rest.len(), |(i, _)| i)];
+        let terminated = rest.len() == digits.len() || rest.as_bytes()[digits.len()] == b'-';
+        if !digits.is_empty() && terminated {
+            return digits.parse().ok();
+        }
+    }
+    None
+}
+
+#[test]
+fn baseline_pins_seeks_exactly_for_single_threaded_scenarios() {
+    // The `seeks` field is an explicit Option: `null` encodes "not
+    // deterministic for this scenario" and nothing else (see the
+    // `suite::baseline` docs). Enforce the contract on the committed file:
+    // every single-threaded scenario pins a concrete seek count, every
+    // multi-threaded one pins null, and every service scenario pins a
+    // concrete sum (its jobs are single-threaded on private device scopes).
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/baseline.json");
+    let text = std::fs::read_to_string(path).expect("committed baseline exists");
+    let baseline = twrs_bench::suite::Json::parse(&text).expect("baseline parses");
+    let scenarios = baseline
+        .get("scenarios")
+        .and_then(|s| s.as_obj())
+        .expect("scenarios object");
+    let mut single = 0;
+    let mut multi = 0;
+    let mut service = 0;
+    for (id, entry) in scenarios {
+        let seeks = entry.get("seeks").expect("seeks field is always present");
+        let pinned = seeks.as_u64();
+        if id.starts_with("service-") {
+            service += 1;
+            assert!(pinned.is_some(), "{id}: service seeks are deterministic");
+            continue;
+        }
+        match threads_in_id(id) {
+            Some(1) => {
+                single += 1;
+                assert!(
+                    pinned.is_some(),
+                    "{id}: single-threaded scenarios must pin a concrete seek count"
+                );
+            }
+            Some(_) => {
+                multi += 1;
+                assert!(
+                    pinned.is_none(),
+                    "{id}: multi-threaded seeks are scheduler-dependent and must be null"
+                );
+            }
+            None => panic!("{id}: id encodes no thread count"),
+        }
+    }
+    assert!(
+        single > 0 && multi > 0 && service > 0,
+        "all three classes pinned"
+    );
+}
+
 #[test]
 fn golden_scenarios_match_the_committed_baseline() {
     // The values pinned above must agree with crates/bench/baseline.json,

@@ -126,6 +126,16 @@ impl TwrsConfig {
         self
     }
 
+    /// Replaces the total memory budget, keeping the buffer setup, buffer
+    /// fraction, heuristics and seed — the budget re-lease hook the sort
+    /// service uses to shrink or grow a job's heap under a global budget
+    /// (the buffers scale with the new budget via
+    /// [`buffer_records`](TwrsConfig::buffer_records)).
+    pub fn with_memory_records(mut self, memory_records: usize) -> Self {
+        self.memory_records = memory_records;
+        self
+    }
+
     /// Changes the heuristics.
     pub fn with_heuristics(mut self, input: InputHeuristic, output: OutputHeuristic) -> Self {
         self.input_heuristic = input;

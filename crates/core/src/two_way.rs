@@ -33,7 +33,8 @@ use crate::streams::RunStreams;
 use crate::victim::VictimBuffer;
 use std::cmp::Ordering;
 use twrs_extsort::{
-    Device, Result, RunGenerator, RunHandle, RunSet, ShardableGenerator, SortError,
+    BudgetedGenerator, Device, Result, RunGenerator, RunHandle, RunSet, ShardableGenerator,
+    SortError,
 };
 use twrs_heaps::{DualHeap, HeapSide, RunRecord, TwoWayOrder};
 use twrs_storage::{SortableRecord, SpillNamer};
@@ -113,6 +114,12 @@ impl TwoWayReplacementSelection {
 impl ShardableGenerator for TwoWayReplacementSelection {
     fn shard(&self, index: usize, shards: usize) -> Self {
         TwoWayReplacementSelection::new(self.config.for_shard(index, shards))
+    }
+}
+
+impl BudgetedGenerator for TwoWayReplacementSelection {
+    fn with_budget(&self, memory_records: usize) -> Self {
+        TwoWayReplacementSelection::new(self.config.with_memory_records(memory_records))
     }
 }
 

@@ -18,6 +18,9 @@ pub enum SortError {
     /// A [`RecordSink`](crate::sink::RecordSink) refused a record or was
     /// finished twice — e.g. a channel sink whose receiver hung up.
     SinkClosed(String),
+    /// The job was canceled before it started running (see
+    /// [`JobHandle::cancel`](crate::service::JobHandle::cancel)).
+    Canceled(String),
 }
 
 impl fmt::Display for SortError {
@@ -27,6 +30,7 @@ impl fmt::Display for SortError {
             SortError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             SortError::VerificationFailed(msg) => write!(f, "verification failed: {msg}"),
             SortError::SinkClosed(msg) => write!(f, "record sink closed: {msg}"),
+            SortError::Canceled(msg) => write!(f, "sort job canceled: {msg}"),
         }
     }
 }

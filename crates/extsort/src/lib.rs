@@ -28,6 +28,12 @@
 //! * [`stream`] — [`stream::SortedStream`], the pull-style counterpart: the
 //!   final k-way merge is suspended and performed lazily on `next()`, so a
 //!   streaming consumer pays **zero** final-output write I/O;
+//! * [`service`] — [`service::SortService`], the multi-tenant front end:
+//!   a bounded job queue with round-robin tenant fairness, an admission
+//!   controller leasing per-job memory from one global budget
+//!   (`sum(per-job budgets) <= global` at every rebalance), and a
+//!   submission-handle API (`submit` → [`service::JobHandle`] with
+//!   `wait`/`try_status`/`cancel`);
 //! * [`parallel`] — [`parallel::ParallelExternalSorter`], the sharded
 //!   variant of the same pipeline: run generation fans out over
 //!   budget-divided worker threads, spill writes move to dedicated writer
@@ -44,6 +50,7 @@ pub mod merge;
 pub mod parallel;
 pub mod replacement_selection;
 pub mod run_generation;
+pub mod service;
 pub mod sink;
 pub mod sort_job;
 pub mod sorter;
@@ -59,7 +66,12 @@ pub use parallel::{
 };
 pub use replacement_selection::ReplacementSelection;
 pub use run_generation::{
-    Device, ForwardRunBuilder, ReverseRunBuilder, RunCursor, RunGenerator, RunHandle, RunSet,
+    BudgetedGenerator, Device, ForwardRunBuilder, ReverseRunBuilder, RunCursor, RunGenerator,
+    RunHandle, RunSet,
+};
+pub use service::{
+    CompletedJob, GrantPolicy, JobHandle, JobStatus, LatencyPercentiles, MemoryArbiter,
+    RebalanceEvent, RebalanceKind, ServiceConfig, ServiceReport, SortService, TenantReport,
 };
 pub use sink::{CallbackSink, ChannelSink, FileSink, RecordSink, VecSink};
 pub use sort_job::{BoundSortJob, SortJob, SortJobReport};

@@ -31,6 +31,12 @@ impl ShardableGenerator for LoadSortStore {
     }
 }
 
+impl crate::run_generation::BudgetedGenerator for LoadSortStore {
+    fn with_budget(&self, memory_records: usize) -> Self {
+        LoadSortStore::new(memory_records)
+    }
+}
+
 impl RunGenerator for LoadSortStore {
     fn label(&self) -> &'static str {
         "LSS"

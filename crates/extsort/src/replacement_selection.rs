@@ -39,6 +39,12 @@ impl ShardableGenerator for ReplacementSelection {
     }
 }
 
+impl crate::run_generation::BudgetedGenerator for ReplacementSelection {
+    fn with_budget(&self, memory_records: usize) -> Self {
+        ReplacementSelection::new(memory_records)
+    }
+}
+
 impl RunGenerator for ReplacementSelection {
     fn label(&self) -> &'static str {
         "RS"

@@ -119,6 +119,19 @@ pub trait RunGenerator {
     ) -> Result<RunSet>;
 }
 
+/// A run generator whose memory budget can be re-leased after construction.
+///
+/// The [`SortService`](crate::service::SortService) admission controller
+/// shrinks or grows the budget a job asked for so that the sum of all
+/// in-flight budgets never exceeds the service's global budget; this trait
+/// is the hook it uses. Re-budgeting must preserve every other knob of the
+/// generator (heuristics, buffer setup, seeds, …) — only the memory changes.
+pub trait BudgetedGenerator: RunGenerator {
+    /// Returns a copy of this generator with its memory budget replaced by
+    /// `memory_records` (everything else unchanged).
+    fn with_budget(&self, memory_records: usize) -> Self;
+}
+
 /// A unified ascending-order reader over either kind of run.
 pub enum RunCursor<R: SortableRecord> {
     /// Cursor over a forward run file.

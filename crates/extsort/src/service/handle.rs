@@ -1,0 +1,264 @@
+//! Submission handles: the caller's view of a job inside the service.
+//!
+//! [`SortService::submit`](crate::service::SortService::submit) returns a
+//! [`JobHandle`] immediately; the job itself runs later, on a worker
+//! thread, once the admission controller grants it a memory lease. The
+//! handle is the only channel back: poll it with
+//! [`try_status`](JobHandle::try_status), block on it with
+//! [`wait`](JobHandle::wait), or abandon the job with
+//! [`cancel`](JobHandle::cancel).
+
+use crate::error::{Result, SortError};
+use crate::sort_job::SortJobReport;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+use twrs_storage::IoStatsSnapshot;
+
+/// Lifecycle of a job inside the service, in the order the states are
+/// normally traversed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Waiting in its tenant queue for a worker.
+    Queued,
+    /// Picked by a worker; waiting for (or holding) a memory lease.
+    Admitted,
+    /// The sort pipeline is executing.
+    Running,
+    /// Finished successfully; [`JobHandle::wait`] returns `Ok`.
+    Done,
+    /// Finished with an error; [`JobHandle::wait`] returns it.
+    Failed,
+    /// Canceled while still queued; [`JobHandle::wait`] returns
+    /// [`SortError::Canceled`].
+    Canceled,
+}
+
+/// Everything a successfully finished service job reports back: the
+/// familiar [`SortJobReport`] plus the service-side timings and the
+/// per-job I/O attribution recorded on the job's
+/// [`ScopedDevice`](twrs_storage::ScopedDevice).
+#[derive(Debug, Clone)]
+pub struct CompletedJob {
+    /// The unified sort report, identical in shape to a direct
+    /// `SortJob::run_*` run.
+    pub report: SortJobReport,
+    /// Tenant the job was submitted under.
+    pub tenant: String,
+    /// Memory (in records) the arbiter actually leased to the job — at
+    /// most what its generator asked for, possibly less under contention.
+    pub granted_memory: usize,
+    /// Time from submission until a worker admitted the job and obtained
+    /// its memory lease.
+    pub queue_wait: Duration,
+    /// Wall-clock time of the sort itself.
+    pub sort_wall: Duration,
+    /// The job's own I/O, measured on its private scope of the shared
+    /// device (a private-head seek model; see
+    /// [`ScopedDevice`](twrs_storage::ScopedDevice)).
+    pub io: IoStatsSnapshot,
+}
+
+struct JobInner {
+    status: JobStatus,
+    cancel_requested: bool,
+    outcome: Option<Result<CompletedJob>>,
+}
+
+/// Shared state between a [`JobHandle`] and the worker that runs the job.
+pub(crate) struct JobState {
+    inner: Mutex<JobInner>,
+    done: Condvar,
+}
+
+impl JobState {
+    pub(crate) fn new() -> Self {
+        JobState {
+            inner: Mutex::new(JobInner {
+                status: JobStatus::Queued,
+                cancel_requested: false,
+                outcome: None,
+            }),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Worker-side: transition Queued → Admitted, unless the handle asked
+    /// for cancellation first — then the job completes as Canceled and
+    /// `false` is returned (the worker skips it).
+    pub(crate) fn begin_admission(&self) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.cancel_requested {
+            inner.status = JobStatus::Canceled;
+            inner.outcome = Some(Err(SortError::Canceled(
+                "canceled while queued".to_string(),
+            )));
+            self.done.notify_all();
+            false
+        } else {
+            inner.status = JobStatus::Admitted;
+            true
+        }
+    }
+
+    /// Worker-side: the memory lease is held and the sort is starting.
+    pub(crate) fn set_running(&self) {
+        self.inner.lock().unwrap().status = JobStatus::Running;
+    }
+
+    /// Worker-side: store the final outcome and wake every waiter. A
+    /// second call is ignored (the completion guard may fire after a
+    /// normal completion).
+    pub(crate) fn complete(&self, outcome: Result<CompletedJob>) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.outcome.is_some() {
+            return;
+        }
+        inner.status = match &outcome {
+            Ok(_) => JobStatus::Done,
+            Err(SortError::Canceled(_)) => JobStatus::Canceled,
+            Err(_) => JobStatus::Failed,
+        };
+        inner.outcome = Some(outcome);
+        self.done.notify_all();
+    }
+
+    fn status(&self) -> JobStatus {
+        self.inner.lock().unwrap().status
+    }
+
+    fn request_cancel(&self) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        match inner.status {
+            JobStatus::Queued => {
+                inner.cancel_requested = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn wait(&self) -> Result<CompletedJob> {
+        let mut inner = self.inner.lock().unwrap();
+        while inner.outcome.is_none() {
+            inner = self.done.wait(inner).unwrap();
+        }
+        inner.outcome.take().expect("outcome present after wait")
+    }
+}
+
+/// Ensures a popped job always completes, even if the worker thread
+/// unwinds mid-sort: dropping an armed guard fails the job instead of
+/// leaving its waiters blocked forever.
+pub(crate) struct CompletionGuard {
+    state: Arc<JobState>,
+}
+
+impl CompletionGuard {
+    pub(crate) fn arm(state: Arc<JobState>) -> Self {
+        CompletionGuard { state }
+    }
+
+    pub(crate) fn complete(self, outcome: Result<CompletedJob>) {
+        self.state.complete(outcome);
+        // Drop now finds the outcome set and does nothing.
+    }
+}
+
+impl Drop for CompletionGuard {
+    fn drop(&mut self) {
+        self.state.complete(Err(SortError::Canceled(
+            "worker thread terminated before the job completed".to_string(),
+        )));
+    }
+}
+
+/// A ticket for one submitted job.
+///
+/// Obtained from [`SortService::submit`](crate::service::SortService::submit);
+/// consumed by [`wait`](JobHandle::wait). Dropping the handle does **not**
+/// cancel the job — it keeps running (or queuing) and its effects (the
+/// output file) still happen.
+pub struct JobHandle {
+    state: Arc<JobState>,
+    id: u64,
+    tenant: String,
+}
+
+impl JobHandle {
+    pub(crate) fn new(state: Arc<JobState>, id: u64, tenant: String) -> Self {
+        JobHandle { state, id, tenant }
+    }
+
+    /// Service-wide unique id of the job.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Tenant the job was submitted under.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// The job's current lifecycle state, without blocking.
+    pub fn try_status(&self) -> JobStatus {
+        self.state.status()
+    }
+
+    /// Requests cancellation. Returns `true` when the request will take
+    /// effect — i.e. the job was still queued. A job that a worker has
+    /// already admitted runs to completion (preemption of running jobs is
+    /// a planned follow-up); `false` is returned and the handle's
+    /// [`wait`](JobHandle::wait) yields the job's real outcome.
+    pub fn cancel(&self) -> bool {
+        self.state.request_cancel()
+    }
+
+    /// Blocks until the job finishes and returns its outcome: the
+    /// [`CompletedJob`] on success, the job's [`SortError`] on failure
+    /// ([`SortError::Canceled`] for a canceled job).
+    pub fn wait(self) -> Result<CompletedJob> {
+        self.state.wait()
+    }
+}
+
+impl std::fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("id", &self.id)
+            .field("tenant", &self.tenant)
+            .field("status", &self.try_status())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_only_works_while_queued() {
+        let state = Arc::new(JobState::new());
+        let handle = JobHandle::new(state.clone(), 1, "t".into());
+        assert_eq!(handle.try_status(), JobStatus::Queued);
+        assert!(handle.cancel());
+        // The worker observes the request at admission time.
+        assert!(!state.begin_admission());
+        assert_eq!(handle.try_status(), JobStatus::Canceled);
+        assert!(matches!(handle.wait(), Err(SortError::Canceled(_))));
+
+        let state = Arc::new(JobState::new());
+        let handle = JobHandle::new(state.clone(), 2, "t".into());
+        assert!(state.begin_admission());
+        assert_eq!(handle.try_status(), JobStatus::Admitted);
+        // Too late: the job is past admission.
+        assert!(!handle.cancel());
+    }
+
+    #[test]
+    fn dropping_an_armed_guard_fails_the_job() {
+        let state = Arc::new(JobState::new());
+        let handle = JobHandle::new(state.clone(), 3, "t".into());
+        drop(CompletionGuard::arm(state));
+        assert!(matches!(handle.wait(), Err(SortError::Canceled(_))));
+    }
+}

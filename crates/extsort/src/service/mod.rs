@@ -1,0 +1,676 @@
+//! `SortService`: many concurrent [`SortJob`]s under one global memory
+//! budget, behind a submission-handle API.
+//!
+//! The rest of this crate sorts one job at a time; a production deployment
+//! faces a *stream* of jobs from many tenants, all competing for the same
+//! memory. [`SortService`] turns the single-shot library into a servable
+//! system:
+//!
+//! * a **bounded job queue** with per-tenant round-robin fairness (one
+//!   deep-queued tenant cannot starve the others) and backpressure — when
+//!   the queue is full, [`submit`](SortService::submit) blocks until a
+//!   worker drains it;
+//! * an **admission controller** backed by a global [`MemoryArbiter`]:
+//!   each job's generator budget is re-leased at admission through
+//!   [`BudgetedGenerator::with_budget`], shrunk to a fair share of the
+//!   global budget so that `sum(per-job budgets) <= global budget` holds
+//!   at every rebalance point (job start and finish) — the same
+//!   [`shard_budget`](crate::parallel::shard_budget) arithmetic
+//!   `TwrsConfig::for_shard`/`split_across` use to divide one budget
+//!   across parallel shards;
+//! * a **worker pool** running up to `workers` jobs in flight, each on a
+//!   private [`ScopedDevice`] scope of its submitted device, so per-job
+//!   (and per-tenant) I/O attribution survives arbitrary interleaving;
+//! * a **submission-handle API** — [`submit`](SortService::submit)
+//!   returns a [`JobHandle`] with [`wait`](JobHandle::wait),
+//!   [`try_status`](JobHandle::try_status) and
+//!   [`cancel`](JobHandle::cancel) — and a [`ServiceReport`] aggregating
+//!   p50/p95/p99 queue and sort latency plus per-tenant counters.
+//!
+//! Every job funnels through the same internal
+//! `BoundSortJob::execute` spine the direct `run_*`/`sink_*`/`stream_*`
+//! methods use, so a service job is byte-identical to the same job run
+//! directly (sorted output does not depend on the memory budget, only the
+//! run/merge counts do).
+//!
+//! ```
+//! use twrs_extsort::service::{ServiceConfig, SortService};
+//! use twrs_extsort::{ReplacementSelection, SortJob};
+//! use twrs_storage::SimDevice;
+//! use twrs_workloads::{Distribution, DistributionKind};
+//!
+//! let device = SimDevice::new();
+//! let service = SortService::new(ServiceConfig::new(300).workers(2)).unwrap();
+//! let handles: Vec<_> = (0..4)
+//!     .map(|i| {
+//!         let input = Distribution::new(DistributionKind::RandomUniform, 2_000, i);
+//!         let job = SortJob::new(ReplacementSelection::new(200)).on(&device);
+//!         service
+//!             .submit(format!("tenant-{}", i % 2), job, input.records(), format!("out-{i}"))
+//!             .unwrap()
+//!     })
+//!     .collect();
+//! for handle in handles {
+//!     let done = handle.wait().unwrap();
+//!     assert_eq!(done.report.report.records, 2_000);
+//!     assert!(done.granted_memory <= 300);
+//! }
+//! let report = service.shutdown();
+//! assert_eq!(report.jobs_completed, 4);
+//! assert!(report.max_leased <= report.global_memory_records);
+//! ```
+
+pub mod arbiter;
+pub mod handle;
+mod queue;
+
+pub use arbiter::{GrantPolicy, MemoryArbiter, RebalanceEvent, RebalanceKind};
+pub use handle::{CompletedJob, JobHandle, JobStatus};
+
+use crate::error::{Result, SortError};
+use crate::parallel::ShardableGenerator;
+use crate::run_generation::{BudgetedGenerator, Device};
+use crate::sink::RecordSink;
+use crate::sort_job::{BoundSortJob, SortJob, SortJobReport};
+use handle::{CompletionGuard, JobState};
+use queue::TenantQueues;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use twrs_storage::{IoStatsSnapshot, ScopedDevice, SortableRecord};
+
+/// Configuration of a [`SortService`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Number of worker threads = jobs in flight at once.
+    pub workers: usize,
+    /// Global memory budget (in records) the arbiter leases from.
+    pub global_memory_records: usize,
+    /// Maximum queued (not yet admitted) jobs across all tenants;
+    /// [`SortService::submit`] blocks while the queue is full.
+    pub queue_capacity: usize,
+    /// How individual grants are capped.
+    pub grant_policy: GrantPolicy,
+}
+
+impl ServiceConfig {
+    /// A service with `global_memory_records` of leasable memory, two
+    /// workers, a 64-job queue and the adaptive grant policy.
+    pub fn new(global_memory_records: usize) -> Self {
+        ServiceConfig {
+            workers: 2,
+            global_memory_records,
+            queue_capacity: 64,
+            grant_policy: GrantPolicy::Adaptive,
+        }
+    }
+
+    /// Sets the number of worker threads.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the queue capacity.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the grant policy.
+    pub fn grant_policy(mut self, policy: GrantPolicy) -> Self {
+        self.grant_policy = policy;
+        self
+    }
+}
+
+/// What a job thunk hands back to its worker.
+struct JobOutput {
+    report: SortJobReport,
+    io: IoStatsSnapshot,
+}
+
+type JobThunk = Box<dyn FnOnce(usize) -> Result<JobOutput> + Send>;
+
+struct QueuedJob {
+    state: Arc<JobState>,
+    thunk: JobThunk,
+    requested: usize,
+    submitted: Instant,
+    tenant: String,
+}
+
+struct QueueState {
+    queues: TenantQueues<QueuedJob>,
+    shutdown: bool,
+}
+
+#[derive(Default)]
+struct TenantAccum {
+    jobs: usize,
+    records: u64,
+    io: Option<IoStatsSnapshot>,
+}
+
+#[derive(Default)]
+struct ServiceStats {
+    queue_waits: Vec<Duration>,
+    sort_walls: Vec<Duration>,
+    completed: usize,
+    failed: usize,
+    canceled: usize,
+    tenants: BTreeMap<String, TenantAccum>,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    /// Workers wait here for jobs.
+    job_ready: Condvar,
+    /// Submitters wait here for queue space.
+    space_free: Condvar,
+    arbiter: MemoryArbiter,
+    stats: Mutex<ServiceStats>,
+    queue_capacity: usize,
+}
+
+/// Latency percentiles over one family of duration samples
+/// (nearest-rank; all zero when there were no samples).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyPercentiles {
+    /// Median.
+    pub p50: Duration,
+    /// 95th percentile.
+    pub p95: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+    /// Largest observed sample.
+    pub max: Duration,
+}
+
+impl LatencyPercentiles {
+    /// Nearest-rank percentiles of `samples`.
+    pub fn from_samples(mut samples: Vec<Duration>) -> Self {
+        if samples.is_empty() {
+            return LatencyPercentiles {
+                p50: Duration::ZERO,
+                p95: Duration::ZERO,
+                p99: Duration::ZERO,
+                max: Duration::ZERO,
+            };
+        }
+        samples.sort_unstable();
+        let rank = |p: f64| {
+            let n = samples.len();
+            let index = ((p / 100.0 * n as f64).ceil() as usize).clamp(1, n) - 1;
+            samples[index]
+        };
+        LatencyPercentiles {
+            p50: rank(50.0),
+            p95: rank(95.0),
+            p99: rank(99.0),
+            max: *samples.last().unwrap(),
+        }
+    }
+}
+
+/// Per-tenant rollup of everything the tenant's jobs did.
+#[derive(Debug, Clone)]
+pub struct TenantReport {
+    /// Tenant name.
+    pub tenant: String,
+    /// Successfully completed jobs.
+    pub jobs: usize,
+    /// Records sorted across those jobs.
+    pub records: u64,
+    /// The tenant's total I/O, merged from each job's
+    /// [`ScopedDevice`] attribution (`None` when the tenant completed no
+    /// jobs).
+    pub io: Option<IoStatsSnapshot>,
+}
+
+/// Aggregate report of a service's lifetime, returned by
+/// [`SortService::shutdown`].
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// Jobs that finished successfully.
+    pub jobs_completed: usize,
+    /// Jobs that finished with an error.
+    pub jobs_failed: usize,
+    /// Jobs canceled while queued.
+    pub jobs_canceled: usize,
+    /// Queue + admission latency percentiles (submission → memory lease
+    /// held).
+    pub queue_latency: LatencyPercentiles,
+    /// Sort execution latency percentiles.
+    pub sort_latency: LatencyPercentiles,
+    /// Per-tenant rollups, in tenant-name order.
+    pub tenants: Vec<TenantReport>,
+    /// The arbiter's global budget.
+    pub global_memory_records: usize,
+    /// High-water mark of simultaneously leased memory; always `<=`
+    /// [`global_memory_records`](ServiceReport::global_memory_records).
+    pub max_leased: usize,
+    /// The arbiter's full audit trail (one entry per rebalance point).
+    pub rebalances: Vec<RebalanceEvent>,
+}
+
+/// A pool of workers executing submitted [`SortJob`]s under one global
+/// memory budget. See the [module documentation](self).
+pub struct SortService {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    next_id: AtomicU64,
+}
+
+impl SortService {
+    /// Starts the service: spawns the worker pool and opens the queue.
+    pub fn new(config: ServiceConfig) -> Result<Self> {
+        if config.workers == 0 {
+            return Err(SortError::InvalidConfig(
+                "the service needs at least one worker".into(),
+            ));
+        }
+        if config.queue_capacity == 0 {
+            return Err(SortError::InvalidConfig(
+                "the service needs a queue capacity of at least one job".into(),
+            ));
+        }
+        let arbiter = MemoryArbiter::new(config.global_memory_records, config.grant_policy)?;
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                queues: TenantQueues::new(),
+                shutdown: false,
+            }),
+            job_ready: Condvar::new(),
+            space_free: Condvar::new(),
+            arbiter,
+            stats: Mutex::new(ServiceStats::default()),
+            queue_capacity: config.queue_capacity,
+        });
+        let workers = (0..config.workers)
+            .map(|index| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("twrs-sort-worker-{index}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn sort-service worker")
+            })
+            .collect();
+        Ok(SortService {
+            shared,
+            workers,
+            next_id: AtomicU64::new(0),
+        })
+    }
+
+    /// Submits a job that sorts `input` into the forward run file `output`
+    /// on the job's bound device, under `tenant`'s queue. Returns at once
+    /// with a [`JobHandle`] — unless the queue is full, in which case the
+    /// call blocks until a worker makes room (backpressure).
+    ///
+    /// Concurrent jobs sharing one device must use distinct `output`
+    /// names: the output name also namespaces the job's spill files.
+    pub fn submit<G, D, R, I>(
+        &self,
+        tenant: impl Into<String>,
+        job: BoundSortJob<G, D>,
+        input: I,
+        output: impl Into<String>,
+    ) -> Result<JobHandle>
+    where
+        G: BudgetedGenerator + ShardableGenerator,
+        D: Device,
+        R: SortableRecord,
+        I: IntoIterator<Item = R>,
+        I::IntoIter: Send + 'static,
+    {
+        let output = output.into();
+        let mut input = input.into_iter();
+        self.enqueue(tenant.into(), job, move |bound| {
+            bound.run_iter(&mut input, &output)
+        })
+    }
+
+    /// Submits a job that drains its sorted output into `sink` instead of
+    /// a file — e.g. a bounded [`ChannelSink`](crate::sink::ChannelSink),
+    /// whose backpressure then reaches all the way into the final merge
+    /// pass of the job.
+    pub fn submit_sink<G, D, R, I, K>(
+        &self,
+        tenant: impl Into<String>,
+        job: BoundSortJob<G, D>,
+        input: I,
+        mut sink: K,
+    ) -> Result<JobHandle>
+    where
+        G: BudgetedGenerator + ShardableGenerator,
+        D: Device,
+        R: SortableRecord,
+        I: IntoIterator<Item = R>,
+        I::IntoIter: Send + 'static,
+        K: RecordSink<R> + Send + 'static,
+    {
+        let mut input = input.into_iter();
+        self.enqueue(tenant.into(), job, move |bound| {
+            bound.sink_iter(&mut input, &mut sink)
+        })
+    }
+
+    fn enqueue<G, D, F>(&self, tenant: String, job: BoundSortJob<G, D>, run: F) -> Result<JobHandle>
+    where
+        G: BudgetedGenerator + ShardableGenerator,
+        D: Device,
+        F: FnOnce(BoundSortJob<G, ScopedDevice<D>>) -> Result<SortJobReport> + Send + 'static,
+    {
+        if job.job.threads == 0 {
+            return Err(SortError::InvalidConfig(
+                "a sort job needs at least one thread".into(),
+            ));
+        }
+        let requested = job.job.generator.memory_records();
+        let state = Arc::new(JobState::new());
+        let thunk: JobThunk = Box::new(move |granted| {
+            let BoundSortJob { job, device } = job;
+            // The job's private I/O scope: phase windows and seek counts
+            // are measured as if the job had the device to itself, so
+            // per-job counters stay deterministic under concurrency.
+            let scoped = ScopedDevice::new(device);
+            let rebudgeted = SortJob {
+                generator: job.generator.with_budget(granted),
+                threads: job.threads,
+                config: job.config,
+            };
+            let report = run(rebudgeted.on(&scoped))?;
+            Ok(JobOutput {
+                report,
+                io: scoped.local_stats(),
+            })
+        });
+        let queued = QueuedJob {
+            state: state.clone(),
+            thunk,
+            requested,
+            submitted: Instant::now(),
+            tenant: tenant.clone(),
+        };
+        let mut queue = self.shared.state.lock().unwrap();
+        while queue.queues.len() >= self.shared.queue_capacity {
+            queue = self.shared.space_free.wait(queue).unwrap();
+        }
+        queue.queues.push(&tenant, queued);
+        drop(queue);
+        self.shared.job_ready.notify_one();
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        Ok(JobHandle::new(state, id, tenant))
+    }
+
+    /// Number of jobs currently queued (admitted/running jobs excluded).
+    pub fn pending(&self) -> usize {
+        self.shared.state.lock().unwrap().queues.len()
+    }
+
+    /// The arbiter, for inspection (current leases, audit trail).
+    pub fn arbiter(&self) -> &MemoryArbiter {
+        &self.shared.arbiter
+    }
+
+    /// Drains the queue, waits for every in-flight job, stops the workers
+    /// and returns the aggregate [`ServiceReport`].
+    pub fn shutdown(mut self) -> ServiceReport {
+        self.stop();
+        let stats = {
+            let mut stats = self.shared.stats.lock().unwrap();
+            std::mem::take(&mut *stats)
+        };
+        let tenants = stats
+            .tenants
+            .into_iter()
+            .map(|(tenant, accum)| TenantReport {
+                tenant,
+                jobs: accum.jobs,
+                records: accum.records,
+                io: accum.io,
+            })
+            .collect();
+        ServiceReport {
+            jobs_completed: stats.completed,
+            jobs_failed: stats.failed,
+            jobs_canceled: stats.canceled,
+            queue_latency: LatencyPercentiles::from_samples(stats.queue_waits),
+            sort_latency: LatencyPercentiles::from_samples(stats.sort_walls),
+            tenants,
+            global_memory_records: self.shared.arbiter.global(),
+            max_leased: self.shared.arbiter.max_leased(),
+            rebalances: self.shared.arbiter.events(),
+        }
+    }
+
+    fn stop(&mut self) {
+        {
+            let mut queue = self.shared.state.lock().unwrap();
+            queue.shutdown = true;
+        }
+        self.shared.job_ready.notify_all();
+        for worker in self.workers.drain(..) {
+            // A worker that panicked already failed its job through the
+            // completion guard; nothing more to salvage here.
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for SortService {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = shared.state.lock().unwrap();
+            loop {
+                if let Some(job) = queue.queues.pop() {
+                    shared.space_free.notify_one();
+                    break job;
+                }
+                if queue.shutdown {
+                    return;
+                }
+                queue = shared.job_ready.wait(queue).unwrap();
+            }
+        };
+        if !job.state.begin_admission() {
+            shared.stats.lock().unwrap().canceled += 1;
+            continue;
+        }
+        let guard = CompletionGuard::arm(job.state.clone());
+        let granted = shared.arbiter.lease(job.requested);
+        let queue_wait = job.submitted.elapsed();
+        job.state.set_running();
+        let started = Instant::now();
+        let result = (job.thunk)(granted);
+        let sort_wall = started.elapsed();
+        shared.arbiter.release(granted);
+        match result {
+            Ok(output) => {
+                let mut stats = shared.stats.lock().unwrap();
+                stats.completed += 1;
+                stats.queue_waits.push(queue_wait);
+                stats.sort_walls.push(sort_wall);
+                let accum = stats.tenants.entry(job.tenant.clone()).or_default();
+                accum.jobs += 1;
+                accum.records += output.report.report.records;
+                accum.io = Some(match accum.io.take() {
+                    Some(io) => io.merged(&output.io),
+                    None => output.io,
+                });
+                drop(stats);
+                guard.complete(Ok(CompletedJob {
+                    report: output.report,
+                    tenant: job.tenant,
+                    granted_memory: granted,
+                    queue_wait,
+                    sort_wall,
+                    io: output.io,
+                }));
+            }
+            Err(error) => {
+                shared.stats.lock().unwrap().failed += 1;
+                guard.complete(Err(error));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replacement_selection::ReplacementSelection;
+    use crate::run_generation::{RunCursor, RunHandle};
+    use crate::sink::ChannelSink;
+    use twrs_storage::SimDevice;
+    use twrs_workloads::{Distribution, DistributionKind, Record};
+
+    fn read_records(device: &SimDevice, name: &str) -> Vec<Record> {
+        RunCursor::<Record>::open(device, &RunHandle::Forward(name.into()))
+            .unwrap()
+            .read_all()
+            .unwrap()
+    }
+
+    #[test]
+    fn service_jobs_match_direct_runs() {
+        let device = SimDevice::new();
+        let service = SortService::new(ServiceConfig::new(250).workers(3)).unwrap();
+        let handles: Vec<_> = (0..6)
+            .map(|i| {
+                let input = Distribution::new(DistributionKind::RandomUniform, 1_500, i);
+                let job = SortJob::new(ReplacementSelection::new(120)).on(&device);
+                service
+                    .submit(
+                        format!("tenant-{}", i % 2),
+                        job,
+                        input.records(),
+                        format!("svc-{i}"),
+                    )
+                    .unwrap()
+            })
+            .collect();
+        for (i, handle) in handles.into_iter().enumerate() {
+            let done = handle.wait().unwrap();
+            assert_eq!(done.report.report.records, 1_500);
+            assert!(done.granted_memory >= 1 && done.granted_memory <= 120);
+            let solo_device = SimDevice::new();
+            let input = Distribution::new(DistributionKind::RandomUniform, 1_500, i as u64);
+            SortJob::new(ReplacementSelection::new(120))
+                .on(&solo_device)
+                .run_iter(input.records(), "solo")
+                .unwrap();
+            assert_eq!(
+                read_records(&device, &format!("svc-{i}")),
+                read_records(&solo_device, "solo"),
+                "service job {i} diverged from its solo run"
+            );
+        }
+        let report = service.shutdown();
+        assert_eq!(report.jobs_completed, 6);
+        assert_eq!(report.jobs_failed, 0);
+        assert_eq!(report.tenants.len(), 2);
+        assert!(report.max_leased <= report.global_memory_records);
+        for event in &report.rebalances {
+            assert!(event.leased_after <= report.global_memory_records);
+        }
+        // Tenant I/O rolls up to real page traffic.
+        for tenant in &report.tenants {
+            assert_eq!(tenant.jobs, 3);
+            assert_eq!(tenant.records, 4_500);
+            assert!(tenant.io.unwrap().counters.pages_written > 0);
+        }
+    }
+
+    #[test]
+    fn canceled_queued_jobs_never_run() {
+        let device = SimDevice::new();
+        // One worker and a job ahead in the queue, so the second job is
+        // reliably still queued when we cancel it.
+        let service = SortService::new(ServiceConfig::new(100).workers(1)).unwrap();
+        let blocker = {
+            let input = Distribution::new(DistributionKind::RandomUniform, 20_000, 1);
+            let job = SortJob::new(ReplacementSelection::new(100)).on(&device);
+            service.submit("a", job, input.records(), "big").unwrap()
+        };
+        let victim = {
+            let input = Distribution::new(DistributionKind::RandomUniform, 100, 2);
+            let job = SortJob::new(ReplacementSelection::new(50)).on(&device);
+            service.submit("a", job, input.records(), "small").unwrap()
+        };
+        assert!(victim.cancel());
+        assert!(matches!(victim.wait(), Err(SortError::Canceled(_))));
+        blocker.wait().unwrap();
+        let report = service.shutdown();
+        assert_eq!(report.jobs_completed, 1);
+        assert_eq!(report.jobs_canceled, 1);
+        // The canceled job's output never appeared.
+        assert!(!twrs_storage::StorageDevice::exists(&device, "small"));
+    }
+
+    #[test]
+    fn sink_jobs_flow_through_the_service() {
+        let device = SimDevice::new();
+        let service = SortService::new(ServiceConfig::new(200).workers(2)).unwrap();
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Record>(16);
+        let input = Distribution::new(DistributionKind::ReverseSorted, 500, 3);
+        let expected: u64 = input.records().map(|r| r.key).sum();
+        let job = SortJob::new(ReplacementSelection::new(64)).on(&device);
+        let handle = service
+            .submit_sink("t", job, input.records(), ChannelSink::new(tx))
+            .unwrap();
+        let consumer = std::thread::spawn(move || {
+            let mut last = None;
+            let mut sum = 0u64;
+            for record in rx {
+                if let Some(prev) = last {
+                    assert!(record.key >= prev);
+                }
+                last = Some(record.key);
+                sum += record.key;
+            }
+            sum
+        });
+        let done = handle.wait().unwrap();
+        assert_eq!(done.report.report.records, 500);
+        assert_eq!(consumer.join().unwrap(), expected);
+        service.shutdown();
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected_at_submission() {
+        let device = SimDevice::new();
+        let service = SortService::new(ServiceConfig::new(100)).unwrap();
+        let job = SortJob::new(ReplacementSelection::new(50))
+            .on(&device)
+            .threads(0);
+        assert!(matches!(
+            service.submit("t", job, std::iter::empty::<Record>(), "out"),
+            Err(SortError::InvalidConfig(_))
+        ));
+        assert!(SortService::new(ServiceConfig::new(0)).is_err());
+        assert!(SortService::new(ServiceConfig::new(10).workers(0)).is_err());
+        assert!(SortService::new(ServiceConfig::new(10).queue_capacity(0)).is_err());
+        service.shutdown();
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let samples: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        let p = LatencyPercentiles::from_samples(samples);
+        assert_eq!(p.p50, Duration::from_millis(50));
+        assert_eq!(p.p95, Duration::from_millis(95));
+        assert_eq!(p.p99, Duration::from_millis(99));
+        assert_eq!(p.max, Duration::from_millis(100));
+        let empty = LatencyPercentiles::from_samples(Vec::new());
+        assert_eq!(empty.p99, Duration::ZERO);
+    }
+}

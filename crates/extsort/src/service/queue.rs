@@ -1,0 +1,111 @@
+//! Per-tenant job queues with round-robin fairness.
+//!
+//! One busy tenant must not starve the others: jobs are kept in one FIFO
+//! queue *per tenant*, and workers take jobs by rotating over the tenants
+//! — each pop serves the next tenant (in first-appearance order) that has
+//! anything queued, then advances the rotation. Within a tenant, jobs stay
+//! in submission order.
+
+use std::collections::VecDeque;
+
+/// Round-robin queues, one per tenant.
+pub(crate) struct TenantQueues<T> {
+    /// Tenant queues in first-appearance order (the rotation order).
+    queues: Vec<(String, VecDeque<T>)>,
+    /// Index of the tenant the next pop starts looking at.
+    cursor: usize,
+    len: usize,
+}
+
+impl<T> TenantQueues<T> {
+    pub(crate) fn new() -> Self {
+        TenantQueues {
+            queues: Vec::new(),
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    /// Total queued jobs across all tenants.
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Appends a job to `tenant`'s queue (creating it on first sight).
+    pub(crate) fn push(&mut self, tenant: &str, item: T) {
+        self.len += 1;
+        if let Some((_, queue)) = self.queues.iter_mut().find(|(name, _)| name == tenant) {
+            queue.push_back(item);
+        } else {
+            let mut queue = VecDeque::new();
+            queue.push_back(item);
+            self.queues.push((tenant.to_string(), queue));
+        }
+    }
+
+    /// Pops the next job in round-robin tenant order; `None` when every
+    /// queue is empty.
+    pub(crate) fn pop(&mut self) -> Option<T> {
+        if self.queues.is_empty() {
+            return None;
+        }
+        for probe in 0..self.queues.len() {
+            let index = (self.cursor + probe) % self.queues.len();
+            if let Some(item) = self.queues[index].1.pop_front() {
+                // The *next* pop starts at the tenant after the one just
+                // served.
+                self.cursor = (index + 1) % self.queues.len();
+                self.len -= 1;
+                return Some(item);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_interleaves_tenants() {
+        let mut queues = TenantQueues::new();
+        for job in ["a1", "a2", "a3"] {
+            queues.push("alpha", job);
+        }
+        for job in ["b1", "b2"] {
+            queues.push("beta", job);
+        }
+        assert_eq!(queues.len(), 5);
+        let order: Vec<_> = std::iter::from_fn(|| queues.pop()).collect();
+        // One tenant with a deep queue does not starve the other.
+        assert_eq!(order, vec!["a1", "b1", "a2", "b2", "a3"]);
+        assert_eq!(queues.len(), 0);
+    }
+
+    #[test]
+    fn single_tenant_is_fifo() {
+        let mut queues = TenantQueues::new();
+        queues.push("only", 1);
+        queues.push("only", 2);
+        queues.push("only", 3);
+        assert_eq!(queues.pop(), Some(1));
+        assert_eq!(queues.pop(), Some(2));
+        assert_eq!(queues.pop(), Some(3));
+        assert_eq!(queues.pop(), None);
+    }
+
+    #[test]
+    fn late_tenants_join_the_rotation() {
+        let mut queues = TenantQueues::new();
+        queues.push("a", "a1");
+        queues.push("a", "a2");
+        assert_eq!(queues.pop(), Some("a1"));
+        // "b" joins after the rotation wrapped back to "a"; it is served
+        // on the next turn of the rotation, never starved.
+        queues.push("b", "b1");
+        assert_eq!(queues.pop(), Some("a2"));
+        assert_eq!(queues.pop(), Some("b1"));
+        assert_eq!(queues.pop(), None);
+    }
+}

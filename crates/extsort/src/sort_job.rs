@@ -179,9 +179,9 @@ impl SortJobReport {
 /// See the [module documentation](self) for the full chain.
 #[derive(Debug, Clone)]
 pub struct SortJob<G> {
-    generator: G,
-    threads: usize,
-    config: SorterConfig,
+    pub(crate) generator: G,
+    pub(crate) threads: usize,
+    pub(crate) config: SorterConfig,
 }
 
 impl<G> SortJob<G> {
@@ -244,8 +244,64 @@ impl<G> SortJob<G> {
 /// does not matter.
 #[derive(Debug, Clone)]
 pub struct BoundSortJob<G, D: Device> {
-    job: SortJob<G>,
-    device: D,
+    pub(crate) job: SortJob<G>,
+    pub(crate) device: D,
+}
+
+/// What a [`BoundSortJob`] should do with the merged output — the one
+/// description both the direct `run_*`/`sink_*`/`stream_*` methods and the
+/// [`SortService`](crate::service::SortService) hand to
+/// [`BoundSortJob::execute`], the single execution spine of the pipeline.
+pub(crate) enum ExecutionPlan<'a, R: SortableRecord> {
+    /// Write the sorted sequence into the forward run file `output`.
+    File {
+        /// The unsorted input records.
+        input: &'a mut dyn Iterator<Item = R>,
+        /// Name of the output file on the bound device.
+        output: &'a str,
+    },
+    /// Drain the final merge pass into a caller-provided sink.
+    Sink {
+        /// The unsorted input records.
+        input: &'a mut dyn Iterator<Item = R>,
+        /// Destination of the sorted sequence.
+        sink: &'a mut dyn RecordSink<R>,
+    },
+    /// Suspend the final merge into a lazy [`SortedStream`].
+    Stream {
+        /// The unsorted input records.
+        input: &'a mut dyn Iterator<Item = R>,
+    },
+}
+
+/// Result of [`BoundSortJob::execute`]: a report for the eager plans, a
+/// suspended stream for [`ExecutionPlan::Stream`].
+pub(crate) enum ExecutionOutcome<R: SortableRecord> {
+    /// The job ran to completion ([`ExecutionPlan::File`] / `Sink`).
+    Report(SortJobReport),
+    /// The final merge was suspended ([`ExecutionPlan::Stream`]).
+    Stream(SortedStream<R>),
+}
+
+impl<R: SortableRecord> ExecutionOutcome<R> {
+    fn into_report(self) -> SortJobReport {
+        match self {
+            ExecutionOutcome::Report(report) => report,
+            // `execute` maps File/Sink plans to reports by construction.
+            ExecutionOutcome::Stream(_) => {
+                unreachable!("an eager execution plan produced a stream")
+            }
+        }
+    }
+
+    fn into_stream(self) -> SortedStream<R> {
+        match self {
+            ExecutionOutcome::Stream(stream) => stream,
+            ExecutionOutcome::Report(_) => {
+                unreachable!("a stream execution plan produced a report")
+            }
+        }
+    }
 }
 
 impl<G, D: Device> BoundSortJob<G, D> {
@@ -285,6 +341,55 @@ impl<G, D: Device> BoundSortJob<G, D> {
         }
     }
 
+    /// Runs this job according to `plan` — **the** execution spine of the
+    /// pipeline. Every public entry point (`run_iter`, `sink_iter`,
+    /// `stream_iter`, the `*_file*` wrappers) and the
+    /// [`SortService`](crate::service::SortService) worker pool funnel
+    /// through here, so sequential-vs-parallel dispatch exists exactly
+    /// once.
+    pub(crate) fn execute<R: SortableRecord>(
+        self,
+        plan: ExecutionPlan<'_, R>,
+    ) -> Result<ExecutionOutcome<R>>
+    where
+        G: ShardableGenerator,
+    {
+        match self.job.threads {
+            0 => Err(SortError::InvalidConfig(
+                "a sort job needs at least one thread".into(),
+            )),
+            1 => {
+                let mut sorter = ExternalSorter::with_config(self.job.generator, self.job.config);
+                match plan {
+                    ExecutionPlan::File { input, output } => sorter
+                        .sort_iter(&self.device, input, output)
+                        .map(|report| ExecutionOutcome::Report(SortJobReport::sequential(report))),
+                    ExecutionPlan::Sink { input, sink } => sorter
+                        .sort_iter_sink(&self.device, input, sink)
+                        .map(|report| ExecutionOutcome::Report(SortJobReport::sequential(report))),
+                    ExecutionPlan::Stream { input } => sorter
+                        .sort_iter_stream(&self.device, input)
+                        .map(ExecutionOutcome::Stream),
+                }
+            }
+            _ => {
+                let config = self.parallel_config();
+                let mut sorter = ParallelExternalSorter::with_config(self.job.generator, config);
+                match plan {
+                    ExecutionPlan::File { input, output } => sorter
+                        .sort_iter(&self.device, input, output)
+                        .map(|report| ExecutionOutcome::Report(SortJobReport::parallel(report))),
+                    ExecutionPlan::Sink { input, sink } => sorter
+                        .sort_iter_sink(&self.device, input, sink)
+                        .map(|report| ExecutionOutcome::Report(SortJobReport::parallel(report))),
+                    ExecutionPlan::Stream { input } => sorter
+                        .sort_iter_stream(&self.device, input)
+                        .map(ExecutionOutcome::Stream),
+                }
+            }
+        }
+    }
+
     /// Sorts the records produced by `input` into the forward run file
     /// `output` on the bound device and returns the unified report.
     pub fn run_iter<R: SortableRecord>(
@@ -295,22 +400,11 @@ impl<G, D: Device> BoundSortJob<G, D> {
     where
         G: ShardableGenerator,
     {
-        match self.job.threads {
-            0 => Err(SortError::InvalidConfig(
-                "a sort job needs at least one thread".into(),
-            )),
-            1 => {
-                let mut sorter = ExternalSorter::with_config(self.job.generator, self.job.config);
-                let report = sorter.sort_iter(&self.device, &mut input, output)?;
-                Ok(SortJobReport::sequential(report))
-            }
-            _ => {
-                let config = self.parallel_config();
-                let mut sorter = ParallelExternalSorter::with_config(self.job.generator, config);
-                let parallel = sorter.sort_iter(&self.device, &mut input, output)?;
-                Ok(SortJobReport::parallel(parallel))
-            }
-        }
+        self.execute(ExecutionPlan::File {
+            input: &mut input,
+            output,
+        })
+        .map(ExecutionOutcome::into_report)
     }
 
     /// Sorts the records produced by `input` straight into `sink`: the
@@ -331,22 +425,23 @@ impl<G, D: Device> BoundSortJob<G, D> {
         G: ShardableGenerator,
         K: RecordSink<R> + ?Sized,
     {
-        match self.job.threads {
-            0 => Err(SortError::InvalidConfig(
-                "a sort job needs at least one thread".into(),
-            )),
-            1 => {
-                let mut sorter = ExternalSorter::with_config(self.job.generator, self.job.config);
-                let report = sorter.sort_iter_sink(&self.device, &mut input, sink)?;
-                Ok(SortJobReport::sequential(report))
+        // `dyn RecordSink` adapter: `K` may itself be unsized, so reborrow
+        // through a small forwarding shim.
+        struct Reborrow<'a, K: ?Sized>(&'a mut K);
+        impl<R: SortableRecord, K: RecordSink<R> + ?Sized> RecordSink<R> for Reborrow<'_, K> {
+            fn push(&mut self, record: R) -> Result<()> {
+                self.0.push(record)
             }
-            _ => {
-                let config = self.parallel_config();
-                let mut sorter = ParallelExternalSorter::with_config(self.job.generator, config);
-                let parallel = sorter.sort_iter_sink(&self.device, &mut input, sink)?;
-                Ok(SortJobReport::parallel(parallel))
+            fn finish(&mut self) -> Result<()> {
+                self.0.finish()
             }
         }
+        let mut sink = Reborrow(sink);
+        self.execute(ExecutionPlan::Sink {
+            input: &mut input,
+            sink: &mut sink,
+        })
+        .map(ExecutionOutcome::into_report)
     }
 
     /// Sorts the records produced by `input` into a lazy [`SortedStream`]:
@@ -368,20 +463,8 @@ impl<G, D: Device> BoundSortJob<G, D> {
     where
         G: ShardableGenerator,
     {
-        match self.job.threads {
-            0 => Err(SortError::InvalidConfig(
-                "a sort job needs at least one thread".into(),
-            )),
-            1 => {
-                let mut sorter = ExternalSorter::with_config(self.job.generator, self.job.config);
-                sorter.sort_iter_stream(&self.device, &mut input)
-            }
-            _ => {
-                let config = self.parallel_config();
-                let mut sorter = ParallelExternalSorter::with_config(self.job.generator, config);
-                sorter.sort_iter_stream(&self.device, &mut input)
-            }
-        }
+        self.execute(ExecutionPlan::Stream { input: &mut input })
+            .map(ExecutionOutcome::into_stream)
     }
 
     /// Sorts a dataset of `R` records previously materialised on the bound

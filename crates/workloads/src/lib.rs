@@ -22,16 +22,20 @@
 //!
 //! Beyond the paper's six shapes, [`distributions::DistributionKind`] adds
 //! *almost-sorted* (bounded displacement) and *duplicate-heavy* (low key
-//! cardinality) inputs for the scenario matrix of `twrs-bench`.
+//! cardinality) inputs for the scenario matrix of `twrs-bench`, and
+//! [`arrivals::ArrivalTrace`] generates deterministic multi-tenant
+//! job-arrival traces for the sort-service contention scenarios.
 
 #![warn(missing_docs)]
 
+pub mod arrivals;
 pub mod composite;
 pub mod dataset;
 pub mod distributions;
 pub mod record;
 pub mod user_event;
 
+pub use arrivals::{ArrivalTrace, JobArrival};
 pub use composite::{AnticorrelatedTable, Concatenation};
 pub use dataset::{materialize, read_dataset, sortedness, DatasetStats};
 pub use distributions::{Distribution, DistributionKind, KEY_RANGE};

@@ -188,6 +188,45 @@
 //! see `examples/merge_join.rs`; `examples/top_k.rs` measures the pages the
 //! stream saves against `run_iter`.
 //!
+//! # Many jobs, one budget: the sort service
+//!
+//! Every blocking entry point above runs *one* job with the memory its
+//! generator asks for. A [`SortService`](extsort::SortService) runs a
+//! *stream* of jobs from many tenants under one global memory budget:
+//! [`submit`](extsort::SortService::submit) returns a
+//! [`JobHandle`](extsort::JobHandle) immediately (with `wait`,
+//! `try_status` and `cancel`), workers pick jobs up in per-tenant
+//! round-robin order, and a global
+//! [`MemoryArbiter`](extsort::MemoryArbiter) re-leases each job's budget
+//! at admission so `sum(per-job budgets) <= global` holds at every
+//! rebalance point. Submitted jobs and the blocking `run_*`/`sink_*`/
+//! `stream_*` calls funnel through the same internal execution spine, so a
+//! service job's output is byte-identical to the same job run directly.
+//!
+//! ```
+//! use two_way_replacement_selection::prelude::*;
+//!
+//! let device = SimDevice::new();
+//! let service = SortService::new(ServiceConfig::new(300).workers(2)).unwrap();
+//! let handles: Vec<JobHandle> = (0..4)
+//!     .map(|i| {
+//!         let input = Distribution::new(DistributionKind::RandomUniform, 2_000, i);
+//!         let job = SortJob::new(ReplacementSelection::new(200)).on(&device);
+//!         service
+//!             .submit(format!("tenant-{}", i % 2), job, input.records(), format!("out-{i}"))
+//!             .unwrap()
+//!     })
+//!     .collect();
+//! for handle in handles {
+//!     let done = handle.wait().unwrap();
+//!     assert_eq!(done.report.report.records, 2_000);
+//!     assert!(done.granted_memory <= 300);
+//! }
+//! let report = service.shutdown();
+//! assert_eq!(report.jobs_completed, 4);
+//! assert!(report.max_leased <= report.global_memory_records);
+//! ```
+//!
 //! # Migrating from the pre-builder entry points
 //!
 //! | before                                                   | after                                                        |
@@ -199,6 +238,8 @@
 //! | `RunCursor::open(…)` (implicitly `Record`)               | `RecordRunCursor::open(…)` or `RunCursor::<R>::open(…)`      |
 //! | `run_iter(it, "out")` + `RecordRunCursor` scan of `"out"` | `stream_iter(it)` — same records, no `"out"` file, no final write pass |
 //! | `run_iter(it, "out")` + custom post-processing of `"out"` | `sink_iter(it, &mut sink)` with a [`RecordSink`](extsort::RecordSink) |
+//! | a loop of blocking `run_iter` calls over many datasets    | `SortService::submit(tenant, job, input, output)` per dataset, then `JobHandle::wait` — same outputs, jobs overlap under the global budget |
+//! | hand-rolled worker threads + per-job memory bookkeeping   | [`SortService`](extsort::SortService) with a [`MemoryArbiter`](extsort::MemoryArbiter); the arbiter enforces `sum(leases) <= global` at every rebalance |
 //!
 //! ¹ `run_file` (and the `sort_file` method on the old sorters) is provided
 //! for the default [`Record`] by the [`RecordSortExt`]
@@ -313,14 +354,15 @@ pub mod prelude {
         BufferSetup, InputHeuristic, OutputHeuristic, TwoWayReplacementSelection, TwrsConfig,
     };
     pub use twrs_extsort::{
-        BoundSortJob, CallbackSink, ChannelSink, ExternalSorter, FileSink, FinalPassKind,
-        LoadSortStore, MergeConfig, ParallelExternalSorter, ParallelSortReport,
-        ParallelSorterConfig, RecordSink, ReplacementSelection, RunCursor, RunGenerator, RunHandle,
-        ShardableGenerator, SortJob, SortJobReport, SortReport, SortedStream, SorterConfig,
-        VecSink,
+        BoundSortJob, BudgetedGenerator, CallbackSink, ChannelSink, CompletedJob, ExternalSorter,
+        FileSink, FinalPassKind, GrantPolicy, JobHandle, JobStatus, LoadSortStore, MergeConfig,
+        ParallelExternalSorter, ParallelSortReport, ParallelSorterConfig, RecordSink,
+        ReplacementSelection, RunCursor, RunGenerator, RunHandle, ServiceConfig, ServiceReport,
+        ShardableGenerator, SortJob, SortJobReport, SortReport, SortService, SortedStream,
+        SorterConfig, VecSink,
     };
     pub use twrs_storage::{
         FileDevice, ScopedDevice, SimDevice, SortableRecord, SpillNamer, StorageDevice,
     };
-    pub use twrs_workloads::{Distribution, DistributionKind, Record};
+    pub use twrs_workloads::{ArrivalTrace, Distribution, DistributionKind, JobArrival, Record};
 }

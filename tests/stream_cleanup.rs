@@ -106,6 +106,49 @@ fn a_failing_sink_write_removes_all_device_files() {
 }
 
 #[test]
+fn a_receiver_hangup_mid_drain_aborts_promptly_and_cleans_up() {
+    // Regression: a `ChannelSink` whose receiver drops mid-drain must
+    // surface `SinkClosed` promptly — including on the parallel path,
+    // where the final merge is fed by background prefetch threads that
+    // must be torn down, not waited on — and leave no spill files behind.
+    for threads in [1, 4] {
+        let device = SimDevice::new();
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Record>(8);
+        let consumer = std::thread::spawn(move || {
+            // Take k records, then hang up with the merge still producing.
+            let mut taken = 0u64;
+            for _record in rx.iter().take(200) {
+                taken += 1;
+            }
+            taken
+        });
+        let mut sink = ChannelSink::new(tx);
+        let started = std::time::Instant::now();
+        let result = SortJob::new(ReplacementSelection::new(100))
+            .on(&device)
+            .threads(threads)
+            .sink_iter(multi_run_input(), &mut sink);
+        assert!(
+            matches!(
+                result,
+                Err(two_way_replacement_selection::extsort::SortError::SinkClosed(_))
+            ),
+            "threads {threads}: the hangup surfaces as SinkClosed, got {result:?}"
+        );
+        assert_eq!(consumer.join().unwrap(), 200);
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(30),
+            "threads {threads}: the abort must be prompt, not a stuck merge"
+        );
+        assert_eq!(
+            device.list(),
+            Vec::<String>::new(),
+            "threads {threads}: a hung-up drain must remove every spill file"
+        );
+    }
+}
+
+#[test]
 fn a_stream_over_a_truncated_dataset_cleans_up_and_errors() {
     let device = SimDevice::new();
     let dist = Distribution::new(DistributionKind::RandomUniform, 3_000, 5);
