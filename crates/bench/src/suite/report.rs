@@ -166,24 +166,36 @@ impl BenchReport {
             out.push_str(
                 "\n## Service scenarios\n\n\
                  Queue latency is submission → memory lease held; sort latency is\n\
-                 execution only. Both are wall-clock (reported, not gated); the\n\
-                 page/run/seek sums are deterministic and baseline-gated.\n\n",
+                 execution only; cancel latency is cancel request → the probe job\n\
+                 completing as Canceled. All three are wall-clock (reported, not\n\
+                 gated); the page/run/seek sums are deterministic and\n\
+                 baseline-gated. `grants` lists each tenant's fixed-share memory\n\
+                 grant — in a `service-prio-` scenario the weighted tenant's share\n\
+                 is proportionally larger.\n\n",
             );
             out.push_str(
-                "| scenario | jobs | grant | queue p50 ms | queue p99 ms | sort p50 ms | sort p99 ms | pages R | pages W | runs | seeks |\n",
+                "| scenario | jobs | grants | queue p50 ms | queue p99 ms | sort p50 ms | sort p99 ms | cancel p50 ms | cancel p95 ms | pages R | pages W | runs | seeks |\n",
             );
-            out.push_str("|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n");
+            out.push_str("|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n");
             for result in &self.service_results {
                 let det = result.deterministic();
+                let grants = result
+                    .tenant_grants
+                    .iter()
+                    .map(|(_, grant)| grant.to_string())
+                    .collect::<Vec<_>>()
+                    .join("/");
                 out.push_str(&format!(
-                    "| {} | {} | {} | {:.2} | {:.2} | {:.2} | {:.2} | {} | {} | {} | {} |\n",
+                    "| {} | {} | {} | {:.2} | {:.2} | {:.2} | {:.2} | {:.2} | {:.2} | {} | {} | {} | {} |\n",
                     result.scenario.id(),
                     result.jobs_completed,
-                    result.granted_memory,
+                    grants,
                     result.queue_latency.p50.as_secs_f64() * 1_000.0,
                     result.queue_latency.p99.as_secs_f64() * 1_000.0,
                     result.sort_latency.p50.as_secs_f64() * 1_000.0,
                     result.sort_latency.p99.as_secs_f64() * 1_000.0,
+                    result.cancel_latency.p50.as_secs_f64() * 1_000.0,
+                    result.cancel_latency.p95.as_secs_f64() * 1_000.0,
                     det.pages_read,
                     det.pages_written,
                     det.runs,
@@ -203,20 +215,28 @@ impl BenchReport {
         let mut table = Table::new(
             format!("service scenarios — {} matrix", self.matrix),
             &[
-                "scenario", "jobs", "grant", "q p50", "q p99", "s p50", "s p99", "pR", "pW",
-                "runs", "seeks",
+                "scenario", "jobs", "grants", "q p50", "q p99", "s p50", "s p99", "c p50", "c p95",
+                "pR", "pW", "runs", "seeks",
             ],
         );
         for result in &self.service_results {
             let det = result.deterministic();
+            let grants = result
+                .tenant_grants
+                .iter()
+                .map(|(_, grant)| grant.to_string())
+                .collect::<Vec<_>>()
+                .join("/");
             table.row(vec![
                 result.scenario.id(),
                 result.jobs_completed.to_string(),
-                result.granted_memory.to_string(),
+                grants,
                 format!("{:.2}ms", result.queue_latency.p50.as_secs_f64() * 1_000.0),
                 format!("{:.2}ms", result.queue_latency.p99.as_secs_f64() * 1_000.0),
                 format!("{:.2}ms", result.sort_latency.p50.as_secs_f64() * 1_000.0),
                 format!("{:.2}ms", result.sort_latency.p99.as_secs_f64() * 1_000.0),
+                format!("{:.2}ms", result.cancel_latency.p50.as_secs_f64() * 1_000.0),
+                format!("{:.2}ms", result.cancel_latency.p95.as_secs_f64() * 1_000.0),
                 det.pages_read.to_string(),
                 det.pages_written.to_string(),
                 det.runs.to_string(),
@@ -355,9 +375,27 @@ fn service_json(result: &ServiceScenarioResult) -> Json {
             Json::counter(result.granted_memory as u64),
         ),
         ("max_leased", Json::counter(result.max_leased as u64)),
+        ("high_weight", Json::counter(scenario.high_weight as u64)),
+        (
+            "tenant_grants",
+            Json::Arr(
+                result
+                    .tenant_grants
+                    .iter()
+                    .map(|(tenant, grant)| {
+                        Json::obj(vec![
+                            ("tenant", Json::Str(tenant.clone())),
+                            ("granted_memory_records", Json::counter(*grant as u64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("jobs_canceled", Json::counter(result.jobs_canceled as u64)),
         ("wall_us", Json::counter(result.wall_us)),
         ("queue_latency", latency_json(&result.queue_latency)),
         ("sort_latency", latency_json(&result.sort_latency)),
+        ("cancel_latency", latency_json(&result.cancel_latency)),
         ("deterministic", deterministic_json(&result.deterministic())),
     ])
 }
@@ -473,6 +511,33 @@ mod tests {
         let queue = first.get("queue_latency").unwrap();
         assert!(queue.get("p50_us").and_then(Json::as_u64).is_some());
         assert!(queue.get("p99_us").and_then(Json::as_u64).is_some());
+        let cancel = first.get("cancel_latency").unwrap();
+        assert!(cancel.get("p50_us").and_then(Json::as_u64).is_some());
+        assert!(cancel.get("p95_us").and_then(Json::as_u64).is_some());
+        let grants = first.get("tenant_grants").and_then(Json::as_arr).unwrap();
+        assert!(!grants.is_empty());
+        assert!(grants[0].get("tenant").and_then(Json::as_str).is_some());
+        assert!(first.get("jobs_canceled").and_then(Json::as_u64).is_some());
+        // The quick matrix includes a weighted scenario whose priority
+        // tenant's grant is at least twice the other tenant's.
+        let prio = services
+            .iter()
+            .find(|s| {
+                s.get("id")
+                    .and_then(Json::as_str)
+                    .unwrap()
+                    .starts_with("service-prio-")
+            })
+            .expect("quick matrix includes the priority scenario");
+        let prio_grants = prio.get("tenant_grants").and_then(Json::as_arr).unwrap();
+        let grant_of = |i: usize| {
+            prio_grants[i]
+                .get("granted_memory_records")
+                .and_then(Json::as_u64)
+                .unwrap()
+        };
+        assert!(grant_of(0) >= 2 * grant_of(1));
+        assert!(markdown.contains("cancel p50"));
         // Aggregate counters are present and non-null seeks (single-threaded jobs).
         let det = first.get("deterministic").unwrap();
         assert!(det.get("seeks").and_then(Json::as_u64).is_some());

@@ -13,14 +13,24 @@
 
 use super::matrix::MATRIX_SEED;
 use super::runner::DeterministicCounters;
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 use twrs_core::{TwoWayReplacementSelection, TwrsConfig};
-use twrs_extsort::service::{GrantPolicy, ServiceConfig, SortService};
+use twrs_extsort::service::{GrantPolicy, JobStatus, Priority, ServiceConfig, SortService};
 use twrs_extsort::{
-    JobHandle, LatencyPercentiles, LoadSortStore, ReplacementSelection, SortJob, SortJobReport,
+    JobHandle, LatencyPercentiles, LoadSortStore, ReplacementSelection, SortError, SortJob,
+    SortJobReport,
 };
 use twrs_storage::SimDevice;
-use twrs_workloads::{ArrivalTrace, Distribution};
+use twrs_workloads::{ArrivalTrace, Distribution, DistributionKind};
+
+/// The tenant [`ArrivalTrace::synthetic`] always names first; priority
+/// scenarios elevate it.
+const PRIORITY_TENANT: &str = "tenant-0";
+
+/// Running jobs canceled per scenario to measure request→Canceled
+/// latency (reported, never gated — a probe may photo-finish `Ok`).
+const CANCEL_PROBES: usize = 2;
 
 /// One multi-job service scenario: a synthetic arrival trace replayed
 /// against a `SortService` under a contended global memory budget.
@@ -41,16 +51,39 @@ pub struct ServiceScenario {
     pub memory: usize,
     /// Seed of the arrival trace (and, derived, of each job's input).
     pub seed: u64,
+    /// Priority weight of `tenant-0` (1 = every tenant equal). A weighted
+    /// scenario checks that the heavy tenant's fixed-share grant is at
+    /// least twice any other tenant's.
+    pub high_weight: usize,
 }
 
 impl ServiceScenario {
     /// A stable identifier, disjoint from the single-sort scenario ids
-    /// (always `service-` prefixed), used as the baseline key.
+    /// (always `service-` prefixed; `service-prio-` when one tenant is
+    /// weighted), used as the baseline key.
     pub fn id(&self) -> String {
-        format!(
-            "service-j{}-x{}-w{}-g{}-n{}-m{}",
-            self.jobs, self.tenants, self.workers, self.global_memory, self.records, self.memory
-        )
+        if self.high_weight > 1 {
+            format!(
+                "service-prio-j{}-x{}-w{}-g{}-n{}-m{}-hw{}",
+                self.jobs,
+                self.tenants,
+                self.workers,
+                self.global_memory,
+                self.records,
+                self.memory,
+                self.high_weight
+            )
+        } else {
+            format!(
+                "service-j{}-x{}-w{}-g{}-n{}-m{}",
+                self.jobs,
+                self.tenants,
+                self.workers,
+                self.global_memory,
+                self.records,
+                self.memory
+            )
+        }
     }
 }
 
@@ -66,11 +99,26 @@ pub fn service_slice(matrix_name: &str) -> Vec<ServiceScenario> {
         records: 1_500,
         memory: 120,
         seed: MATRIX_SEED,
+        high_weight: 1,
+    };
+    // Two tenants at fixed-share weights 3:1 over four shares of 240
+    // records: tenant-0 is capped at 180, tenant-1 at 60, so the grant
+    // ratio — and every counter downstream of it — is deterministic.
+    let prioritized = ServiceScenario {
+        jobs: 8,
+        tenants: 2,
+        workers: 4,
+        global_memory: 240,
+        records: 1_500,
+        memory: 200,
+        seed: MATRIX_SEED,
+        high_weight: 3,
     };
     match matrix_name {
-        "quick" => vec![contended],
+        "quick" => vec![contended, prioritized],
         "full" => vec![
             contended,
+            prioritized,
             ServiceScenario {
                 jobs: 12,
                 tenants: 3,
@@ -79,6 +127,7 @@ pub fn service_slice(matrix_name: &str) -> Vec<ServiceScenario> {
                 records: 4_000,
                 memory: 200,
                 seed: MATRIX_SEED,
+                high_weight: 1,
             },
         ],
         _ => Vec::new(),
@@ -90,18 +139,29 @@ pub fn service_slice(matrix_name: &str) -> Vec<ServiceScenario> {
 pub struct ServiceScenarioResult {
     /// The scenario that was run.
     pub scenario: ServiceScenario,
-    /// Jobs that completed (must equal `scenario.jobs`).
+    /// Jobs that completed (must equal `scenario.jobs`; cancellation
+    /// probes are counted separately).
     pub jobs_completed: usize,
-    /// The deterministic per-job memory grant under the fixed-share
-    /// policy (identical for every job of the scenario).
+    /// The smallest deterministic per-tenant memory grant under the
+    /// fixed-share policy (grants are identical within a tenant; in an
+    /// unweighted scenario they are identical across tenants too).
     pub granted_memory: usize,
+    /// The deterministic fixed-share grant of each tenant, in tenant-name
+    /// order.
+    pub tenant_grants: Vec<(String, usize)>,
     /// High-water mark of simultaneously leased memory (wall-clock
     /// dependent; reported, not gated).
     pub max_leased: usize,
+    /// Cancellation probes that actually ended `Canceled` (a probe may
+    /// photo-finish `Ok`; wall-clock dependent, reported, not gated).
+    pub jobs_canceled: usize,
     /// Queue + admission latency percentiles (submission → lease held).
     pub queue_latency: LatencyPercentiles,
     /// Sort execution latency percentiles.
     pub sort_latency: LatencyPercentiles,
+    /// Cancellation latency percentiles (cancel request → the job
+    /// completing as Canceled), from the scenario's cancellation probes.
+    pub cancel_latency: LatencyPercentiles,
     /// Wall-clock of the whole scenario (submit → last job done), in
     /// microseconds.
     pub wall_us: u64,
@@ -151,14 +211,16 @@ pub fn run_service_scenario(scenario: &ServiceScenario) -> Result<ServiceScenari
         scenario.seed,
     );
     let device = SimDevice::new();
-    let service = SortService::new(
-        ServiceConfig::new(scenario.global_memory)
-            .workers(scenario.workers)
-            .grant_policy(GrantPolicy::FixedShare {
-                shares: scenario.workers,
-            }),
-    )
-    .map_err(|e| format!("{id}: {e}"))?;
+    let mut config = ServiceConfig::new(scenario.global_memory)
+        .workers(scenario.workers)
+        .grant_policy(GrantPolicy::FixedShare {
+            shares: scenario.workers,
+        });
+    if scenario.high_weight > 1 {
+        config =
+            config.tenant_priority(PRIORITY_TENANT, Priority::with_weight(scenario.high_weight));
+    }
+    let service = SortService::new(config).map_err(|e| format!("{id}: {e}"))?;
 
     let started = Instant::now();
     let handles: Vec<JobHandle> = trace
@@ -211,7 +273,7 @@ pub fn run_service_scenario(scenario: &ServiceScenario) -> Result<ServiceScenari
         runs: 0,
         seeks: Some(0),
     };
-    let mut granted_memory = None;
+    let mut tenant_grants: BTreeMap<String, usize> = BTreeMap::new();
     for (i, handle) in handles.into_iter().enumerate() {
         let done = handle
             .wait()
@@ -222,14 +284,16 @@ pub fn run_service_scenario(scenario: &ServiceScenario) -> Result<ServiceScenari
                 done.report.report.records, scenario.records
             ));
         }
-        // The fixed-share grant is the same for every job; pin that here
-        // so the reported `granted_memory` is meaningful.
-        match granted_memory {
-            None => granted_memory = Some(done.granted_memory),
-            Some(g) if g != done.granted_memory => {
+        // The fixed-share grant is the same for every job of a tenant;
+        // pin that here so the reported grants are meaningful.
+        match tenant_grants.get(&done.tenant) {
+            None => {
+                tenant_grants.insert(done.tenant.clone(), done.granted_memory);
+            }
+            Some(&g) if g != done.granted_memory => {
                 return Err(format!(
-                    "{id}: fixed-share grants diverged ({g} vs {})",
-                    done.granted_memory
+                    "{id}: fixed-share grants diverged for {} ({g} vs {})",
+                    done.tenant, done.granted_memory
                 ));
             }
             Some(_) => {}
@@ -243,11 +307,63 @@ pub fn run_service_scenario(scenario: &ServiceScenario) -> Result<ServiceScenari
     }
     let wall_us = started.elapsed().as_micros() as u64;
 
+    // A weighted scenario must actually deliver the priority: the heavy
+    // tenant's grant is at least twice every other tenant's.
+    if scenario.high_weight > 1 {
+        let high = *tenant_grants
+            .get(PRIORITY_TENANT)
+            .ok_or_else(|| format!("{id}: no jobs completed for {PRIORITY_TENANT}"))?;
+        for (tenant, &grant) in &tenant_grants {
+            if tenant != PRIORITY_TENANT && high < 2 * grant {
+                return Err(format!(
+                    "{id}: priority tenant granted {high}, not ≥ 2× {tenant}'s {grant}"
+                ));
+            }
+        }
+    }
+
+    // Cancellation probes: preempt a couple of running jobs to sample the
+    // request→Canceled latency. Their counters are never summed, so the
+    // baseline-gated numbers stay untouched whatever the timing.
+    let mut probes_completed = 0usize;
+    let mut probes_canceled = 0usize;
+    for probe in 0..CANCEL_PROBES {
+        let input = Distribution::new(
+            DistributionKind::RandomUniform,
+            scenario.records * 8,
+            scenario.seed ^ (0xCA0 + probe as u64),
+        );
+        let job = SortJob::new(ReplacementSelection::new(scenario.memory)).on(&device);
+        let handle = service
+            .submit("probe", job, input.records(), format!("probe-{probe}"))
+            .map_err(|e| format!("{id}: probe {probe} submit failed: {e}"))?;
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while matches!(handle.try_status(), JobStatus::Queued | JobStatus::Admitted) {
+            if Instant::now() > deadline {
+                return Err(format!("{id}: probe {probe} never started running"));
+            }
+            std::thread::yield_now();
+        }
+        handle.cancel();
+        match handle.wait() {
+            Ok(_) => probes_completed += 1,
+            Err(SortError::Canceled(_)) => probes_canceled += 1,
+            Err(e) => return Err(format!("{id}: probe {probe} failed: {e}")),
+        }
+    }
+
     let report = service.shutdown();
-    if report.jobs_completed != scenario.jobs || report.jobs_failed != 0 {
+    let jobs_completed = report.jobs_completed - probes_completed;
+    if jobs_completed != scenario.jobs || report.jobs_failed != 0 {
         return Err(format!(
-            "{id}: {} of {} jobs completed ({} failed)",
-            report.jobs_completed, scenario.jobs, report.jobs_failed
+            "{id}: {jobs_completed} of {} jobs completed ({} failed)",
+            scenario.jobs, report.jobs_failed
+        ));
+    }
+    if report.jobs_canceled != probes_canceled {
+        return Err(format!(
+            "{id}: {} jobs canceled, expected the {probes_canceled} probes",
+            report.jobs_canceled
         ));
     }
     for event in &report.rebalances {
@@ -257,13 +373,17 @@ pub fn run_service_scenario(scenario: &ServiceScenario) -> Result<ServiceScenari
             ));
         }
     }
+    let granted_memory = tenant_grants.values().copied().min().unwrap_or(0);
     Ok(ServiceScenarioResult {
         scenario: *scenario,
-        jobs_completed: report.jobs_completed,
-        granted_memory: granted_memory.unwrap_or(0),
+        jobs_completed,
+        granted_memory,
+        tenant_grants: tenant_grants.into_iter().collect(),
         max_leased: report.max_leased,
+        jobs_canceled: probes_canceled,
         queue_latency: report.queue_latency,
         sort_latency: report.sort_latency,
+        cancel_latency: report.cancel_latency,
         wall_us,
         counters,
     })
@@ -304,15 +424,39 @@ mod tests {
             records: 800,
             memory: 100,
             seed: 7,
+            high_weight: 1,
         };
         let a = run_service_scenario(&scenario).unwrap();
         let b = run_service_scenario(&scenario).unwrap();
         assert_eq!(a.deterministic(), b.deterministic());
         assert_eq!(a.granted_memory, b.granted_memory);
+        assert_eq!(a.tenant_grants, b.tenant_grants);
         assert_eq!(a.jobs_completed, 8);
         assert!(a.counters.pages_written > 0);
         assert!(a.counters.seeks.unwrap() > 0, "single-threaded jobs seek");
         assert!(a.max_leased <= scenario.global_memory);
         assert!(a.queue_latency.p50 <= a.queue_latency.max);
+    }
+
+    #[test]
+    fn weighted_scenario_grants_are_deterministic_and_proportional() {
+        let scenario = service_slice("quick")
+            .into_iter()
+            .find(|s| s.high_weight > 1)
+            .expect("quick matrix includes the priority scenario");
+        assert!(scenario.id().starts_with("service-prio-"));
+        let a = run_service_scenario(&scenario).unwrap();
+        let b = run_service_scenario(&scenario).unwrap();
+        assert_eq!(a.deterministic(), b.deterministic());
+        assert_eq!(a.tenant_grants, b.tenant_grants);
+        // 3 of 4 shares of 240 vs 1 of 4: 180 vs 60.
+        assert_eq!(
+            a.tenant_grants,
+            vec![("tenant-0".to_string(), 180), ("tenant-1".to_string(), 60)]
+        );
+        assert_eq!(a.granted_memory, 60);
+        // A probe may photo-finish Ok, but never more cancels than probes.
+        assert!(a.jobs_canceled <= CANCEL_PROBES);
+        assert!(a.cancel_latency.p50 <= a.cancel_latency.max);
     }
 }

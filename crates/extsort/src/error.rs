@@ -18,9 +18,16 @@ pub enum SortError {
     /// A [`RecordSink`](crate::sink::RecordSink) refused a record or was
     /// finished twice — e.g. a channel sink whose receiver hung up.
     SinkClosed(String),
-    /// The job was canceled before it started running (see
-    /// [`JobHandle::cancel`](crate::service::JobHandle::cancel)).
+    /// The job was canceled — while still queued, or cooperatively
+    /// preempted at a phase/page boundary after it started running (see
+    /// [`JobHandle::cancel`](crate::service::JobHandle::cancel) and
+    /// [`CancellationToken`](crate::cancel::CancellationToken)).
     Canceled(String),
+    /// The sort pipeline panicked while the job was running. The service
+    /// worker catches the unwind, releases the job's memory lease and
+    /// completes the job as `Failed` with this error; the engines' drop
+    /// guards sweep the job's spill files during the unwind.
+    JobPanicked(String),
 }
 
 impl fmt::Display for SortError {
@@ -31,6 +38,7 @@ impl fmt::Display for SortError {
             SortError::VerificationFailed(msg) => write!(f, "verification failed: {msg}"),
             SortError::SinkClosed(msg) => write!(f, "record sink closed: {msg}"),
             SortError::Canceled(msg) => write!(f, "sort job canceled: {msg}"),
+            SortError::JobPanicked(msg) => write!(f, "sort job panicked: {msg}"),
         }
     }
 }

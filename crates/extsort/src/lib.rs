@@ -33,7 +33,13 @@
 //!   controller leasing per-job memory from one global budget
 //!   (`sum(per-job budgets) <= global` at every rebalance), and a
 //!   submission-handle API (`submit` → [`service::JobHandle`] with
-//!   `wait`/`try_status`/`cancel`);
+//!   `wait`/`try_status`/`cancel`), with per-tenant
+//!   [`service::Priority`] classes weighting both the dequeue
+//!   rotation and the memory grant;
+//! * [`cancel`] — [`cancel::CancellationToken`], the cooperative
+//!   cancellation flag the service threads into the phase loops so a
+//!   *running* job observes `cancel()` at the next phase/page boundary,
+//!   cleans up its spill files and completes as `Canceled`;
 //! * [`parallel`] — [`parallel::ParallelExternalSorter`], the sharded
 //!   variant of the same pipeline: run generation fans out over
 //!   budget-divided worker threads, spill writes move to dedicated writer
@@ -43,6 +49,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod distribution_sort;
 pub mod error;
 pub mod load_sort_store;
@@ -56,6 +63,7 @@ pub mod sort_job;
 pub mod sorter;
 pub mod stream;
 
+pub use cancel::CancellationToken;
 pub use error::{Result, SortError};
 pub use load_sort_store::LoadSortStore;
 pub use merge::kway::{KWayMerger, MergeConfig};
@@ -70,7 +78,7 @@ pub use run_generation::{
     RunHandle, RunSet,
 };
 pub use service::{
-    CompletedJob, GrantPolicy, JobHandle, JobStatus, LatencyPercentiles, MemoryArbiter,
+    CompletedJob, GrantPolicy, JobHandle, JobStatus, LatencyPercentiles, MemoryArbiter, Priority,
     RebalanceEvent, RebalanceKind, ServiceConfig, ServiceReport, SortService, TenantReport,
 };
 pub use sink::{CallbackSink, ChannelSink, FileSink, RecordSink, VecSink};

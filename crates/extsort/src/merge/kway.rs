@@ -9,6 +9,7 @@
 //! run remains, and reads every input run through a read-ahead buffer whose
 //! size models the per-run input buffer of the paper's implementation.
 
+use crate::cancel::{CancellationToken, CANCEL_CHECK_INTERVAL};
 use crate::error::{Result, SortError};
 use crate::merge::loser_tree::LoserTree;
 use crate::run_generation::{Device, RunCursor, RunHandle};
@@ -66,12 +67,23 @@ impl MergeReport {
 #[derive(Debug, Clone, Default)]
 pub struct KWayMerger {
     config: MergeConfig,
+    cancel: CancellationToken,
 }
 
 impl KWayMerger {
     /// Creates a merger with the given configuration.
     pub fn new(config: MergeConfig) -> Self {
-        KWayMerger { config }
+        KWayMerger {
+            config,
+            cancel: CancellationToken::new(),
+        }
+    }
+
+    /// Installs a cooperative cancellation token, checked at the start of
+    /// every merge step and every [`CANCEL_CHECK_INTERVAL`] merged records.
+    pub fn with_cancel(mut self, cancel: CancellationToken) -> Self {
+        self.cancel = cancel;
+        self
     }
 
     /// The configuration in force.
@@ -111,6 +123,7 @@ impl KWayMerger {
             runs,
             output,
             self.config.fan_in,
+            &self.cancel,
             |batch, name| self.merge_batch::<D, R>(device, batch, name),
         )
     }
@@ -138,9 +151,12 @@ impl KWayMerger {
         batch: &[RunHandle],
         output: &str,
     ) -> Result<u64> {
+        // Step boundary: a cancel() lands here before the batch's sources
+        // are even opened.
+        self.cancel.check()?;
         let mut sources = self.open_sources::<D, R>(device, batch)?;
         let writer = RunWriter::<R>::create(device, output)?;
-        merge_sources(&mut sources, writer)
+        merge_sources(&mut sources, writer, &self.cancel)
     }
 }
 
@@ -168,6 +184,7 @@ pub(crate) fn reduce_to_fan_in<D, F>(
     namer: &SpillNamer,
     runs: Vec<RunHandle>,
     fan_in: usize,
+    cancel: &CancellationToken,
     merge_batch: &mut F,
 ) -> Result<ReducedRuns>
 where
@@ -182,6 +199,9 @@ where
     let mut report = MergeReport::default();
     let mut queue: VecDeque<RunHandle> = runs.into();
     while queue.len() > fan_in {
+        // Pass boundary: the merge scheduler observes a cancel() between
+        // any two intermediate passes.
+        cancel.check()?;
         let batch: Vec<RunHandle> = queue.drain(..fan_in).collect();
         let name = namer.next_name("merge");
         let written = merge_batch(&batch, &name)?;
@@ -220,6 +240,7 @@ pub(crate) fn finish_into_sink<D, R, S, K>(
     sink: &mut K,
     remaining: &[RunHandle],
     report: &mut MergeReport,
+    cancel: &CancellationToken,
 ) -> Result<u64>
 where
     D: Device,
@@ -228,7 +249,7 @@ where
     K: RecordSink<R> + ?Sized,
 {
     let before = device.stats();
-    let delivered = merge_sources_into(sources, sink)?;
+    let delivered = merge_sources_into(sources, sink, cancel)?;
     sink.finish()?;
     for handle in remaining {
         remove_run(device, handle)?;
@@ -252,6 +273,7 @@ pub(crate) fn merge_passes<D, R, F>(
     runs: Vec<RunHandle>,
     output: &str,
     fan_in: usize,
+    cancel: &CancellationToken,
     mut merge_batch: F,
 ) -> Result<MergePhaseOutcome>
 where
@@ -262,7 +284,7 @@ where
     let ReducedRuns {
         remaining,
         mut report,
-    } = reduce_to_fan_in(device, namer, runs, fan_in, &mut merge_batch)?;
+    } = reduce_to_fan_in(device, namer, runs, fan_in, cancel, &mut merge_batch)?;
     let before_final = device.stats();
 
     if remaining.is_empty() {
@@ -309,9 +331,10 @@ impl<R: SortableRecord> MergeSource<R> for BufferedCursor<R> {
 pub(crate) fn merge_sources<R: SortableRecord, S: MergeSource<R>>(
     sources: &mut [S],
     writer: RunWriter<R>,
+    cancel: &CancellationToken,
 ) -> Result<u64> {
     let mut sink = FileSink::from_writer(writer);
-    let written = merge_sources_into(sources, &mut sink)?;
+    let written = merge_sources_into(sources, &mut sink, cancel)?;
     sink.finish()?;
     Ok(written)
 }
@@ -323,6 +346,7 @@ pub(crate) fn merge_sources<R: SortableRecord, S: MergeSource<R>>(
 pub(crate) fn merge_sources_into<R: SortableRecord, S: MergeSource<R>, K>(
     sources: &mut [S],
     sink: &mut K,
+    cancel: &CancellationToken,
 ) -> Result<u64>
 where
     K: RecordSink<R> + ?Sized,
@@ -337,6 +361,12 @@ where
     let mut tree = LoserTree::new(&heads);
     let mut written = 0u64;
     loop {
+        // Page-grained cancellation point: roughly one output page of
+        // small records between checks, so a running merge observes
+        // cancel() within a bounded amount of I/O.
+        if written % CANCEL_CHECK_INTERVAL == 0 {
+            cancel.check()?;
+        }
         let winner = tree.winner();
         match heads[winner].take() {
             Some(record) => {

@@ -32,6 +32,7 @@
 //! generation phase's writes, so the aggregated `pages_written` equals the
 //! shard sum by construction.
 
+use crate::cancel::CancellationToken;
 use crate::error::{Result, SortError};
 use crate::merge::kway::{
     finish_into_sink, merge_passes, merge_sources, reduce_to_fan_in, MergeConfig, MergeSource,
@@ -44,6 +45,7 @@ use crate::sink::RecordSink;
 use crate::sort_job::SortJobReport;
 use crate::sorter::{
     assemble_report, verify_phase_report, FinalPassKind, PhaseReport, SortReport, SorterConfig,
+    SpillSweeper,
 };
 use crate::stream::{unique_namespace, SortedStream, StreamSource};
 use std::collections::{HashMap, VecDeque};
@@ -466,7 +468,10 @@ fn merge_batch_prefetched<D: Device, R: SortableRecord>(
     output: &str,
     read_ahead: usize,
     queue_batches: usize,
+    cancel: &CancellationToken,
 ) -> Result<u64> {
+    // Step boundary: a cancel() lands here before the prefetchers spawn.
+    cancel.check()?;
     let mut sources: Vec<PrefetchSource<R>> = batch
         .iter()
         .map(|handle| {
@@ -474,7 +479,7 @@ fn merge_batch_prefetched<D: Device, R: SortableRecord>(
         })
         .collect();
     let writer = RunWriter::<R>::create(device, output)?;
-    let written = merge_sources(&mut sources, writer)?;
+    let written = merge_sources(&mut sources, writer, cancel)?;
     for source in sources {
         source.join();
     }
@@ -623,6 +628,7 @@ struct ShardOutcome {
 pub struct ParallelExternalSorter<G: ShardableGenerator> {
     generator: G,
     config: ParallelSorterConfig,
+    cancel: CancellationToken,
 }
 
 impl<G: ShardableGenerator> ParallelExternalSorter<G> {
@@ -637,12 +643,26 @@ impl<G: ShardableGenerator> ParallelExternalSorter<G> {
         ParallelExternalSorter {
             generator,
             config: ParallelSorterConfig::default(),
+            cancel: CancellationToken::new(),
         }
     }
 
     /// Creates a parallel sorter with an explicit configuration.
     pub fn with_config(generator: G, config: ParallelSorterConfig) -> Self {
-        ParallelExternalSorter { generator, config }
+        ParallelExternalSorter {
+            generator,
+            config,
+            cancel: CancellationToken::new(),
+        }
+    }
+
+    /// Installs a cooperative cancellation token; see
+    /// [`ExternalSorter::set_cancel_token`](crate::sorter::ExternalSorter::set_cancel_token).
+    /// On the parallel path the coordinator stops dealing input parcels to
+    /// the generation shards once the flag is set, and the merge checks it
+    /// between passes and every few hundred merged records.
+    pub fn set_cancel_token(&mut self, cancel: CancellationToken) {
+        self.cancel = cancel;
     }
 
     /// The pipeline configuration.
@@ -672,12 +692,18 @@ impl<G: ShardableGenerator> ParallelExternalSorter<G> {
             ));
         }
         let namer = Arc::new(SpillNamer::new(format!("psort-{output}")));
+        let mut sweeper = SpillSweeper::new(device, &namer, Some(output));
         let result = self.sort_iter_inner(device, input, output, &namer);
+        sweeper.disarm();
         // Clean up spill files on success *and* on error — by this point
         // every worker thread has been joined (generate_sharded joins all
         // shards before reporting a failure), so no detached writer can
-        // recreate a removed name.
+        // recreate a removed name. A canceled or failed merge may also
+        // have left a partial output file.
         let cleanup = namer.cleanup(device);
+        if result.is_err() && device.exists(output) {
+            let _ = device.remove(output);
+        }
         let report = result?;
         cleanup?;
         Ok(report)
@@ -703,6 +729,7 @@ impl<G: ShardableGenerator> ParallelExternalSorter<G> {
             run_set.runs.clone(),
             output,
             merge.fan_in,
+            &self.cancel,
             |batch, name| {
                 merge_batch_prefetched::<D, R>(
                     device,
@@ -710,6 +737,7 @@ impl<G: ShardableGenerator> ParallelExternalSorter<G> {
                     name,
                     merge.read_ahead_records,
                     prefetch,
+                    &self.cancel,
                 )
             },
         )?;
@@ -762,7 +790,9 @@ impl<G: ShardableGenerator> ParallelExternalSorter<G> {
             ));
         }
         let namer = Arc::new(SpillNamer::new(unique_namespace("psort-sink")));
+        let mut sweeper = SpillSweeper::new(device, &namer, None);
         let result = self.sort_sink_inner(device, input, sink, &namer);
+        sweeper.disarm();
         let cleanup = namer.cleanup(device);
         let report = result?;
         cleanup?;
@@ -790,8 +820,14 @@ impl<G: ShardableGenerator> ParallelExternalSorter<G> {
 
         // --- Final pass: prefetch threads feed the sink ----------------
         let mut sources = self.spawn_prefetchers::<D, R>(device, &remaining);
-        let final_writes =
-            finish_into_sink(device, &mut sources, sink, &remaining, &mut merge_report)?;
+        let final_writes = finish_into_sink(
+            device,
+            &mut sources,
+            sink,
+            &remaining,
+            &mut merge_report,
+            &self.cancel,
+        )?;
         // Propagate any prefetcher panic (a plain drop would swallow it).
         for source in sources {
             source.join();
@@ -832,12 +868,16 @@ impl<G: ShardableGenerator> ParallelExternalSorter<G> {
             ));
         }
         let namer = Arc::new(SpillNamer::new(unique_namespace("psort-stream")));
+        let mut sweeper = SpillSweeper::new(device, &namer, None);
         match self.sort_stream_inner(device, input, &namer) {
-            Ok(stream) => Ok(stream),
-            Err(error) => {
-                let _ = namer.cleanup(device);
-                Err(error)
+            Ok(stream) => {
+                // The stream owns the spill files from here on.
+                sweeper.disarm();
+                Ok(stream)
             }
+            // The sweeper removes whatever the failed (or panicked) sort
+            // left behind when it drops.
+            Err(error) => Err(error),
         }
     }
 
@@ -911,6 +951,10 @@ impl<G: ShardableGenerator> ParallelExternalSorter<G> {
         let before = device.stats();
         let started = Instant::now();
         let outcomes = self.generate_sharded(device, namer, input)?;
+        // A cancellation observed while dealing parcels stops the feed;
+        // surface it here (after every shard has been joined) so the
+        // truncated prefix never masquerades as a completed generation.
+        self.cancel.check()?;
         let run_wall = started.elapsed();
         let after_runs = device.stats();
 
@@ -947,6 +991,7 @@ impl<G: ShardableGenerator> ParallelExternalSorter<G> {
             namer.as_ref(),
             runs,
             merge.fan_in,
+            &self.cancel,
             &mut |batch: &[RunHandle], name: &str| {
                 merge_batch_prefetched::<D, R>(
                     device,
@@ -954,6 +999,7 @@ impl<G: ShardableGenerator> ParallelExternalSorter<G> {
                     name,
                     merge.read_ahead_records,
                     prefetch,
+                    &self.cancel,
                 )
             },
         )
@@ -1071,6 +1117,12 @@ impl<G: ShardableGenerator> ParallelExternalSorter<G> {
         let mut shard = 0usize;
         let mut live = threads;
         while live > 0 {
+            // Heap-refill-grained cancellation point: stop feeding the
+            // shards; they finish their current runs and the post-join
+            // check in `generate_phase` surfaces the cancellation.
+            if self.cancel.is_canceled() {
+                break;
+            }
             let batch: Vec<R> = input.take(parcel).collect();
             if batch.is_empty() {
                 break;

@@ -14,7 +14,13 @@
 //! shrink as concurrency rises and grow back as jobs drain, using the same
 //! [`shard_budget`] split the parallel sorter uses to divide one budget
 //! across shards.
+//!
+//! Grants are *weighted*: a tenant with priority weight `w` counts as `w`
+//! shares in the split, so a weight-3 tenant's cap is three times a
+//! weight-1 tenant's (both clamped to the global budget). Weight 1
+//! everywhere reproduces the unweighted formulas exactly.
 
+use crate::cancel::CancellationToken;
 use crate::error::{Result, SortError};
 use crate::parallel::shard_budget;
 use std::sync::{Condvar, Mutex};
@@ -68,6 +74,9 @@ pub struct RebalanceEvent {
 struct ArbiterState {
     leased: usize,
     active: usize,
+    /// Sum of the priority weights of the jobs holding leases; equals
+    /// `active` when every tenant runs at the default weight.
+    active_weight: usize,
     max_leased: usize,
     events: Vec<RebalanceEvent>,
 }
@@ -100,6 +109,7 @@ impl MemoryArbiter {
             state: Mutex::new(ArbiterState {
                 leased: 0,
                 active: 0,
+                active_weight: 0,
                 max_leased: 0,
                 events: Vec::new(),
             }),
@@ -112,27 +122,60 @@ impl MemoryArbiter {
         self.global
     }
 
-    fn cap(&self, active: usize) -> usize {
+    /// A `weight`-share cap given `active_weight` shares already leased.
+    /// The weighted budget is clamped to the global so a heavy tenant's
+    /// `want` can never exceed what a fully drained arbiter could grant —
+    /// otherwise a lone high-priority job would block forever.
+    fn cap(&self, active_weight: usize, weight: usize) -> usize {
         match self.policy {
             // Largest shard of the split — shard 0 gets base + remainder.
-            GrantPolicy::Adaptive => shard_budget(self.global, 0, active + 1),
-            GrantPolicy::FixedShare { shares } => shard_budget(self.global, 0, shares),
+            GrantPolicy::Adaptive => shard_budget(
+                self.global.saturating_mul(weight),
+                0,
+                active_weight + weight,
+            )
+            .min(self.global),
+            GrantPolicy::FixedShare { shares } => {
+                shard_budget(self.global.saturating_mul(weight), 0, shares).min(self.global)
+            }
         }
     }
 
     /// Blocks until a grant is available and leases it. The grant is at
     /// least one record and at most `min(requested, fair share)`; the sum
-    /// of outstanding leases never exceeds the global budget.
+    /// of outstanding leases never exceeds the global budget. Equivalent
+    /// to [`lease_cancelable`](MemoryArbiter::lease_cancelable) at weight
+    /// 1 with a token nobody cancels.
     pub fn lease(&self, requested: usize) -> usize {
+        self.lease_cancelable(requested, 1, &CancellationToken::new())
+            .expect("a fresh token is never canceled")
+    }
+
+    /// Like [`lease`](MemoryArbiter::lease), but the grant is a
+    /// `weight`-share cut of the budget and the wait aborts — returning
+    /// `None` without booking anything — once `cancel` trips. Cancellation
+    /// while blocked relies on the canceler calling the crate-private
+    /// `notify_waiters` after firing the token.
+    pub fn lease_cancelable(
+        &self,
+        requested: usize,
+        weight: usize,
+        cancel: &CancellationToken,
+    ) -> Option<usize> {
+        let weight = weight.max(1);
         let mut state = self.state.lock().unwrap();
         loop {
+            if cancel.is_canceled() {
+                return None;
+            }
             // Recomputed on every wake-up: the fair share moves with the
-            // number of active jobs.
-            let want = requested.clamp(1, self.cap(state.active));
+            // total weight of active jobs.
+            let want = requested.clamp(1, self.cap(state.active_weight, weight));
             let available = self.global - state.leased;
             if want <= available {
                 state.leased += want;
                 state.active += 1;
+                state.active_weight += weight;
                 state.max_leased = state.max_leased.max(state.leased);
                 let event = RebalanceEvent {
                     kind: RebalanceKind::Lease,
@@ -142,7 +185,7 @@ impl MemoryArbiter {
                     active_after: state.active,
                 };
                 state.events.push(event);
-                return want;
+                return Some(want);
             }
             state = self.freed.wait(state).unwrap();
         }
@@ -151,10 +194,19 @@ impl MemoryArbiter {
     /// Returns a lease obtained from [`lease`](MemoryArbiter::lease) and
     /// wakes every waiting admission.
     pub fn release(&self, granted: usize) {
+        self.release_weighted(granted, 1);
+    }
+
+    /// Returns a lease obtained from
+    /// [`lease_cancelable`](MemoryArbiter::lease_cancelable) with the same
+    /// `weight` and wakes every waiting admission.
+    pub fn release_weighted(&self, granted: usize, weight: usize) {
+        let weight = weight.max(1);
         let mut state = self.state.lock().unwrap();
         debug_assert!(state.leased >= granted && state.active >= 1);
         state.leased = state.leased.saturating_sub(granted);
         state.active = state.active.saturating_sub(1);
+        state.active_weight = state.active_weight.saturating_sub(weight);
         let event = RebalanceEvent {
             kind: RebalanceKind::Release,
             requested: granted,
@@ -163,6 +215,18 @@ impl MemoryArbiter {
             active_after: state.active,
         };
         state.events.push(event);
+        self.freed.notify_all();
+    }
+
+    /// Wakes every blocked [`lease_cancelable`] so it can re-check its
+    /// token. Takes the state lock first: a waiter sits either *holding*
+    /// the lock (about to check the token) or *inside* the condvar wait,
+    /// so a notify issued under the lock can never slip into the gap
+    /// between its check and its wait.
+    ///
+    /// [`lease_cancelable`]: MemoryArbiter::lease_cancelable
+    pub(crate) fn notify_waiters(&self) {
+        let _state = self.state.lock().unwrap();
         self.freed.notify_all();
     }
 
@@ -268,5 +332,65 @@ mod tests {
     fn zero_budget_is_rejected() {
         assert!(MemoryArbiter::new(0, GrantPolicy::Adaptive).is_err());
         assert!(MemoryArbiter::new(10, GrantPolicy::FixedShare { shares: 0 }).is_err());
+    }
+
+    #[test]
+    fn weighted_grants_scale_with_priority() {
+        // FixedShare: a weight-3 tenant's cap is 3 of 4 shares, a
+        // weight-1 tenant's is 1 of 4 — and both fit concurrently.
+        let arbiter = MemoryArbiter::new(240, GrantPolicy::FixedShare { shares: 4 }).unwrap();
+        let high = arbiter
+            .lease_cancelable(240, 3, &CancellationToken::new())
+            .unwrap();
+        let low = arbiter
+            .lease_cancelable(240, 1, &CancellationToken::new())
+            .unwrap();
+        assert_eq!(high, 180);
+        assert_eq!(low, 60);
+        assert!(high >= 2 * low);
+        arbiter.release_weighted(high, 3);
+        arbiter.release_weighted(low, 1);
+        assert_eq!(arbiter.leased(), 0);
+
+        // Adaptive: with one weight-1 job active, a weight-3 arrival gets
+        // 3 of the 4 outstanding shares; a lone heavy job is still capped
+        // at the global budget.
+        let arbiter = MemoryArbiter::new(240, GrantPolicy::Adaptive).unwrap();
+        let alone = arbiter
+            .lease_cancelable(500, 3, &CancellationToken::new())
+            .unwrap();
+        assert_eq!(alone, 240);
+        arbiter.release_weighted(alone, 3);
+        let low = arbiter
+            .lease_cancelable(30, 1, &CancellationToken::new())
+            .unwrap();
+        let high = arbiter
+            .lease_cancelable(240, 3, &CancellationToken::new())
+            .unwrap();
+        assert_eq!(high, shard_budget(240 * 3, 0, 4));
+        arbiter.release_weighted(high, 3);
+        arbiter.release_weighted(low, 1);
+    }
+
+    #[test]
+    fn a_canceled_waiter_unblocks_without_a_lease() {
+        let arbiter =
+            Arc::new(MemoryArbiter::new(100, GrantPolicy::FixedShare { shares: 1 }).unwrap());
+        let first = arbiter.lease(100);
+        let token = CancellationToken::new();
+        let waiter = {
+            let arbiter = arbiter.clone();
+            let token = token.clone();
+            std::thread::spawn(move || arbiter.lease_cancelable(80, 1, &token))
+        };
+        // Let the waiter block, then cancel and wake it: it must return
+        // None with nothing booked, while the original lease stands.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        token.cancel();
+        arbiter.notify_waiters();
+        assert_eq!(waiter.join().unwrap(), None);
+        assert_eq!(arbiter.leased(), 100);
+        arbiter.release(first);
+        assert_eq!(arbiter.leased(), 0);
     }
 }

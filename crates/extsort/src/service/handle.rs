@@ -8,10 +8,11 @@
 //! [`wait`](JobHandle::wait), or abandon the job with
 //! [`cancel`](JobHandle::cancel).
 
+use crate::cancel::CancellationToken;
 use crate::error::{Result, SortError};
 use crate::sort_job::SortJobReport;
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use twrs_storage::IoStatsSnapshot;
 
 /// Lifecycle of a job inside the service, in the order the states are
@@ -28,8 +29,9 @@ pub enum JobStatus {
     Done,
     /// Finished with an error; [`JobHandle::wait`] returns it.
     Failed,
-    /// Canceled while still queued; [`JobHandle::wait`] returns
-    /// [`SortError::Canceled`].
+    /// Canceled — while still queued, at admission, or cooperatively
+    /// preempted at a phase/page boundary after it started running;
+    /// [`JobHandle::wait`] returns [`SortError::Canceled`].
     Canceled,
 }
 
@@ -61,6 +63,7 @@ pub struct CompletedJob {
 struct JobInner {
     status: JobStatus,
     cancel_requested: bool,
+    cancel_requested_at: Option<Instant>,
     outcome: Option<Result<CompletedJob>>,
 }
 
@@ -68,17 +71,22 @@ struct JobInner {
 pub(crate) struct JobState {
     inner: Mutex<JobInner>,
     done: Condvar,
+    /// The cooperative token threaded into the job's phase loops; fired
+    /// (outside the state lock) whenever cancellation is requested.
+    cancel: CancellationToken,
 }
 
 impl JobState {
-    pub(crate) fn new() -> Self {
+    pub(crate) fn new(cancel: CancellationToken) -> Self {
         JobState {
             inner: Mutex::new(JobInner {
                 status: JobStatus::Queued,
                 cancel_requested: false,
+                cancel_requested_at: None,
                 outcome: None,
             }),
             done: Condvar::new(),
+            cancel,
         }
     }
 
@@ -126,15 +134,34 @@ impl JobState {
         self.inner.lock().unwrap().status
     }
 
+    /// Registers a cancellation request unless the job already finished.
+    /// Fires the cooperative token *after* releasing the state lock, so
+    /// wakers (which may take other locks) never run under it.
     fn request_cancel(&self) -> bool {
-        let mut inner = self.inner.lock().unwrap();
-        match inner.status {
-            JobStatus::Queued => {
-                inner.cancel_requested = true;
-                true
+        {
+            let mut inner = self.inner.lock().unwrap();
+            match inner.status {
+                JobStatus::Done | JobStatus::Failed | JobStatus::Canceled => return false,
+                JobStatus::Queued | JobStatus::Admitted | JobStatus::Running => {
+                    if !inner.cancel_requested {
+                        inner.cancel_requested = true;
+                        inner.cancel_requested_at = Some(Instant::now());
+                    }
+                }
             }
-            _ => false,
         }
+        self.cancel.cancel();
+        true
+    }
+
+    /// How long ago cancellation was requested — the request→completion
+    /// latency sample the service records when a canceled job completes.
+    pub(crate) fn time_since_cancel_request(&self) -> Option<Duration> {
+        self.inner
+            .lock()
+            .unwrap()
+            .cancel_requested_at
+            .map(|at| at.elapsed())
     }
 
     fn wait(&self) -> Result<CompletedJob> {
@@ -166,7 +193,7 @@ impl CompletionGuard {
 
 impl Drop for CompletionGuard {
     fn drop(&mut self) {
-        self.state.complete(Err(SortError::Canceled(
+        self.state.complete(Err(SortError::JobPanicked(
             "worker thread terminated before the job completed".to_string(),
         )));
     }
@@ -204,11 +231,23 @@ impl JobHandle {
         self.state.status()
     }
 
-    /// Requests cancellation. Returns `true` when the request will take
-    /// effect — i.e. the job was still queued. A job that a worker has
-    /// already admitted runs to completion (preemption of running jobs is
-    /// a planned follow-up); `false` is returned and the handle's
-    /// [`wait`](JobHandle::wait) yields the job's real outcome.
+    /// Requests cancellation. Returns `true` when the request was
+    /// registered before the job finished, `false` when the job had
+    /// already completed (Done, Failed, or Canceled).
+    ///
+    /// A queued job never starts and completes as
+    /// [`Canceled`](JobStatus::Canceled) immediately. A **running** job is
+    /// cooperatively preempted: the pipeline observes the request at the
+    /// next phase/page boundary (every heap refill during run generation,
+    /// between merge passes, and every
+    /// [`CANCEL_CHECK_INTERVAL`](crate::cancel::CANCEL_CHECK_INTERVAL)
+    /// records of merge output), removes its spill files and any partial
+    /// output, releases its memory lease, and completes as Canceled —
+    /// [`wait`](JobHandle::wait) then returns [`SortError::Canceled`].
+    ///
+    /// `true` is a promise the request was *delivered*, not that the job
+    /// will end Canceled: in a photo-finish the job may cross its last
+    /// boundary first and still complete `Ok`.
     pub fn cancel(&self) -> bool {
         self.state.request_cancel()
     }
@@ -236,8 +275,8 @@ mod tests {
     use super::*;
 
     #[test]
-    fn cancel_only_works_while_queued() {
-        let state = Arc::new(JobState::new());
+    fn cancel_while_queued_is_observed_at_admission() {
+        let state = Arc::new(JobState::new(CancellationToken::new()));
         let handle = JobHandle::new(state.clone(), 1, "t".into());
         assert_eq!(handle.try_status(), JobStatus::Queued);
         assert!(handle.cancel());
@@ -245,20 +284,35 @@ mod tests {
         assert!(!state.begin_admission());
         assert_eq!(handle.try_status(), JobStatus::Canceled);
         assert!(matches!(handle.wait(), Err(SortError::Canceled(_))));
+    }
 
-        let state = Arc::new(JobState::new());
+    #[test]
+    fn cancel_after_admission_fires_the_cooperative_token() {
+        let token = CancellationToken::new();
+        let state = Arc::new(JobState::new(token.clone()));
         let handle = JobHandle::new(state.clone(), 2, "t".into());
         assert!(state.begin_admission());
-        assert_eq!(handle.try_status(), JobStatus::Admitted);
-        // Too late: the job is past admission.
+        state.set_running();
+        assert_eq!(handle.try_status(), JobStatus::Running);
+        // Preemption: the request is registered and the token trips, so
+        // the running pipeline stops at its next boundary check.
+        assert!(handle.cancel());
+        assert!(token.is_canceled());
+        assert!(state.time_since_cancel_request().is_some());
+        // The worker later reports the cooperative stop.
+        state.complete(Err(SortError::Canceled("preempted".into())));
+        assert_eq!(handle.try_status(), JobStatus::Canceled);
+        // A second cancel on a finished job reports too-late.
         assert!(!handle.cancel());
     }
 
     #[test]
     fn dropping_an_armed_guard_fails_the_job() {
-        let state = Arc::new(JobState::new());
+        let token = CancellationToken::new();
+        let state = Arc::new(JobState::new(token));
         let handle = JobHandle::new(state.clone(), 3, "t".into());
         drop(CompletionGuard::arm(state));
-        assert!(matches!(handle.wait(), Err(SortError::Canceled(_))));
+        assert_eq!(handle.try_status(), JobStatus::Failed);
+        assert!(matches!(handle.wait(), Err(SortError::JobPanicked(_))));
     }
 }

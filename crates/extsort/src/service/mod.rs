@@ -6,10 +6,11 @@
 //! memory. [`SortService`] turns the single-shot library into a servable
 //! system:
 //!
-//! * a **bounded job queue** with per-tenant round-robin fairness (one
-//!   deep-queued tenant cannot starve the others) and backpressure — when
-//!   the queue is full, [`submit`](SortService::submit) blocks until a
-//!   worker drains it;
+//! * a **bounded job queue** with per-tenant weighted round-robin
+//!   fairness (one deep-queued tenant cannot starve the others; a
+//!   [`Priority`]-weighted tenant gets proportionally more turns) and
+//!   backpressure — when the queue is full,
+//!   [`submit`](SortService::submit) blocks until a worker drains it;
 //! * an **admission controller** backed by a global [`MemoryArbiter`]:
 //!   each job's generator budget is re-leased at admission through
 //!   [`BudgetedGenerator::with_budget`], shrunk to a fair share of the
@@ -25,7 +26,13 @@
 //!   returns a [`JobHandle`] with [`wait`](JobHandle::wait),
 //!   [`try_status`](JobHandle::try_status) and
 //!   [`cancel`](JobHandle::cancel) — and a [`ServiceReport`] aggregating
-//!   p50/p95/p99 queue and sort latency plus per-tenant counters.
+//!   p50/p95/p99 queue, sort and cancellation latency plus per-tenant
+//!   counters;
+//! * **cooperative preemption** — [`cancel`](JobHandle::cancel) reaches
+//!   *running* jobs through a [`CancellationToken`] threaded into the
+//!   sort pipeline's phase loops: the job stops at the next phase/page
+//!   boundary, removes its spill files and partial output, releases its
+//!   memory lease, and completes as [`Canceled`](JobStatus::Canceled).
 //!
 //! Every job funnels through the same internal
 //! `BoundSortJob::execute` spine the direct `run_*`/`sink_*`/`stream_*`
@@ -67,6 +74,7 @@ mod queue;
 pub use arbiter::{GrantPolicy, MemoryArbiter, RebalanceEvent, RebalanceKind};
 pub use handle::{CompletedJob, JobHandle, JobStatus};
 
+use crate::cancel::CancellationToken;
 use crate::error::{Result, SortError};
 use crate::parallel::ShardableGenerator;
 use crate::run_generation::{BudgetedGenerator, Device};
@@ -80,8 +88,45 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use twrs_storage::{IoStatsSnapshot, ScopedDevice, SortableRecord};
 
+/// A tenant's priority class: its *weight* in both schedulers.
+///
+/// A weight-`w` tenant takes `w` consecutive jobs per turn of the queue
+/// rotation and counts as `w` shares in the arbiter's grant split, so it
+/// both dequeues more often and gets a proportionally larger memory grant.
+/// The default weight is 1 (every tenant equal), which reproduces the
+/// unweighted scheduling exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Priority {
+    weight: usize,
+}
+
+impl Priority {
+    /// The default class: weight 1.
+    pub const NORMAL: Priority = Priority { weight: 1 };
+    /// A convenient elevated class: weight 3.
+    pub const HIGH: Priority = Priority { weight: 3 };
+
+    /// A priority with an explicit weight (clamped to at least 1).
+    pub fn with_weight(weight: usize) -> Self {
+        Priority {
+            weight: weight.max(1),
+        }
+    }
+
+    /// The scheduling weight.
+    pub fn weight(&self) -> usize {
+        self.weight
+    }
+}
+
+impl Default for Priority {
+    fn default() -> Self {
+        Priority::NORMAL
+    }
+}
+
 /// Configuration of a [`SortService`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Number of worker threads = jobs in flight at once.
     pub workers: usize,
@@ -92,17 +137,22 @@ pub struct ServiceConfig {
     pub queue_capacity: usize,
     /// How individual grants are capped.
     pub grant_policy: GrantPolicy,
+    /// Per-tenant priority classes; tenants not listed run at
+    /// [`Priority::NORMAL`].
+    pub tenant_priorities: BTreeMap<String, Priority>,
 }
 
 impl ServiceConfig {
     /// A service with `global_memory_records` of leasable memory, two
-    /// workers, a 64-job queue and the adaptive grant policy.
+    /// workers, a 64-job queue, the adaptive grant policy and every
+    /// tenant at [`Priority::NORMAL`].
     pub fn new(global_memory_records: usize) -> Self {
         ServiceConfig {
             workers: 2,
             global_memory_records,
             queue_capacity: 64,
             grant_policy: GrantPolicy::Adaptive,
+            tenant_priorities: BTreeMap::new(),
         }
     }
 
@@ -123,6 +173,13 @@ impl ServiceConfig {
         self.grant_policy = policy;
         self
     }
+
+    /// Assigns `tenant` a [`Priority`] class: its weight multiplies both
+    /// its share of queue turns and its memory-grant cap.
+    pub fn tenant_priority(mut self, tenant: impl Into<String>, priority: Priority) -> Self {
+        self.tenant_priorities.insert(tenant.into(), priority);
+        self
+    }
 }
 
 /// What a job thunk hands back to its worker.
@@ -139,6 +196,9 @@ struct QueuedJob {
     requested: usize,
     submitted: Instant,
     tenant: String,
+    /// The job's cooperative token — shared with the handle (which fires
+    /// it) and with the sort pipeline inside the thunk (which polls it).
+    cancel: CancellationToken,
 }
 
 struct QueueState {
@@ -159,7 +219,13 @@ struct ServiceStats {
     sort_walls: Vec<Duration>,
     completed: usize,
     failed: usize,
-    canceled: usize,
+    /// Canceled before the sort started (still queued, at admission, or
+    /// while waiting for a memory lease).
+    canceled_queued: usize,
+    /// Cooperatively preempted after the sort started.
+    canceled_running: usize,
+    /// Request→completion latency of explicitly canceled jobs.
+    cancel_latencies: Vec<Duration>,
     tenants: BTreeMap<String, TenantAccum>,
 }
 
@@ -172,6 +238,25 @@ struct Shared {
     arbiter: MemoryArbiter,
     stats: Mutex<ServiceStats>,
     queue_capacity: usize,
+    /// Tenant → scheduling weight (absent = 1), fixed at construction.
+    priorities: BTreeMap<String, usize>,
+}
+
+impl Shared {
+    fn weight_of(&self, tenant: &str) -> usize {
+        self.priorities.get(tenant).copied().unwrap_or(1)
+    }
+
+    /// Books a canceled-before-running job, with a latency sample when
+    /// the cancellation was an explicit request (shutdown cancels have no
+    /// request timestamp).
+    fn record_canceled_queued(&self, state: &JobState) {
+        let mut stats = self.stats.lock().unwrap();
+        stats.canceled_queued += 1;
+        if let Some(latency) = state.time_since_cancel_request() {
+            stats.cancel_latencies.push(latency);
+        }
+    }
 }
 
 /// Latency percentiles over one family of duration samples
@@ -237,13 +322,25 @@ pub struct ServiceReport {
     pub jobs_completed: usize,
     /// Jobs that finished with an error.
     pub jobs_failed: usize,
-    /// Jobs canceled while queued.
+    /// All canceled jobs:
+    /// [`jobs_canceled_queued`](ServiceReport::jobs_canceled_queued) `+`
+    /// [`jobs_canceled_running`](ServiceReport::jobs_canceled_running).
     pub jobs_canceled: usize,
+    /// Jobs canceled before their sort started — while queued, at
+    /// admission, while waiting for a memory lease, or drained by
+    /// shutdown.
+    pub jobs_canceled_queued: usize,
+    /// Running jobs cooperatively preempted at a phase/page boundary.
+    pub jobs_canceled_running: usize,
     /// Queue + admission latency percentiles (submission → memory lease
     /// held).
     pub queue_latency: LatencyPercentiles,
     /// Sort execution latency percentiles.
     pub sort_latency: LatencyPercentiles,
+    /// Cancellation latency percentiles: [`JobHandle::cancel`] request →
+    /// the job completing as Canceled (all zero when nothing was
+    /// explicitly canceled).
+    pub cancel_latency: LatencyPercentiles,
     /// Per-tenant rollups, in tenant-name order.
     pub tenants: Vec<TenantReport>,
     /// The arbiter's global budget.
@@ -277,6 +374,11 @@ impl SortService {
             ));
         }
         let arbiter = MemoryArbiter::new(config.global_memory_records, config.grant_policy)?;
+        let priorities = config
+            .tenant_priorities
+            .iter()
+            .map(|(tenant, priority)| (tenant.clone(), priority.weight()))
+            .collect();
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState {
                 queues: TenantQueues::new(),
@@ -287,6 +389,7 @@ impl SortService {
             arbiter,
             stats: Mutex::new(ServiceStats::default()),
             queue_capacity: config.queue_capacity,
+            priorities,
         });
         let workers = (0..config.workers)
             .map(|index| {
@@ -369,7 +472,12 @@ impl SortService {
             ));
         }
         let requested = job.job.generator.memory_records();
-        let state = Arc::new(JobState::new());
+        // One token, three holders: the handle fires it, the worker polls
+        // it around admission, and the pipeline polls it at every
+        // phase/page boundary. A token installed via
+        // `cancel_token` before submission keeps working.
+        let cancel = job.job.cancel.clone();
+        let state = Arc::new(JobState::new(cancel.clone()));
         let thunk: JobThunk = Box::new(move |granted| {
             let BoundSortJob { job, device } = job;
             // The job's private I/O scope: phase windows and seek counts
@@ -380,6 +488,7 @@ impl SortService {
                 generator: job.generator.with_budget(granted),
                 threads: job.threads,
                 config: job.config,
+                cancel: job.cancel,
             };
             let report = run(rebudgeted.on(&scoped))?;
             Ok(JobOutput {
@@ -393,12 +502,22 @@ impl SortService {
             requested,
             submitted: Instant::now(),
             tenant: tenant.clone(),
+            cancel,
         };
+        let weight = self.shared.weight_of(&tenant);
         let mut queue = self.shared.state.lock().unwrap();
-        while queue.queues.len() >= self.shared.queue_capacity {
+        loop {
+            if queue.shutdown {
+                return Err(SortError::Canceled(
+                    "the service is shut down; the job was not accepted".into(),
+                ));
+            }
+            if queue.queues.len() < self.shared.queue_capacity {
+                break;
+            }
             queue = self.shared.space_free.wait(queue).unwrap();
         }
-        queue.queues.push(&tenant, queued);
+        queue.queues.push(&tenant, weight, queued);
         drop(queue);
         self.shared.job_ready.notify_one();
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
@@ -436,9 +555,12 @@ impl SortService {
         ServiceReport {
             jobs_completed: stats.completed,
             jobs_failed: stats.failed,
-            jobs_canceled: stats.canceled,
+            jobs_canceled: stats.canceled_queued + stats.canceled_running,
+            jobs_canceled_queued: stats.canceled_queued,
+            jobs_canceled_running: stats.canceled_running,
             queue_latency: LatencyPercentiles::from_samples(stats.queue_waits),
             sort_latency: LatencyPercentiles::from_samples(stats.sort_walls),
+            cancel_latency: LatencyPercentiles::from_samples(stats.cancel_latencies),
             tenants,
             global_memory_records: self.shared.arbiter.global(),
             max_leased: self.shared.arbiter.max_leased(),
@@ -447,11 +569,26 @@ impl SortService {
     }
 
     fn stop(&mut self) {
-        {
+        // Drain still-queued jobs under the lock, complete them outside
+        // it: their handles must observe Canceled (not a stale Queued)
+        // and their `wait()` must return instead of hanging forever.
+        let drained = {
             let mut queue = self.shared.state.lock().unwrap();
             queue.shutdown = true;
-        }
+            let mut drained = Vec::new();
+            while let Some(job) = queue.queues.pop() {
+                drained.push(job);
+            }
+            drained
+        };
         self.shared.job_ready.notify_all();
+        self.shared.space_free.notify_all();
+        for job in drained {
+            self.shared.record_canceled_queued(&job.state);
+            job.state.complete(Err(SortError::Canceled(
+                "service shut down before the job was admitted".into(),
+            )));
+        }
         for worker in self.workers.drain(..) {
             // A worker that panicked already failed its job through the
             // completion guard; nothing more to salvage here.
@@ -466,7 +603,7 @@ impl Drop for SortService {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Arc<Shared>) {
     loop {
         let job = {
             let mut queue = shared.state.lock().unwrap();
@@ -482,19 +619,57 @@ fn worker_loop(shared: &Shared) {
             }
         };
         if !job.state.begin_admission() {
-            shared.stats.lock().unwrap().canceled += 1;
+            shared.record_canceled_queued(&job.state);
             continue;
         }
         let guard = CompletionGuard::arm(job.state.clone());
-        let granted = shared.arbiter.lease(job.requested);
+        // A cancel arriving while this worker blocks inside the arbiter
+        // must wake it; the waker holds a Weak so a long-lived handle
+        // can't keep the service's shared state alive.
+        {
+            let waker = Arc::downgrade(shared);
+            job.cancel.on_cancel(move || {
+                if let Some(shared) = waker.upgrade() {
+                    shared.arbiter.notify_waiters();
+                }
+            });
+        }
+        let weight = shared.weight_of(&job.tenant);
+        let Some(granted) = shared
+            .arbiter
+            .lease_cancelable(job.requested, weight, &job.cancel)
+        else {
+            shared.record_canceled_queued(&job.state);
+            guard.complete(Err(SortError::Canceled(
+                "canceled while waiting for a memory lease".into(),
+            )));
+            continue;
+        };
+        // A cancel can land in the window between the dequeue and the
+        // lease grant; without this re-check the request would be lost
+        // and the job would run to completion. Nothing has touched the
+        // device yet, so the lease goes straight back.
+        if job.cancel.is_canceled() {
+            shared.arbiter.release_weighted(granted, weight);
+            shared.record_canceled_queued(&job.state);
+            guard.complete(Err(SortError::Canceled(
+                "canceled at admission, before the sort started".into(),
+            )));
+            continue;
+        }
         let queue_wait = job.submitted.elapsed();
         job.state.set_running();
         let started = Instant::now();
-        let result = (job.thunk)(granted);
+        // Catch a panicking pipeline: the lease must go back and the
+        // worker must survive to serve the next job. The engines' own
+        // drop guards already swept the job's spill files during the
+        // unwind.
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (job.thunk)(granted)));
         let sort_wall = started.elapsed();
-        shared.arbiter.release(granted);
+        shared.arbiter.release_weighted(granted, weight);
         match result {
-            Ok(output) => {
+            Ok(Ok(output)) => {
                 let mut stats = shared.stats.lock().unwrap();
                 stats.completed += 1;
                 stats.queue_waits.push(queue_wait);
@@ -516,9 +691,24 @@ fn worker_loop(shared: &Shared) {
                     io: output.io,
                 }));
             }
-            Err(error) => {
+            Ok(Err(error @ SortError::Canceled(_))) => {
+                let mut stats = shared.stats.lock().unwrap();
+                stats.canceled_running += 1;
+                if let Some(latency) = job.state.time_since_cancel_request() {
+                    stats.cancel_latencies.push(latency);
+                }
+                drop(stats);
+                guard.complete(Err(error));
+            }
+            Ok(Err(error)) => {
                 shared.stats.lock().unwrap().failed += 1;
                 guard.complete(Err(error));
+            }
+            Err(_panic) => {
+                shared.stats.lock().unwrap().failed += 1;
+                guard.complete(Err(SortError::JobPanicked(
+                    "the sort pipeline panicked mid-job".into(),
+                )));
             }
         }
     }
@@ -528,9 +718,9 @@ fn worker_loop(shared: &Shared) {
 mod tests {
     use super::*;
     use crate::replacement_selection::ReplacementSelection;
-    use crate::run_generation::{RunCursor, RunHandle};
+    use crate::run_generation::{RunCursor, RunGenerator, RunHandle, RunSet};
     use crate::sink::ChannelSink;
-    use twrs_storage::SimDevice;
+    use twrs_storage::{SimDevice, SpillNamer, StorageDevice};
     use twrs_workloads::{Distribution, DistributionKind, Record};
 
     fn read_records(device: &SimDevice, name: &str) -> Vec<Record> {
@@ -660,6 +850,210 @@ mod tests {
         assert!(SortService::new(ServiceConfig::new(10).workers(0)).is_err());
         assert!(SortService::new(ServiceConfig::new(10).queue_capacity(0)).is_err());
         service.shutdown();
+    }
+
+    fn spin_until(deadline: Duration, mut condition: impl FnMut() -> bool) {
+        let give_up = Instant::now() + deadline;
+        while !condition() {
+            assert!(Instant::now() < give_up, "condition never became true");
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn running_jobs_are_preempted_by_cancel() {
+        let device = SimDevice::new();
+        let service = SortService::new(ServiceConfig::new(64).workers(1)).unwrap();
+        let input = Distribution::new(DistributionKind::RandomUniform, 50_000, 7);
+        let job = SortJob::new(ReplacementSelection::new(64)).on(&device);
+        let handle = service.submit("t", job, input.records(), "big").unwrap();
+        spin_until(Duration::from_secs(30), || {
+            handle.try_status() == JobStatus::Running
+        });
+        assert!(handle.cancel());
+        assert!(matches!(handle.wait(), Err(SortError::Canceled(_))));
+        // The preempted job swept its spill files and partial output and
+        // returned its whole lease before completing.
+        assert!(StorageDevice::list(&device).is_empty());
+        assert_eq!(service.arbiter().leased(), 0);
+        let report = service.shutdown();
+        assert_eq!(report.jobs_canceled_running, 1);
+        assert_eq!(report.jobs_canceled, 1);
+        assert_eq!(report.jobs_completed, 0);
+        assert!(report.cancel_latency.max > Duration::ZERO);
+        assert_eq!(report.rebalances.last().unwrap().leased_after, 0);
+    }
+
+    /// Spills a real prefix of the input, then panics — exercising the
+    /// worker's unwind path with spill files already on the device.
+    #[derive(Clone)]
+    struct PanickyGenerator {
+        inner: ReplacementSelection,
+    }
+
+    impl RunGenerator for PanickyGenerator {
+        fn label(&self) -> &'static str {
+            "panicky"
+        }
+
+        fn memory_records(&self) -> usize {
+            self.inner.memory_records()
+        }
+
+        fn generate<D: Device, R: twrs_storage::SortableRecord>(
+            &mut self,
+            device: &D,
+            namer: &SpillNamer,
+            input: &mut dyn Iterator<Item = R>,
+        ) -> Result<RunSet> {
+            let prefix: Vec<R> = input.take(64).collect();
+            let mut prefix = prefix.into_iter();
+            let _ = self.inner.generate(device, namer, &mut prefix)?;
+            panic!("injected failure after spilling");
+        }
+    }
+
+    impl BudgetedGenerator for PanickyGenerator {
+        fn with_budget(&self, memory_records: usize) -> Self {
+            PanickyGenerator {
+                inner: self.inner.with_budget(memory_records),
+            }
+        }
+    }
+
+    impl ShardableGenerator for PanickyGenerator {
+        fn shard(&self, index: usize, shards: usize) -> Self {
+            PanickyGenerator {
+                inner: self.inner.shard(index, shards),
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_jobs_fail_and_leave_no_spill_files() {
+        let device = SimDevice::new();
+        let service = SortService::new(ServiceConfig::new(100).workers(1)).unwrap();
+        let input = Distribution::new(DistributionKind::RandomUniform, 1_000, 9);
+        let job = SortJob::new(PanickyGenerator {
+            inner: ReplacementSelection::new(50),
+        })
+        .on(&device);
+        let handle = service.submit("t", job, input.records(), "doomed").unwrap();
+        let err = handle.wait().unwrap_err();
+        assert!(matches!(err, SortError::JobPanicked(_)), "got {err:?}");
+        // The unwind swept the job's spill files, the lease went back,
+        // and the worker survived to serve the next job.
+        assert!(StorageDevice::list(&device).is_empty());
+        assert_eq!(service.arbiter().leased(), 0);
+        let input = Distribution::new(DistributionKind::RandomUniform, 500, 10);
+        let job = SortJob::new(ReplacementSelection::new(50)).on(&device);
+        let next = service.submit("t", job, input.records(), "after").unwrap();
+        next.wait().unwrap();
+        let report = service.shutdown();
+        assert_eq!(report.jobs_failed, 1);
+        assert_eq!(report.jobs_completed, 1);
+    }
+
+    #[test]
+    fn shutdown_cancels_queued_jobs() {
+        let device = SimDevice::new();
+        let service = SortService::new(ServiceConfig::new(64).workers(1)).unwrap();
+        let blocker = {
+            let input = Distribution::new(DistributionKind::RandomUniform, 30_000, 11);
+            let job = SortJob::new(ReplacementSelection::new(64)).on(&device);
+            service
+                .submit("a", job, input.records(), "blocker")
+                .unwrap()
+        };
+        // Once the blocker owns the lone worker, later jobs stay queued.
+        spin_until(Duration::from_secs(30), || {
+            blocker.try_status() != JobStatus::Queued
+        });
+        let victims: Vec<_> = (0..2u64)
+            .map(|i| {
+                let input = Distribution::new(DistributionKind::RandomUniform, 200, 20 + i);
+                let job = SortJob::new(ReplacementSelection::new(32)).on(&device);
+                service
+                    .submit("a", job, input.records(), format!("victim-{i}"))
+                    .unwrap()
+            })
+            .collect();
+        let report = service.shutdown();
+        // Shutdown reported them Canceled (not a stale Queued) and their
+        // wait() returns instead of hanging.
+        for victim in victims {
+            assert_eq!(victim.try_status(), JobStatus::Canceled);
+            assert!(matches!(victim.wait(), Err(SortError::Canceled(_))));
+        }
+        blocker.wait().unwrap();
+        assert_eq!(report.jobs_completed, 1);
+        assert_eq!(report.jobs_canceled_queued, 2);
+        assert_eq!(report.jobs_canceled, 2);
+    }
+
+    #[test]
+    fn cancel_racing_admission_is_never_lost() {
+        let device = SimDevice::new();
+        let service = SortService::new(ServiceConfig::new(100).workers(1)).unwrap();
+        for i in 0..50u64 {
+            let input = Distribution::new(DistributionKind::RandomUniform, 300, i);
+            let job = SortJob::new(ReplacementSelection::new(50)).on(&device);
+            let handle = service
+                .submit("t", job, input.records(), format!("race-{i}"))
+                .unwrap();
+            // Vary the head start so the cancel lands at every point of
+            // the dequeue → admission → lease → first-I/O window.
+            if i % 3 == 0 {
+                std::thread::yield_now();
+            }
+            handle.cancel();
+            match handle.wait() {
+                // Photo-finish: the job crossed the line first.
+                Ok(_) => {}
+                Err(SortError::Canceled(_)) => {}
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+            assert_eq!(service.arbiter().leased(), 0);
+        }
+        let report = service.shutdown();
+        assert_eq!(report.jobs_completed + report.jobs_canceled, 50);
+    }
+
+    #[test]
+    fn priority_tenants_get_larger_grants() {
+        let device = SimDevice::new();
+        let config = ServiceConfig::new(240)
+            .workers(2)
+            .grant_policy(GrantPolicy::FixedShare { shares: 4 })
+            .tenant_priority("gold", Priority::with_weight(3));
+        let service = SortService::new(config).unwrap();
+        let mut handles = Vec::new();
+        for i in 0..2u64 {
+            let input = Distribution::new(DistributionKind::RandomUniform, 1_000, i);
+            let job = SortJob::new(ReplacementSelection::new(200)).on(&device);
+            let handle = service
+                .submit("gold", job, input.records(), format!("g-{i}"))
+                .unwrap();
+            handles.push(("gold", handle));
+            let input = Distribution::new(DistributionKind::RandomUniform, 1_000, 10 + i);
+            let job = SortJob::new(ReplacementSelection::new(200)).on(&device);
+            let handle = service
+                .submit("silver", job, input.records(), format!("s-{i}"))
+                .unwrap();
+            handles.push(("silver", handle));
+        }
+        for (tenant, handle) in handles {
+            let done = handle.wait().unwrap();
+            // 3 of 4 fixed shares of 240 vs 1 of 4: 180 vs 60, whatever
+            // the admission interleaving.
+            match tenant {
+                "gold" => assert_eq!(done.granted_memory, 180),
+                _ => assert_eq!(done.granted_memory, 60),
+            }
+        }
+        let report = service.shutdown();
+        assert_eq!(report.jobs_completed, 4);
+        assert!(report.max_leased <= 240);
     }
 
     #[test]

@@ -1,17 +1,29 @@
-//! Per-tenant job queues with round-robin fairness.
+//! Per-tenant job queues with weighted round-robin fairness.
 //!
 //! One busy tenant must not starve the others: jobs are kept in one FIFO
 //! queue *per tenant*, and workers take jobs by rotating over the tenants
-//! — each pop serves the next tenant (in first-appearance order) that has
-//! anything queued, then advances the rotation. Within a tenant, jobs stay
-//! in submission order.
+//! — each tenant is served up to `weight` consecutive jobs per turn of
+//! the rotation (its *credits*), then the rotation advances. With every
+//! weight at 1 this degenerates to plain round-robin: each pop serves the
+//! next tenant (in first-appearance order) that has anything queued.
+//! Within a tenant, jobs stay in submission order.
 
 use std::collections::VecDeque;
 
-/// Round-robin queues, one per tenant.
+/// One tenant's slot in the rotation.
+struct TenantSlot<T> {
+    tenant: String,
+    queue: VecDeque<T>,
+    /// Jobs this tenant may take per full turn of the rotation.
+    weight: usize,
+    /// Jobs left in the tenant's current turn.
+    credit: usize,
+}
+
+/// Weighted round-robin queues, one per tenant.
 pub(crate) struct TenantQueues<T> {
-    /// Tenant queues in first-appearance order (the rotation order).
-    queues: Vec<(String, VecDeque<T>)>,
+    /// Tenant slots in first-appearance order (the rotation order).
+    queues: Vec<TenantSlot<T>>,
     /// Index of the tenant the next pop starts looking at.
     cursor: usize,
     len: usize,
@@ -31,33 +43,57 @@ impl<T> TenantQueues<T> {
         self.len
     }
 
-    /// Appends a job to `tenant`'s queue (creating it on first sight).
-    pub(crate) fn push(&mut self, tenant: &str, item: T) {
+    /// Appends a job to `tenant`'s queue (creating the slot on first
+    /// sight). `weight` is the tenant's priority share — how many jobs it
+    /// may take per turn of the rotation (clamped to at least 1).
+    pub(crate) fn push(&mut self, tenant: &str, weight: usize, item: T) {
+        let weight = weight.max(1);
         self.len += 1;
-        if let Some((_, queue)) = self.queues.iter_mut().find(|(name, _)| name == tenant) {
-            queue.push_back(item);
+        if let Some(slot) = self.queues.iter_mut().find(|slot| slot.tenant == tenant) {
+            slot.weight = weight;
+            slot.queue.push_back(item);
         } else {
             let mut queue = VecDeque::new();
             queue.push_back(item);
-            self.queues.push((tenant.to_string(), queue));
+            self.queues.push(TenantSlot {
+                tenant: tenant.to_string(),
+                queue,
+                weight,
+                credit: weight,
+            });
         }
     }
 
-    /// Pops the next job in round-robin tenant order; `None` when every
-    /// queue is empty.
+    /// Pops the next job in weighted round-robin tenant order; `None`
+    /// when every queue is empty.
     pub(crate) fn pop(&mut self) -> Option<T> {
-        if self.queues.is_empty() {
+        let n = self.queues.len();
+        if n == 0 {
             return None;
         }
-        for probe in 0..self.queues.len() {
-            let index = (self.cursor + probe) % self.queues.len();
-            if let Some(item) = self.queues[index].1.pop_front() {
-                // The *next* pop starts at the tenant after the one just
-                // served.
-                self.cursor = (index + 1) % self.queues.len();
-                self.len -= 1;
-                return Some(item);
+        for probe in 0..n {
+            let index = (self.cursor + probe) % n;
+            if probe > 0 {
+                // The rotation skipped past this tenant (everyone before
+                // it was empty); it starts a fresh turn.
+                self.queues[index].credit = self.queues[index].weight;
             }
+            let slot = &mut self.queues[index];
+            let Some(item) = slot.queue.pop_front() else {
+                continue;
+            };
+            slot.credit = slot.credit.saturating_sub(1);
+            self.len -= 1;
+            if slot.credit == 0 {
+                // Turn exhausted: advance the rotation and hand the next
+                // tenant a fresh turn.
+                self.cursor = (index + 1) % n;
+                let next = self.cursor;
+                self.queues[next].credit = self.queues[next].weight;
+            } else {
+                self.cursor = index;
+            }
+            return Some(item);
         }
         None
     }
@@ -71,10 +107,10 @@ mod tests {
     fn round_robin_interleaves_tenants() {
         let mut queues = TenantQueues::new();
         for job in ["a1", "a2", "a3"] {
-            queues.push("alpha", job);
+            queues.push("alpha", 1, job);
         }
         for job in ["b1", "b2"] {
-            queues.push("beta", job);
+            queues.push("beta", 1, job);
         }
         assert_eq!(queues.len(), 5);
         let order: Vec<_> = std::iter::from_fn(|| queues.pop()).collect();
@@ -86,9 +122,9 @@ mod tests {
     #[test]
     fn single_tenant_is_fifo() {
         let mut queues = TenantQueues::new();
-        queues.push("only", 1);
-        queues.push("only", 2);
-        queues.push("only", 3);
+        queues.push("only", 1, 1);
+        queues.push("only", 1, 2);
+        queues.push("only", 1, 3);
         assert_eq!(queues.pop(), Some(1));
         assert_eq!(queues.pop(), Some(2));
         assert_eq!(queues.pop(), Some(3));
@@ -98,14 +134,43 @@ mod tests {
     #[test]
     fn late_tenants_join_the_rotation() {
         let mut queues = TenantQueues::new();
-        queues.push("a", "a1");
-        queues.push("a", "a2");
+        queues.push("a", 1, "a1");
+        queues.push("a", 1, "a2");
         assert_eq!(queues.pop(), Some("a1"));
         // "b" joins after the rotation wrapped back to "a"; it is served
         // on the next turn of the rotation, never starved.
-        queues.push("b", "b1");
+        queues.push("b", 1, "b1");
         assert_eq!(queues.pop(), Some("a2"));
         assert_eq!(queues.pop(), Some("b1"));
+        assert_eq!(queues.pop(), None);
+    }
+
+    #[test]
+    fn weighted_tenants_get_proportional_turns() {
+        let mut queues = TenantQueues::new();
+        for job in ["a1", "a2", "a3", "a4", "a5", "a6"] {
+            queues.push("gold", 3, job);
+        }
+        for job in ["b1", "b2"] {
+            queues.push("bronze", 1, job);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| queues.pop()).collect();
+        // 3 gold jobs per bronze job, then gold drains alone.
+        assert_eq!(order, vec!["a1", "a2", "a3", "b1", "a4", "a5", "a6", "b2"]);
+    }
+
+    #[test]
+    fn weighted_tenant_with_shallow_queue_yields_its_turn() {
+        let mut queues = TenantQueues::new();
+        queues.push("gold", 3, "a1");
+        for job in ["b1", "b2"] {
+            queues.push("bronze", 1, job);
+        }
+        // Gold's turn ends early when its queue empties; bronze still
+        // rotates normally afterwards.
+        assert_eq!(queues.pop(), Some("a1"));
+        assert_eq!(queues.pop(), Some("b1"));
+        assert_eq!(queues.pop(), Some("b2"));
         assert_eq!(queues.pop(), None);
     }
 }

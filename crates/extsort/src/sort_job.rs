@@ -29,6 +29,7 @@
 //! input iterator, `run_file_as` takes it explicitly (a file name cannot
 //! reveal it).
 
+use crate::cancel::CancellationToken;
 use crate::error::{Result, SortError};
 use crate::merge::kway::MergeConfig;
 use crate::parallel::{
@@ -182,6 +183,7 @@ pub struct SortJob<G> {
     pub(crate) generator: G,
     pub(crate) threads: usize,
     pub(crate) config: SorterConfig,
+    pub(crate) cancel: CancellationToken,
 }
 
 impl<G> SortJob<G> {
@@ -195,6 +197,7 @@ impl<G> SortJob<G> {
             generator,
             threads: 1,
             config: SorterConfig::default(),
+            cancel: CancellationToken::new(),
         }
     }
 
@@ -223,6 +226,18 @@ impl<G> SortJob<G> {
     /// Sets the merge-phase configuration (fan-in and per-run read-ahead).
     pub fn merge(mut self, merge: MergeConfig) -> Self {
         self.config.merge = merge;
+        self
+    }
+
+    /// Installs a cooperative [`CancellationToken`]. The phase loops of
+    /// either engine poll it at phase/page boundaries; once a clone of the
+    /// token is [`cancel`](CancellationToken::cancel)ed, the job stops at
+    /// the next boundary, removes its spill files (and any partial output)
+    /// and returns [`SortError::Canceled`]. The
+    /// [`SortService`](crate::service::SortService) wires the token of
+    /// every submitted job to its [`JobHandle`](crate::service::JobHandle).
+    pub fn cancel_token(mut self, cancel: CancellationToken) -> Self {
+        self.cancel = cancel;
         self
     }
 
@@ -329,6 +344,13 @@ impl<G, D: Device> BoundSortJob<G, D> {
         self
     }
 
+    /// Installs a cooperative cancellation token; see
+    /// [`SortJob::cancel_token`].
+    pub fn cancel_token(mut self, cancel: CancellationToken) -> Self {
+        self.job = self.job.cancel_token(cancel);
+        self
+    }
+
     /// The parallel configuration this job expands to for its thread count
     /// (also meaningful for `threads == 1`, where it mirrors the
     /// sequential [`SorterConfig`]).
@@ -360,6 +382,7 @@ impl<G, D: Device> BoundSortJob<G, D> {
             )),
             1 => {
                 let mut sorter = ExternalSorter::with_config(self.job.generator, self.job.config);
+                sorter.set_cancel_token(self.job.cancel.clone());
                 match plan {
                     ExecutionPlan::File { input, output } => sorter
                         .sort_iter(&self.device, input, output)
@@ -375,6 +398,7 @@ impl<G, D: Device> BoundSortJob<G, D> {
             _ => {
                 let config = self.parallel_config();
                 let mut sorter = ParallelExternalSorter::with_config(self.job.generator, config);
+                sorter.set_cancel_token(self.job.cancel.clone());
                 match plan {
                     ExecutionPlan::File { input, output } => sorter
                         .sort_iter(&self.device, input, output)

@@ -7,6 +7,7 @@
 //! report splits wall-clock time and I/O between the two phases exactly like
 //! the "run" and "total" series of Figures 6.2–6.7.
 
+use crate::cancel::CancellationToken;
 use crate::error::{Result, SortError};
 use crate::merge::kway::{finish_into_sink, KWayMerger, MergeConfig, MergeReport, ReducedRuns};
 use crate::run_generation::{
@@ -136,6 +137,49 @@ impl SortReport {
 pub struct ExternalSorter<G: RunGenerator> {
     generator: G,
     config: SorterConfig,
+    cancel: CancellationToken,
+}
+
+/// Drop guard that removes a sort's spill files — and optionally its
+/// partial output — if the scope unwinds. The panic-safety net behind the
+/// explicit cleanup the success and error paths run: a generator or merge
+/// panic unwinds through the guard instead of orphaning run files on the
+/// device. Shared by the sequential and parallel engines.
+pub(crate) struct SpillSweeper<'a, D: Device> {
+    device: &'a D,
+    namer: &'a SpillNamer,
+    output: Option<&'a str>,
+    armed: bool,
+}
+
+impl<'a, D: Device> SpillSweeper<'a, D> {
+    pub(crate) fn new(device: &'a D, namer: &'a SpillNamer, output: Option<&'a str>) -> Self {
+        SpillSweeper {
+            device,
+            namer,
+            output,
+            armed: true,
+        }
+    }
+
+    /// Disarms the guard: the caller takes over cleanup responsibility.
+    pub(crate) fn disarm(&mut self) {
+        self.armed = false;
+    }
+}
+
+impl<D: Device> Drop for SpillSweeper<'_, D> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let _ = self.namer.cleanup(self.device);
+        if let Some(output) = self.output {
+            if self.device.exists(output) {
+                let _ = self.device.remove(output);
+            }
+        }
+    }
 }
 
 impl<G: RunGenerator> ExternalSorter<G> {
@@ -151,12 +195,27 @@ impl<G: RunGenerator> ExternalSorter<G> {
         ExternalSorter {
             generator,
             config: SorterConfig::default(),
+            cancel: CancellationToken::new(),
         }
     }
 
     /// Creates a sorter with an explicit pipeline configuration.
     pub fn with_config(generator: G, config: SorterConfig) -> Self {
-        ExternalSorter { generator, config }
+        ExternalSorter {
+            generator,
+            config,
+            cancel: CancellationToken::new(),
+        }
+    }
+
+    /// Installs a cooperative cancellation token. The pipeline polls it at
+    /// phase and page boundaries — run generation on every record pulled
+    /// into the heap, the merge between passes and every few hundred
+    /// output records — and a set flag surfaces as
+    /// [`SortError::Canceled`] after spill files (and any partial output)
+    /// have been removed.
+    pub fn set_cancel_token(&mut self, cancel: CancellationToken) {
+        self.cancel = cancel;
     }
 
     /// The pipeline configuration.
@@ -183,10 +242,16 @@ impl<G: RunGenerator> ExternalSorter<G> {
         output: &str,
     ) -> Result<SortReport> {
         let namer = SpillNamer::new(format!("sort-{output}"));
+        let mut sweeper = SpillSweeper::new(device, &namer, Some(output));
         let result = self.sort_iter_inner(device, input, output, &namer);
+        sweeper.disarm();
         // Spill files are removed on success *and* on error, so a failed
-        // sort never leaves run or intermediate-merge files behind.
+        // sort never leaves run or intermediate-merge files behind; a
+        // canceled or failed merge may also have left a partial output.
         let cleanup = namer.cleanup(device);
+        if result.is_err() && device.exists(output) {
+            let _ = device.remove(output);
+        }
         let report = result?;
         cleanup?;
         Ok(report)
@@ -203,7 +268,7 @@ impl<G: RunGenerator> ExternalSorter<G> {
         let (run_set, run_phase, after_runs) = self.generate_phase(device, namer, input)?;
 
         // --- Merge phase -----------------------------------------------
-        let merger = KWayMerger::new(self.config.merge);
+        let merger = KWayMerger::new(self.config.merge).with_cancel(self.cancel.clone());
         let started = Instant::now();
         let outcome =
             merger.merge_into_outcome::<D, R>(device, namer, run_set.runs.clone(), output)?;
@@ -250,7 +315,9 @@ impl<G: RunGenerator> ExternalSorter<G> {
         K: RecordSink<R> + ?Sized,
     {
         let namer = SpillNamer::new(unique_namespace("sort-sink"));
+        let mut sweeper = SpillSweeper::new(device, &namer, None);
         let result = self.sort_sink_inner(device, input, sink, &namer);
+        sweeper.disarm();
         let cleanup = namer.cleanup(device);
         let report = result?;
         cleanup?;
@@ -269,7 +336,7 @@ impl<G: RunGenerator> ExternalSorter<G> {
     {
         let (run_set, run_phase, after_runs) = self.generate_phase(device, namer, input)?;
 
-        let merger = KWayMerger::new(self.config.merge);
+        let merger = KWayMerger::new(self.config.merge).with_cancel(self.cancel.clone());
         let started = Instant::now();
         let ReducedRuns {
             remaining,
@@ -278,8 +345,14 @@ impl<G: RunGenerator> ExternalSorter<G> {
 
         // --- Final pass: straight into the sink ------------------------
         let mut sources = merger.open_sources::<D, R>(device, &remaining)?;
-        let final_writes =
-            finish_into_sink(device, &mut sources, sink, &remaining, &mut merge_report)?;
+        let final_writes = finish_into_sink(
+            device,
+            &mut sources,
+            sink,
+            &remaining,
+            &mut merge_report,
+            &self.cancel,
+        )?;
         let merge_wall = started.elapsed();
         let merge_phase = PhaseReport::from_delta(merge_wall, device.stats().since(&after_runs));
 
@@ -309,14 +382,16 @@ impl<G: RunGenerator> ExternalSorter<G> {
         input: &mut dyn Iterator<Item = R>,
     ) -> Result<SortedStream<R>> {
         let namer = Arc::new(SpillNamer::new(unique_namespace("sort-stream")));
+        let mut sweeper = SpillSweeper::new(device, &namer, None);
         match self.sort_stream_inner(device, input, &namer) {
-            Ok(stream) => Ok(stream),
-            Err(error) => {
-                // The stream never came to own the spill files; remove
-                // whatever the failed sort left behind.
-                let _ = namer.cleanup(device);
-                Err(error)
+            Ok(stream) => {
+                // The stream owns the spill files from here on.
+                sweeper.disarm();
+                Ok(stream)
             }
+            // The sweeper removes whatever the failed (or panicked) sort
+            // left behind when it drops.
+            Err(error) => Err(error),
         }
     }
 
@@ -328,7 +403,7 @@ impl<G: RunGenerator> ExternalSorter<G> {
     ) -> Result<SortedStream<R>> {
         let (run_set, run_phase, after_runs) = self.generate_phase(device, namer, input)?;
 
-        let merger = KWayMerger::new(self.config.merge);
+        let merger = KWayMerger::new(self.config.merge).with_cancel(self.cancel.clone());
         let started = Instant::now();
         let ReducedRuns {
             remaining,
@@ -377,7 +452,14 @@ impl<G: RunGenerator> ExternalSorter<G> {
     ) -> Result<(RunSet, PhaseReport, IoStatsSnapshot)> {
         let before = device.stats();
         let started = Instant::now();
-        let run_set: RunSet = self.generator.generate(device, namer, input)?;
+        // Every record enters the heap through the cancellation gate, so
+        // the token is effectively checked on each heap refill; the
+        // explicit check below keeps a truncated prefix from masquerading
+        // as a completed generation phase.
+        let cancel = self.cancel.clone();
+        let mut gated = cancel.gate(input);
+        let run_set: RunSet = self.generator.generate(device, namer, &mut gated)?;
+        self.cancel.check()?;
         let run_wall = started.elapsed();
         let after_runs = device.stats();
         let run_phase = PhaseReport::from_delta(run_wall, after_runs.since(&before));
@@ -398,6 +480,7 @@ impl<G: RunGenerator> ExternalSorter<G> {
             namer,
             runs,
             self.config.merge.fan_in,
+            &self.cancel,
             &mut |batch, name| merger.merge_batch::<D, R>(device, batch, name),
         )
     }

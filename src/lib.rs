@@ -203,6 +203,15 @@
 //! `stream_*` calls funnel through the same internal execution spine, so a
 //! service job's output is byte-identical to the same job run directly.
 //!
+//! Cancellation is cooperative preemption: `cancel()` sets a
+//! [`CancellationToken`](extsort::CancellationToken) the pipeline polls at
+//! phase and page boundaries, so even a *running* job stops promptly,
+//! deletes its spill files, returns its whole lease and completes
+//! `Canceled`. Tenants can be weighted with
+//! [`ServiceConfig::tenant_priority`](extsort::ServiceConfig::tenant_priority):
+//! a [`Priority`](extsort::Priority) weight scales both the tenant's share
+//! of queue turns and its per-job memory cap under either grant policy.
+//!
 //! ```
 //! use two_way_replacement_selection::prelude::*;
 //!
@@ -240,6 +249,8 @@
 //! | `run_iter(it, "out")` + custom post-processing of `"out"` | `sink_iter(it, &mut sink)` with a [`RecordSink`](extsort::RecordSink) |
 //! | a loop of blocking `run_iter` calls over many datasets    | `SortService::submit(tenant, job, input, output)` per dataset, then `JobHandle::wait` — same outputs, jobs overlap under the global budget |
 //! | hand-rolled worker threads + per-job memory bookkeeping   | [`SortService`](extsort::SortService) with a [`MemoryArbiter`](extsort::MemoryArbiter); the arbiter enforces `sum(leases) <= global` at every rebalance |
+//! | killing a worker thread to abandon a sort                 | `JobHandle::cancel()` — the running job observes its [`CancellationToken`](extsort::CancellationToken) at the next phase/page boundary, deletes its spill files, returns its lease and completes `Canceled` |
+//! | a dedicated "high-priority" service instance per tenant tier | one service with [`ServiceConfig::tenant_priority`](extsort::ServiceConfig::tenant_priority)`("gold", `[`Priority::with_weight`](extsort::Priority::with_weight)`(3))` — weighted queue turns and memory caps, one global budget |
 //!
 //! ¹ `run_file` (and the `sort_file` method on the old sorters) is provided
 //! for the default [`Record`] by the [`RecordSortExt`]
@@ -354,12 +365,12 @@ pub mod prelude {
         BufferSetup, InputHeuristic, OutputHeuristic, TwoWayReplacementSelection, TwrsConfig,
     };
     pub use twrs_extsort::{
-        BoundSortJob, BudgetedGenerator, CallbackSink, ChannelSink, CompletedJob, ExternalSorter,
-        FileSink, FinalPassKind, GrantPolicy, JobHandle, JobStatus, LoadSortStore, MergeConfig,
-        ParallelExternalSorter, ParallelSortReport, ParallelSorterConfig, RecordSink,
-        ReplacementSelection, RunCursor, RunGenerator, RunHandle, ServiceConfig, ServiceReport,
-        ShardableGenerator, SortJob, SortJobReport, SortReport, SortService, SortedStream,
-        SorterConfig, VecSink,
+        BoundSortJob, BudgetedGenerator, CallbackSink, CancellationToken, ChannelSink,
+        CompletedJob, ExternalSorter, FileSink, FinalPassKind, GrantPolicy, JobHandle, JobStatus,
+        LoadSortStore, MergeConfig, ParallelExternalSorter, ParallelSortReport,
+        ParallelSorterConfig, Priority, RecordSink, ReplacementSelection, RunCursor, RunGenerator,
+        RunHandle, ServiceConfig, ServiceReport, ShardableGenerator, SortJob, SortJobReport,
+        SortReport, SortService, SortedStream, SorterConfig, VecSink,
     };
     pub use twrs_storage::{
         FileDevice, ScopedDevice, SimDevice, SortableRecord, SpillNamer, StorageDevice,
