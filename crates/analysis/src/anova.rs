@@ -301,7 +301,7 @@ impl FactorialAnova {
                     }
                     let sub_key: Vec<usize> = subset
                         .iter()
-                        .map(|f| key[term.iter().position(|t| t == f).expect("subset of term")])
+                        .filter_map(|f| term.iter().position(|t| t == f).map(|i| key[i]))
                         .collect();
                     if let Some(sub_effects) = effects.get(&subset) {
                         effect -= sub_effects.get(&sub_key).copied().unwrap_or(0.0);

@@ -176,6 +176,7 @@ fn run_once(kind: DistributionKind, records: u64, config: TwrsConfig, seed: u64)
     let mut input = Distribution::new(kind, records, seed).records();
     let set = generator
         .generate(&device, &namer, &mut input)
+        // twrs-lint: allow(no-lib-panic) DOE sweeps run on an in-memory SimDevice; aborting on failure is intended
         .expect("experiment execution must succeed");
     (set.num_runs() as f64, set.relative_run_length(memory))
 }

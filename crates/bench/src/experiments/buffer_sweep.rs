@@ -41,6 +41,7 @@ pub fn measure(scale: Scale, fractions: &[f64]) -> Vec<BufferSweepPoint> {
                 Distribution::new(DistributionKind::RandomUniform, scale.records, 5).records();
             let set = generator
                 .generate(&device, &namer, &mut input)
+                // twrs-lint: allow(no-lib-panic) bench drivers treat device failure as fatal by design
                 .expect("run generation succeeds");
             BufferSweepPoint {
                 buffer_fraction: *fraction,

@@ -85,6 +85,7 @@ pub fn measure(experiment: FanInExperiment) -> Vec<FanInPoint> {
         let started = Instant::now();
         let report = merger
             .merge_into::<_, Record>(&device, &namer, runs, "sorted")
+            // twrs-lint: allow(no-lib-panic) bench drivers treat device failure as fatal by design
             .expect("merge succeeds");
         let cpu = started.elapsed();
         let stats = device.stats();
@@ -116,6 +117,7 @@ fn build_runs(
     .records();
     let set = generator
         .generate(device, namer, &mut input)
+        // twrs-lint: allow(no-lib-panic) bench drivers treat device failure as fatal by design
         .expect("run generation succeeds");
     assert_eq!(set.num_runs(), runs);
     set.runs

@@ -54,6 +54,7 @@ pub fn compare(runs: usize, records_per_run: u64) -> MergeComparison {
         .records();
         generator
             .generate(device, namer, &mut input)
+            // twrs-lint: allow(no-lib-panic) bench drivers treat device failure as fatal by design
             .expect("run generation succeeds")
             .runs
     };
@@ -68,6 +69,7 @@ pub fn compare(runs: usize, records_per_run: u64) -> MergeComparison {
         read_ahead_records: 256,
     })
     .merge_into::<_, Record>(&device, &namer, run_set, "kway")
+    // twrs-lint: allow(no-lib-panic) bench drivers treat device failure as fatal by design
     .expect("k-way merge succeeds");
     let kway_cpu = started.elapsed();
     let kway_stats = device.stats();
@@ -78,6 +80,7 @@ pub fn compare(runs: usize, records_per_run: u64) -> MergeComparison {
     device.reset_stats();
     let started = Instant::now();
     polyphase_merge::<_, Record>(&device, &namer, run_set, 6, "poly")
+        // twrs-lint: allow(no-lib-panic) bench drivers treat device failure as fatal by design
         .expect("polyphase merge succeeds");
     let poly_cpu = started.elapsed();
     let poly_stats = device.stats();

@@ -43,6 +43,7 @@ fn measure<G: RunGenerator>(
     let mut input = Distribution::new(kind, scale.records, seed).records();
     let set: RunSet = generator
         .generate(&device, &namer, &mut input)
+        // twrs-lint: allow(no-lib-panic) bench drivers treat device failure as fatal by design
         .expect("run generation succeeds");
     set.relative_run_length(generator.memory_records())
 }

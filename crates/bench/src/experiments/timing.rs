@@ -111,6 +111,7 @@ fn sort_with<G: RunGenerator>(
     let mut input = Distribution::new(kind, records, 11).records();
     let report = sorter
         .sort_iter(&device, &mut input, "sorted")
+        // twrs-lint: allow(no-lib-panic) bench drivers treat device failure as fatal by design
         .expect("sort succeeds");
     (
         report.run_generation.modelled_total(),

@@ -218,7 +218,7 @@ impl Parser<'_> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, byte: u8) -> Result<(), String> {
+    fn expect_byte(&mut self, byte: u8) -> Result<(), String> {
         if self.peek() == Some(byte) {
             self.pos += 1;
             Ok(())
@@ -250,7 +250,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_whitespace();
         if self.peek() == Some(b']') {
@@ -273,7 +273,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut pairs = Vec::new();
         self.skip_whitespace();
         if self.peek() == Some(b'}') {
@@ -284,7 +284,7 @@ impl Parser<'_> {
             self.skip_whitespace();
             let key = self.string()?;
             self.skip_whitespace();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_whitespace();
             let value = self.value()?;
             pairs.push((key, value));
@@ -301,7 +301,7 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -346,9 +346,10 @@ impl Parser<'_> {
                     // boundaries are valid).
                     let rest = &self.bytes[self.pos..];
                     let s = unsafe { std::str::from_utf8_unchecked(rest) };
-                    let c = s.chars().next().expect("non-empty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    if let Some(c) = s.chars().next() {
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
                 }
             }
         }
@@ -365,7 +366,7 @@ impl Parser<'_> {
         ) {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]);
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| format!("invalid number at byte {start}"))

@@ -234,12 +234,10 @@ impl<'a, D: Device, R: SortableRecord> RunStreams<'a, D, R> {
         self.stream3.finish_run(&mut parts)?;
         self.stream2.finish_run(&mut parts)?;
         self.stream1.finish_run(&mut parts)?;
-        if !parts.is_empty() {
-            if parts.len() == 1 {
-                runs.push(parts.pop().expect("one part"));
-            } else {
-                runs.push(RunHandle::Chain(parts));
-            }
+        match parts.len() {
+            0 => {}
+            1 => runs.extend(parts.pop()),
+            _ => runs.push(RunHandle::Chain(parts)),
         }
         Ok(self.records)
     }

@@ -225,10 +225,9 @@ impl<'a, D: Device, R: SortableRecord> Runner<'a, D, R> {
                 }
                 OutputSide::Empty => break,
             };
-            let popped = self
-                .dual
-                .pop(side)
-                .expect("side selected from a non-empty heap");
+            let Some(popped) = self.dual.pop(side) else {
+                break;
+            };
             debug_assert_eq!(popped.run, self.current_run);
             match self.emit(popped.value, side)? {
                 EmitOutcome::Emitted => {}
@@ -338,6 +337,7 @@ impl<'a, D: Device, R: SortableRecord> Runner<'a, D, R> {
             };
             self.dual
                 .push(side, RunRecord::new(record, self.current_run))
+                // twrs-lint: allow(no-lib-panic) the dual heap was drained above, so reinsertion cannot overflow
                 .expect("repartition reinserts into an empty dual heap");
         }
     }
@@ -417,6 +417,7 @@ impl<'a, D: Device, R: SortableRecord> Runner<'a, D, R> {
             }
             return Ok(EmitOutcome::Emitted);
         }
+        // twrs-lint: allow(no-lib-panic) `streams` is Some from run start until finalize
         let streams = self.streams.as_mut().expect("streams exist inside a run");
         let (native_fits, cross_fits) = match side {
             HeapSide::Top => (
@@ -481,6 +482,7 @@ impl<'a, D: Device, R: SortableRecord> Runner<'a, D, R> {
         // respectively), so streams 2 and 3 only ever exist when the victim
         // buffer later captures records inside the gap.
         let (lower, upper) = self.victim.flush_split();
+        // twrs-lint: allow(no-lib-panic) `streams` is Some from run start until finalize
         let streams = self.streams.as_mut().expect("streams exist inside a run");
         self.stats.stream4_records += lower.len() as u64;
         self.stats.stream1_records += upper.len() as u64;
@@ -492,6 +494,7 @@ impl<'a, D: Device, R: SortableRecord> Runner<'a, D, R> {
 
     fn flush_victim(&mut self) -> Result<()> {
         let (lower, upper) = self.victim.flush_split();
+        // twrs-lint: allow(no-lib-panic) `streams` is Some from run start until finalize
         let streams = self.streams.as_mut().expect("streams exist inside a run");
         self.stats.stream3_records += lower.len() as u64;
         self.stats.stream2_records += upper.len() as u64;
@@ -513,6 +516,7 @@ impl<'a, D: Device, R: SortableRecord> Runner<'a, D, R> {
             // buffer, so every record is still usable in the current run.
             return self.current_run;
         }
+        // twrs-lint: allow(no-lib-panic) `streams` is Some from run start until finalize
         let streams = self.streams.as_ref().expect("streams exist inside a run");
         if streams.accepts_stream1(record) || streams.accepts_stream4(record) {
             self.current_run

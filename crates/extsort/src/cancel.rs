@@ -17,6 +17,7 @@
 //! I/O plus one heap refill.
 
 use crate::error::{Result, SortError};
+use crate::sync::lock_or_poison;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -60,7 +61,7 @@ impl CancellationToken {
         if self.inner.canceled.swap(true, Ordering::SeqCst) {
             return;
         }
-        let wakers = std::mem::take(&mut *self.inner.wakers.lock().unwrap());
+        let wakers = std::mem::take(&mut *lock_or_poison(&self.inner.wakers));
         for waker in wakers {
             waker();
         }
@@ -88,7 +89,7 @@ impl CancellationToken {
     /// registration can never miss the edge.
     pub fn on_cancel(&self, waker: impl Fn() + Send + Sync + 'static) {
         {
-            let mut wakers = self.inner.wakers.lock().unwrap();
+            let mut wakers = lock_or_poison(&self.inner.wakers);
             if !self.is_canceled() {
                 wakers.push(Box::new(waker));
                 return;

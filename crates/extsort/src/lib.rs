@@ -62,6 +62,7 @@ pub mod sink;
 pub mod sort_job;
 pub mod sorter;
 pub mod stream;
+pub mod sync;
 
 pub use cancel::CancellationToken;
 pub use error::{Result, SortError};

@@ -107,11 +107,8 @@ pub fn polyphase_merge<D: Device, R: SortableRecord>(
         }
         if total_runs == 1 {
             // Copy the surviving run to the output name.
-            let last = tapes
-                .iter_mut()
-                .find_map(|t| t.pop_front())
-                .expect("one run remains");
-            merger.merge_into::<D, R>(device, namer, vec![last], output)?;
+            let last: Vec<RunHandle> = tapes.iter_mut().filter_map(|t| t.pop_front()).collect();
+            merger.merge_into::<D, R>(device, namer, last, output)?;
             return Ok(merge_steps + 1);
         }
         // If a merge round emptied every tape except the previous output
@@ -119,11 +116,8 @@ pub fn polyphase_merge<D: Device, R: SortableRecord>(
         // input tapes (classic polyphase avoids this with a Fibonacci
         // distribution and dummy runs; redistribution is the simple general
         // fallback).
-        if tapes.iter().filter(|t| !t.is_empty()).count() == 1 {
-            let loaded = tapes
-                .iter()
-                .position(|t| !t.is_empty())
-                .expect("one tape is non-empty");
+        let non_empty: Vec<usize> = (0..num_tapes).filter(|i| !tapes[*i].is_empty()).collect();
+        if let [loaded] = non_empty[..] {
             let runs: Vec<RunHandle> = tapes[loaded].drain(..).collect();
             let targets: Vec<usize> = (0..num_tapes)
                 .filter(|i| *i != loaded)
@@ -152,7 +146,7 @@ pub fn polyphase_merge<D: Device, R: SortableRecord>(
             }
             let batch: Vec<RunHandle> = input_indices
                 .iter()
-                .map(|i| tapes[*i].pop_front().expect("tape checked non-empty"))
+                .filter_map(|i| tapes[*i].pop_front())
                 .collect();
             let name = namer.next_name("tape");
             merger.merge_into::<D, R>(device, namer, batch, &name)?;

@@ -48,6 +48,7 @@ use crate::sorter::{
     SpillSweeper,
 };
 use crate::stream::{unique_namespace, SortedStream, StreamSource};
+use crate::sync::lock_or_poison;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
@@ -125,7 +126,7 @@ struct SpillShared {
 
 impl SpillShared {
     fn send(&self, op: SpillOp) -> twrs_storage::Result<()> {
-        let guard = lock(&self.sender);
+        let guard = lock_or_poison(&self.sender);
         let sender = guard.as_ref().ok_or_else(writer_gone)?;
         sender.send(op).map_err(|_| writer_gone())
     }
@@ -135,17 +136,11 @@ impl Drop for SpillShared {
     fn drop(&mut self) {
         // Disconnect the channel so the writer drains its queue and exits,
         // then wait for it; pending writes are never lost.
-        lock(&self.sender).take();
-        if let Some(worker) = lock(&self.worker).take() {
+        lock_or_poison(&self.sender).take();
+        if let Some(worker) = lock_or_poison(&self.worker).take() {
             let _ = worker.join();
         }
     }
-}
-
-fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    mutex
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 fn writer_gone() -> StorageError {
@@ -240,7 +235,10 @@ fn spill_writer_loop(rx: Receiver<SpillOp>) {
                         None => files.keys().copied().collect(),
                     };
                     for id in targets {
-                        if let Err(e) = files.get_mut(&id).expect("attached").flush() {
+                        let Some(handle) = files.get_mut(&id) else {
+                            continue;
+                        };
+                        if let Err(e) = handle.flush() {
                             failure = Some(e.to_string());
                             break;
                         }
@@ -446,15 +444,15 @@ impl<R: SortableRecord> Drop for PrefetchSource<R> {
 impl<R: SortableRecord> MergeSource<R> for PrefetchSource<R> {
     fn next_record(&mut self) -> Result<Option<R>> {
         if self.buffer.is_empty() && !self.done {
-            let rx = self.rx.as_ref().expect("receiver lives until drop");
-            match rx.recv() {
-                Ok(Ok(chunk)) => self.buffer = chunk.into(),
-                Ok(Err(e)) => {
+            // `rx` is only `None` once `drop` has run; treat that like a
+            // disconnected prefetcher instead of panicking.
+            match self.rx.as_ref().map(|rx| rx.recv()) {
+                None | Some(Err(_)) => self.done = true,
+                Some(Ok(Ok(chunk))) => self.buffer = chunk.into(),
+                Some(Ok(Err(e))) => {
                     self.done = true;
                     return Err(e);
                 }
-                // Disconnected: the prefetcher finished its run.
-                Err(_) => self.done = true,
             }
         }
         Ok(self.buffer.pop_front())

@@ -74,6 +74,7 @@ impl RunGenerator for ReplacementSelection {
             match input.next() {
                 Some(record) => heap
                     .push(RunRecord::new(record, 0))
+                    // twrs-lint: allow(no-lib-panic) the fill loop stops at `memory_records` capacity
                     .expect("heap cannot be full during the fill phase"),
                 None => break,
             }
@@ -103,6 +104,7 @@ impl RunGenerator for ReplacementSelection {
                     current_run
                 };
                 heap.push(RunRecord::new(next, run))
+                    // twrs-lint: allow(no-lib-panic) `pop` freed a slot immediately above
                     .expect("a slot was just freed by pop");
             }
         }

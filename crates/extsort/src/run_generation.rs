@@ -283,8 +283,7 @@ where
 pub struct ForwardRunBuilder<'a, D: Device, R: SortableRecord> {
     device: &'a D,
     namer: &'a SpillNamer,
-    writer: Option<RunWriter<R>>,
-    name: Option<String>,
+    writer: Option<(RunWriter<R>, String)>,
 }
 
 impl<'a, D: Device, R: SortableRecord> ForwardRunBuilder<'a, D, R> {
@@ -294,7 +293,6 @@ impl<'a, D: Device, R: SortableRecord> ForwardRunBuilder<'a, D, R> {
             device,
             namer,
             writer: None,
-            name: None,
         }
     }
 
@@ -302,22 +300,20 @@ impl<'a, D: Device, R: SortableRecord> ForwardRunBuilder<'a, D, R> {
     pub fn push(&mut self, record: &R) -> Result<()> {
         if self.writer.is_none() {
             let name = self.namer.next_name("run");
-            self.writer = Some(RunWriter::create(self.device, &name)?);
-            self.name = Some(name);
+            let writer = RunWriter::create(self.device, &name)?;
+            self.writer = Some((writer, name));
         }
-        self.writer
-            .as_mut()
-            .expect("writer was just created")
-            .push(record)?;
+        if let Some((writer, _)) = self.writer.as_mut() {
+            writer.push(record)?;
+        }
         Ok(())
     }
 
     /// Closes the current run (if any), appends its handle to `runs` and
     /// returns how many records it held.
     pub fn finish_run(&mut self, runs: &mut Vec<RunHandle>) -> Result<u64> {
-        if let Some(writer) = self.writer.take() {
+        if let Some((writer, name)) = self.writer.take() {
             let records = writer.finish()?;
-            let name = self.name.take().expect("name set with writer");
             if records > 0 {
                 runs.push(RunHandle::Forward(name));
             }
@@ -334,8 +330,7 @@ pub struct ReverseRunBuilder<'a, D: Device, R: SortableRecord> {
     device: &'a D,
     namer: &'a SpillNamer,
     pages_per_file: u64,
-    writer: Option<ReverseRunWriter<R>>,
-    name: Option<String>,
+    writer: Option<(ReverseRunWriter<R>, String)>,
 }
 
 impl<'a, D: Device, R: SortableRecord> ReverseRunBuilder<'a, D, R> {
@@ -346,7 +341,6 @@ impl<'a, D: Device, R: SortableRecord> ReverseRunBuilder<'a, D, R> {
             namer,
             pages_per_file,
             writer: None,
-            name: None,
         }
     }
 
@@ -354,26 +348,21 @@ impl<'a, D: Device, R: SortableRecord> ReverseRunBuilder<'a, D, R> {
     pub fn push(&mut self, record: &R) -> Result<()> {
         if self.writer.is_none() {
             let name = self.namer.next_name("rev");
-            self.writer = Some(ReverseRunWriter::with_pages_per_file(
-                self.device,
-                &name,
-                self.pages_per_file,
-            )?);
-            self.name = Some(name);
+            let writer =
+                ReverseRunWriter::with_pages_per_file(self.device, &name, self.pages_per_file)?;
+            self.writer = Some((writer, name));
         }
-        self.writer
-            .as_mut()
-            .expect("writer was just created")
-            .push(record)?;
+        if let Some((writer, _)) = self.writer.as_mut() {
+            writer.push(record)?;
+        }
         Ok(())
     }
 
     /// Closes the current run (if any), appends its handle to `runs` and
     /// returns how many records it held.
     pub fn finish_run(&mut self, runs: &mut Vec<RunHandle>) -> Result<u64> {
-        if let Some(writer) = self.writer.take() {
+        if let Some((writer, name)) = self.writer.take() {
             let records = writer.finish()?;
-            let name = self.name.take().expect("name set with writer");
             if records > 0 {
                 runs.push(RunHandle::Reverse(name));
             }

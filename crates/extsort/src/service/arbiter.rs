@@ -23,6 +23,7 @@
 use crate::cancel::CancellationToken;
 use crate::error::{Result, SortError};
 use crate::parallel::shard_budget;
+use crate::sync::{lock_or_poison, wait_or_poison};
 use std::sync::{Condvar, Mutex};
 
 /// How the arbiter caps an individual grant.
@@ -148,6 +149,7 @@ impl MemoryArbiter {
     /// 1 with a token nobody cancels.
     pub fn lease(&self, requested: usize) -> usize {
         self.lease_cancelable(requested, 1, &CancellationToken::new())
+            // twrs-lint: allow(no-lib-panic) a fresh token is never canceled
             .expect("a fresh token is never canceled")
     }
 
@@ -163,7 +165,7 @@ impl MemoryArbiter {
         cancel: &CancellationToken,
     ) -> Option<usize> {
         let weight = weight.max(1);
-        let mut state = self.state.lock().unwrap();
+        let mut state = lock_or_poison(&self.state);
         loop {
             if cancel.is_canceled() {
                 return None;
@@ -187,7 +189,7 @@ impl MemoryArbiter {
                 state.events.push(event);
                 return Some(want);
             }
-            state = self.freed.wait(state).unwrap();
+            state = wait_or_poison(&self.freed, state);
         }
     }
 
@@ -202,7 +204,7 @@ impl MemoryArbiter {
     /// `weight` and wakes every waiting admission.
     pub fn release_weighted(&self, granted: usize, weight: usize) {
         let weight = weight.max(1);
-        let mut state = self.state.lock().unwrap();
+        let mut state = lock_or_poison(&self.state);
         debug_assert!(state.leased >= granted && state.active >= 1);
         state.leased = state.leased.saturating_sub(granted);
         state.active = state.active.saturating_sub(1);
@@ -226,23 +228,23 @@ impl MemoryArbiter {
     ///
     /// [`lease_cancelable`]: MemoryArbiter::lease_cancelable
     pub(crate) fn notify_waiters(&self) {
-        let _state = self.state.lock().unwrap();
+        let _state = lock_or_poison(&self.state);
         self.freed.notify_all();
     }
 
     /// Total outstanding leases right now.
     pub fn leased(&self) -> usize {
-        self.state.lock().unwrap().leased
+        lock_or_poison(&self.state).leased
     }
 
     /// High-water mark of outstanding leases over the arbiter's lifetime.
     pub fn max_leased(&self) -> usize {
-        self.state.lock().unwrap().max_leased
+        lock_or_poison(&self.state).max_leased
     }
 
     /// The audit trail so far, in rebalance order.
     pub fn events(&self) -> Vec<RebalanceEvent> {
-        self.state.lock().unwrap().events.clone()
+        lock_or_poison(&self.state).events.clone()
     }
 }
 

@@ -11,6 +11,7 @@
 use crate::cancel::CancellationToken;
 use crate::error::{Result, SortError};
 use crate::sort_job::SortJobReport;
+use crate::sync::{lock_or_poison, wait_or_poison};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use twrs_storage::IoStatsSnapshot;
@@ -94,7 +95,7 @@ impl JobState {
     /// for cancellation first — then the job completes as Canceled and
     /// `false` is returned (the worker skips it).
     pub(crate) fn begin_admission(&self) -> bool {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_or_poison(&self.inner);
         if inner.cancel_requested {
             inner.status = JobStatus::Canceled;
             inner.outcome = Some(Err(SortError::Canceled(
@@ -110,14 +111,14 @@ impl JobState {
 
     /// Worker-side: the memory lease is held and the sort is starting.
     pub(crate) fn set_running(&self) {
-        self.inner.lock().unwrap().status = JobStatus::Running;
+        lock_or_poison(&self.inner).status = JobStatus::Running;
     }
 
     /// Worker-side: store the final outcome and wake every waiter. A
     /// second call is ignored (the completion guard may fire after a
     /// normal completion).
     pub(crate) fn complete(&self, outcome: Result<CompletedJob>) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_or_poison(&self.inner);
         if inner.outcome.is_some() {
             return;
         }
@@ -131,7 +132,7 @@ impl JobState {
     }
 
     fn status(&self) -> JobStatus {
-        self.inner.lock().unwrap().status
+        lock_or_poison(&self.inner).status
     }
 
     /// Registers a cancellation request unless the job already finished.
@@ -139,7 +140,7 @@ impl JobState {
     /// wakers (which may take other locks) never run under it.
     fn request_cancel(&self) -> bool {
         {
-            let mut inner = self.inner.lock().unwrap();
+            let mut inner = lock_or_poison(&self.inner);
             match inner.status {
                 JobStatus::Done | JobStatus::Failed | JobStatus::Canceled => return false,
                 JobStatus::Queued | JobStatus::Admitted | JobStatus::Running => {
@@ -157,19 +158,19 @@ impl JobState {
     /// How long ago cancellation was requested — the request→completion
     /// latency sample the service records when a canceled job completes.
     pub(crate) fn time_since_cancel_request(&self) -> Option<Duration> {
-        self.inner
-            .lock()
-            .unwrap()
+        lock_or_poison(&self.inner)
             .cancel_requested_at
             .map(|at| at.elapsed())
     }
 
     fn wait(&self) -> Result<CompletedJob> {
-        let mut inner = self.inner.lock().unwrap();
-        while inner.outcome.is_none() {
-            inner = self.done.wait(inner).unwrap();
+        let mut inner = lock_or_poison(&self.inner);
+        loop {
+            if let Some(outcome) = inner.outcome.take() {
+                return outcome;
+            }
+            inner = wait_or_poison(&self.done, inner);
         }
-        inner.outcome.take().expect("outcome present after wait")
     }
 }
 

@@ -80,6 +80,7 @@ use crate::parallel::ShardableGenerator;
 use crate::run_generation::{BudgetedGenerator, Device};
 use crate::sink::RecordSink;
 use crate::sort_job::{BoundSortJob, SortJob, SortJobReport};
+use crate::sync::{lock_or_poison, wait_or_poison};
 use handle::{CompletionGuard, JobState};
 use queue::TenantQueues;
 use std::collections::BTreeMap;
@@ -251,7 +252,7 @@ impl Shared {
     /// the cancellation was an explicit request (shutdown cancels have no
     /// request timestamp).
     fn record_canceled_queued(&self, state: &JobState) {
-        let mut stats = self.stats.lock().unwrap();
+        let mut stats = lock_or_poison(&self.stats);
         stats.canceled_queued += 1;
         if let Some(latency) = state.time_since_cancel_request() {
             stats.cancel_latencies.push(latency);
@@ -294,7 +295,7 @@ impl LatencyPercentiles {
             p50: rank(50.0),
             p95: rank(95.0),
             p99: rank(99.0),
-            max: *samples.last().unwrap(),
+            max: samples.last().copied().unwrap_or_default(),
         }
     }
 }
@@ -391,15 +392,26 @@ impl SortService {
             queue_capacity: config.queue_capacity,
             priorities,
         });
-        let workers = (0..config.workers)
-            .map(|index| {
-                let shared = shared.clone();
-                std::thread::Builder::new()
-                    .name(format!("twrs-sort-worker-{index}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn sort-service worker")
-            })
-            .collect();
+        let mut workers = Vec::with_capacity(config.workers);
+        for index in 0..config.workers {
+            let worker_shared = shared.clone();
+            let spawned = std::thread::Builder::new()
+                .name(format!("twrs-sort-worker-{index}"))
+                .spawn(move || worker_loop(&worker_shared));
+            match spawned {
+                Ok(handle) => workers.push(handle),
+                Err(e) => {
+                    // Wake and join the workers that did start, then report
+                    // the spawn failure instead of panicking mid-construction.
+                    lock_or_poison(&shared.state).shutdown = true;
+                    shared.job_ready.notify_all();
+                    for worker in workers {
+                        let _ = worker.join();
+                    }
+                    return Err(SortError::Storage(twrs_storage::StorageError::Io(e)));
+                }
+            }
+        }
         Ok(SortService {
             shared,
             workers,
@@ -505,7 +517,7 @@ impl SortService {
             cancel,
         };
         let weight = self.shared.weight_of(&tenant);
-        let mut queue = self.shared.state.lock().unwrap();
+        let mut queue = lock_or_poison(&self.shared.state);
         loop {
             if queue.shutdown {
                 return Err(SortError::Canceled(
@@ -515,7 +527,7 @@ impl SortService {
             if queue.queues.len() < self.shared.queue_capacity {
                 break;
             }
-            queue = self.shared.space_free.wait(queue).unwrap();
+            queue = wait_or_poison(&self.shared.space_free, queue);
         }
         queue.queues.push(&tenant, weight, queued);
         drop(queue);
@@ -526,7 +538,7 @@ impl SortService {
 
     /// Number of jobs currently queued (admitted/running jobs excluded).
     pub fn pending(&self) -> usize {
-        self.shared.state.lock().unwrap().queues.len()
+        lock_or_poison(&self.shared.state).queues.len()
     }
 
     /// The arbiter, for inspection (current leases, audit trail).
@@ -539,7 +551,7 @@ impl SortService {
     pub fn shutdown(mut self) -> ServiceReport {
         self.stop();
         let stats = {
-            let mut stats = self.shared.stats.lock().unwrap();
+            let mut stats = lock_or_poison(&self.shared.stats);
             std::mem::take(&mut *stats)
         };
         let tenants = stats
@@ -573,7 +585,7 @@ impl SortService {
         // it: their handles must observe Canceled (not a stale Queued)
         // and their `wait()` must return instead of hanging forever.
         let drained = {
-            let mut queue = self.shared.state.lock().unwrap();
+            let mut queue = lock_or_poison(&self.shared.state);
             queue.shutdown = true;
             let mut drained = Vec::new();
             while let Some(job) = queue.queues.pop() {
@@ -606,7 +618,7 @@ impl Drop for SortService {
 fn worker_loop(shared: &Arc<Shared>) {
     loop {
         let job = {
-            let mut queue = shared.state.lock().unwrap();
+            let mut queue = lock_or_poison(&shared.state);
             loop {
                 if let Some(job) = queue.queues.pop() {
                     shared.space_free.notify_one();
@@ -615,7 +627,7 @@ fn worker_loop(shared: &Arc<Shared>) {
                 if queue.shutdown {
                     return;
                 }
-                queue = shared.job_ready.wait(queue).unwrap();
+                queue = wait_or_poison(&shared.job_ready, queue);
             }
         };
         if !job.state.begin_admission() {
@@ -670,7 +682,7 @@ fn worker_loop(shared: &Arc<Shared>) {
         shared.arbiter.release_weighted(granted, weight);
         match result {
             Ok(Ok(output)) => {
-                let mut stats = shared.stats.lock().unwrap();
+                let mut stats = lock_or_poison(&shared.stats);
                 stats.completed += 1;
                 stats.queue_waits.push(queue_wait);
                 stats.sort_walls.push(sort_wall);
@@ -692,7 +704,7 @@ fn worker_loop(shared: &Arc<Shared>) {
                 }));
             }
             Ok(Err(error @ SortError::Canceled(_))) => {
-                let mut stats = shared.stats.lock().unwrap();
+                let mut stats = lock_or_poison(&shared.stats);
                 stats.canceled_running += 1;
                 if let Some(latency) = job.state.time_since_cancel_request() {
                     stats.cancel_latencies.push(latency);
@@ -701,11 +713,11 @@ fn worker_loop(shared: &Arc<Shared>) {
                 guard.complete(Err(error));
             }
             Ok(Err(error)) => {
-                shared.stats.lock().unwrap().failed += 1;
+                lock_or_poison(&shared.stats).failed += 1;
                 guard.complete(Err(error));
             }
             Err(_panic) => {
-                shared.stats.lock().unwrap().failed += 1;
+                lock_or_poison(&shared.stats).failed += 1;
                 guard.complete(Err(SortError::JobPanicked(
                     "the sort pipeline panicked mid-job".into(),
                 )));
@@ -728,6 +740,25 @@ mod tests {
             .unwrap()
             .read_all()
             .unwrap()
+    }
+
+    #[test]
+    fn stop_joins_every_worker_thread() {
+        let device = SimDevice::new();
+        let mut service = SortService::new(ServiceConfig::new(200).workers(3)).unwrap();
+        assert_eq!(service.workers.len(), 3);
+        let input = Distribution::new(DistributionKind::RandomUniform, 800, 11);
+        let job = SortJob::new(ReplacementSelection::new(100)).on(&device);
+        let handle = service.submit("t", job, input.records(), "joined").unwrap();
+        handle.wait().unwrap();
+        service.stop();
+        assert!(
+            service.workers.is_empty(),
+            "stop must drain and join every worker handle"
+        );
+        // Each worker held a clone of the shared state; once they have all
+        // been joined the service owns the only remaining reference.
+        assert_eq!(Arc::strong_count(&service.shared), 1);
     }
 
     #[test]

@@ -304,6 +304,7 @@ impl<R: SortableRecord> ExecutionOutcome<R> {
             ExecutionOutcome::Report(report) => report,
             // `execute` maps File/Sink plans to reports by construction.
             ExecutionOutcome::Stream(_) => {
+                // twrs-lint: allow(no-lib-panic) eager plans construct only report outcomes
                 unreachable!("an eager execution plan produced a stream")
             }
         }
@@ -313,6 +314,7 @@ impl<R: SortableRecord> ExecutionOutcome<R> {
         match self {
             ExecutionOutcome::Stream(stream) => stream,
             ExecutionOutcome::Report(_) => {
+                // twrs-lint: allow(no-lib-panic) stream plans construct only stream outcomes
                 unreachable!("a stream execution plan produced a report")
             }
         }

@@ -1,0 +1,25 @@
+//! Poison-tolerant locking helpers, shared by every `std::sync` user in
+//! this crate.
+//!
+//! A poisoned mutex means some thread panicked while holding the guard.
+//! Every lock in this crate protects state that stays structurally valid
+//! across a panic (counters, queues, small state machines whose updates
+//! are single assignments), so the right response is to keep going with
+//! the inner value rather than to propagate a second panic — a panicking
+//! worker must not take the whole `SortService` down with it. Centralizing
+//! the recovery here keeps that policy in one audited place; the
+//! `no-lib-panic` lint (see `crates/lint/RULES.md`) rejects ad-hoc
+//! `.lock().unwrap()` everywhere else.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Acquires `mutex`, recovering the guard if a previous holder panicked.
+pub fn lock_or_poison<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Blocks on `condvar`, recovering the reacquired guard if some holder
+/// panicked while this thread was parked.
+pub fn wait_or_poison<'a, T>(condvar: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    condvar.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}

@@ -287,7 +287,9 @@ impl<T, O: TwoWayOrder<T>> DualHeap<T, O> {
     fn before(&self, side: HeapSide, a: usize, b: usize) -> bool {
         let (sa, sb) = (self.heap_slot(side, a), self.heap_slot(side, b));
         let (va, vb) = (
+            // twrs-lint: allow(no-lib-panic) `a < len(side)` so the slot is occupied
             self.slots[sa].as_ref().expect("occupied heap slot"),
+            // twrs-lint: allow(no-lib-panic) `b < len(side)` so the slot is occupied
             self.slots[sb].as_ref().expect("occupied heap slot"),
         );
         let ord = match side {

@@ -1,0 +1,252 @@
+//! The ratchet baseline: grandfathered finding counts that may only go
+//! down.
+//!
+//! `baseline.json` pins, per `(file, rule)`, how many findings are
+//! tolerated. `--check` fails when a count *rises* (a new violation) **and**
+//! when it *falls* (the fix must be banked with `--update-baseline`, so the
+//! grandfathered debt can never silently grow back). A clean tree has an
+//! empty `grandfathered` list.
+
+use crate::rules::Finding;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The schema tag written into (and demanded from) `baseline.json`.
+pub const FORMAT: &str = "twrs-lint-baseline/v1";
+
+/// Grandfathered counts keyed by `(file, rule)`.
+pub type Counts = BTreeMap<(String, String), usize>;
+
+/// Aggregates findings into baseline counts.
+pub fn count(findings: &[Finding]) -> Counts {
+    let mut counts = Counts::new();
+    for finding in findings {
+        *counts
+            .entry((finding.file.clone(), finding.rule.to_string()))
+            .or_insert(0) += 1;
+    }
+    counts
+}
+
+/// One discrepancy between the committed baseline and a fresh scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Drift {
+    /// Repo-relative path.
+    pub file: String,
+    /// Rule id.
+    pub rule: String,
+    /// Count in the committed baseline.
+    pub baseline: usize,
+    /// Count in the fresh scan.
+    pub actual: usize,
+}
+
+/// Compares a fresh scan against the committed counts. Empty = in sync.
+pub fn compare(baseline: &Counts, actual: &Counts) -> Vec<Drift> {
+    let mut drifts = Vec::new();
+    let keys: std::collections::BTreeSet<_> = baseline.keys().chain(actual.keys()).collect();
+    for key in keys {
+        let b = baseline.get(key).copied().unwrap_or(0);
+        let a = actual.get(key).copied().unwrap_or(0);
+        if a != b {
+            drifts.push(Drift {
+                file: key.0.clone(),
+                rule: key.1.clone(),
+                baseline: b,
+                actual: a,
+            });
+        }
+    }
+    drifts
+}
+
+/// Serializes counts to the committed `baseline.json` text.
+pub fn to_json(counts: &Counts) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"format\": \"{FORMAT}\",");
+    let _ = writeln!(out, "  \"grandfathered\": [");
+    let mut first = true;
+    for ((file, rule), count) in counts {
+        if !first {
+            let _ = writeln!(out, ",");
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "    {{ \"file\": \"{}\", \"rule\": \"{}\", \"count\": {} }}",
+            escape(file),
+            escape(rule),
+            count
+        );
+    }
+    if !first {
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Parses `baseline.json` text. This is a parser for exactly the subset
+/// [`to_json`] emits (flat string/number fields, one array), not general
+/// JSON.
+pub fn from_json(text: &str) -> Result<Counts, String> {
+    let mut parser = Parser {
+        chars: text.chars().collect(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    parser.expect_char('{')?;
+    let mut counts = Counts::new();
+    let mut format_seen = false;
+    loop {
+        parser.skip_ws();
+        if parser.eat('}') {
+            break;
+        }
+        let key = parser.string()?;
+        parser.skip_ws();
+        parser.expect_char(':')?;
+        parser.skip_ws();
+        match key.as_str() {
+            "format" => {
+                let value = parser.string()?;
+                if value != FORMAT {
+                    return Err(format!("unsupported baseline format `{value}`"));
+                }
+                format_seen = true;
+            }
+            "grandfathered" => {
+                parser.expect_char('[')?;
+                loop {
+                    parser.skip_ws();
+                    if parser.eat(']') {
+                        break;
+                    }
+                    let (file, rule, count) = parser.entry()?;
+                    counts.insert((file, rule), count);
+                    parser.skip_ws();
+                    parser.eat(',');
+                }
+            }
+            other => return Err(format!("unexpected baseline key `{other}`")),
+        }
+        parser.skip_ws();
+        parser.eat(',');
+    }
+    if !format_seen {
+        return Err("baseline is missing its \"format\" tag".to_string());
+    }
+    Ok(counts)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn skip_ws(&mut self) {
+        while self.chars.get(self.pos).is_some_and(|c| c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.chars.get(self.pos) == Some(&c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_char(&mut self, c: char) -> Result<(), String> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{c}` at offset {}, found {:?}",
+                self.pos,
+                self.chars.get(self.pos)
+            ))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect_char('"')?;
+        let mut out = String::new();
+        loop {
+            match self.chars.get(self.pos) {
+                Some('"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some('\\') => {
+                    self.pos += 1;
+                    if let Some(&c) = self.chars.get(self.pos) {
+                        out.push(c);
+                        self.pos += 1;
+                    }
+                }
+                Some(&c) => {
+                    out.push(c);
+                    self.pos += 1;
+                }
+                None => return Err("unterminated string in baseline".to_string()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<usize, String> {
+        let start = self.pos;
+        while self.chars.get(self.pos).is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(format!("expected a number at offset {start}"));
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        text.parse().map_err(|e| format!("bad count: {e}"))
+    }
+
+    fn entry(&mut self) -> Result<(String, String, usize), String> {
+        self.expect_char('{')?;
+        let mut file = None;
+        let mut rule = None;
+        let mut count = None;
+        loop {
+            self.skip_ws();
+            if self.eat('}') {
+                break;
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect_char(':')?;
+            self.skip_ws();
+            match key.as_str() {
+                "file" => file = Some(self.string()?),
+                "rule" => rule = Some(self.string()?),
+                "count" => count = Some(self.number()?),
+                other => return Err(format!("unexpected entry key `{other}`")),
+            }
+            self.skip_ws();
+            self.eat(',');
+        }
+        match (file, rule, count) {
+            (Some(file), Some(rule), Some(count)) => Ok((file, rule, count)),
+            _ => Err("baseline entry is missing file/rule/count".to_string()),
+        }
+    }
+}

@@ -1,0 +1,439 @@
+//! A comment- and string-aware token scanner for Rust source.
+//!
+//! The linter has no access to `syn` (the build environment has no
+//! registry), so rules run over a hand-rolled token stream instead of a
+//! real AST. The lexer's contract is deliberately small:
+//!
+//! * comments (line, doc, nested block) and every literal form (strings,
+//!   raw strings, byte strings, chars, numbers) are recognized, so a
+//!   `.unwrap()` inside a doc example or a format string never reaches a
+//!   rule;
+//! * every token carries its 1-based line number;
+//! * tokens inside `#[cfg(test)]` / `#[test]` items are flagged, so rules
+//!   can skip test code without understanding attributes themselves;
+//! * `// twrs-lint: allow(<rule>) <reason>` waiver comments are collected
+//!   with the line span they cover (their own line and the next).
+//!
+//! The scanner is forgiving: unterminated constructs at end of file simply
+//! end the token stream rather than erroring, because the rustc that built
+//! the file already guaranteed the source is well-formed.
+
+/// The kind of one lexical token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword.
+    Ident,
+    /// A single punctuation character (`.`, `(`, `::` arrives as two `:`).
+    Punct,
+    /// A string, char, byte or numeric literal (text is not preserved).
+    Literal,
+    /// A lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+}
+
+/// One token of the scanned file.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The token text; for [`TokKind::Literal`] a placeholder, not the
+    /// literal's contents.
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+    /// `true` when the token sits inside a `#[cfg(test)]` or `#[test]`
+    /// item (including the attribute itself).
+    pub in_test: bool,
+}
+
+/// A `// twrs-lint: allow(<rule>) <reason>` waiver.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// The waived rule id, e.g. `no-lib-panic`.
+    pub rule: String,
+    /// First line the waiver covers (the comment's own line).
+    pub first_line: u32,
+    /// Last line the waiver covers (the line after the comment, so a
+    /// waiver can stand on its own line above the waived statement).
+    pub last_line: u32,
+    /// `true` when a non-empty reason follows the `allow(...)`.
+    pub has_reason: bool,
+}
+
+/// The result of scanning one file.
+#[derive(Debug, Default)]
+pub struct ScannedFile {
+    /// All non-test and test tokens, in source order.
+    pub tokens: Vec<Tok>,
+    /// All waiver comments found, in source order.
+    pub waivers: Vec<Waiver>,
+}
+
+impl ScannedFile {
+    /// `true` when `rule` is waived on `line`. A waiver without a reason
+    /// does not count: the `<reason>` after `allow(…)` is mandatory.
+    pub fn is_waived(&self, rule: &str, line: u32) -> bool {
+        self.waivers
+            .iter()
+            .any(|w| w.has_reason && w.rule == rule && w.first_line <= line && line <= w.last_line)
+    }
+}
+
+/// Scans `source` into tokens plus waivers. Never fails: see the module
+/// docs for the forgiving end-of-file behavior.
+pub fn scan(source: &str) -> ScannedFile {
+    let mut lexer = Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: ScannedFile::default(),
+    };
+    lexer.run();
+    mark_test_regions(&mut lexer.out.tokens);
+    lexer.out
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: ScannedFile,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, text: impl Into<String>, line: u32) {
+        self.out.tokens.push(Tok {
+            kind,
+            text: text.into(),
+            line,
+            in_test: false,
+        });
+    }
+
+    fn run(&mut self) {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(),
+                'r' | 'b' if self.raw_or_byte_string() => {}
+                '\'' => self.char_or_lifetime(),
+                c if c.is_ascii_digit() => self.number(),
+                c if c == '_' || c.is_alphanumeric() => self.ident(),
+                c => {
+                    self.bump();
+                    self.push(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        if let Some(waiver) = parse_waiver(&text, line) {
+            self.out.waivers.push(waiver);
+        }
+    }
+
+    fn block_comment(&mut self) {
+        // Consume `/*`, then balance nested block comments.
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    fn string(&mut self) {
+        let line = self.line;
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Literal, "\"…\"", line);
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'`. Returns
+    /// `false` (consuming nothing) when the `r`/`b` starts a plain
+    /// identifier instead.
+    fn raw_or_byte_string(&mut self) -> bool {
+        let mut ahead = 1;
+        if self.peek(0) == Some('b') && self.peek(1) == Some('r') {
+            ahead = 2;
+        }
+        if self.peek(0) == Some('b') && self.peek(1) == Some('\'') {
+            let line = self.line;
+            self.bump();
+            self.char_literal_body();
+            self.push(TokKind::Literal, "b'…'", line);
+            return true;
+        }
+        let mut hashes = 0;
+        while self.peek(ahead + hashes) == Some('#') {
+            hashes += 1;
+        }
+        if self.peek(ahead + hashes) != Some('"') {
+            return false;
+        }
+        if ahead == 1 && self.peek(0) == Some('b') && hashes == 0 {
+            // b"…" — plain byte string, escapes allowed.
+            let line = self.line;
+            self.bump();
+            self.string();
+            // `string` already pushed a literal; relabel is unnecessary.
+            let _ = line;
+            return true;
+        }
+        let line = self.line;
+        for _ in 0..ahead + hashes + 1 {
+            self.bump();
+        }
+        // Raw string: ends at `"` followed by `hashes` hashes; no escapes.
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(TokKind::Literal, "r\"…\"", line);
+        true
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        // `'a` / `'static` (lifetime) vs `'x'` / `'\n'` (char literal):
+        // a lifetime is a quote followed by an identifier NOT closed by
+        // another quote.
+        let first = self.peek(1);
+        let is_lifetime = match first {
+            Some(c) if c == '_' || c.is_alphabetic() => self.peek(2) != Some('\''),
+            _ => false,
+        };
+        if is_lifetime {
+            self.bump(); // '
+            let mut text = String::from("'");
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Lifetime, text, line);
+        } else {
+            self.char_literal_body();
+            self.push(TokKind::Literal, "'…'", line);
+        }
+    }
+
+    fn char_literal_body(&mut self) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_ascii_alphanumeric() {
+                self.bump();
+            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // `1.5` continues the number; `0..n` does not.
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Literal, "0", line);
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+}
+
+fn parse_waiver(comment: &str, line: u32) -> Option<Waiver> {
+    let body = comment.trim_start_matches('/').trim();
+    let rest = body.strip_prefix("twrs-lint:")?.trim();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_string();
+    let reason = rest[close + 1..].trim();
+    Some(Waiver {
+        rule,
+        first_line: line,
+        last_line: line + 1,
+        has_reason: !reason.is_empty(),
+    })
+}
+
+/// Marks every token belonging to a `#[cfg(test)]` / `#[test]` item (and
+/// the attribute itself) with `in_test`.
+///
+/// An attribute is a test marker when it mentions the `test` identifier
+/// without a `not` (so `#[cfg(not(test))]` stays library code). The marked
+/// region runs across any directly following attributes to the end of the
+/// item: its balanced `{…}` block, or the terminating `;` for block-less
+/// items like `mod tests;`.
+fn mark_test_regions(tokens: &mut [Tok]) {
+    let mut i = 0;
+    while i < tokens.len() {
+        if !(tokens[i].text == "#" && matches!(tokens.get(i + 1), Some(t) if t.text == "[")) {
+            i += 1;
+            continue;
+        }
+        let Some(attr_end) = matching_bracket(tokens, i + 1, "[", "]") else {
+            break;
+        };
+        let span = &tokens[i..=attr_end];
+        let mentions_test = span
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "test");
+        let mentions_not = span
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "not");
+        if !mentions_test || mentions_not {
+            i = attr_end + 1;
+            continue;
+        }
+        // Extend over stacked attributes, then to the item's end.
+        let mut j = attr_end + 1;
+        while j < tokens.len()
+            && tokens[j].text == "#"
+            && matches!(tokens.get(j + 1), Some(t) if t.text == "[")
+        {
+            match matching_bracket(tokens, j + 1, "[", "]") {
+                Some(end) => j = end + 1,
+                None => break,
+            }
+        }
+        // Find the item body: first `{` outside parens/brackets, or a `;`.
+        let mut k = j;
+        let mut paren = 0i32;
+        let end = loop {
+            match tokens.get(k) {
+                None => break tokens.len() - 1,
+                Some(t) if t.kind == TokKind::Punct => match t.text.as_str() {
+                    "(" | "[" => {
+                        paren += 1;
+                        k += 1;
+                    }
+                    ")" | "]" => {
+                        paren -= 1;
+                        k += 1;
+                    }
+                    "{" if paren == 0 => {
+                        break matching_bracket(tokens, k, "{", "}").unwrap_or(tokens.len() - 1);
+                    }
+                    ";" if paren == 0 => break k,
+                    _ => k += 1,
+                },
+                Some(_) => k += 1,
+            }
+        };
+        for tok in &mut tokens[i..=end] {
+            tok.in_test = true;
+        }
+        i = end + 1;
+    }
+}
+
+/// Index of the bracket matching `tokens[open]` (which must equal `open_text`).
+fn matching_bracket(
+    tokens: &[Tok],
+    open: usize,
+    open_text: &str,
+    close_text: &str,
+) -> Option<usize> {
+    debug_assert_eq!(tokens[open].text, open_text);
+    let mut depth = 0i32;
+    for (index, tok) in tokens.iter().enumerate().skip(open) {
+        if tok.kind != TokKind::Punct {
+            continue;
+        }
+        if tok.text == open_text {
+            depth += 1;
+        } else if tok.text == close_text {
+            depth -= 1;
+            if depth == 0 {
+                return Some(index);
+            }
+        }
+    }
+    None
+}

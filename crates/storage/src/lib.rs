@@ -31,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bytes;
 pub mod device;
 pub mod error;
 pub mod io_stats;
@@ -41,6 +42,7 @@ pub mod run_file;
 pub mod scoped;
 pub mod spill;
 
+pub use bytes::{array_at, u32_le_at, u64_le_at};
 pub use device::{FileDevice, PageFile, SimDevice, StorageDevice};
 pub use error::{Result, StorageError};
 pub use io_stats::{DiskModel, IoCounters, IoStats, IoStatsSnapshot};

@@ -61,20 +61,26 @@ impl ReverseHeader {
                 "reverse header page too small".into(),
             ));
         }
-        let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes"));
+        let magic = crate::bytes::u32_le_at(bytes, 0);
         if magic != MAGIC {
             return Err(StorageError::CorruptHeader(format!(
                 "bad reverse-file magic {magic:#x}"
             )));
         }
         Ok(ReverseHeader {
-            record_size: u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")),
-            pages_per_file: u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")),
-            start_page: u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes")),
-            start_slot: u32::from_le_bytes(bytes[24..28].try_into().expect("4 bytes")),
-            record_count: u64::from_le_bytes(bytes[28..36].try_into().expect("8 bytes")),
+            record_size: crate::bytes::u32_le_at(bytes, 4),
+            pages_per_file: crate::bytes::u64_le_at(bytes, 8),
+            start_page: crate::bytes::u64_le_at(bytes, 16),
+            start_slot: crate::bytes::u32_le_at(bytes, 24),
+            record_count: crate::bytes::u64_le_at(bytes, 28),
         })
     }
+}
+
+fn no_open_part() -> StorageError {
+    StorageError::Io(std::io::Error::other(
+        "reverse writer has no open part file",
+    ))
 }
 
 fn part_name(base: &str, index: u64) -> String {
@@ -227,7 +233,7 @@ impl<R: FixedSizeRecord> ReverseRunWriter<R> {
     }
 
     fn write_current_page(&mut self) -> Result<()> {
-        let file = self.file.as_mut().expect("file must exist");
+        let file = self.file.as_mut().ok_or_else(no_open_part)?;
         file.write_page(self.next_page, self.page.as_bytes())?;
         Ok(())
     }
@@ -242,7 +248,7 @@ impl<R: FixedSizeRecord> ReverseRunWriter<R> {
             record_count: self.records_in_file,
         }
         .write(&mut header_page);
-        let file = self.file.as_mut().expect("file must exist");
+        let file = self.file.as_mut().ok_or_else(no_open_part)?;
         file.write_page(0, header_page.as_bytes())?;
         file.flush()?;
         self.file = None;

@@ -41,15 +41,15 @@ impl RunHeader {
         if bytes.len() < 16 {
             return Err(StorageError::CorruptHeader("header page too small".into()));
         }
-        let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes"));
+        let magic = crate::bytes::u32_le_at(bytes, 0);
         if magic != MAGIC {
             return Err(StorageError::CorruptHeader(format!(
                 "bad magic {magic:#x}, expected {MAGIC:#x}"
             )));
         }
         Ok(RunHeader {
-            record_size: u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")),
-            record_count: u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")),
+            record_size: crate::bytes::u32_le_at(bytes, 4),
+            record_count: crate::bytes::u64_le_at(bytes, 8),
         })
     }
 }

@@ -52,8 +52,8 @@ impl FixedSizeRecord for Record {
 
     fn read_from(buf: &[u8]) -> Self {
         Record {
-            key: u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes")),
-            payload: u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes")),
+            key: twrs_storage::u64_le_at(buf, 0),
+            payload: twrs_storage::u64_le_at(buf, 8),
         }
     }
 }

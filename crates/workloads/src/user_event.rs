@@ -69,9 +69,9 @@ impl FixedSizeRecord for UserEvent {
 
     fn read_from(buf: &[u8]) -> Self {
         UserEvent {
-            prefix: buf[0..8].try_into().expect("8 bytes"),
-            timestamp: u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes")),
-            payload: buf[16..32].try_into().expect("16 bytes"),
+            prefix: twrs_storage::array_at(buf, 0),
+            timestamp: twrs_storage::u64_le_at(buf, 8),
+            payload: twrs_storage::array_at(buf, 16),
         }
     }
 }
