@@ -13,6 +13,7 @@ use twrs_core::{
     BufferSetup, InputHeuristic, OutputHeuristic, TwoWayReplacementSelection, TwrsConfig,
 };
 use twrs_extsort::RunGenerator;
+use twrs_storage::ModelId;
 use twrs_storage::SimDevice;
 use twrs_storage::SpillNamer;
 use twrs_workloads::{Distribution, DistributionKind};
@@ -167,7 +168,7 @@ pub fn paper_factorial_experiment(
 
 /// Executes 2WRS once and returns (number of runs, relative run length).
 fn run_once(kind: DistributionKind, records: u64, config: TwrsConfig, seed: u64) -> (f64, f64) {
-    let device = SimDevice::new();
+    let device = SimDevice::with_model(ModelId::Hdd7200);
     let namer = SpillNamer::new("doe");
     let memory = config.memory_records;
     let mut generator = TwoWayReplacementSelection::new(config);

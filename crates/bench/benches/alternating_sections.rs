@@ -4,6 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use twrs_core::{TwoWayReplacementSelection, TwrsConfig};
 use twrs_extsort::{ExternalSorter, ReplacementSelection, RunGenerator, SorterConfig};
+use twrs_storage::ModelId;
 use twrs_storage::SimDevice;
 use twrs_workloads::{Distribution, DistributionKind};
 
@@ -11,7 +12,7 @@ const RECORDS: u64 = 20_000;
 const MEMORY: usize = 200;
 
 fn sort<G: RunGenerator>(generator: G, sections: u32) -> u64 {
-    let device = SimDevice::new();
+    let device = SimDevice::with_model(ModelId::Hdd7200);
     let mut sorter = ExternalSorter::with_config(generator, SorterConfig::default());
     let mut input =
         Distribution::new(DistributionKind::Alternating { sections }, RECORDS, 1).records();

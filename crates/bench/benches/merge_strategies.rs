@@ -6,6 +6,7 @@ use twrs_extsort::distribution_sort::{DistributionSort, DistributionSortConfig};
 use twrs_extsort::{
     polyphase_merge, KWayMerger, LoadSortStore, MergeConfig, RunGenerator, RunHandle,
 };
+use twrs_storage::ModelId;
 use twrs_storage::{SimDevice, SpillNamer};
 use twrs_workloads::{Distribution, DistributionKind, Record};
 
@@ -25,7 +26,7 @@ fn bench_merges(c: &mut Criterion) {
 
     group.bench_function("kway_fan_in_10", |b| {
         b.iter(|| {
-            let device = SimDevice::new();
+            let device = SimDevice::with_model(ModelId::Hdd7200);
             let namer = SpillNamer::new("kway");
             let runs = build_runs(&device, &namer, 20, 1_024);
             KWayMerger::new(MergeConfig {
@@ -40,7 +41,7 @@ fn bench_merges(c: &mut Criterion) {
 
     group.bench_function("polyphase_6_tapes", |b| {
         b.iter(|| {
-            let device = SimDevice::new();
+            let device = SimDevice::with_model(ModelId::Hdd7200);
             let namer = SpillNamer::new("poly");
             let runs = build_runs(&device, &namer, 20, 1_024);
             polyphase_merge::<_, Record>(&device, &namer, runs, 6, "out").expect("merge succeeds")
@@ -49,7 +50,7 @@ fn bench_merges(c: &mut Criterion) {
 
     group.bench_function("distribution_sort", |b| {
         b.iter(|| {
-            let device = SimDevice::new();
+            let device = SimDevice::with_model(ModelId::Hdd7200);
             let namer = SpillNamer::new("dsort");
             let sorter = DistributionSort::new(DistributionSortConfig {
                 memory_records: 1_024,

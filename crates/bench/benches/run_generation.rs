@@ -10,6 +10,7 @@ use twrs_extsort::{
     ForwardRunBuilder, LoadSortStore, ReplacementSelection, RunGenerator, RunHandle, RunSet,
 };
 use twrs_heaps::{BinaryHeap, HeapKind, RunRecord};
+use twrs_storage::ModelId;
 use twrs_storage::{SimDevice, SpillNamer};
 use twrs_workloads::{Distribution, DistributionKind, Record};
 
@@ -17,7 +18,7 @@ const RECORDS: u64 = 20_000;
 const MEMORY: usize = 500;
 
 fn generate<G: RunGenerator>(mut generator: G) -> usize {
-    let device = SimDevice::new();
+    let device = SimDevice::with_model(ModelId::Hdd7200);
     let namer = SpillNamer::new("bench");
     let mut input = Distribution::new(DistributionKind::RandomUniform, RECORDS, 1).records();
     generator
@@ -117,7 +118,7 @@ fn bench_generic_pin(c: &mut Criterion) {
     });
     group.bench_function("rs_concrete_record_pre_redesign", |b| {
         b.iter(|| {
-            let device = SimDevice::new();
+            let device = SimDevice::with_model(ModelId::Hdd7200);
             let namer = SpillNamer::new("bench");
             let mut input =
                 Distribution::new(DistributionKind::RandomUniform, RECORDS, 1).records();

@@ -8,6 +8,7 @@ use twrs_extsort::{
     ExternalSorter, MergeConfig, ParallelExternalSorter, ParallelSorterConfig,
     ReplacementSelection, RunGenerator, SorterConfig,
 };
+use twrs_storage::ModelId;
 use twrs_storage::SimDevice;
 use twrs_workloads::{Distribution, DistributionKind};
 
@@ -15,7 +16,7 @@ const RECORDS: u64 = 20_000;
 const MEMORY: usize = 400;
 
 fn sort<G: RunGenerator>(generator: G, kind: DistributionKind) -> u64 {
-    let device = SimDevice::new();
+    let device = SimDevice::with_model(ModelId::Hdd7200);
     let config = SorterConfig {
         merge: MergeConfig {
             fan_in: 10,
@@ -56,7 +57,7 @@ fn bench_total_sort(c: &mut Criterion) {
 }
 
 fn sort_parallel(threads: usize, kind: DistributionKind) -> u64 {
-    let device = SimDevice::new();
+    let device = SimDevice::with_model(ModelId::Hdd7200);
     let config = ParallelSorterConfig {
         threads,
         merge: MergeConfig {

@@ -9,6 +9,7 @@ use crate::report::{fmt_relative, Table};
 use crate::scale::Scale;
 use twrs_core::{BufferSetup, TwoWayReplacementSelection, TwrsConfig};
 use twrs_extsort::RunGenerator;
+use twrs_storage::ModelId;
 use twrs_storage::{SimDevice, SpillNamer};
 use twrs_workloads::{Distribution, DistributionKind};
 
@@ -32,7 +33,7 @@ pub fn measure(scale: Scale, fractions: &[f64]) -> Vec<BufferSweepPoint> {
     fractions
         .iter()
         .map(|fraction| {
-            let device = SimDevice::new();
+            let device = SimDevice::with_model(ModelId::Hdd7200);
             let namer = SpillNamer::new("bufsweep");
             let config =
                 TwrsConfig::recommended(scale.memory).with_buffers(BufferSetup::Both, *fraction);

@@ -74,7 +74,7 @@ pub fn measure(experiment: FanInExperiment) -> Vec<FanInPoint> {
     for fan_in in experiment.fan_ins.clone() {
         // A fresh device per fan-in so every measurement starts from the
         // same on-disk layout.
-        let device = SimDevice::with_config(twrs_storage::DEFAULT_PAGE_SIZE, scaled_disk_model());
+        let device = SimDevice::custom(twrs_storage::DEFAULT_PAGE_SIZE, scaled_disk_model());
         let namer = SpillNamer::new("fanin");
         let runs = build_runs(&device, &namer, experiment.runs, experiment.records_per_run);
         device.reset_stats();

@@ -6,6 +6,7 @@ use std::time::Instant;
 use twrs_extsort::{
     polyphase_merge, polyphase_schedule, KWayMerger, LoadSortStore, MergeConfig, RunGenerator,
 };
+use twrs_storage::ModelId;
 use twrs_storage::{SimDevice, SpillNamer, StorageDevice};
 use twrs_workloads::{Distribution, DistributionKind, Record};
 
@@ -59,7 +60,7 @@ pub fn compare(runs: usize, records_per_run: u64) -> MergeComparison {
             .runs
     };
 
-    let device = SimDevice::new();
+    let device = SimDevice::with_model(ModelId::Hdd7200);
     let namer = SpillNamer::new("cmp-kway");
     let run_set = build(&device, &namer);
     device.reset_stats();
@@ -74,7 +75,7 @@ pub fn compare(runs: usize, records_per_run: u64) -> MergeComparison {
     let kway_cpu = started.elapsed();
     let kway_stats = device.stats();
 
-    let device = SimDevice::new();
+    let device = SimDevice::with_model(ModelId::Hdd7200);
     let namer = SpillNamer::new("cmp-poly");
     let run_set = build(&device, &namer);
     device.reset_stats();

@@ -7,6 +7,7 @@ use crate::scale::Scale;
 use twrs_analysis::theory;
 use twrs_core::{TwoWayReplacementSelection, TwrsConfig};
 use twrs_extsort::{LoadSortStore, ReplacementSelection, RunGenerator, RunSet};
+use twrs_storage::ModelId;
 use twrs_storage::{SimDevice, SpillNamer};
 use twrs_workloads::{Distribution, DistributionKind};
 
@@ -38,7 +39,7 @@ fn measure<G: RunGenerator>(
     scale: Scale,
     seed: u64,
 ) -> f64 {
-    let device = SimDevice::new();
+    let device = SimDevice::with_model(ModelId::Hdd7200);
     let namer = SpillNamer::new("runlen");
     let mut input = Distribution::new(kind, scale.records, seed).records();
     let set: RunSet = generator

@@ -12,6 +12,7 @@ use crate::report::{fmt_duration, Table};
 use std::time::Duration;
 use twrs_core::{TwoWayReplacementSelection, TwrsConfig};
 use twrs_extsort::{ExternalSorter, MergeConfig, ReplacementSelection, RunGenerator, SorterConfig};
+use twrs_storage::ModelId;
 use twrs_storage::SimDevice;
 use twrs_workloads::{Distribution, DistributionKind};
 
@@ -96,7 +97,7 @@ fn sort_with<G: RunGenerator>(
     records: u64,
     fan_in: usize,
 ) -> (Duration, Duration, usize) {
-    let device = SimDevice::new();
+    let device = SimDevice::with_model(ModelId::Hdd7200);
     let config = SorterConfig {
         merge: MergeConfig {
             fan_in,

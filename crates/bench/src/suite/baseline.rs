@@ -202,6 +202,7 @@ pub fn compare(baseline: &Json, report: &BenchReport) -> Vec<Drift> {
 mod tests {
     use super::*;
     use crate::suite::matrix::{GeneratorKind, RecordType, Scenario, ScenarioMatrix, SinkMode};
+    use twrs_storage::ModelId;
     use twrs_workloads::DistributionKind;
 
     fn report() -> BenchReport {
@@ -216,6 +217,7 @@ mod tests {
                     threads: 1,
                     record_type: RecordType::Record,
                     sink: SinkMode::File,
+                    device: ModelId::Hdd7200,
                     seed: 42,
                 },
                 Scenario {
@@ -226,6 +228,7 @@ mod tests {
                     threads: 4,
                     record_type: RecordType::Record,
                     sink: SinkMode::File,
+                    device: ModelId::Hdd7200,
                     seed: 42,
                 },
             ],

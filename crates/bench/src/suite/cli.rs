@@ -35,6 +35,10 @@ OPTIONS:
                            exit 1 on any drift
     --update-baseline      Rewrite the baseline from this run (commit the result)
     --list                 Print the scenario ids of the selected matrix and exit
+    --smoke <SPEC>         Run one small end-to-end sort on the device described
+                           by SPEC (e.g. \"real:\" for an O_DIRECT-capable temp
+                           directory, \"sim:nvme\"), report the direct-I/O
+                           status, and exit. Skips the matrix and the baseline.
     -h, --help             Print this help
 ";
 
@@ -59,6 +63,8 @@ pub struct Options {
     pub update_baseline: bool,
     /// Only list scenario ids.
     pub list: bool,
+    /// Run one small sort on the device described by this spec and exit.
+    pub smoke: Option<String>,
     /// Print usage and exit.
     pub help: bool,
 }
@@ -76,6 +82,7 @@ impl Options {
             check_baseline: false,
             update_baseline: false,
             list: false,
+            smoke: None,
             help: false,
         };
         let mut iter = args.iter();
@@ -95,6 +102,7 @@ impl Options {
                 "--check-baseline" => options.check_baseline = true,
                 "--update-baseline" => options.update_baseline = true,
                 "--list" => options.list = true,
+                "--smoke" => options.smoke = Some(value("--smoke")?),
                 "-h" | "--help" => options.help = true,
                 other => return Err(format!("unknown option {other} (see --help)")),
             }
@@ -104,6 +112,13 @@ impl Options {
         }
         if options.check_baseline && options.update_baseline {
             return Err("--check-baseline and --update-baseline are mutually exclusive".into());
+        }
+        if options.smoke.is_some() && (options.check_baseline || options.update_baseline) {
+            return Err(
+                "--smoke runs one standalone scenario outside the matrix; the baseline \
+                 gate only applies to matrix runs"
+                    .into(),
+            );
         }
         if options.service && (options.check_baseline || options.update_baseline) {
             return Err(
@@ -135,6 +150,63 @@ fn write_file(path: &str, contents: &str) -> Result<(), String> {
     std::fs::write(path, contents).map_err(|e| format!("cannot write {path}: {e}"))
 }
 
+/// Runs one small end-to-end sort on the device a spec string describes —
+/// the CI `real-device-smoke` step. Reports the backend's direct-I/O
+/// decision (`O_DIRECT` or the fallback reason) and fails if the sort or
+/// its verification fails, so the real-file path is exercised on every CI
+/// run even though its wall-clock numbers are machine-dependent.
+pub fn run_smoke(spec_text: &str) -> Result<i32, String> {
+    use twrs_extsort::{ReplacementSelection, SortJob};
+    use twrs_storage::{DeviceSpec, StorageDevice};
+    use twrs_workloads::Distribution;
+    use twrs_workloads::DistributionKind;
+
+    let spec: DeviceSpec = spec_text
+        .parse()
+        .map_err(|e| format!("--smoke {spec_text}: {e}"))?;
+    let device = spec
+        .build()
+        .map_err(|e| format!("--smoke {spec_text}: {e}"))?;
+    match device.direct_io() {
+        Some(status) => println!("smoke device `{spec}`: real files, {status}"),
+        None => println!("smoke device `{spec}`: simulated"),
+    }
+
+    let records = 3_000u64;
+    let input = Distribution::new(
+        DistributionKind::RandomUniform,
+        records,
+        super::matrix::MATRIX_SEED,
+    );
+    let report = SortJob::new(ReplacementSelection::new(200))
+        .on(&device)
+        .verify(true)
+        .run_iter(input.records(), "smoke-sorted")
+        .map_err(|e| format!("smoke sort failed on `{spec}`: {e}"))?;
+    let stats = device.stats();
+    if report.report.records != records {
+        return Err(format!(
+            "smoke sort on `{spec}`: {} of {records} records",
+            report.report.records
+        ));
+    }
+    if stats.counters.pages_written == 0 || stats.counters.pages_read == 0 {
+        return Err(format!(
+            "smoke sort on `{spec}` moved no pages (written {}, read {})",
+            stats.counters.pages_written, stats.counters.pages_read
+        ));
+    }
+    println!(
+        "smoke ok: {} records in {} runs, {} pages written / {} read, {} seeks",
+        report.report.records,
+        report.num_runs(),
+        stats.counters.pages_written,
+        stats.counters.pages_read,
+        stats.counters.seeks
+    );
+    Ok(0)
+}
+
 /// Runs the suite for the given arguments. Returns the process exit code
 /// (`0` success, `1` baseline drift); hard failures come back as `Err` and
 /// also exit `1`.
@@ -143,6 +215,9 @@ pub fn run(args: &[String]) -> Result<i32, String> {
     if options.help {
         println!("{USAGE}");
         return Ok(0);
+    }
+    if let Some(spec) = &options.smoke {
+        return run_smoke(spec);
     }
     let matrix = options.matrix();
     if options.list {

@@ -8,6 +8,7 @@
 //! [`ScenarioMatrix::quick`] is the reduced matrix PR CI runs on every
 //! change; [`ScenarioMatrix::full`] is the on-demand evaluation matrix.
 
+use twrs_storage::ModelId;
 use twrs_workloads::DistributionKind;
 
 /// The run-generation algorithm of a scenario.
@@ -119,27 +120,37 @@ pub struct Scenario {
     pub record_type: RecordType,
     /// Output shape of the final merge pass.
     pub sink: SinkMode,
+    /// Device model the scenario's simulated disk charges costs from.
+    /// Page/seek *counts* are identical across models (the catalog shares
+    /// one seek-detection rule); only simulated I/O time differs.
+    pub device: ModelId,
     /// Seed of the input distribution.
     pub seed: u64,
 }
 
 impl Scenario {
     /// A stable, human-readable identifier, unique within a matrix; the key
-    /// the baseline gate matches scenarios by. File-sink scenarios keep the
-    /// historical id shape; stream scenarios carry a `-stream` suffix.
+    /// the baseline gate matches scenarios by. Scenarios on the historical
+    /// `hdd-7200` model keep the pre-device-axis id shape; other models
+    /// carry their catalog id as a segment (before any `-stream` suffix).
     pub fn id(&self) -> String {
+        let device = match self.device {
+            ModelId::Hdd7200 => String::new(),
+            other => format!("-{}", other.name()),
+        };
         let sink = match self.sink {
             SinkMode::File => "",
             SinkMode::Stream => "-stream",
         };
         format!(
-            "{}-{}-{}-n{}-m{}-t{}{}",
+            "{}-{}-{}-n{}-m{}-t{}{}{}",
             self.generator.slug(),
             self.distribution.label(),
             self.record_type.slug(),
             self.records,
             self.memory,
             self.threads,
+            device,
             sink
         )
     }
@@ -196,6 +207,7 @@ impl ScenarioMatrix {
                         threads,
                         record_type: RecordType::Record,
                         sink: SinkMode::File,
+                        device: ModelId::Hdd7200,
                         seed: MATRIX_SEED,
                     });
                 }
@@ -214,6 +226,7 @@ impl ScenarioMatrix {
                         threads,
                         record_type,
                         sink: SinkMode::File,
+                        device: ModelId::Hdd7200,
                         seed: MATRIX_SEED,
                     });
                 }
@@ -230,6 +243,7 @@ impl ScenarioMatrix {
                 threads,
                 record_type: RecordType::U64,
                 sink: SinkMode::File,
+                device: ModelId::Hdd7200,
                 seed: MATRIX_SEED,
             });
         }
@@ -238,10 +252,45 @@ impl ScenarioMatrix {
         // its generation and intermediate-merge counters match the file
         // scenarios above.
         scenarios.extend(Self::stream_slice(records, memory));
+        // Device axis: the random/record slice re-costed under the nvme
+        // model. The pinned counters are identical to the hdd-7200 twins
+        // (same pages, runs and seeks — the catalog shares one
+        // seek-detection rule); only simulated I/O time drops, re-testing
+        // the paper's seek-dominated conclusion under a near-seek-free
+        // device.
+        scenarios.extend(Self::device_slice(records, memory, [ModelId::Nvme]));
         ScenarioMatrix {
             name: "quick",
             scenarios,
         }
+    }
+
+    /// The device-axis slice: every generator on random input, both thread
+    /// counts, default record, once per requested non-default model.
+    fn device_slice(
+        records: u64,
+        memory: usize,
+        models: impl IntoIterator<Item = ModelId>,
+    ) -> Vec<Scenario> {
+        let mut scenarios = Vec::new();
+        for device in models {
+            for generator in GeneratorKind::all() {
+                for threads in [1, 4] {
+                    scenarios.push(Scenario {
+                        generator,
+                        distribution: DistributionKind::RandomUniform,
+                        records,
+                        memory,
+                        threads,
+                        record_type: RecordType::Record,
+                        sink: SinkMode::File,
+                        device,
+                        seed: MATRIX_SEED,
+                    });
+                }
+            }
+        }
+        scenarios
     }
 
     /// The stream-sink slice shared by both matrices: every generator on
@@ -258,6 +307,7 @@ impl ScenarioMatrix {
                     threads,
                     record_type: RecordType::Record,
                     sink: SinkMode::Stream,
+                    device: ModelId::Hdd7200,
                     seed: MATRIX_SEED,
                 });
             }
@@ -287,6 +337,7 @@ impl ScenarioMatrix {
                             threads,
                             record_type: RecordType::Record,
                             sink: SinkMode::File,
+                            device: ModelId::Hdd7200,
                             seed: MATRIX_SEED,
                         });
                     }
@@ -305,6 +356,7 @@ impl ScenarioMatrix {
                             threads,
                             record_type,
                             sink: SinkMode::File,
+                            device: ModelId::Hdd7200,
                             seed: MATRIX_SEED,
                         });
                     }
@@ -312,6 +364,12 @@ impl ScenarioMatrix {
             }
         }
         scenarios.extend(Self::stream_slice(records, 300));
+        // Full device coverage: every non-default catalog model.
+        scenarios.extend(Self::device_slice(
+            records,
+            300,
+            [ModelId::SataSsd, ModelId::Nvme, ModelId::Pmem],
+        ));
         ScenarioMatrix {
             name: "full",
             scenarios,
@@ -398,6 +456,7 @@ mod tests {
             threads: 4,
             record_type: RecordType::UserEvent,
             sink: SinkMode::File,
+            device: ModelId::Hdd7200,
             seed: MATRIX_SEED,
         };
         // File-sink ids keep the pre-sink-axis shape, so the historical

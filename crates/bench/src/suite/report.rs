@@ -13,7 +13,7 @@
 //!     {
 //!       "id": "rs-random-record-n6000-m300-t1",
 //!       "generator": "RS", "distribution": "random", "record_type": "record",
-//!       "sink": "file", "final_pass_pages_written": 97,
+//!       "sink": "file", "device": "hdd-7200", "final_pass_pages_written": 97,
 //!       "records": 6000, "memory_records": 300, "threads": 1, "seed": 42,
 //!       "wall_us": 1234, "simulated_io_us": 56789, "records_per_sec": 4861448.2,
 //!       "runs": 10, "avg_run_length": 600.0,
@@ -300,6 +300,7 @@ fn scenario_json(result: &ScenarioResult) -> Json {
         ),
         ("record_type", Json::Str(scenario.record_type.slug().into())),
         ("sink", Json::Str(scenario.sink.slug().into())),
+        ("device", Json::Str(scenario.device.name().into())),
         (
             "final_pass_pages_written",
             Json::counter(result.final_pass_pages_written),
@@ -417,6 +418,7 @@ pub(crate) fn deterministic_json(det: &super::runner::DeterministicCounters) -> 
 mod tests {
     use super::*;
     use crate::suite::matrix::{GeneratorKind, RecordType, Scenario, SinkMode, MATRIX_SEED};
+    use twrs_storage::ModelId;
     use twrs_workloads::DistributionKind;
 
     fn tiny_matrix() -> ScenarioMatrix {
@@ -430,6 +432,7 @@ mod tests {
                 threads,
                 record_type: RecordType::Record,
                 sink: SinkMode::File,
+                device: ModelId::Hdd7200,
                 seed: MATRIX_SEED,
             })
             .collect();

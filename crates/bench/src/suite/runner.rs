@@ -10,7 +10,7 @@ use twrs_extsort::{
     FinalPassKind, LoadSortStore, PhaseReport, ReplacementSelection, ShardableGenerator, SortJob,
     SortJobReport,
 };
-use twrs_storage::{DiskModel, SimDevice, SortableRecord, StorageDevice};
+use twrs_storage::{DiskModel, ModelId, SimDevice, SortableRecord, StorageDevice};
 use twrs_workloads::{Distribution, UserEvent};
 
 /// One phase's metrics, flattened for serialization. Pages and seeks are
@@ -128,10 +128,12 @@ impl ScenarioResult {
     }
 }
 
-/// The disk model every scenario runs under (the default simulated SATA
-/// disk; recorded in the report header so numbers are interpretable).
+/// The disk model scenarios run under by default (the `hdd-7200` catalog
+/// entry; recorded in the report header so numbers are interpretable —
+/// scenarios on another catalog model carry it in their id and their own
+/// `device` report field).
 pub fn suite_disk_model() -> DiskModel {
-    DiskModel::default()
+    ModelId::Hdd7200.params()
 }
 
 fn run_job<R, I>(scenario: &Scenario, input: I) -> Result<SortJobReport, String>
@@ -145,7 +147,7 @@ where
         R: SortableRecord,
         I: Iterator<Item = R>,
     {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(scenario.device);
         let job = SortJob::new(generator)
             .on(&device)
             .threads(scenario.threads)
@@ -258,6 +260,7 @@ mod tests {
             threads,
             record_type: RecordType::Record,
             sink: SinkMode::File,
+            device: ModelId::Hdd7200,
             seed: 7,
         }
     }
@@ -342,6 +345,37 @@ mod tests {
                 // And a repeat run reproduces the stream counters exactly.
                 let again = run_scenario(&stream).unwrap();
                 assert_eq!(stream_result.deterministic(), again.deterministic());
+            }
+        }
+    }
+
+    #[test]
+    fn device_models_change_simulated_time_but_not_counters() {
+        // The device axis re-tests the paper's seek-dominated conclusion:
+        // a near-seek-free nvme model must reproduce the hdd scenario's
+        // page/seek counts exactly while its simulated I/O time collapses.
+        for generator in GeneratorKind::all() {
+            for threads in [1, 4] {
+                let hdd = scenario(generator, threads);
+                let nvme = Scenario {
+                    device: ModelId::Nvme,
+                    ..hdd
+                };
+                let hdd_result = run_scenario(&hdd).unwrap();
+                let nvme_result = run_scenario(&nvme).unwrap();
+                assert_eq!(
+                    hdd_result.deterministic(),
+                    nvme_result.deterministic(),
+                    "{}",
+                    nvme.id()
+                );
+                assert!(
+                    nvme_result.simulated_io_us < hdd_result.simulated_io_us,
+                    "{}: nvme {}µs !< hdd {}µs",
+                    nvme.id(),
+                    nvme_result.simulated_io_us,
+                    hdd_result.simulated_io_us
+                );
             }
         }
     }

@@ -21,6 +21,7 @@ use twrs_extsort::{
     JobHandle, LatencyPercentiles, LoadSortStore, ReplacementSelection, SortError, SortJob,
     SortJobReport,
 };
+use twrs_storage::ModelId;
 use twrs_storage::SimDevice;
 use twrs_workloads::{ArrivalTrace, Distribution, DistributionKind};
 
@@ -210,7 +211,7 @@ pub fn run_service_scenario(scenario: &ServiceScenario) -> Result<ServiceScenari
         Duration::ZERO,
         scenario.seed,
     );
-    let device = SimDevice::new();
+    let device = SimDevice::with_model(ModelId::Hdd7200);
     let mut config = ServiceConfig::new(scenario.global_memory)
         .workers(scenario.workers)
         .grant_policy(GrantPolicy::FixedShare {

@@ -15,6 +15,7 @@
 use twrs_bench::suite::{
     run_scenario, DeterministicCounters, GeneratorKind, RecordType, Scenario, SinkMode,
 };
+use twrs_storage::ModelId;
 use twrs_workloads::DistributionKind;
 
 fn base_scenario(generator: GeneratorKind, sink: SinkMode) -> Scenario {
@@ -26,6 +27,7 @@ fn base_scenario(generator: GeneratorKind, sink: SinkMode) -> Scenario {
         threads: 1,
         record_type: RecordType::Record,
         sink,
+        device: ModelId::Hdd7200,
         seed: 42,
     }
 }

@@ -23,10 +23,10 @@
 //! ```
 //! use twrs_core::{TwoWayReplacementSelection, TwrsConfig};
 //! use twrs_extsort::{ExternalSorter, SorterConfig};
-//! use twrs_storage::SimDevice;
+//! use twrs_storage::{ModelId, SimDevice};
 //! use twrs_workloads::{Distribution, DistributionKind};
 //!
-//! let device = SimDevice::new();
+//! let device = SimDevice::with_model(ModelId::Hdd7200);
 //! let twrs = TwoWayReplacementSelection::new(TwrsConfig::recommended(1_000));
 //! let mut sorter = ExternalSorter::with_config(twrs, SorterConfig::default());
 //! let mut input = Distribution::new(DistributionKind::ReverseSorted, 10_000, 1).records();

@@ -247,6 +247,7 @@ impl<'a, D: Device, R: SortableRecord> RunStreams<'a, D, R> {
 mod tests {
     use super::*;
     use twrs_extsort::RunCursor;
+    use twrs_storage::ModelId;
     use twrs_storage::SimDevice;
     use twrs_workloads::Record;
 
@@ -256,7 +257,7 @@ mod tests {
 
     #[test]
     fn four_streams_concatenate_into_one_sorted_run() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let namer = SpillNamer::new("s");
         let mut streams = RunStreams::new(&device, &namer, 4);
 
@@ -284,7 +285,7 @@ mod tests {
 
     #[test]
     fn acceptance_enforces_cross_stream_ordering() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let namer = SpillNamer::new("s");
         let mut streams = RunStreams::new(&device, &namer, 4);
         streams.push_stream4(rec(40)).unwrap();
@@ -304,7 +305,7 @@ mod tests {
 
     #[test]
     fn empty_run_produces_no_handle() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let namer = SpillNamer::new("s");
         let streams = RunStreams::<_, Record>::new(&device, &namer, 4);
         let mut runs = Vec::new();
@@ -314,7 +315,7 @@ mod tests {
 
     #[test]
     fn single_stream_run_is_not_wrapped_in_a_chain() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let namer = SpillNamer::new("s");
         let mut streams = RunStreams::new(&device, &namer, 4);
         for k in 0..10 {
@@ -328,7 +329,7 @@ mod tests {
 
     #[test]
     fn first_output_is_the_smallest_first_of_any_stream() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let namer = SpillNamer::new("s");
         let mut streams = RunStreams::new(&device, &namer, 4);
         assert_eq!(streams.first_output(), None);
@@ -340,7 +341,7 @@ mod tests {
 
     #[test]
     fn acceptance_is_unconstrained_for_a_fresh_run() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let namer = SpillNamer::new("s");
         let streams = RunStreams::new(&device, &namer, 4);
         assert!(streams.accepts_stream1(&rec(0)));

@@ -605,11 +605,12 @@ mod tests {
     use crate::config::BufferSetup;
     use crate::heuristics::output::OutputHeuristic;
     use twrs_extsort::RunCursor;
+    use twrs_storage::ModelId;
     use twrs_storage::SimDevice;
     use twrs_workloads::{Distribution, DistributionKind, Record};
 
     fn generate(config: TwrsConfig, input: Vec<Record>) -> (SimDevice, RunSet, TwrsRunStats) {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let namer = SpillNamer::new("twrs");
         let mut generator = TwoWayReplacementSelection::new(config);
         let mut iter = input.into_iter();
@@ -804,7 +805,7 @@ mod tests {
 
     #[test]
     fn zero_memory_is_rejected() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let namer = SpillNamer::new("twrs");
         let mut generator = TwoWayReplacementSelection::new(TwrsConfig::recommended(0));
         let mut input = std::iter::empty::<Record>();

@@ -10,6 +10,7 @@ use twrs_core::{
     BufferSetup, InputHeuristic, OutputHeuristic, TwoWayReplacementSelection, TwrsConfig,
 };
 use twrs_extsort::{RunCursor, RunGenerator};
+use twrs_storage::ModelId;
 use twrs_storage::{SimDevice, SpillNamer};
 use twrs_workloads::Record;
 
@@ -28,7 +29,7 @@ fn setup_for(seed: u64) -> BufferSetup {
 
 /// Runs 2WRS over `keys` and returns (per-run record vectors, total).
 fn run_twrs(keys: &[u64], memory: usize, config_seed: u64) -> (Vec<Vec<Record>>, u64) {
-    let device = SimDevice::new();
+    let device = SimDevice::with_model(ModelId::Hdd7200);
     let namer = SpillNamer::new("prop");
     let (input_h, output_h) = heuristic_pair(config_seed);
     let config = TwrsConfig::recommended(memory)

@@ -335,6 +335,7 @@ struct Bucket {
 mod tests {
     use super::*;
     use crate::run_generation::{RunCursor, RunHandle};
+    use twrs_storage::ModelId;
     use twrs_storage::SimDevice;
     use twrs_workloads::{Distribution, DistributionKind, Record};
 
@@ -342,7 +343,7 @@ mod tests {
         config: DistributionSortConfig,
         input: Vec<Record>,
     ) -> (Vec<Record>, DistributionSortReport) {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let namer = SpillNamer::new("ds");
         let sorter = DistributionSort::new(config);
         let mut iter = input.into_iter();
@@ -421,7 +422,7 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let namer = SpillNamer::new("ds");
         let mut empty = std::iter::empty::<Record>();
         let no_memory = DistributionSort::new(DistributionSortConfig {
@@ -461,7 +462,7 @@ mod tests {
             input.clone(),
         );
 
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let mut sorter =
             ExternalSorter::with_config(ReplacementSelection::new(400), SorterConfig::default());
         let mut iter = input.into_iter();

@@ -87,11 +87,12 @@ impl RunGenerator for LoadSortStore {
 mod tests {
     use super::*;
     use crate::run_generation::RunCursor;
+    use twrs_storage::ModelId;
     use twrs_storage::SimDevice;
     use twrs_workloads::{Distribution, DistributionKind, Record};
 
     fn generate(memory: usize, records: u64) -> (SimDevice, RunSet) {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let namer = SpillNamer::new("lss");
         let mut generator = LoadSortStore::new(memory);
         let mut input = Distribution::new(DistributionKind::RandomUniform, records, 1).records();
@@ -141,7 +142,7 @@ mod tests {
 
     #[test]
     fn zero_memory_is_rejected() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let namer = SpillNamer::new("lss");
         let mut generator = LoadSortStore::new(0);
         let mut input = std::iter::empty::<Record>();

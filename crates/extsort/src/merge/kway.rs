@@ -453,6 +453,7 @@ mod tests {
     use super::*;
     use crate::load_sort_store::LoadSortStore;
     use crate::run_generation::{RunGenerator, RunSet};
+    use twrs_storage::ModelId;
     use twrs_storage::{SimDevice, SpillNamer, StorageDevice};
     use twrs_workloads::{Distribution, DistributionKind, Record};
 
@@ -470,7 +471,7 @@ mod tests {
 
     #[test]
     fn merges_to_a_single_sorted_output() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let namer = SpillNamer::new("m");
         let set = make_runs(&device, &namer, 5_000, 250);
         assert_eq!(set.num_runs(), 20);
@@ -492,7 +493,7 @@ mod tests {
 
     #[test]
     fn single_step_when_fan_in_covers_all_runs() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let namer = SpillNamer::new("m");
         let set = make_runs(&device, &namer, 2_000, 250);
         let merger = KWayMerger::new(MergeConfig {
@@ -509,7 +510,7 @@ mod tests {
 
     #[test]
     fn single_run_is_copied_to_output() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let namer = SpillNamer::new("m");
         let set = make_runs(&device, &namer, 100, 1_000);
         assert_eq!(set.num_runs(), 1);
@@ -523,7 +524,7 @@ mod tests {
 
     #[test]
     fn empty_run_list_produces_empty_output() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let namer = SpillNamer::new("m");
         let merger = KWayMerger::default();
         let report = merger
@@ -535,7 +536,7 @@ mod tests {
 
     #[test]
     fn intermediate_runs_are_cleaned_up() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let namer = SpillNamer::new("m");
         let set = make_runs(&device, &namer, 3_000, 100);
         let merger = KWayMerger::new(MergeConfig {
@@ -553,7 +554,7 @@ mod tests {
 
     #[test]
     fn fan_in_below_two_is_rejected() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let namer = SpillNamer::new("m");
         let merger = KWayMerger::new(MergeConfig {
             fan_in: 1,
@@ -568,7 +569,7 @@ mod tests {
     #[test]
     fn larger_read_ahead_reduces_seeks() {
         let build = |read_ahead: usize| -> u64 {
-            let device = SimDevice::new();
+            let device = SimDevice::with_model(ModelId::Hdd7200);
             let namer = SpillNamer::new("m");
             let set = make_runs(&device, &namer, 20_000, 1_000);
             device.reset_stats();

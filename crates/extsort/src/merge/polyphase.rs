@@ -171,6 +171,7 @@ mod tests {
     use super::*;
     use crate::load_sort_store::LoadSortStore;
     use crate::run_generation::RunGenerator;
+    use twrs_storage::ModelId;
     use twrs_storage::SimDevice;
     use twrs_workloads::{Distribution, DistributionKind, Record};
 
@@ -201,7 +202,7 @@ mod tests {
 
     #[test]
     fn merge_produces_sorted_output() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let namer = SpillNamer::new("pp");
         let mut generator = LoadSortStore::new(100);
         let mut input = Distribution::new(DistributionKind::RandomUniform, 2_500, 21).records();
@@ -217,7 +218,7 @@ mod tests {
 
     #[test]
     fn merge_single_run_copies_it() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let namer = SpillNamer::new("pp");
         let mut generator = LoadSortStore::new(1_000);
         let mut input = Distribution::new(DistributionKind::RandomUniform, 300, 2).records();
@@ -229,7 +230,7 @@ mod tests {
 
     #[test]
     fn merge_empty_input() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let namer = SpillNamer::new("pp");
         polyphase_merge::<_, Record>(&device, &namer, Vec::new(), 4, "sorted").unwrap();
         let output = read_output::<_, Record>(&device, "sorted").unwrap();
@@ -238,7 +239,7 @@ mod tests {
 
     #[test]
     fn too_few_tapes_is_rejected() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let namer = SpillNamer::new("pp");
         assert!(matches!(
             polyphase_merge::<_, Record>(&device, &namer, Vec::new(), 2, "out"),
@@ -248,7 +249,7 @@ mod tests {
 
     #[test]
     fn merge_preserves_multiset() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let namer = SpillNamer::new("pp");
         let input: Vec<Record> =
             Distribution::new(DistributionKind::MixedBalanced, 1_200, 5).collect();

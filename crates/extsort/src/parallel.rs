@@ -1156,6 +1156,7 @@ mod tests {
     use crate::load_sort_store::LoadSortStore;
     use crate::replacement_selection::ReplacementSelection;
     use crate::sorter::ExternalSorter;
+    use twrs_storage::ModelId;
     use twrs_storage::SimDevice;
     use twrs_workloads::{Distribution, DistributionKind, Record};
 
@@ -1195,7 +1196,7 @@ mod tests {
     #[test]
     fn parallel_sort_matches_sequential_output() {
         for threads in [1, 2, 3, 5] {
-            let device = SimDevice::new();
+            let device = SimDevice::with_model(ModelId::Hdd7200);
             let mut seq = ExternalSorter::with_config(
                 ReplacementSelection::new(120),
                 config(threads).sequential(),
@@ -1223,7 +1224,7 @@ mod tests {
 
     #[test]
     fn empty_input_produces_empty_output() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let mut par = ParallelExternalSorter::with_config(LoadSortStore::new(64), config(4));
         let mut input = std::iter::empty::<Record>();
         let report = par.sort_iter(&device, &mut input, "out").unwrap();
@@ -1235,7 +1236,7 @@ mod tests {
 
     #[test]
     fn zero_threads_is_rejected() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let mut par = ParallelExternalSorter::with_config(LoadSortStore::new(64), config(0));
         let mut input = std::iter::empty::<Record>();
         assert!(matches!(
@@ -1246,7 +1247,7 @@ mod tests {
 
     #[test]
     fn temporary_files_are_cleaned_up() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let mut par = ParallelExternalSorter::with_config(ReplacementSelection::new(50), config(3));
         let mut input = Distribution::new(DistributionKind::MixedBalanced, 2_000, 2).records();
         par.sort_iter(&device, &mut input, "final").unwrap();
@@ -1255,7 +1256,7 @@ mod tests {
 
     #[test]
     fn spill_device_defers_writes_until_flush_barrier() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let spill = SpillWriteDevice::new(device.clone(), 16);
         let page = vec![42u8; device.page_size()];
         let mut file = spill.create("f").unwrap();
@@ -1273,7 +1274,7 @@ mod tests {
 
     #[test]
     fn spill_device_read_page_sees_queued_writes() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let spill = SpillWriteDevice::new(device.clone(), 16);
         let page = vec![7u8; device.page_size()];
         let mut file = spill.create("f").unwrap();
@@ -1285,7 +1286,7 @@ mod tests {
 
     #[test]
     fn spill_device_rejects_wrong_page_size() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let spill = SpillWriteDevice::new(device, 4);
         let mut file = spill.create("f").unwrap();
         assert!(matches!(

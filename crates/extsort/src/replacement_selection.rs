@@ -121,11 +121,12 @@ impl RunGenerator for ReplacementSelection {
 mod tests {
     use super::*;
     use crate::run_generation::RunCursor;
+    use twrs_storage::ModelId;
     use twrs_storage::SimDevice;
     use twrs_workloads::{Distribution, DistributionKind, Record};
 
     fn run_rs(memory: usize, input: Vec<Record>) -> (SimDevice, RunSet) {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let namer = SpillNamer::new("rs");
         let mut generator = ReplacementSelection::new(memory);
         let mut iter = input.into_iter();
@@ -221,7 +222,7 @@ mod tests {
 
     #[test]
     fn zero_memory_is_rejected() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let namer = SpillNamer::new("rs");
         let mut generator = ReplacementSelection::new(0);
         let mut input = std::iter::empty::<Record>();

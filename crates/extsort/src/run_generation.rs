@@ -375,6 +375,7 @@ impl<'a, D: Device, R: SortableRecord> ReverseRunBuilder<'a, D, R> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use twrs_storage::ModelId;
     use twrs_storage::SimDevice;
 
     #[test]
@@ -401,7 +402,7 @@ mod tests {
 
     #[test]
     fn cursor_reads_forward_and_reverse_runs_identically() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let namer = SpillNamer::new("t");
 
         // Forward run with ascending records.
@@ -429,7 +430,7 @@ mod tests {
 
     #[test]
     fn empty_builders_produce_no_runs() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let namer = SpillNamer::new("t");
         let mut fwd = ForwardRunBuilder::<_, u64>::new(&device, &namer);
         let mut runs = Vec::new();

@@ -43,10 +43,10 @@
 //! ```
 //! use twrs_extsort::service::{ServiceConfig, SortService};
 //! use twrs_extsort::{ReplacementSelection, SortJob};
-//! use twrs_storage::SimDevice;
+//! use twrs_storage::{ModelId, SimDevice};
 //! use twrs_workloads::{Distribution, DistributionKind};
 //!
-//! let device = SimDevice::new();
+//! let device = SimDevice::with_model(ModelId::Hdd7200);
 //! let service = SortService::new(ServiceConfig::new(300).workers(2)).unwrap();
 //! let handles: Vec<_> = (0..4)
 //!     .map(|i| {
@@ -732,7 +732,7 @@ mod tests {
     use crate::replacement_selection::ReplacementSelection;
     use crate::run_generation::{RunCursor, RunGenerator, RunHandle, RunSet};
     use crate::sink::ChannelSink;
-    use twrs_storage::{SimDevice, SpillNamer, StorageDevice};
+    use twrs_storage::{ModelId, SimDevice, SpillNamer, StorageDevice};
     use twrs_workloads::{Distribution, DistributionKind, Record};
 
     fn read_records(device: &SimDevice, name: &str) -> Vec<Record> {
@@ -744,7 +744,7 @@ mod tests {
 
     #[test]
     fn stop_joins_every_worker_thread() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let mut service = SortService::new(ServiceConfig::new(200).workers(3)).unwrap();
         assert_eq!(service.workers.len(), 3);
         let input = Distribution::new(DistributionKind::RandomUniform, 800, 11);
@@ -763,7 +763,7 @@ mod tests {
 
     #[test]
     fn service_jobs_match_direct_runs() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let service = SortService::new(ServiceConfig::new(250).workers(3)).unwrap();
         let handles: Vec<_> = (0..6)
             .map(|i| {
@@ -783,7 +783,7 @@ mod tests {
             let done = handle.wait().unwrap();
             assert_eq!(done.report.report.records, 1_500);
             assert!(done.granted_memory >= 1 && done.granted_memory <= 120);
-            let solo_device = SimDevice::new();
+            let solo_device = SimDevice::with_model(ModelId::Hdd7200);
             let input = Distribution::new(DistributionKind::RandomUniform, 1_500, i as u64);
             SortJob::new(ReplacementSelection::new(120))
                 .on(&solo_device)
@@ -813,7 +813,7 @@ mod tests {
 
     #[test]
     fn canceled_queued_jobs_never_run() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         // One worker and a job ahead in the queue, so the second job is
         // reliably still queued when we cancel it.
         let service = SortService::new(ServiceConfig::new(100).workers(1)).unwrap();
@@ -839,7 +839,7 @@ mod tests {
 
     #[test]
     fn sink_jobs_flow_through_the_service() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let service = SortService::new(ServiceConfig::new(200).workers(2)).unwrap();
         let (tx, rx) = std::sync::mpsc::sync_channel::<Record>(16);
         let input = Distribution::new(DistributionKind::ReverseSorted, 500, 3);
@@ -868,7 +868,7 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected_at_submission() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let service = SortService::new(ServiceConfig::new(100)).unwrap();
         let job = SortJob::new(ReplacementSelection::new(50))
             .on(&device)
@@ -893,7 +893,7 @@ mod tests {
 
     #[test]
     fn running_jobs_are_preempted_by_cancel() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let service = SortService::new(ServiceConfig::new(64).workers(1)).unwrap();
         let input = Distribution::new(DistributionKind::RandomUniform, 50_000, 7);
         let job = SortJob::new(ReplacementSelection::new(64)).on(&device);
@@ -962,7 +962,7 @@ mod tests {
 
     #[test]
     fn panicking_jobs_fail_and_leave_no_spill_files() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let service = SortService::new(ServiceConfig::new(100).workers(1)).unwrap();
         let input = Distribution::new(DistributionKind::RandomUniform, 1_000, 9);
         let job = SortJob::new(PanickyGenerator {
@@ -987,7 +987,7 @@ mod tests {
 
     #[test]
     fn shutdown_cancels_queued_jobs() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let service = SortService::new(ServiceConfig::new(64).workers(1)).unwrap();
         let blocker = {
             let input = Distribution::new(DistributionKind::RandomUniform, 30_000, 11);
@@ -1024,7 +1024,7 @@ mod tests {
 
     #[test]
     fn cancel_racing_admission_is_never_lost() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let service = SortService::new(ServiceConfig::new(100).workers(1)).unwrap();
         for i in 0..50u64 {
             let input = Distribution::new(DistributionKind::RandomUniform, 300, i);
@@ -1052,7 +1052,7 @@ mod tests {
 
     #[test]
     fn priority_tenants_get_larger_grants() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let config = ServiceConfig::new(240)
             .workers(2)
             .grant_policy(GrantPolicy::FixedShare { shares: 4 })

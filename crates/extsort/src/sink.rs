@@ -200,6 +200,7 @@ impl<R: SortableRecord> RecordSink<R> for ChannelSink<R> {
 mod tests {
     use super::*;
     use std::sync::mpsc::sync_channel;
+    use twrs_storage::ModelId;
     use twrs_storage::SimDevice;
     use twrs_workloads::Record;
 
@@ -217,7 +218,7 @@ mod tests {
 
     #[test]
     fn file_sink_writes_a_readable_run() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let mut sink = FileSink::<Record>::create(&device, "out").unwrap();
         for k in 0..100u64 {
             sink.push(Record::from_key(k)).unwrap();

@@ -7,10 +7,10 @@
 //!
 //! ```
 //! use twrs_extsort::{ReplacementSelection, SortJob};
-//! use twrs_storage::SimDevice;
+//! use twrs_storage::{ModelId, SimDevice};
 //! use twrs_workloads::{Distribution, DistributionKind};
 //!
-//! let device = SimDevice::new();
+//! let device = SimDevice::with_model(ModelId::Hdd7200);
 //! let input = Distribution::new(DistributionKind::RandomUniform, 10_000, 7);
 //! let report = SortJob::new(ReplacementSelection::new(200))
 //!     .on(&device)
@@ -536,7 +536,7 @@ mod tests {
     use crate::load_sort_store::LoadSortStore;
     use crate::replacement_selection::ReplacementSelection;
     use crate::run_generation::{RunCursor, RunHandle};
-    use twrs_storage::SimDevice;
+    use twrs_storage::{ModelId, SimDevice};
     use twrs_workloads::{Distribution, DistributionKind, Record};
 
     fn read_records(device: &SimDevice, name: &str) -> Vec<Record> {
@@ -548,7 +548,7 @@ mod tests {
 
     #[test]
     fn sequential_and_parallel_paths_agree() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let input = Distribution::new(DistributionKind::MixedBalanced, 3_000, 3);
         let seq = SortJob::new(ReplacementSelection::new(100))
             .on(&device)
@@ -571,7 +571,7 @@ mod tests {
 
     #[test]
     fn setters_compose_in_any_order() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let input = Distribution::new(DistributionKind::RandomUniform, 500, 9);
         let report = SortJob::new(LoadSortStore::new(64))
             .threads(2)
@@ -589,7 +589,7 @@ mod tests {
 
     #[test]
     fn aggregate_accessors_sum_every_phase() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let input = Distribution::new(DistributionKind::RandomUniform, 2_000, 5);
         let job = SortJob::new(ReplacementSelection::new(100))
             .on(&device)
@@ -620,7 +620,7 @@ mod tests {
 
     #[test]
     fn zero_threads_is_rejected() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let result = SortJob::new(LoadSortStore::new(64))
             .on(&device)
             .threads(0)

@@ -624,6 +624,7 @@ mod tests {
     use super::*;
     use crate::load_sort_store::LoadSortStore;
     use crate::replacement_selection::ReplacementSelection;
+    use twrs_storage::ModelId;
     use twrs_storage::{SimDevice, StorageDevice};
     use twrs_workloads::{materialize, Distribution, DistributionKind, Record};
 
@@ -639,7 +640,7 @@ mod tests {
 
     #[test]
     fn rs_pipeline_sorts_random_input() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let mut sorter =
             ExternalSorter::with_config(ReplacementSelection::new(200), sorted_config());
         let mut input = Distribution::new(DistributionKind::RandomUniform, 10_000, 1).records();
@@ -653,7 +654,7 @@ mod tests {
 
     #[test]
     fn lss_pipeline_sorts_and_reports_phases() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let mut sorter = ExternalSorter::with_config(LoadSortStore::new(128), sorted_config());
         let mut input = Distribution::new(DistributionKind::MixedBalanced, 4_000, 3).records();
         let report = sorter.sort_iter(&device, &mut input, "out").unwrap();
@@ -665,7 +666,7 @@ mod tests {
 
     #[test]
     fn sort_file_reads_materialised_dataset() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let dist = Distribution::new(DistributionKind::ReverseSorted, 3_000, 9);
         materialize(&device, "input", dist.records()).unwrap();
         let mut sorter =
@@ -680,7 +681,7 @@ mod tests {
 
     #[test]
     fn verification_catches_missing_records() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         // Manually write an unsorted "output" and check the verifier trips.
         let mut writer = twrs_storage::RunWriter::<Record>::create(&device, "bad").unwrap();
         writer.push(&Record::from_key(5)).unwrap();
@@ -706,7 +707,7 @@ mod tests {
         // the verification scan: the merge phase's attributed I/O must be
         // identical, and the scan must show up only in the `verify` report.
         let sort = |verify: bool| {
-            let device = SimDevice::new();
+            let device = SimDevice::with_model(ModelId::Hdd7200);
             let config = SorterConfig {
                 merge: MergeConfig {
                     fan_in: 4,
@@ -734,7 +735,7 @@ mod tests {
 
     #[test]
     fn empty_input_sorts_to_empty_output() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let mut sorter = ExternalSorter::with_config(LoadSortStore::new(16), sorted_config());
         let mut input = std::iter::empty::<Record>();
         let report = sorter.sort_iter(&device, &mut input, "out").unwrap();
@@ -744,7 +745,7 @@ mod tests {
 
     #[test]
     fn temporary_files_are_cleaned_up() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let mut sorter =
             ExternalSorter::with_config(ReplacementSelection::new(64), sorted_config());
         let mut input = Distribution::new(DistributionKind::RandomUniform, 2_000, 4).records();

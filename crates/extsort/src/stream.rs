@@ -73,9 +73,9 @@ type Cleanup = Box<dyn FnOnce() -> Result<()> + Send>;
 ///
 /// ```
 /// use twrs_extsort::{ReplacementSelection, SortJob};
-/// use twrs_storage::SimDevice;
+/// use twrs_storage::{ModelId, SimDevice};
 ///
-/// let device = SimDevice::new();
+/// let device = SimDevice::with_model(ModelId::Hdd7200);
 /// let stream = SortJob::new(ReplacementSelection::new(100))
 ///     .on(&device)
 ///     .stream_iter((0..10_000u64).rev())

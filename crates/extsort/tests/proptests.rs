@@ -8,6 +8,7 @@ use twrs_extsort::{
     ParallelExternalSorter, ParallelSorterConfig, ReplacementSelection, RunCursor, RunGenerator,
     RunHandle, SorterConfig,
 };
+use twrs_storage::ModelId;
 use twrs_storage::{SimDevice, SpillNamer};
 use twrs_workloads::Record;
 
@@ -34,7 +35,7 @@ proptest! {
         keys in prop::collection::vec(0u64..100_000, 0..1_500),
         memory in 1usize..300,
     ) {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let namer = SpillNamer::new("prop-rs");
         let input = records_from(&keys);
         let mut generator = ReplacementSelection::new(memory);
@@ -64,7 +65,7 @@ proptest! {
         fan_in in 2usize..8,
         read_ahead in 1usize..512,
     ) {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let input = records_from(&keys);
         let config = SorterConfig {
             merge: MergeConfig { fan_in, read_ahead_records: read_ahead },
@@ -102,7 +103,7 @@ proptest! {
         let merge = MergeConfig { fan_in, read_ahead_records: read_ahead };
 
         // Sequential reference on its own device.
-        let seq_device = SimDevice::new();
+        let seq_device = SimDevice::with_model(ModelId::Hdd7200);
         let mut seq = ExternalSorter::with_config(
             ReplacementSelection::new(memory),
             SorterConfig { merge, verify: true },
@@ -111,7 +112,7 @@ proptest! {
         let seq_report = seq.sort_iter(&seq_device, &mut iter, "out").unwrap();
 
         // Parallel sorter with the same total budget and merge parameters.
-        let par_device = SimDevice::new();
+        let par_device = SimDevice::with_model(ModelId::Hdd7200);
         let mut par = ParallelExternalSorter::with_config(
             ReplacementSelection::new(memory),
             ParallelSorterConfig {
@@ -165,7 +166,7 @@ proptest! {
         let input = records_from(&keys);
 
         let run_and_merge = |use_polyphase: bool| -> Vec<Record> {
-            let device = SimDevice::new();
+            let device = SimDevice::with_model(ModelId::Hdd7200);
             let namer = SpillNamer::new("prop-merge");
             let mut generator = LoadSortStore::new(memory);
             let mut iter = input.clone().into_iter();

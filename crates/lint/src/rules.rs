@@ -510,6 +510,23 @@ fn scoped_io(path: &str, scanned: &ScannedFile, findings: &mut Vec<Finding>) {
         return;
     }
     let tokens = &scanned.tokens;
+    // Binding-aware allowance: a local bound to `ScopedDevice::new(…)` IS
+    // the wrapper, whatever the binding is called — `let real_device =
+    // ScopedDevice::new(RealFileDevice::temp()?)` attributes I/O exactly
+    // like a binding named `scoped` would, so page ops on it pass.
+    let mut scoped_bindings: Vec<String> = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if tok.kind == TokKind::Ident && tok.text == "ScopedDevice" {
+            let bound = i
+                .checked_sub(2)
+                .and_then(|p| tokens.get(p))
+                .filter(|_| is_punct(tokens.get(i - 1), "="))
+                .filter(|t| t.kind == TokKind::Ident);
+            if let Some(bound) = bound {
+                scoped_bindings.push(bound.text.to_lowercase());
+            }
+        }
+    }
     for (i, tok) in tokens.iter().enumerate() {
         if tok.in_test || tok.kind != TokKind::Ident {
             continue;
@@ -528,7 +545,10 @@ fn scoped_io(path: &str, scanned: &ScannedFile, findings: &mut Vec<Finding>) {
             .filter(|t| t.kind == TokKind::Ident);
         let Some(receiver) = receiver else { continue };
         let r = receiver.text.to_lowercase();
-        if (r == "device" || r.ends_with("_device")) && !r.contains("scoped") {
+        if (r == "device" || r.ends_with("_device"))
+            && !r.contains("scoped")
+            && !scoped_bindings.contains(&r)
+        {
             findings.push(Finding {
                 file: path.to_string(),
                 line: tok.line,

@@ -401,6 +401,37 @@ impl Worker {
     );
 }
 
+#[test]
+fn r5_allows_bindings_wrapped_in_a_scoped_device() {
+    // A `*_device` name is fine when the binding itself is the wrapper:
+    // wrapping a RealFileDevice (or any backend) in a ScopedDevice is
+    // exactly what the rule wants, whatever the local is called.
+    let src = "\
+fn attach(inner: RealFileDevice, stats: Arc<IoStats>) -> Result<()> {
+    let real_device = ScopedDevice::new(inner, stats);
+    real_device.create(\"runs\")?;
+    real_device.write_page(\"runs\", 0, &[0u8; 64])?;
+    Ok(())
+}
+";
+    assert_eq!(
+        findings_for("crates/extsort/src/service/worker.rs", src, SCOPED_IO),
+        vec![]
+    );
+    // An unwrapped sibling in the same file still flags.
+    let mixed = "\
+fn attach(inner: RealFileDevice, device: &impl StorageDevice) {
+    let job_device = ScopedDevice::new(inner);
+    job_device.create(\"runs\");
+    device.remove(\"runs\");
+}
+";
+    assert_eq!(
+        findings_for("crates/extsort/src/service/worker.rs", mixed, SCOPED_IO),
+        vec![4]
+    );
+}
+
 // -------------------------------------------------------------------------
 // Baseline: ratchet mechanics and the committed-file self-check
 // -------------------------------------------------------------------------

@@ -10,6 +10,7 @@
 
 use crate::error::{Result, StorageError};
 use crate::io_stats::{DiskModel, IoStats, IoStatsSnapshot};
+use crate::model::{DeviceModel, ModelId};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
@@ -122,17 +123,50 @@ pub struct SimDevice {
 }
 
 impl SimDevice {
-    /// Creates a simulated device with the default page size and disk model.
+    /// Creates a simulated device with the default page size and the
+    /// historical `hdd-7200` model.
+    ///
+    /// Deprecated: device construction goes through the device-model
+    /// catalog now — [`SimDevice::with_model`] /
+    /// [`SimDevice::custom`], or a
+    /// [`DeviceSpec`](crate::spec::DeviceSpec) string such as
+    /// `"sim:hdd-7200"` when the choice comes from configuration.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use SimDevice::with_model(ModelId::…), SimDevice::custom(…) or DeviceSpec"
+    )]
     pub fn new() -> Self {
-        Self::with_config(crate::page::DEFAULT_PAGE_SIZE, DiskModel::default())
+        Self::with_model(ModelId::Hdd7200)
     }
 
-    /// Creates a simulated device with an explicit page size and disk model.
+    /// Creates a simulated device with an explicit page size and disk-model
+    /// parameter block.
+    ///
+    /// Deprecated: use [`SimDevice::custom`], which accepts a catalog
+    /// [`ModelId`], a raw
+    /// [`DiskModel`] parameter set, or any
+    /// [`DeviceModel`] instance.
+    #[deprecated(since = "0.9.0", note = "use SimDevice::custom(page_size, model)")]
     pub fn with_config(page_size: usize, model: DiskModel) -> Self {
+        Self::custom(page_size, model)
+    }
+
+    /// Creates a simulated device with the default page size, charging
+    /// costs from the given device model (a catalog
+    /// [`ModelId`], a raw
+    /// [`DiskModel`] parameter set, or an
+    /// `Arc<dyn DeviceModel>` from [`crate::model::custom`]).
+    pub fn with_model(model: impl Into<Arc<dyn DeviceModel>>) -> Self {
+        Self::custom(crate::page::DEFAULT_PAGE_SIZE, model)
+    }
+
+    /// Creates a simulated device with an explicit page size and device
+    /// model.
+    pub fn custom(page_size: usize, model: impl Into<Arc<dyn DeviceModel>>) -> Self {
         SimDevice {
             shared: Arc::new(SimShared {
                 files: Mutex::new(HashMap::new()),
-                stats: IoStats::new(model),
+                stats: IoStats::with_model(model.into()),
                 page_size,
                 next_file_id: AtomicU64::new(1),
             }),
@@ -151,7 +185,7 @@ impl SimDevice {
 
 impl Default for SimDevice {
     fn default() -> Self {
-        Self::new()
+        Self::with_model(ModelId::Hdd7200)
     }
 }
 
@@ -346,6 +380,11 @@ impl FileDevice {
         })
     }
 
+    /// The directory the device stores its files under.
+    pub fn root(&self) -> &std::path::Path {
+        &self.shared.root
+    }
+
     fn path_of(&self, name: &str) -> PathBuf {
         // Keep names flat; replace path separators defensively.
         let safe: String = name
@@ -363,6 +402,12 @@ struct RealPageFile {
     stats: IoStats,
     page_size: usize,
     pages: u64,
+    /// Keeps the device's root directory (and its drop-time cleanup) alive
+    /// until the last open page file is gone — without this, dropping a
+    /// [`FileDevice::temp`] while a file handle is still in use (an error
+    /// path unwinding, a writer thread finishing late) would delete the
+    /// directory under the handle and silently lose subsequent writes.
+    _device: Arc<FileShared>,
 }
 
 impl PageFile for RealPageFile {
@@ -433,6 +478,7 @@ impl StorageDevice for FileDevice {
             stats: self.shared.stats.clone(),
             page_size: self.shared.page_size,
             pages: 0,
+            _device: Arc::clone(&self.shared),
         }))
     }
 
@@ -451,6 +497,7 @@ impl StorageDevice for FileDevice {
             stats: self.shared.stats.clone(),
             page_size: self.shared.page_size,
             pages,
+            _device: Arc::clone(&self.shared),
         }))
     }
 
@@ -515,7 +562,7 @@ mod tests {
 
     #[test]
     fn sim_device_round_trip() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         device_round_trip(&device);
     }
 
@@ -527,7 +574,7 @@ mod tests {
 
     #[test]
     fn create_twice_fails() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         device.create("x").unwrap();
         assert!(matches!(
             device.create("x"),
@@ -537,7 +584,7 @@ mod tests {
 
     #[test]
     fn open_missing_fails() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         assert!(matches!(
             device.open("missing"),
             Err(StorageError::NotFound(_))
@@ -550,7 +597,7 @@ mod tests {
 
     #[test]
     fn page_writes_beyond_the_end_zero_fill_the_gap() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let mut file = device.create("f").unwrap();
         let page = vec![1u8; device.page_size()];
         file.write_page(0, &page).unwrap();
@@ -566,7 +613,7 @@ mod tests {
 
     #[test]
     fn read_past_end_fails() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let mut file = device.create("f").unwrap();
         let mut buf = vec![0u8; device.page_size()];
         assert!(matches!(
@@ -577,7 +624,7 @@ mod tests {
 
     #[test]
     fn wrong_buffer_size_is_rejected() {
-        let device = SimDevice::with_config(1024, DiskModel::default());
+        let device = SimDevice::custom(1024, DiskModel::default());
         let mut file = device.create("f").unwrap();
         let page = vec![0u8; 512];
         assert!(matches!(
@@ -588,7 +635,7 @@ mod tests {
 
     #[test]
     fn stats_count_interleaved_reads_but_not_writes() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let page = vec![7u8; device.page_size()];
         let mut a = device.create("a").unwrap();
         let mut b = device.create("b").unwrap();
@@ -612,7 +659,7 @@ mod tests {
 
     #[test]
     fn sequential_single_file_writes_never_seek() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let page = vec![0u8; device.page_size()];
         let mut f = device.create("seq").unwrap();
         for i in 0..10 {
@@ -623,7 +670,7 @@ mod tests {
 
     #[test]
     fn list_reports_existing_files() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         device.create("one").unwrap();
         device.create("two").unwrap();
         assert_eq!(device.list(), vec!["one".to_string(), "two".to_string()]);
@@ -648,13 +695,46 @@ mod tests {
                 ]
             );
         };
-        check(&SimDevice::new());
+        check(&SimDevice::with_model(ModelId::Hdd7200));
         check(&FileDevice::temp().unwrap());
     }
 
     #[test]
+    fn temp_device_cleans_its_directory_even_when_files_remain() {
+        // An error path that abandons spill files must not leak the temp
+        // directory: dropping the last device clone removes the root with
+        // everything still in it.
+        let device = FileDevice::temp().unwrap();
+        let root = device.root().to_path_buf();
+        let page = vec![1u8; device.page_size()];
+        for name in ["run.0", "run.1"] {
+            let mut f = device.create(name).unwrap();
+            f.write_page(0, &page).unwrap();
+        }
+        assert!(root.exists());
+        drop(device);
+        assert!(!root.exists(), "temp root must be removed with files in it");
+    }
+
+    #[test]
+    fn temp_cleanup_waits_for_open_page_files() {
+        // A page file handle keeps the directory alive: a late writer (or
+        // an unwinding error path) must not have the root deleted under it.
+        let device = FileDevice::temp().unwrap();
+        let root = device.root().to_path_buf();
+        let mut file = device.create("late").unwrap();
+        drop(device);
+        assert!(root.exists(), "open page file keeps the root alive");
+        let page = vec![7u8; file.page_size()];
+        file.write_page(0, &page).unwrap();
+        file.flush().unwrap();
+        drop(file);
+        assert!(!root.exists(), "last handle gone → directory removed");
+    }
+
+    #[test]
     fn sim_device_total_bytes_tracks_pages() {
-        let device = SimDevice::with_config(256, DiskModel::default());
+        let device = SimDevice::custom(256, DiskModel::default());
         let mut f = device.create("f").unwrap();
         let page = vec![0u8; 256];
         f.write_page(0, &page).unwrap();
@@ -664,7 +744,7 @@ mod tests {
 
     #[test]
     fn reset_stats_clears_counters() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let mut f = device.create("f").unwrap();
         let page = vec![0u8; device.page_size()];
         f.write_page(0, &page).unwrap();

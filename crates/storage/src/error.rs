@@ -42,6 +42,17 @@ pub enum StorageError {
         /// Page size of the device.
         page: usize,
     },
+    /// A device-model id that is not in the catalog.
+    UnknownDeviceModel(String),
+    /// A device-spec string that does not follow the
+    /// `sim[:<model>[:<page_size>]]` / `real[:<path>[:<page_size>]]`
+    /// grammar.
+    InvalidDeviceSpec {
+        /// The offending spec string.
+        spec: String,
+        /// Why it was rejected.
+        reason: String,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -65,6 +76,13 @@ impl fmt::Display for StorageError {
                 f,
                 "record size {record} does not fit the page payload of {page} bytes"
             ),
+            StorageError::UnknownDeviceModel(name) => write!(
+                f,
+                "unknown device model {name:?} (catalog: hdd-7200, sata-ssd, nvme, pmem)"
+            ),
+            StorageError::InvalidDeviceSpec { spec, reason } => {
+                write!(f, "invalid device spec {spec:?}: {reason}")
+            }
         }
     }
 }

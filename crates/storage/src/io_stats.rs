@@ -8,6 +8,7 @@
 //! deterministically on the in-memory device and still show the same shapes
 //! as the paper's wall-clock measurements.
 
+use crate::model::{DeviceModel, ModelId};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Duration;
@@ -30,11 +31,8 @@ pub struct DiskModel {
 
 impl Default for DiskModel {
     fn default() -> Self {
-        DiskModel {
-            seek_us: 8_000.0,
-            rotational_us: 4_200.0,
-            transfer_page_us: 50.0,
-        }
+        // The catalog's `hdd-7200` entry: the historical default.
+        ModelId::Hdd7200.params()
     }
 }
 
@@ -88,13 +86,18 @@ impl IoCounters {
 }
 
 /// A point-in-time snapshot of the device counters together with the
-/// simulated elapsed time implied by its [`DiskModel`].
+/// simulated elapsed time the device's [`DeviceModel`] charged for them.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IoStatsSnapshot {
     /// The raw counters.
     pub counters: IoCounters,
-    /// The cost model in force when the snapshot was taken.
+    /// Parameter view of the cost model in force when the snapshot was
+    /// taken (for report headers; the authoritative per-access costs are
+    /// already accumulated in [`sim_io`](IoStatsSnapshot::sim_io)).
     pub model: DiskModel,
+    /// Simulated elapsed time accumulated access by access under the
+    /// device's [`DeviceModel`].
+    pub sim_io: Duration,
 }
 
 impl IoStatsSnapshot {
@@ -103,9 +106,13 @@ impl IoStatsSnapshot {
         self.counters.pages_read + self.counters.pages_written
     }
 
-    /// Simulated elapsed time under the device's disk model.
+    /// Simulated elapsed time under the device's model. For every
+    /// parameter-defined model this equals
+    /// `model.elapsed(seeks, pages_total())`; a custom [`DeviceModel`] may
+    /// charge position-dependent costs, which only the accumulated value
+    /// reflects.
     pub fn simulated_time(&self) -> Duration {
-        self.model.elapsed(self.counters.seeks, self.pages_total())
+        self.sim_io
     }
 
     /// Field-wise sum of two snapshots, keeping `self`'s disk model. The
@@ -116,6 +123,7 @@ impl IoStatsSnapshot {
         IoStatsSnapshot {
             counters: self.counters.merged(&other.counters),
             model: self.model,
+            sim_io: self.sim_io + other.sim_io,
         }
     }
 
@@ -127,6 +135,7 @@ impl IoStatsSnapshot {
         IoStatsSnapshot {
             counters: IoCounters::default(),
             model,
+            sim_io: Duration::ZERO,
         }
     }
 
@@ -142,6 +151,7 @@ impl IoStatsSnapshot {
                 files_removed: self.counters.files_removed - earlier.counters.files_removed,
             },
             model: self.model,
+            sim_io: self.sim_io.saturating_sub(earlier.sim_io),
         }
     }
 }
@@ -158,20 +168,31 @@ pub struct IoStats {
 #[derive(Debug)]
 struct Inner {
     counters: IoCounters,
-    model: DiskModel,
+    model: Arc<dyn DeviceModel>,
     /// Last read head position as (file id, page index); `None` right after
     /// a reset or before any access.
     head: Option<(u64, u64)>,
+    /// Simulated time accumulated access by access, in nanoseconds.
+    sim_ns: u64,
 }
 
 impl IoStats {
-    /// Creates a new statistics block with the given disk model.
+    /// Creates a new statistics block charging costs from an ad-hoc
+    /// parameter set (a `"custom"` [`DeviceModel`]); use
+    /// [`with_model`](IoStats::with_model) to attach a catalog model.
     pub fn new(model: DiskModel) -> Self {
+        Self::with_model(model.into())
+    }
+
+    /// Creates a new statistics block charging per-access costs from the
+    /// given device model.
+    pub fn with_model(model: Arc<dyn DeviceModel>) -> Self {
         IoStats {
             inner: Arc::new(Mutex::new(Inner {
                 counters: IoCounters::default(),
                 model,
                 head: None,
+                sim_ns: 0,
             })),
         }
     }
@@ -179,26 +200,30 @@ impl IoStats {
     /// Records an access of `pages` consecutive pages of file `file_id`
     /// starting at `page`.
     ///
-    /// Reads pay a seek whenever the head is not already positioned at the
-    /// requested page (reads are synchronous and the merge phase interleaves
-    /// them across many run files — the effect behind the fan-in analysis of
-    /// §6.1.1). Writes are charged transfer time but no seeks: as the paper
-    /// argues in Appendix A.1, the operating system's write-behind cache
-    /// absorbs and reorders writes (including the reverse-file format's
-    /// back-to-front writes), so they do not thrash the head the way
-    /// synchronous reads do.
+    /// The device model decides what the access costs. Under the catalog
+    /// rule, reads pay a seek whenever the head is not already positioned
+    /// at the requested page (reads are synchronous and the merge phase
+    /// interleaves them across many run files — the effect behind the
+    /// fan-in analysis of §6.1.1), while writes are charged transfer time
+    /// but no seeks: as the paper argues in Appendix A.1, the operating
+    /// system's write-behind cache absorbs and reorders writes (including
+    /// the reverse-file format's back-to-front writes), so they do not
+    /// thrash the head the way synchronous reads do.
     pub fn record_access(&self, file_id: u64, page: u64, pages: u64, write: bool) {
         let mut inner = self.inner.lock();
+        let cost = inner
+            .model
+            .access_cost(inner.head, file_id, page, pages, write);
+        if cost.seek {
+            inner.counters.seeks += 1;
+        }
         if write {
             inner.counters.pages_written += pages;
         } else {
-            let sequential = matches!(inner.head, Some((f, p)) if f == file_id && p == page);
-            if !sequential {
-                inner.counters.seeks += 1;
-            }
             inner.counters.pages_read += pages;
             inner.head = Some((file_id, page + pages));
         }
+        inner.sim_ns += (cost.micros * 1_000.0) as u64;
     }
 
     /// Records a file creation.
@@ -216,20 +241,31 @@ impl IoStats {
         let inner = self.inner.lock();
         IoStatsSnapshot {
             counters: inner.counters,
-            model: inner.model,
+            model: inner.model.params(),
+            sim_io: Duration::from_nanos(inner.sim_ns),
         }
     }
 
-    /// Clears every counter and forgets the head position.
+    /// Clears every counter, the accumulated simulated time and the head
+    /// position.
     pub fn reset(&self) {
         let mut inner = self.inner.lock();
         inner.counters = IoCounters::default();
         inner.head = None;
+        inner.sim_ns = 0;
     }
 
-    /// The configured cost model.
+    /// Parameter view of the configured cost model.
     pub fn model(&self) -> DiskModel {
-        self.inner.lock().model
+        self.inner.lock().model.params()
+    }
+
+    /// The configured cost model itself (shared), so wrappers like
+    /// [`ScopedDevice`](crate::scoped::ScopedDevice) can mirror per-access
+    /// costs exactly — including custom models a parameter view cannot
+    /// express.
+    pub fn device_model(&self) -> Arc<dyn DeviceModel> {
+        Arc::clone(&self.inner.lock().model)
     }
 }
 

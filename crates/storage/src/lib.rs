@@ -6,13 +6,19 @@
 //! I/O; this crate substitutes that hardware with a small, explicit storage
 //! model that preserves the behaviour the algorithms care about:
 //!
-//! * a page-oriented [`device::StorageDevice`] abstraction with two
+//! * a page-oriented [`device::StorageDevice`] abstraction with three
 //!   implementations —
 //!   [`device::FileDevice`] backed by real files in a temporary directory
-//!   (for wall-clock benchmarks) and [`device::SimDevice`], an in-memory
-//!   simulated disk with a seek/rotational/transfer cost model and full I/O
-//!   accounting (for deterministic experiments such as the fan-in analysis
-//!   of §6.1.1);
+//!   (for wall-clock benchmarks), [`device::SimDevice`], an in-memory
+//!   simulated disk with a pluggable latency model and full I/O accounting
+//!   (for deterministic experiments such as the fan-in analysis of §6.1.1),
+//!   and [`real_device::RealFileDevice`], a page-aligned backend that opens
+//!   files with `O_DIRECT` where the filesystem supports it;
+//! * [`model`] — the [`model::DeviceModel`] trait and the named catalog
+//!   ([`model::ModelId`]: `hdd-7200`, `sata-ssd`, `nvme`, `pmem`) that
+//!   turns page accesses into simulated latency;
+//! * [`spec`] — [`spec::DeviceSpec`], the `"sim:nvme"` / `"real:/path"`
+//!   string grammar that is the one way CLIs and benches obtain a device;
 //! * [`io_stats::IoStats`] — counters for sequential page transfers and
 //!   seeks plus the simulated elapsed time derived from a
 //!   [`io_stats::DiskModel`];
@@ -35,20 +41,26 @@ pub mod bytes;
 pub mod device;
 pub mod error;
 pub mod io_stats;
+pub mod model;
 pub mod page;
+pub mod real_device;
 pub mod record;
 pub mod reverse_file;
 pub mod run_file;
 pub mod scoped;
+pub mod spec;
 pub mod spill;
 
 pub use bytes::{array_at, u32_le_at, u64_le_at};
 pub use device::{FileDevice, PageFile, SimDevice, StorageDevice};
 pub use error::{Result, StorageError};
 pub use io_stats::{DiskModel, IoCounters, IoStats, IoStatsSnapshot};
+pub use model::{custom, AccessCost, DeviceModel, ModelId};
 pub use page::{PageBuf, DEFAULT_PAGE_SIZE};
+pub use real_device::{DirectIoStatus, RealFileDevice};
 pub use record::{FixedSizeRecord, SortableRecord};
 pub use reverse_file::{ReverseRunReader, ReverseRunWriter};
 pub use run_file::{RunReader, RunWriter};
 pub use scoped::ScopedDevice;
+pub use spec::{AnyDevice, DeviceSpec};
 pub use spill::SpillNamer;

@@ -401,9 +401,10 @@ mod tests {
     use super::*;
     use crate::device::SimDevice;
     use crate::io_stats::DiskModel;
+    use crate::model::ModelId;
 
     fn round_trip(page_size: usize, pages_per_file: u64, n: u64) {
-        let device = SimDevice::with_config(page_size, DiskModel::default());
+        let device = SimDevice::custom(page_size, DiskModel::default());
         let mut writer =
             ReverseRunWriter::<u64>::with_pages_per_file(&device, "rev", pages_per_file).unwrap();
         // Push a strictly decreasing stream n-1, n-2, ..., 0.
@@ -446,7 +447,7 @@ mod tests {
 
     #[test]
     fn empty_stream_round_trips() {
-        let device = SimDevice::with_config(64, DiskModel::default());
+        let device = SimDevice::custom(64, DiskModel::default());
         let writer = ReverseRunWriter::<u64>::with_pages_per_file(&device, "rev", 4).unwrap();
         assert!(writer.is_empty());
         assert_eq!(writer.finish().unwrap(), 0);
@@ -457,7 +458,7 @@ mod tests {
 
     #[test]
     fn missing_stream_reports_not_found() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         assert!(matches!(
             ReverseRunReader::<u64>::open(&device, "nothing"),
             Err(StorageError::NotFound(_))
@@ -466,7 +467,7 @@ mod tests {
 
     #[test]
     fn ties_are_preserved() {
-        let device = SimDevice::with_config(64, DiskModel::default());
+        let device = SimDevice::custom(64, DiskModel::default());
         let mut writer = ReverseRunWriter::<u64>::with_pages_per_file(&device, "rev", 4).unwrap();
         let stream = [9u64, 9, 7, 7, 7, 3, 1, 1];
         for v in stream {
@@ -481,7 +482,7 @@ mod tests {
 
     #[test]
     fn reading_is_forward_only() {
-        let device = SimDevice::with_config(64, DiskModel::default());
+        let device = SimDevice::custom(64, DiskModel::default());
         let mut writer = ReverseRunWriter::<u64>::with_pages_per_file(&device, "rev", 4).unwrap();
         for v in (0..60u64).rev() {
             writer.push(&v).unwrap();

@@ -239,6 +239,7 @@ mod tests {
     use super::*;
     use crate::device::SimDevice;
     use crate::io_stats::DiskModel;
+    use crate::model::ModelId;
 
     fn write_run(device: &dyn StorageDevice, name: &str, values: &[u64]) {
         let mut writer = RunWriter::<u64>::create(device, name).unwrap();
@@ -250,7 +251,7 @@ mod tests {
 
     #[test]
     fn round_trip_exact_page_multiple() {
-        let device = SimDevice::with_config(64, DiskModel::default());
+        let device = SimDevice::custom(64, DiskModel::default());
         // 8 records per page; write exactly 16.
         let values: Vec<u64> = (0..16).collect();
         write_run(&device, "run", &values);
@@ -261,7 +262,7 @@ mod tests {
 
     #[test]
     fn round_trip_partial_last_page() {
-        let device = SimDevice::with_config(64, DiskModel::default());
+        let device = SimDevice::custom(64, DiskModel::default());
         let values: Vec<u64> = (0..13).map(|i| i * 3).collect();
         write_run(&device, "run", &values);
         let mut reader = RunReader::<u64>::open(&device, "run").unwrap();
@@ -272,7 +273,7 @@ mod tests {
 
     #[test]
     fn empty_run() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         write_run(&device, "empty", &[]);
         let mut reader = RunReader::<u64>::open(&device, "empty").unwrap();
         assert!(reader.is_empty());
@@ -281,7 +282,7 @@ mod tests {
 
     #[test]
     fn iterator_interface() {
-        let device = SimDevice::with_config(64, DiskModel::default());
+        let device = SimDevice::custom(64, DiskModel::default());
         let values: Vec<u64> = (0..20).collect();
         write_run(&device, "run", &values);
         let reader = RunReader::<u64>::open(&device, "run").unwrap();
@@ -291,7 +292,7 @@ mod tests {
 
     #[test]
     fn record_size_mismatch_is_detected() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         write_run(&device, "run", &[1, 2, 3]);
         let err = RunReader::<u32>::open(&device, "run");
         assert!(matches!(err, Err(StorageError::CorruptHeader(_))));
@@ -299,7 +300,7 @@ mod tests {
 
     #[test]
     fn corrupt_magic_is_detected() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let mut file = device.create("bogus").unwrap();
         let junk = vec![0xAB; device.page_size()];
         file.write_page(0, &junk).unwrap();
@@ -312,7 +313,7 @@ mod tests {
 
     #[test]
     fn writer_reports_length() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let mut writer = RunWriter::<u64>::create(&device, "r").unwrap();
         assert!(writer.is_empty());
         writer.push(&5).unwrap();
@@ -323,7 +324,7 @@ mod tests {
 
     #[test]
     fn sequential_write_read_costs_one_seek_each() {
-        let device = SimDevice::with_config(64, DiskModel::default());
+        let device = SimDevice::custom(64, DiskModel::default());
         let values: Vec<u64> = (0..64).collect();
         write_run(&device, "run", &values);
         device.reset_stats();

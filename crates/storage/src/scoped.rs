@@ -41,10 +41,10 @@ impl<D: StorageDevice> ScopedDevice<D> {
     /// Wraps `inner`, starting with zeroed local statistics (the local disk
     /// model is copied from the inner device).
     pub fn new(inner: D) -> Self {
-        let model = inner.io_stats().model();
+        let model = inner.io_stats().device_model();
         ScopedDevice {
             inner,
-            local: IoStats::new(model),
+            local: IoStats::with_model(model),
             next_file_id: Arc::new(AtomicU64::new(1)),
         }
     }
@@ -142,10 +142,11 @@ mod tests {
     use super::*;
     use crate::device::SimDevice;
     use crate::io_stats::IoStatsSnapshot;
+    use crate::model::ModelId;
 
     #[test]
     fn scoped_accesses_count_locally_and_globally() {
-        let shared = SimDevice::new();
+        let shared = SimDevice::with_model(ModelId::Hdd7200);
         let scoped = ScopedDevice::new(shared.clone());
         let page = vec![3u8; scoped.page_size()];
         let mut f = scoped.create("a").unwrap();
@@ -165,7 +166,7 @@ mod tests {
 
     #[test]
     fn two_scopes_sum_to_the_shared_totals() {
-        let shared = SimDevice::new();
+        let shared = SimDevice::with_model(ModelId::Hdd7200);
         let a = ScopedDevice::new(shared.clone());
         let b = ScopedDevice::new(shared.clone());
         let page = vec![0u8; shared.page_size()];
@@ -189,7 +190,7 @@ mod tests {
 
     #[test]
     fn clones_share_the_scope() {
-        let shared = SimDevice::new();
+        let shared = SimDevice::with_model(ModelId::Hdd7200);
         let scoped = ScopedDevice::new(shared);
         let clone = scoped.clone();
         let page = vec![0u8; scoped.page_size()];
@@ -199,7 +200,7 @@ mod tests {
 
     #[test]
     fn local_seeks_model_a_private_head() {
-        let shared = SimDevice::new();
+        let shared = SimDevice::with_model(ModelId::Hdd7200);
         let scoped = ScopedDevice::new(shared.clone());
         let page = vec![0u8; scoped.page_size()];
         let mut f = scoped.create("f").unwrap();

@@ -1,0 +1,393 @@
+//! Device specs: the one string grammar every layer uses to obtain a device.
+//!
+//! CLIs, bench configs and service callers describe storage as a spec
+//! string and let [`DeviceSpec::build`] construct the backend, instead of
+//! hard-wiring a constructor:
+//!
+//! ```text
+//! sim[:<model>[:<page_size>]]     an in-memory simulated disk
+//! real[:<path>[:<page_size>]]     real files, O_DIRECT where supported
+//! ```
+//!
+//! Examples: `"sim"` (the default `hdd-7200` model), `"sim:nvme"`,
+//! `"sim:pmem:8192"`, `"real"` (a self-cleaning temp directory),
+//! `"real:/mnt/bench"`, `"real:/mnt/bench:8192"`. The model names are the
+//! catalog ids of [`ModelId`]; when a `real` spec contains a colon after
+//! the path, the final segment must be a page size in bytes.
+//!
+//! [`build`](DeviceSpec::build) returns an [`AnyDevice`] — a closed enum
+//! over the two backends that implements [`StorageDevice`] (and is `Clone +
+//! Send + 'static`), so it plugs into `SortJob`/`SortService` like any
+//! concrete device.
+
+use crate::device::{PageFile, SimDevice, StorageDevice};
+use crate::error::{Result, StorageError};
+use crate::io_stats::IoStats;
+use crate::model::ModelId;
+use crate::page::DEFAULT_PAGE_SIZE;
+use crate::real_device::{DirectIoStatus, RealFileDevice};
+use std::fmt;
+use std::path::PathBuf;
+use std::str::FromStr;
+
+/// A parsed device description: which backend, configured how.
+///
+/// Parse one from a string (`"sim:nvme"`, `"real:/path:8192"`) or build it
+/// programmatically; [`DeviceSpec::build`] then constructs the device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceSpec {
+    /// An in-memory [`SimDevice`] charging costs from a catalog model.
+    Sim {
+        /// Catalog model the device charges access costs from.
+        model: ModelId,
+        /// Page size in bytes.
+        page_size: usize,
+    },
+    /// A [`RealFileDevice`]; `path: None` means a self-cleaning temp
+    /// directory.
+    Real {
+        /// Root directory for the device's files (kept on drop); `None`
+        /// uses a fresh temp directory removed on drop.
+        path: Option<PathBuf>,
+        /// Page size in bytes.
+        page_size: usize,
+    },
+}
+
+impl DeviceSpec {
+    /// A simulated device with the given catalog model and the default page
+    /// size.
+    pub fn sim(model: ModelId) -> Self {
+        DeviceSpec::Sim {
+            model,
+            page_size: DEFAULT_PAGE_SIZE,
+        }
+    }
+
+    /// The page size the spec will build with.
+    pub fn page_size(&self) -> usize {
+        match self {
+            DeviceSpec::Sim { page_size, .. } | DeviceSpec::Real { page_size, .. } => *page_size,
+        }
+    }
+
+    /// Constructs the described device.
+    pub fn build(&self) -> Result<AnyDevice> {
+        match self {
+            DeviceSpec::Sim { model, page_size } => {
+                Ok(AnyDevice::Sim(SimDevice::custom(*page_size, *model)))
+            }
+            DeviceSpec::Real {
+                path: Some(path),
+                page_size,
+            } => Ok(AnyDevice::Real(RealFileDevice::at(path, *page_size)?)),
+            DeviceSpec::Real {
+                path: None,
+                page_size,
+            } => Ok(AnyDevice::Real(RealFileDevice::temp_with_page_size(
+                *page_size,
+            )?)),
+        }
+    }
+}
+
+impl Default for DeviceSpec {
+    /// `sim:hdd-7200` — the historical default backend and model.
+    fn default() -> Self {
+        DeviceSpec::sim(ModelId::Hdd7200)
+    }
+}
+
+impl fmt::Display for DeviceSpec {
+    /// The canonical spec string, parseable back via [`FromStr`].
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceSpec::Sim { model, page_size } => {
+                if *page_size == DEFAULT_PAGE_SIZE {
+                    write!(f, "sim:{model}")
+                } else {
+                    write!(f, "sim:{model}:{page_size}")
+                }
+            }
+            DeviceSpec::Real { path, page_size } => {
+                match path {
+                    Some(p) => write!(f, "real:{}", p.display())?,
+                    None => write!(f, "real")?,
+                }
+                if *page_size != DEFAULT_PAGE_SIZE {
+                    // `real:<ps>` alone would read as a path; spell the
+                    // empty path out so the string round-trips.
+                    if path.is_none() {
+                        write!(f, ":")?;
+                    }
+                    write!(f, ":{page_size}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+fn invalid(spec: &str, reason: impl Into<String>) -> StorageError {
+    StorageError::InvalidDeviceSpec {
+        spec: spec.to_string(),
+        reason: reason.into(),
+    }
+}
+
+fn parse_page_size(spec: &str, text: &str) -> Result<usize> {
+    let size: usize = text
+        .parse()
+        .map_err(|_| invalid(spec, format!("page size {text:?} is not a number")))?;
+    if size == 0 {
+        return Err(invalid(spec, "page size must be non-zero"));
+    }
+    Ok(size)
+}
+
+impl FromStr for DeviceSpec {
+    type Err = StorageError;
+
+    fn from_str(s: &str) -> Result<DeviceSpec> {
+        let (kind, rest) = match s.split_once(':') {
+            Some((kind, rest)) => (kind, Some(rest)),
+            None => (s, None),
+        };
+        match kind {
+            "sim" => {
+                let (model_text, size_text) = match rest.map(|r| r.split_once(':')) {
+                    None => ("", None),
+                    Some(None) => (rest.unwrap_or(""), None),
+                    Some(Some((model, size))) => (model, Some(size)),
+                };
+                let model = if model_text.is_empty() {
+                    ModelId::Hdd7200
+                } else {
+                    model_text.parse()?
+                };
+                let page_size = match size_text {
+                    Some(text) => parse_page_size(s, text)?,
+                    None => DEFAULT_PAGE_SIZE,
+                };
+                Ok(DeviceSpec::Sim { model, page_size })
+            }
+            "real" => {
+                // The page size, when present, is the segment after the
+                // LAST colon (paths themselves must not contain colons).
+                let (path_text, size_text) = match rest.map(|r| r.rsplit_once(':')) {
+                    None => ("", None),
+                    Some(None) => (rest.unwrap_or(""), None),
+                    Some(Some((path, size))) => (path, Some(size)),
+                };
+                let page_size = match size_text {
+                    Some(text) => parse_page_size(s, text)?,
+                    None => DEFAULT_PAGE_SIZE,
+                };
+                let path = if path_text.is_empty() {
+                    None
+                } else {
+                    Some(PathBuf::from(path_text))
+                };
+                Ok(DeviceSpec::Real { path, page_size })
+            }
+            other => Err(invalid(
+                s,
+                format!("unknown backend {other:?} (expected \"sim\" or \"real\")"),
+            )),
+        }
+    }
+}
+
+/// The device an evaluated [`DeviceSpec`] produces: a closed enum over the
+/// simulated and real backends, delegating [`StorageDevice`] to whichever
+/// it holds.
+#[derive(Clone)]
+pub enum AnyDevice {
+    /// An in-memory simulated device.
+    Sim(SimDevice),
+    /// A real-file device (O_DIRECT where supported).
+    Real(RealFileDevice),
+}
+
+impl AnyDevice {
+    /// The direct-I/O status when the backend is real; `None` for a
+    /// simulated device.
+    pub fn direct_io(&self) -> Option<&DirectIoStatus> {
+        match self {
+            AnyDevice::Sim(_) => None,
+            AnyDevice::Real(device) => Some(device.direct_io()),
+        }
+    }
+}
+
+impl StorageDevice for AnyDevice {
+    fn page_size(&self) -> usize {
+        match self {
+            AnyDevice::Sim(d) => d.page_size(),
+            AnyDevice::Real(d) => d.page_size(),
+        }
+    }
+
+    fn create(&self, name: &str) -> Result<Box<dyn PageFile>> {
+        match self {
+            AnyDevice::Sim(d) => d.create(name),
+            AnyDevice::Real(d) => d.create(name),
+        }
+    }
+
+    fn open(&self, name: &str) -> Result<Box<dyn PageFile>> {
+        match self {
+            AnyDevice::Sim(d) => d.open(name),
+            AnyDevice::Real(d) => d.open(name),
+        }
+    }
+
+    fn remove(&self, name: &str) -> Result<()> {
+        match self {
+            AnyDevice::Sim(d) => d.remove(name),
+            AnyDevice::Real(d) => d.remove(name),
+        }
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        match self {
+            AnyDevice::Sim(d) => d.exists(name),
+            AnyDevice::Real(d) => d.exists(name),
+        }
+    }
+
+    fn list(&self) -> Vec<String> {
+        match self {
+            AnyDevice::Sim(d) => d.list(),
+            AnyDevice::Real(d) => d.list(),
+        }
+    }
+
+    fn io_stats(&self) -> &IoStats {
+        match self {
+            AnyDevice::Sim(d) => d.io_stats(),
+            AnyDevice::Real(d) => d.io_stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_specs_parse_with_defaults() {
+        assert_eq!("sim".parse::<DeviceSpec>().unwrap(), DeviceSpec::default());
+        assert_eq!(
+            "sim:nvme".parse::<DeviceSpec>().unwrap(),
+            DeviceSpec::sim(ModelId::Nvme)
+        );
+        assert_eq!(
+            "sim:pmem:8192".parse::<DeviceSpec>().unwrap(),
+            DeviceSpec::Sim {
+                model: ModelId::Pmem,
+                page_size: 8192
+            }
+        );
+        assert_eq!(
+            "sim::8192".parse::<DeviceSpec>().unwrap(),
+            DeviceSpec::Sim {
+                model: ModelId::Hdd7200,
+                page_size: 8192
+            }
+        );
+    }
+
+    #[test]
+    fn real_specs_parse_paths_and_page_sizes() {
+        assert_eq!(
+            "real".parse::<DeviceSpec>().unwrap(),
+            DeviceSpec::Real {
+                path: None,
+                page_size: DEFAULT_PAGE_SIZE
+            }
+        );
+        assert_eq!(
+            "real:/mnt/bench".parse::<DeviceSpec>().unwrap(),
+            DeviceSpec::Real {
+                path: Some(PathBuf::from("/mnt/bench")),
+                page_size: DEFAULT_PAGE_SIZE
+            }
+        );
+        assert_eq!(
+            "real:/mnt/bench:8192".parse::<DeviceSpec>().unwrap(),
+            DeviceSpec::Real {
+                path: Some(PathBuf::from("/mnt/bench")),
+                page_size: 8192
+            }
+        );
+        assert_eq!(
+            "real::8192".parse::<DeviceSpec>().unwrap(),
+            DeviceSpec::Real {
+                path: None,
+                page_size: 8192
+            }
+        );
+    }
+
+    #[test]
+    fn bad_specs_are_rejected_with_reasons() {
+        for bad in [
+            "",
+            "disk",
+            "sim:floppy",
+            "sim:nvme:zero",
+            "sim:nvme:0",
+            "real:/p:big",
+        ] {
+            let err = bad.parse::<DeviceSpec>();
+            assert!(err.is_err(), "{bad:?} should not parse");
+        }
+        assert!(matches!(
+            "sim:floppy".parse::<DeviceSpec>(),
+            Err(StorageError::UnknownDeviceModel(_))
+        ));
+        assert!(matches!(
+            "disk".parse::<DeviceSpec>(),
+            Err(StorageError::InvalidDeviceSpec { .. })
+        ));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for text in [
+            "sim:hdd-7200",
+            "sim:nvme",
+            "sim:pmem:8192",
+            "real",
+            "real:/mnt/bench",
+            "real:/mnt/bench:8192",
+            "real::8192",
+        ] {
+            let spec: DeviceSpec = text.parse().unwrap();
+            assert_eq!(spec.to_string(), text);
+            assert_eq!(spec.to_string().parse::<DeviceSpec>().unwrap(), spec);
+        }
+        // Non-canonical inputs normalize.
+        assert_eq!(
+            "sim".parse::<DeviceSpec>().unwrap().to_string(),
+            "sim:hdd-7200"
+        );
+    }
+
+    #[test]
+    fn build_produces_working_devices() {
+        let sim = DeviceSpec::sim(ModelId::Nvme).build().unwrap();
+        assert!(sim.direct_io().is_none());
+        let real = "real".parse::<DeviceSpec>().unwrap().build().unwrap();
+        assert!(real.direct_io().is_some());
+        for device in [&sim, &real] {
+            let page = vec![7u8; device.page_size()];
+            let mut f = device.create("x").unwrap();
+            f.write_page(0, &page).unwrap();
+            let mut buf = vec![0u8; device.page_size()];
+            device.open("x").unwrap().read_page(0, &mut buf).unwrap();
+            assert_eq!(buf, page);
+        }
+    }
+}

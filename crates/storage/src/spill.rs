@@ -78,6 +78,7 @@ impl SpillNamer {
 mod tests {
     use super::*;
     use crate::device::SimDevice;
+    use crate::model::ModelId;
 
     #[test]
     fn names_are_unique_and_ordered() {
@@ -94,7 +95,7 @@ mod tests {
 
     #[test]
     fn cleanup_removes_created_files_and_parts() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let namer = SpillNamer::new("job");
         let run = namer.next_name("run");
         let rev = namer.next_name("rev");
@@ -112,7 +113,7 @@ mod tests {
 
     #[test]
     fn cleanup_tolerates_already_removed_files() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let namer = SpillNamer::new("job");
         let name = namer.next_name("run");
         device.create(&name).unwrap();

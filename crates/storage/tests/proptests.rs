@@ -17,7 +17,7 @@ proptest! {
         values in prop::collection::vec(any::<u64>(), 0..2_000),
         page_size_pow in 5u32..9, // 32..256 bytes per page
     ) {
-        let device = SimDevice::with_config(1usize << page_size_pow, DiskModel::default());
+        let device = SimDevice::custom(1usize << page_size_pow, DiskModel::default());
         let mut writer = RunWriter::<u64>::create(&device, "run").unwrap();
         for v in &values {
             writer.push(v).unwrap();
@@ -37,7 +37,7 @@ proptest! {
         pages_per_file in 2u64..10,
     ) {
         values.sort_unstable_by(|a, b| b.cmp(a)); // decreasing input stream
-        let device = SimDevice::with_config(64, DiskModel::default());
+        let device = SimDevice::custom(64, DiskModel::default());
         let mut writer =
             ReverseRunWriter::<u64>::with_pages_per_file(&device, "rev", pages_per_file).unwrap();
         for v in &values {
@@ -58,7 +58,7 @@ proptest! {
         writes in prop::collection::vec((0u64..32, any::<u8>()), 1..64),
     ) {
         let page_size = 128;
-        let device = SimDevice::with_config(page_size, DiskModel::default());
+        let device = SimDevice::custom(page_size, DiskModel::default());
         let mut file = device.create("pages").unwrap();
         let mut expected = std::collections::HashMap::new();
         for (index, fill) in &writes {

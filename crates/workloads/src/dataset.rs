@@ -97,11 +97,12 @@ pub fn sortedness(records: impl IntoIterator<Item = Record>) -> DatasetStats {
 mod tests {
     use super::*;
     use crate::distributions::{Distribution, DistributionKind};
+    use twrs_storage::ModelId;
     use twrs_storage::SimDevice;
 
     #[test]
     fn materialize_and_read_round_trip() {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let dist = Distribution::new(DistributionKind::RandomUniform, 3_000, 11);
         let expected = dist.collect();
         let written = materialize(&device, "input", expected.iter().copied()).unwrap();

@@ -16,7 +16,7 @@ use two_way_replacement_selection::prelude::*;
 use two_way_replacement_selection::workloads::AnticorrelatedTable;
 
 fn sort_with<G: RunGenerator>(generator: G, table: &AnticorrelatedTable) -> SortReport {
-    let device = SimDevice::new();
+    let device = SimDevice::with_model(ModelId::Hdd7200);
     let mut sorter = ExternalSorter::with_config(
         generator,
         SorterConfig {

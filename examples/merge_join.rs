@@ -38,7 +38,7 @@ fn main() {
             .map(|r| Record::new(r.key % rows / 2, r.payload))
     };
 
-    let device = SimDevice::new();
+    let device = SimDevice::with_model(ModelId::Hdd7200);
     let left = SortJob::new(TwoWayReplacementSelection::new(TwrsConfig::recommended(
         memory,
     )))

@@ -29,7 +29,7 @@ fn main() {
         .unwrap_or(1)
         .max(2);
 
-    let device = SimDevice::new();
+    let device = SimDevice::with_model(ModelId::Hdd7200);
     let input = Distribution::new(DistributionKind::RandomUniform, records, 42);
     materialize(&device, "input", input.records()).expect("write input dataset");
     println!("input: {records} random records, {memory} records of sort memory");

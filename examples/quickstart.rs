@@ -22,7 +22,7 @@ fn main() {
     // 1. A storage device. The simulated device keeps everything in memory
     //    and models disk seeks and transfers, which makes the example fast
     //    and deterministic.
-    let device = SimDevice::new();
+    let device = SimDevice::with_model(ModelId::Hdd7200);
 
     // 2. Materialise an unsorted dataset on the device, as a database would
     //    have it on disk before an ORDER BY.

@@ -13,7 +13,7 @@ fn measure<G: RunGenerator>(
     kind: DistributionKind,
     records: u64,
 ) -> (usize, f64) {
-    let device = SimDevice::new();
+    let device = SimDevice::with_model(ModelId::Hdd7200);
     let namer = SpillNamer::new("example");
     let memory = generator.memory_records();
     let mut input = Distribution::new(kind, records, 7).records();

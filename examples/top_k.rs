@@ -24,7 +24,7 @@ fn main() {
     println!("input: {records} random records, top-{k} query\n");
 
     // --- Classic shape: sort to a file, read the first k ----------------
-    let device = SimDevice::new();
+    let device = SimDevice::with_model(ModelId::Hdd7200);
     let twrs = TwoWayReplacementSelection::new(TwrsConfig::recommended(memory));
     let file_report = SortJob::new(twrs)
         .on(&device)
@@ -43,7 +43,7 @@ fn main() {
     );
 
     // --- Streaming shape: suspend the final merge -----------------------
-    let device = SimDevice::new();
+    let device = SimDevice::with_model(ModelId::Hdd7200);
     let twrs = TwoWayReplacementSelection::new(TwrsConfig::recommended(memory));
     let stream = SortJob::new(twrs)
         .on(&device)

@@ -32,7 +32,7 @@
 //!
 //! // An in-memory simulated disk and a reverse-sorted input — the worst
 //! // case of classic replacement selection.
-//! let device = SimDevice::new();
+//! let device = SimDevice::with_model(ModelId::Hdd7200);
 //! let input = Distribution::new(DistributionKind::ReverseSorted, 50_000, 7);
 //!
 //! let twrs = TwoWayReplacementSelection::new(TwrsConfig::recommended(1_000));
@@ -60,7 +60,7 @@
 //! ```
 //! use two_way_replacement_selection::prelude::*;
 //!
-//! let device = SimDevice::new();
+//! let device = SimDevice::with_model(ModelId::Hdd7200);
 //! let input = Distribution::new(DistributionKind::MixedBalanced, 20_000, 7);
 //!
 //! let twrs = TwoWayReplacementSelection::new(TwrsConfig::recommended(1_000));
@@ -124,7 +124,7 @@
 //!     }
 //! }
 //!
-//! let device = SimDevice::new();
+//! let device = SimDevice::with_model(ModelId::Hdd7200);
 //! let events = (0..5_000u64).rev().map(|i| UserEvent {
 //!     prefix: (i % 257 * 1_000_003).to_be_bytes(),
 //!     timestamp: i,
@@ -167,7 +167,7 @@
 //! ```
 //! use two_way_replacement_selection::prelude::*;
 //!
-//! let device = SimDevice::new();
+//! let device = SimDevice::with_model(ModelId::Hdd7200);
 //! let input = Distribution::new(DistributionKind::RandomUniform, 20_000, 3);
 //!
 //! let stream = SortJob::new(ReplacementSelection::new(500))
@@ -215,7 +215,7 @@
 //! ```
 //! use two_way_replacement_selection::prelude::*;
 //!
-//! let device = SimDevice::new();
+//! let device = SimDevice::with_model(ModelId::Hdd7200);
 //! let service = SortService::new(ServiceConfig::new(300).workers(2)).unwrap();
 //! let handles: Vec<JobHandle> = (0..4)
 //!     .map(|i| {
@@ -251,6 +251,8 @@
 //! | hand-rolled worker threads + per-job memory bookkeeping   | [`SortService`](extsort::SortService) with a [`MemoryArbiter`](extsort::MemoryArbiter); the arbiter enforces `sum(leases) <= global` at every rebalance |
 //! | killing a worker thread to abandon a sort                 | `JobHandle::cancel()` — the running job observes its [`CancellationToken`](extsort::CancellationToken) at the next phase/page boundary, deletes its spill files, returns its lease and completes `Canceled` |
 //! | a dedicated "high-priority" service instance per tenant tier | one service with [`ServiceConfig::tenant_priority`](extsort::ServiceConfig::tenant_priority)`("gold", `[`Priority::with_weight`](extsort::Priority::with_weight)`(3))` — weighted queue turns and memory caps, one global budget |
+//! | `SimDevice::new()` / `SimDevice::with_config(ps, m)`      | `SimDevice::with_model(`[`ModelId`](storage::ModelId)`::Hdd7200)` / `SimDevice::custom(ps, m)` — `m` can be a catalog [`ModelId`](storage::ModelId), a raw [`DiskModel`](storage::DiskModel), or [`storage::custom`]`(name, params)` |
+//! | a hard-wired device constructor in CLI/bench plumbing     | parse a [`DeviceSpec`](storage::DeviceSpec) (`"sim:nvme"`, `"real:/path:8192"`) and [`build`](storage::DeviceSpec::build) it — the returned [`AnyDevice`](storage::AnyDevice) plugs into every job/service entry point |
 //!
 //! ¹ `run_file` (and the `sort_file` method on the old sorters) is provided
 //! for the default [`Record`] by the [`RecordSortExt`]
@@ -373,7 +375,8 @@ pub mod prelude {
         SortReport, SortService, SortedStream, SorterConfig, VecSink,
     };
     pub use twrs_storage::{
-        FileDevice, ScopedDevice, SimDevice, SortableRecord, SpillNamer, StorageDevice,
+        AnyDevice, DeviceModel, DeviceSpec, DirectIoStatus, FileDevice, ModelId, RealFileDevice,
+        ScopedDevice, SimDevice, SortableRecord, SpillNamer, StorageDevice,
     };
     pub use twrs_workloads::{ArrivalTrace, Distribution, DistributionKind, JobArrival, Record};
 }

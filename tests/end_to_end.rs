@@ -37,7 +37,7 @@ fn full_sort_and_verify<G: RunGenerator, D: StorageDevice + Clone + Send + 'stat
 
 #[test]
 fn every_generator_sorts_every_distribution_on_the_simulated_device() {
-    let device = SimDevice::new();
+    let device = SimDevice::with_model(ModelId::Hdd7200);
     for kind in DistributionKind::paper_set() {
         full_sort_and_verify(&device, LoadSortStore::new(200), kind, 5_000);
         full_sort_and_verify(&device, ReplacementSelection::new(200), kind, 5_000);
@@ -63,7 +63,7 @@ fn twrs_sorts_on_the_real_file_device() {
 
 #[test]
 fn materialised_datasets_round_trip_and_sort() {
-    let device = SimDevice::new();
+    let device = SimDevice::with_model(ModelId::Hdd7200);
     let dist = Distribution::new(DistributionKind::MixedBalanced, 10_000, 3);
     let expected: Vec<Record> = dist.collect();
     materialize(&device, "table", expected.iter().copied()).expect("materialise");
@@ -87,7 +87,7 @@ fn materialised_datasets_round_trip_and_sort() {
 
 #[test]
 fn polyphase_merge_agrees_with_kway_merge() {
-    let device = SimDevice::new();
+    let device = SimDevice::with_model(ModelId::Hdd7200);
     let namer = SpillNamer::new("poly-vs-kway");
     let mut generator = LoadSortStore::new(250);
     let input: Vec<Record> = Distribution::new(DistributionKind::RandomUniform, 6_000, 5).collect();
@@ -109,7 +109,7 @@ fn polyphase_merge_agrees_with_kway_merge() {
 
 #[test]
 fn distribution_sort_agrees_with_the_merge_pipeline() {
-    let device = SimDevice::new();
+    let device = SimDevice::with_model(ModelId::Hdd7200);
     let namer = SpillNamer::new("dsort");
     let input: Vec<Record> = Distribution::new(
         DistributionKind::MixedImbalanced {
@@ -145,7 +145,7 @@ fn distribution_sort_agrees_with_the_merge_pipeline() {
 
 #[test]
 fn io_accounting_splits_phases() {
-    let device = SimDevice::new();
+    let device = SimDevice::with_model(ModelId::Hdd7200);
     let input = Distribution::new(DistributionKind::RandomUniform, 8_000, 2);
     let report = SortJob::new(TwoWayReplacementSelection::new(TwrsConfig::recommended(
         200,

@@ -10,7 +10,7 @@ const RECORDS: u64 = 60_000;
 const MEMORY: usize = 600;
 
 fn relative_run_length<G: RunGenerator>(mut generator: G, kind: DistributionKind) -> f64 {
-    let device = SimDevice::new();
+    let device = SimDevice::with_model(ModelId::Hdd7200);
     let namer = SpillNamer::new("shapes");
     let memory = generator.memory_records();
     let mut input = Distribution::new(kind, RECORDS, 23).records();
@@ -83,7 +83,7 @@ fn snowplow_model_and_measured_rs_agree_on_random_input() {
 fn chapter_6_conclusion_fewer_runs_means_fewer_merge_steps() {
     // The mechanism behind every Chapter 6 speedup: 2WRS generates fewer
     // runs on structured input, so the merge phase does less work.
-    let device = SimDevice::new();
+    let device = SimDevice::with_model(ModelId::Hdd7200);
     let config = SorterConfig {
         merge: MergeConfig {
             fan_in: 10,

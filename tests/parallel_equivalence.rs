@@ -66,7 +66,7 @@ fn sort_sequential<G: RunGenerator>(
     kind: DistributionKind,
     records: u64,
 ) -> (Vec<u8>, SortReport) {
-    let device = SimDevice::new();
+    let device = SimDevice::with_model(ModelId::Hdd7200);
     let mut sorter = ExternalSorter::with_config(
         generator,
         SorterConfig {
@@ -90,7 +90,7 @@ fn sort_parallel<G: ShardableGenerator>(
     records: u64,
     threads: usize,
 ) -> (Vec<u8>, ParallelSortReport, IoStatsSnapshot) {
-    let device = SimDevice::new();
+    let device = SimDevice::with_model(ModelId::Hdd7200);
     let mut sorter = ParallelExternalSorter::with_config(generator, parallel_config(threads));
     let mut input = Distribution::new(kind, records, SEED).records();
     let report = sorter
@@ -286,7 +286,7 @@ fn sort_file_attributes_input_reads_to_run_generation() {
     let records = RECORDS;
 
     // Sequential reference via sort_file.
-    let seq_device = SimDevice::new();
+    let seq_device = SimDevice::with_model(ModelId::Hdd7200);
     materialize(
         &seq_device,
         "input",
@@ -305,7 +305,7 @@ fn sort_file_attributes_input_reads_to_run_generation() {
         .expect("sequential sort_file succeeds");
 
     for threads in THREADS {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         materialize(
             &device,
             "input",

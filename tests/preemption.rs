@@ -44,7 +44,7 @@ struct TriggerDevice {
 impl TriggerDevice {
     fn new(fire_at: u64, token: CancellationToken) -> Self {
         TriggerDevice {
-            inner: SimDevice::new(),
+            inner: SimDevice::with_model(ModelId::Hdd7200),
             state: Arc::new(TriggerState {
                 ops: AtomicU64::new(0),
                 fire_at,

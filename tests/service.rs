@@ -55,7 +55,7 @@ fn submit_arrival(
 /// Runs arrival `index` solo — fresh device, full requested budget, same
 /// generator family as [`submit_arrival`] — and returns the sorted output.
 fn solo_run(arrival: &JobArrival, index: usize) -> Vec<Record> {
-    let device = SimDevice::new();
+    let device = SimDevice::with_model(ModelId::Hdd7200);
     let input =
         Distribution::new(arrival.distribution, arrival.records as u64, arrival.seed).records();
     match index % 3 {
@@ -86,7 +86,7 @@ fn contended_service_jobs_match_solo_runs() {
         global < trace.jobs().iter().map(|j| j.memory_records).sum::<usize>(),
         "the scenario must actually contend for memory"
     );
-    let device = SimDevice::new();
+    let device = SimDevice::with_model(ModelId::Hdd7200);
     let service = SortService::new(ServiceConfig::new(global).workers(3)).unwrap();
     let handles: Vec<JobHandle> = trace
         .jobs()
@@ -159,7 +159,7 @@ proptest! {
         global in 40usize..300,
         workers in 1usize..4,
     ) {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let service = SortService::new(ServiceConfig::new(global).workers(workers)).unwrap();
         let handles: Vec<JobHandle> = budgets
             .iter()

@@ -24,7 +24,7 @@ fn input() -> Distribution {
 
 #[test]
 fn one_thread_and_four_threads_produce_byte_identical_output() {
-    let device = SimDevice::new();
+    let device = SimDevice::with_model(ModelId::Hdd7200);
     let one = SortJob::new(TwoWayReplacementSelection::new(TwrsConfig::recommended(
         MEMORY,
     )))
@@ -58,7 +58,7 @@ fn one_thread_and_four_threads_produce_byte_identical_output() {
 fn builder_defaults_match_the_old_sequential_front_door() {
     // The deprecated `ExternalSorter::new` is the pre-redesign default
     // entry point; `SortJob::new(g).on(&device)` must behave identically.
-    let old_device = SimDevice::new();
+    let old_device = SimDevice::with_model(ModelId::Hdd7200);
     #[allow(deprecated)]
     let mut old = ExternalSorter::new(ReplacementSelection::new(MEMORY));
     let mut iter = input().records();
@@ -66,7 +66,7 @@ fn builder_defaults_match_the_old_sequential_front_door() {
         .sort_iter(&old_device, &mut iter, "out")
         .expect("old front door sorts");
 
-    let new_device = SimDevice::new();
+    let new_device = SimDevice::with_model(ModelId::Hdd7200);
     let new_report = SortJob::new(ReplacementSelection::new(MEMORY))
         .on(&new_device)
         .run_iter(input().records(), "out")
@@ -112,12 +112,12 @@ fn builder_config_matches_with_config() {
         },
         verify: true,
     };
-    let old_device = SimDevice::new();
+    let old_device = SimDevice::with_model(ModelId::Hdd7200);
     let mut old = ExternalSorter::with_config(LoadSortStore::new(MEMORY), cfg);
     let mut iter = input().records();
     let old_report = old.sort_iter(&old_device, &mut iter, "out").unwrap();
 
-    let new_device = SimDevice::new();
+    let new_device = SimDevice::with_model(ModelId::Hdd7200);
     let new_report = SortJob::new(LoadSortStore::new(MEMORY))
         .config(cfg)
         .on(&new_device)
@@ -151,7 +151,7 @@ fn write_truncated_dataset(device: &SimDevice, name: &str, claimed: u64) {
 
 #[test]
 fn sequential_sort_file_reports_truncated_input_as_an_error() {
-    let device = SimDevice::new();
+    let device = SimDevice::with_model(ModelId::Hdd7200);
     write_truncated_dataset(&device, "truncated", 100_000);
     let mut sorter =
         ExternalSorter::with_config(ReplacementSelection::new(MEMORY), SorterConfig::default());
@@ -171,7 +171,7 @@ fn sequential_sort_file_reports_truncated_input_as_an_error() {
 
 #[test]
 fn parallel_sort_file_reports_truncated_input_as_an_error() {
-    let device = SimDevice::new();
+    let device = SimDevice::with_model(ModelId::Hdd7200);
     write_truncated_dataset(&device, "truncated", 100_000);
     let mut sorter = ParallelExternalSorter::with_config(
         ReplacementSelection::new(MEMORY),
@@ -201,7 +201,7 @@ fn parallel_sort_file_reports_truncated_input_as_an_error() {
 #[test]
 fn sort_job_run_file_reports_truncated_input_as_an_error() {
     for threads in [1, 4] {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         write_truncated_dataset(&device, "truncated", 50_000);
         let result = SortJob::new(LoadSortStore::new(MEMORY))
             .on(&device)
@@ -220,7 +220,7 @@ fn sort_job_run_file_reports_truncated_input_as_an_error() {
 
 #[test]
 fn sort_file_still_works_on_healthy_input() {
-    let device = SimDevice::new();
+    let device = SimDevice::with_model(ModelId::Hdd7200);
     materialize(&device, "input", input().records()).expect("materialise");
     let report = SortJob::new(ReplacementSelection::new(MEMORY))
         .on(&device)
@@ -234,7 +234,7 @@ fn sort_file_still_works_on_healthy_input() {
 fn record_size_mismatch_is_an_error_not_a_panic() {
     // A dataset of u64 keys read as 16-byte Records: the header record
     // size does not match, which must surface from `open`, as an error.
-    let device = SimDevice::new();
+    let device = SimDevice::with_model(ModelId::Hdd7200);
     let mut writer =
         two_way_replacement_selection::storage::RunWriter::<u64>::create(&device, "keys")
             .expect("create dataset");

@@ -35,7 +35,7 @@ fn multi_run_input() -> impl Iterator<Item = Record> {
 #[test]
 fn dropping_a_half_consumed_stream_removes_all_device_files() {
     for threads in [1, 4] {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let mut stream = SortJob::new(ReplacementSelection::new(100))
             .on(&device)
             .threads(threads)
@@ -64,7 +64,7 @@ fn dropping_a_half_consumed_stream_removes_all_device_files() {
 
 #[test]
 fn closing_a_stream_early_reports_cleanup_success() {
-    let device = SimDevice::new();
+    let device = SimDevice::with_model(ModelId::Hdd7200);
     let mut stream = SortJob::new(LoadSortStore::new(100))
         .on(&device)
         .stream_iter(multi_run_input())
@@ -80,7 +80,7 @@ fn closing_a_stream_early_reports_cleanup_success() {
 #[test]
 fn a_failing_sink_write_removes_all_device_files() {
     for threads in [1, 4] {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let mut sink = FailingSink {
             accepted: 0,
             limit: 50,
@@ -112,7 +112,7 @@ fn a_receiver_hangup_mid_drain_aborts_promptly_and_cleans_up() {
     // where the final merge is fed by background prefetch threads that
     // must be torn down, not waited on — and leave no spill files behind.
     for threads in [1, 4] {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let (tx, rx) = std::sync::mpsc::sync_channel::<Record>(8);
         let consumer = std::thread::spawn(move || {
             // Take k records, then hang up with the merge still producing.
@@ -150,7 +150,7 @@ fn a_receiver_hangup_mid_drain_aborts_promptly_and_cleans_up() {
 
 #[test]
 fn a_stream_over_a_truncated_dataset_cleans_up_and_errors() {
-    let device = SimDevice::new();
+    let device = SimDevice::with_model(ModelId::Hdd7200);
     let dist = Distribution::new(DistributionKind::RandomUniform, 3_000, 5);
     two_way_replacement_selection::workloads::materialize(&device, "input", dist.records())
         .unwrap();

@@ -19,7 +19,7 @@ where
 {
     let input = || Distribution::new(DistributionKind::MixedBalanced, 6_000, 17).records();
 
-    let file_device = SimDevice::new();
+    let file_device = SimDevice::with_model(ModelId::Hdd7200);
     let file_report = SortJob::new(make())
         .on(&file_device)
         .threads(threads)
@@ -31,7 +31,7 @@ where
         "{label}: the file path pays a final write pass"
     );
 
-    let stream_device = SimDevice::new();
+    let stream_device = SimDevice::with_model(ModelId::Hdd7200);
     let stream = SortJob::new(make())
         .on(&stream_device)
         .threads(threads)
@@ -95,7 +95,7 @@ fn stream_matches_file_for_every_generator_and_thread_count() {
 #[test]
 fn empty_input_streams_nothing_and_leaves_no_files() {
     for threads in [1, 4] {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let stream = SortJob::new(ReplacementSelection::new(64))
             .on(&device)
             .threads(threads)
@@ -110,7 +110,7 @@ fn empty_input_streams_nothing_and_leaves_no_files() {
 #[test]
 fn single_record_round_trips_through_the_stream() {
     for threads in [1, 4] {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let stream = SortJob::new(LoadSortStore::new(64))
             .on(&device)
             .threads(threads)
@@ -124,7 +124,7 @@ fn single_record_round_trips_through_the_stream() {
 
 #[test]
 fn stream_file_matches_run_file_on_a_materialised_dataset() {
-    let device = SimDevice::new();
+    let device = SimDevice::with_model(ModelId::Hdd7200);
     let dist = Distribution::new(DistributionKind::ReverseSorted, 4_000, 9);
     two_way_replacement_selection::workloads::materialize(&device, "input", dist.records())
         .unwrap();
@@ -152,7 +152,7 @@ fn stream_file_matches_run_file_on_a_materialised_dataset() {
 #[test]
 fn sink_iter_delivers_the_same_sequence_with_zero_device_writes() {
     for threads in [1, 4] {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let input = Distribution::new(DistributionKind::RandomUniform, 5_000, 23);
         let mut sink = VecSink::new();
         let report = SortJob::new(ReplacementSelection::new(150))
@@ -189,7 +189,7 @@ proptest! {
         memory in 8usize..200,
         threads in 1usize..5,
     ) {
-        let device = SimDevice::new();
+        let device = SimDevice::with_model(ModelId::Hdd7200);
         let input: Vec<Record> = keys
             .iter()
             .enumerate()

@@ -9,7 +9,7 @@ fn generate<G: RunGenerator>(
     records: u64,
     exact: bool,
 ) -> (usize, f64) {
-    let device = SimDevice::new();
+    let device = SimDevice::with_model(ModelId::Hdd7200);
     let namer = SpillNamer::new("theorems");
     let memory = generator.memory_records();
     let dist = if exact {

@@ -82,7 +82,7 @@ fn read_events(device: &SimDevice, name: &str) -> Vec<UserEvent> {
 
 fn sort_and_check<G: ShardableGenerator>(label: &str, generator: G, threads: usize) -> Vec<u8> {
     const N: u64 = 8_000;
-    let device = SimDevice::new();
+    let device = SimDevice::with_model(ModelId::Hdd7200);
     let report = SortJob::new(generator)
         .on(&device)
         .threads(threads)
@@ -153,7 +153,7 @@ fn user_event_parallel_output_is_byte_identical_to_sequential() {
 #[test]
 fn user_events_round_trip_through_materialised_files() {
     // run_file_as: the on-disk path with an explicit record type.
-    let device = SimDevice::new();
+    let device = SimDevice::with_model(ModelId::Hdd7200);
     let mut writer =
         two_way_replacement_selection::storage::RunWriter::<UserEvent>::create(&device, "input")
             .expect("create input");
