@@ -25,6 +25,11 @@
 //! * **multi-threaded scenarios** (`-t4` ids) pin `null`, because the
 //!   interleaving of generation and prefetch threads through the shared
 //!   head is scheduler-dependent;
+//! * **striped scenarios** (`-d<n>` ids, `disks > 1`) pin a concrete
+//!   number again even at `-t4`: each shard spills to its own stripe
+//!   member and the per-disk reduction keeps every member head
+//!   single-reader, so no scheduler-dependent interleaving ever reaches a
+//!   head (the per-member breakdown also rides in the bench report);
 //! * **service scenarios** (`service-` ids) pin a concrete sum even though
 //!   jobs run concurrently: every job is single-threaded on its own
 //!   [`ScopedDevice`](twrs_storage::ScopedDevice) scope (a private head),
@@ -218,6 +223,7 @@ mod tests {
                     record_type: RecordType::Record,
                     sink: SinkMode::File,
                     device: ModelId::Hdd7200,
+                    disks: 1,
                     seed: 42,
                 },
                 Scenario {
@@ -229,6 +235,7 @@ mod tests {
                     record_type: RecordType::Record,
                     sink: SinkMode::File,
                     device: ModelId::Hdd7200,
+                    disks: 1,
                     seed: 42,
                 },
             ],

@@ -124,6 +124,11 @@ pub struct Scenario {
     /// Page/seek *counts* are identical across models (the catalog shares
     /// one seek-detection rule); only simulated I/O time differs.
     pub device: ModelId,
+    /// Number of simulated disks the scenario spills across. `1` runs on a
+    /// plain `SimDevice`; `>1` builds a `striped:<disks>:sim:<model>`
+    /// stripe, where each generation shard spills to its own member and
+    /// per-disk seek counts stay deterministic even at `threads > 1`.
+    pub disks: usize,
     /// Seed of the input distribution.
     pub seed: u64,
 }
@@ -138,12 +143,16 @@ impl Scenario {
             ModelId::Hdd7200 => String::new(),
             other => format!("-{}", other.name()),
         };
+        let disks = match self.disks {
+            0 | 1 => String::new(),
+            n => format!("-d{n}"),
+        };
         let sink = match self.sink {
             SinkMode::File => "",
             SinkMode::Stream => "-stream",
         };
         format!(
-            "{}-{}-{}-n{}-m{}-t{}{}{}",
+            "{}-{}-{}-n{}-m{}-t{}{}{}{}",
             self.generator.slug(),
             self.distribution.label(),
             self.record_type.slug(),
@@ -151,8 +160,20 @@ impl Scenario {
             self.memory,
             self.threads,
             device,
+            disks,
             sink
         )
+    }
+
+    /// The [`twrs_storage::DeviceSpec`] string the runner builds this
+    /// scenario's device from: `sim:<model>` for a single disk,
+    /// `striped:<disks>:sim:<model>` for a stripe.
+    pub fn device_spec(&self) -> String {
+        if self.disks > 1 {
+            format!("striped:{}:sim:{}", self.disks, self.device.name())
+        } else {
+            format!("sim:{}", self.device.name())
+        }
     }
 }
 
@@ -190,8 +211,9 @@ impl ScenarioMatrix {
     /// the five matrix distributions × both thread counts on the default
     /// record, record-type coverage on the random and duplicate-heavy
     /// inputs, plus the stream-sink slice (every generator × both thread
-    /// counts through `stream_iter`). 50 scenarios, each small enough that
-    /// the whole matrix runs in seconds.
+    /// counts through `stream_iter`) and the multi-disk slice (every
+    /// generator across two stripe shapes). 62 scenarios, each small enough
+    /// that the whole matrix runs in seconds.
     pub fn quick() -> Self {
         let mut scenarios = Vec::new();
         let records = 6_000;
@@ -208,6 +230,7 @@ impl ScenarioMatrix {
                         record_type: RecordType::Record,
                         sink: SinkMode::File,
                         device: ModelId::Hdd7200,
+                        disks: 1,
                         seed: MATRIX_SEED,
                     });
                 }
@@ -227,6 +250,7 @@ impl ScenarioMatrix {
                         record_type,
                         sink: SinkMode::File,
                         device: ModelId::Hdd7200,
+                        disks: 1,
                         seed: MATRIX_SEED,
                     });
                 }
@@ -244,6 +268,7 @@ impl ScenarioMatrix {
                 record_type: RecordType::U64,
                 sink: SinkMode::File,
                 device: ModelId::Hdd7200,
+                disks: 1,
                 seed: MATRIX_SEED,
             });
         }
@@ -259,10 +284,40 @@ impl ScenarioMatrix {
         // the paper's seek-dominated conclusion under a near-seek-free
         // device.
         scenarios.extend(Self::device_slice(records, memory, [ModelId::Nvme]));
+        // Multi-disk axis: the random/record slice spilling across a
+        // stripe. Shard-pinned spills make the per-disk seek counts
+        // deterministic, so — unlike the plain `-t4` scenarios — these
+        // multi-threaded runs pin concrete seek totals in the baseline.
+        scenarios.extend(Self::striped_slice(records, memory));
         ScenarioMatrix {
             name: "quick",
             scenarios,
         }
+    }
+
+    /// The multi-disk slice: every generator sorting the random/record
+    /// input at four threads, once on a four-disk hdd stripe (one shard per
+    /// member) and once on a two-disk nvme stripe (two shards per member) —
+    /// exercising both the shard↔disk bijection and the folded case.
+    fn striped_slice(records: u64, memory: usize) -> Vec<Scenario> {
+        let mut scenarios = Vec::new();
+        for (disks, device) in [(4, ModelId::Hdd7200), (2, ModelId::Nvme)] {
+            for generator in GeneratorKind::all() {
+                scenarios.push(Scenario {
+                    generator,
+                    distribution: DistributionKind::RandomUniform,
+                    records,
+                    memory,
+                    threads: 4,
+                    record_type: RecordType::Record,
+                    sink: SinkMode::File,
+                    device,
+                    disks,
+                    seed: MATRIX_SEED,
+                });
+            }
+        }
+        scenarios
     }
 
     /// The device-axis slice: every generator on random input, both thread
@@ -285,6 +340,7 @@ impl ScenarioMatrix {
                         record_type: RecordType::Record,
                         sink: SinkMode::File,
                         device,
+                        disks: 1,
                         seed: MATRIX_SEED,
                     });
                 }
@@ -308,6 +364,7 @@ impl ScenarioMatrix {
                     record_type: RecordType::Record,
                     sink: SinkMode::Stream,
                     device: ModelId::Hdd7200,
+                    disks: 1,
                     seed: MATRIX_SEED,
                 });
             }
@@ -338,6 +395,7 @@ impl ScenarioMatrix {
                             record_type: RecordType::Record,
                             sink: SinkMode::File,
                             device: ModelId::Hdd7200,
+                            disks: 1,
                             seed: MATRIX_SEED,
                         });
                     }
@@ -357,6 +415,7 @@ impl ScenarioMatrix {
                             record_type,
                             sink: SinkMode::File,
                             device: ModelId::Hdd7200,
+                            disks: 1,
                             seed: MATRIX_SEED,
                         });
                     }
@@ -370,6 +429,7 @@ impl ScenarioMatrix {
             300,
             [ModelId::SataSsd, ModelId::Nvme, ModelId::Pmem],
         ));
+        scenarios.extend(Self::striped_slice(records, 300));
         ScenarioMatrix {
             name: "full",
             scenarios,
@@ -457,6 +517,7 @@ mod tests {
             record_type: RecordType::UserEvent,
             sink: SinkMode::File,
             device: ModelId::Hdd7200,
+            disks: 1,
             seed: MATRIX_SEED,
         };
         // File-sink ids keep the pre-sink-axis shape, so the historical
@@ -470,6 +531,51 @@ mod tests {
             stream.id(),
             "2wrs-almost-sorted-user-event-n6000-m300-t4-stream"
         );
+        // Striped scenarios carry a `-d<n>` segment after the device
+        // segment, and build from a `striped:` device spec.
+        let striped = Scenario {
+            record_type: RecordType::Record,
+            disks: 4,
+            ..scenario
+        };
+        assert_eq!(striped.id(), "2wrs-almost-sorted-record-n6000-m300-t4-d4");
+        assert_eq!(striped.device_spec(), "striped:4:sim:hdd-7200");
+        let striped_nvme = Scenario {
+            device: ModelId::Nvme,
+            disks: 2,
+            ..striped
+        };
+        assert_eq!(
+            striped_nvme.id(),
+            "2wrs-almost-sorted-record-n6000-m300-t4-nvme-d2"
+        );
+        assert_eq!(striped_nvme.device_spec(), "striped:2:sim:nvme");
+        assert_eq!(scenario.device_spec(), "sim:hdd-7200");
+    }
+
+    #[test]
+    fn both_matrices_cover_the_multi_disk_axis() {
+        for matrix in [ScenarioMatrix::quick(), ScenarioMatrix::full()] {
+            let striped: Vec<&Scenario> = matrix.scenarios.iter().filter(|s| s.disks > 1).collect();
+            let generators: BTreeSet<&str> = striped.iter().map(|s| s.generator.label()).collect();
+            assert_eq!(
+                generators.len(),
+                3,
+                "{}: every generator stripes",
+                matrix.name
+            );
+            let shapes: BTreeSet<usize> = striped.iter().map(|s| s.disks).collect();
+            assert_eq!(shapes, BTreeSet::from([2, 4]), "{}", matrix.name);
+            for scenario in striped {
+                assert!(
+                    scenario.threads > 1,
+                    "{}: the slice exists to pin multi-threaded per-disk seeks",
+                    matrix.name
+                );
+                assert!(scenario.id().contains(&format!("-d{}", scenario.disks)));
+                assert!(scenario.device_spec().starts_with("striped:"));
+            }
+        }
     }
 
     #[test]

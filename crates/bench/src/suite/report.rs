@@ -13,7 +13,8 @@
 //!     {
 //!       "id": "rs-random-record-n6000-m300-t1",
 //!       "generator": "RS", "distribution": "random", "record_type": "record",
-//!       "sink": "file", "device": "hdd-7200", "final_pass_pages_written": 97,
+//!       "sink": "file", "device": "hdd-7200", "disks": 1,
+//!       "final_pass_pages_written": 97,
 //!       "records": 6000, "memory_records": 300, "threads": 1, "seed": 42,
 //!       "wall_us": 1234, "simulated_io_us": 56789, "records_per_sec": 4861448.2,
 //!       "runs": 10, "avg_run_length": 600.0,
@@ -24,6 +25,7 @@
 //!         "verify": { "..." : "same shape, or null for sink/stream scenarios" }
 //!       },
 //!       "deterministic": { "pages_read": 48, "pages_written": 48, "final_pass_pages_written": 97, "runs": 10, "seeks": 13 },
+//!       "per_disk": [ { "pages_read": 24, "pages_written": 24, "seeks": 7 } ],
 //!       "io_consistent": true
 //!     }
 //!   ]
@@ -32,8 +34,13 @@
 //!
 //! Wall-clock fields vary by machine; everything under `deterministic` is
 //! identical everywhere (`seeks` is `null` for multi-threaded scenarios,
-//! where read interleaving is scheduler-dependent) and is what the CI
-//! baseline gate pins. `"sink": "stream"` scenarios run through
+//! where read interleaving through the one shared disk head is
+//! scheduler-dependent — except on striped scenarios, `"disks" > 1`, where
+//! shard-pinned spills and the per-disk reduction keep every member head
+//! single-reader and seeks concrete again) and is what the CI baseline
+//! gate pins. `per_disk` lists each stripe member's counters in stripe
+//! order (empty on single-disk scenarios); the runner verifies the fold
+//! against the device totals before reporting. `"sink": "stream"` scenarios run through
 //! `SortJob::stream_iter`; their pinned `final_pass_pages_written` is `0` —
 //! the gated "stream writes zero final-pass pages" invariant — and their
 //! phase metrics cover generation plus the intermediate merge passes only
@@ -301,6 +308,7 @@ fn scenario_json(result: &ScenarioResult) -> Json {
         ("record_type", Json::Str(scenario.record_type.slug().into())),
         ("sink", Json::Str(scenario.sink.slug().into())),
         ("device", Json::Str(scenario.device.name().into())),
+        ("disks", Json::counter(scenario.disks as u64)),
         (
             "final_pass_pages_written",
             Json::counter(result.final_pass_pages_written),
@@ -337,6 +345,22 @@ fn scenario_json(result: &ScenarioResult) -> Json {
             ]),
         ),
         ("deterministic", deterministic_json(&det)),
+        (
+            "per_disk",
+            Json::Arr(
+                result
+                    .per_disk
+                    .iter()
+                    .map(|disk| {
+                        Json::obj(vec![
+                            ("pages_read", Json::counter(disk.pages_read)),
+                            ("pages_written", Json::counter(disk.pages_written)),
+                            ("seeks", Json::counter(disk.seeks)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
         ("io_consistent", Json::Bool(result.io_consistent)),
     ])
 }
@@ -433,6 +457,7 @@ mod tests {
                 record_type: RecordType::Record,
                 sink: SinkMode::File,
                 device: ModelId::Hdd7200,
+                disks: 1,
                 seed: MATRIX_SEED,
             })
             .collect();
@@ -460,6 +485,47 @@ mod tests {
         // The 4-thread scenario reports null seeks.
         let det4 = scenarios[1].get("deterministic").unwrap();
         assert_eq!(det4.get("seeks"), Some(&Json::Null));
+        // Single-disk scenarios carry an empty per-disk breakdown.
+        assert_eq!(first.get("disks").and_then(Json::as_u64), Some(1));
+        let per_disk = first.get("per_disk").and_then(Json::as_arr).unwrap();
+        assert!(per_disk.is_empty());
+    }
+
+    #[test]
+    fn striped_scenarios_serialize_their_per_disk_breakdown() {
+        let matrix = ScenarioMatrix {
+            name: "striped-report-test",
+            scenarios: vec![Scenario {
+                generator: GeneratorKind::Twrs,
+                distribution: DistributionKind::RandomUniform,
+                records: 1_500,
+                memory: 128,
+                threads: 4,
+                record_type: RecordType::Record,
+                sink: SinkMode::File,
+                device: ModelId::Hdd7200,
+                disks: 2,
+                seed: MATRIX_SEED,
+            }],
+        };
+        let report = BenchReport::run(&matrix, "test", |_| {}).unwrap();
+        let parsed = Json::parse(&report.to_json().render()).unwrap();
+        let scenario = &parsed.get("scenarios").and_then(Json::as_arr).unwrap()[0];
+        assert_eq!(scenario.get("disks").and_then(Json::as_u64), Some(2));
+        // Striped multi-threaded scenarios pin concrete seeks...
+        let det = scenario.get("deterministic").unwrap();
+        let total_seeks = det.get("seeks").and_then(Json::as_u64).expect("concrete");
+        // ...and the serialized members fold back into the totals.
+        let per_disk = scenario.get("per_disk").and_then(Json::as_arr).unwrap();
+        assert_eq!(per_disk.len(), 2);
+        let fold: u64 = per_disk
+            .iter()
+            .map(|d| d.get("seeks").and_then(Json::as_u64).unwrap())
+            .sum();
+        assert_eq!(fold, total_seeks);
+        assert!(per_disk
+            .iter()
+            .all(|d| d.get("pages_written").and_then(Json::as_u64).unwrap() > 0));
     }
 
     #[test]

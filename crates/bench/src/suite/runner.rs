@@ -10,7 +10,7 @@ use twrs_extsort::{
     FinalPassKind, LoadSortStore, PhaseReport, ReplacementSelection, ShardableGenerator, SortJob,
     SortJobReport,
 };
-use twrs_storage::{DiskModel, ModelId, SimDevice, SortableRecord, StorageDevice};
+use twrs_storage::{AnyDevice, DeviceSpec, DiskModel, ModelId, SortableRecord, StorageDevice};
 use twrs_workloads::{Distribution, UserEvent};
 
 /// One phase's metrics, flattened for serialization. Pages and seeks are
@@ -43,9 +43,11 @@ impl From<&PhaseReport> for PhaseMetrics {
 
 /// The deterministic subset of a scenario's counters: identical on every
 /// machine, which is what the CI baseline gate compares. Seeks are only
-/// deterministic on the sequential path — with several generation and
-/// prefetch threads the interleaving of reads through the shared disk head
-/// varies — so they are `None` for multi-threaded scenarios.
+/// deterministic when every disk head sees one reader at a time: on the
+/// sequential path, and on striped scenarios (`disks > 1`), where each
+/// shard spills to its own stripe member and the per-disk reduction keeps
+/// every head single-reader. Plain multi-threaded scenarios interleave
+/// prefetch reads through one shared head, so they report `None`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DeterministicCounters {
     /// Total pages read across all phases (including verification).
@@ -59,8 +61,20 @@ pub struct DeterministicCounters {
     /// Number of runs the generation phase produced.
     pub runs: u64,
     /// Total seeks across all phases; `None` when the scenario ran with
-    /// more than one thread.
+    /// more than one thread on a single disk.
     pub seeks: Option<u64>,
+}
+
+/// Deterministic counters for one stripe member of a striped scenario —
+/// the per-disk breakdown the report serializes next to the totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskCounters {
+    /// Pages this member read across the whole run.
+    pub pages_read: u64,
+    /// Pages this member wrote across the whole run.
+    pub pages_written: u64,
+    /// Seeks this member's head performed across the whole run.
+    pub seeks: u64,
 }
 
 /// Everything measured for one scenario.
@@ -100,6 +114,10 @@ pub struct ScenarioResult {
     /// Whether the report's I/O accounting reconciled (shard sums vs.
     /// aggregated phases).
     pub io_consistent: bool,
+    /// Per-member counters for striped scenarios, in stripe order; empty
+    /// when the scenario ran on a single disk. The runner verifies the
+    /// member fold against the device totals before reporting.
+    pub per_disk: Vec<DiskCounters>,
 }
 
 impl ScenarioResult {
@@ -116,7 +134,8 @@ impl ScenarioResult {
             pages_written: sum(|p| p.pages_written),
             final_pass_pages_written: self.final_pass_pages_written,
             runs: self.num_runs,
-            seeks: (self.scenario.threads == 1).then(|| sum(|p| p.seeks)),
+            seeks: (self.scenario.threads == 1 || self.scenario.disks > 1)
+                .then(|| sum(|p| p.seeks)),
         }
     }
 
@@ -136,26 +155,74 @@ pub fn suite_disk_model() -> DiskModel {
     ModelId::Hdd7200.params()
 }
 
-fn run_job<R, I>(scenario: &Scenario, input: I) -> Result<SortJobReport, String>
+/// Reads the per-member counters off a striped device and checks they
+/// fold into the device totals exactly; `[]` for single-disk devices.
+/// Call only once all I/O has happened (for streams: after the drain).
+fn per_disk_counters(device: &AnyDevice, scenario: &Scenario) -> Result<Vec<DiskCounters>, String> {
+    let Some(stripe) = device.as_striped() else {
+        return Ok(Vec::new());
+    };
+    let members: Vec<DiskCounters> = stripe
+        .member_stats()
+        .iter()
+        .map(|snapshot| DiskCounters {
+            pages_read: snapshot.counters.pages_read,
+            pages_written: snapshot.counters.pages_written,
+            seeks: snapshot.counters.seeks,
+        })
+        .collect();
+    let totals = device.stats().counters;
+    let fold = members.iter().fold([0u64; 3], |acc, m| {
+        [
+            acc[0] + m.pages_read,
+            acc[1] + m.pages_written,
+            acc[2] + m.seeks,
+        ]
+    });
+    if fold != [totals.pages_read, totals.pages_written, totals.seeks] {
+        return Err(format!(
+            "scenario {}: stripe member counters {fold:?} do not fold into \
+             the device totals [{}, {}, {}]",
+            scenario.id(),
+            totals.pages_read,
+            totals.pages_written,
+            totals.seeks
+        ));
+    }
+    Ok(members)
+}
+
+fn run_job<R, I>(
+    scenario: &Scenario,
+    input: I,
+) -> Result<(SortJobReport, Vec<DiskCounters>), String>
 where
     R: SortableRecord,
     I: Iterator<Item = R>,
 {
-    fn go<G, R, I>(generator: G, scenario: &Scenario, input: I) -> Result<SortJobReport, String>
+    fn go<G, R, I>(
+        generator: G,
+        scenario: &Scenario,
+        input: I,
+    ) -> Result<(SortJobReport, Vec<DiskCounters>), String>
     where
         G: ShardableGenerator,
         R: SortableRecord,
         I: Iterator<Item = R>,
     {
-        let device = SimDevice::with_model(scenario.device);
+        let device = scenario
+            .device_spec()
+            .parse::<DeviceSpec>()
+            .and_then(|spec| spec.build())
+            .map_err(|e| format!("scenario {}: bad device spec: {e}", scenario.id()))?;
         let job = SortJob::new(generator)
             .on(&device)
             .threads(scenario.threads)
             .verify(true);
-        match scenario.sink {
+        let report = match scenario.sink {
             SinkMode::File => job
                 .run_iter(input, "sorted")
-                .map_err(|e| format!("scenario {} failed: {e}", scenario.id())),
+                .map_err(|e| format!("scenario {} failed: {e}", scenario.id()))?,
             SinkMode::Stream => {
                 // Drain the lazy stream, verifying order and completeness
                 // inline (the pipeline's verify pass is file-specific).
@@ -189,9 +256,11 @@ where
                         scenario.id()
                     ));
                 }
-                Ok(report)
+                report
             }
-        }
+        };
+        let per_disk = per_disk_counters(&device, scenario)?;
+        Ok((report, per_disk))
     }
 
     match scenario.generator {
@@ -208,7 +277,7 @@ where
 /// Runs one scenario to completion and returns its measurements.
 pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioResult, String> {
     let input = Distribution::new(scenario.distribution, scenario.records, scenario.seed);
-    let job = match scenario.record_type {
+    let (job, per_disk) = match scenario.record_type {
         RecordType::Record => run_job(scenario, input.records())?,
         RecordType::UserEvent => run_job(scenario, input.records().map(UserEvent::from))?,
         RecordType::U64 => run_job(scenario, input.records().map(|r| r.key))?,
@@ -243,6 +312,7 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioResult, String> {
         final_pass: job.final_pass,
         final_pass_pages_written: job.final_pass_pages_written(),
         io_consistent: job.io_is_consistent(),
+        per_disk,
     })
 }
 
@@ -261,6 +331,7 @@ mod tests {
             record_type: RecordType::Record,
             sink: SinkMode::File,
             device: ModelId::Hdd7200,
+            disks: 1,
             seed: 7,
         }
     }
@@ -378,6 +449,85 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn striped_scenarios_pin_concrete_per_disk_seeks() {
+        // The whole point of the striped slice: at 4 threads on 4 disks
+        // every head is single-reader again, so seeks return to the
+        // deterministic set — with a per-member breakdown that folds
+        // exactly into the phase totals.
+        let s = Scenario {
+            disks: 4,
+            ..scenario(GeneratorKind::Twrs, 4)
+        };
+        let a = run_scenario(&s).unwrap();
+        let b = run_scenario(&s).unwrap();
+        let det = a.deterministic();
+        assert_eq!(det, b.deterministic(), "{}", s.id());
+        assert!(det.seeks.is_some(), "{}: striped runs pin seeks", s.id());
+        assert!(a.io_consistent);
+        assert_eq!(a.per_disk.len(), 4);
+        assert_eq!(a.per_disk, b.per_disk, "{}: per-disk repeatable", s.id());
+        assert!(a.per_disk.iter().all(|d| d.pages_written > 0));
+        // File sinks route every page through the reported phases, so the
+        // member fold reproduces the deterministic totals.
+        assert_eq!(
+            a.per_disk.iter().map(|d| d.seeks).sum::<u64>(),
+            det.seeks.unwrap()
+        );
+        assert_eq!(
+            a.per_disk.iter().map(|d| d.pages_read).sum::<u64>(),
+            det.pages_read
+        );
+        assert_eq!(
+            a.per_disk.iter().map(|d| d.pages_written).sum::<u64>(),
+            det.pages_written
+        );
+    }
+
+    #[test]
+    fn single_disk_scenarios_report_no_per_disk_breakdown() {
+        let result = run_scenario(&scenario(GeneratorKind::Rs, 1)).unwrap();
+        assert!(result.per_disk.is_empty());
+    }
+
+    #[test]
+    fn contention_raises_simulated_latency_but_not_counters() {
+        // A second admitted I/O client halves the stripe's fair-share
+        // bandwidth for the whole run: simulated latency strictly grows
+        // while every deterministic counter stays put.
+        let run = |hold_extra_client: bool| {
+            let device = "striped:2:sim:hdd-7200"
+                .parse::<DeviceSpec>()
+                .unwrap()
+                .build()
+                .unwrap();
+            let _extra = hold_extra_client.then(|| {
+                device
+                    .attach_io_client()
+                    .expect("striped devices admit clients")
+            });
+            let input = Distribution::new(DistributionKind::RandomUniform, 3_000, 7);
+            SortJob::new(ReplacementSelection::new(200))
+                .on(&device)
+                .threads(2)
+                .verify(true)
+                .run_iter(input.records(), "sorted")
+                .map(|report| {
+                    let stats = device.stats();
+                    (stats.counters, stats.sim_io, report.num_runs())
+                })
+                .unwrap()
+        };
+        let (solo_counters, solo_io, solo_runs) = run(false);
+        let (contended_counters, contended_io, contended_runs) = run(true);
+        assert_eq!(solo_counters, contended_counters);
+        assert_eq!(solo_runs, contended_runs);
+        assert!(
+            contended_io > solo_io,
+            "contended {contended_io:?} !> solo {solo_io:?}"
+        );
     }
 
     #[test]

@@ -28,6 +28,7 @@ fn base_scenario(generator: GeneratorKind, sink: SinkMode) -> Scenario {
         record_type: RecordType::Record,
         sink,
         device: ModelId::Hdd7200,
+        disks: 1,
         seed: 42,
     }
 }
@@ -133,14 +134,68 @@ fn threads_in_id(id: &str) -> Option<u64> {
     None
 }
 
+/// The stripe width a scenario id encodes (`...-t4-d4`), or `None` for
+/// single-disk ids without a `-d<n>` segment.
+fn disks_in_id(id: &str) -> Option<u64> {
+    for (pos, _) in id.match_indices("-d") {
+        let rest = &id[pos + 2..];
+        let digits: &str = &rest[..rest
+            .char_indices()
+            .find(|(_, c)| !c.is_ascii_digit())
+            .map_or(rest.len(), |(i, _)| i)];
+        let terminated = rest.len() == digits.len() || rest.as_bytes()[digits.len()] == b'-';
+        if !digits.is_empty() && terminated {
+            return digits.parse().ok();
+        }
+    }
+    None
+}
+
+#[test]
+fn striped_twrs_counters_are_pinned() {
+    // The striped slice's headline: 4 shards on a 4-disk stripe report
+    // concrete seeks again. Pinned to the committed baseline entry for
+    // 2wrs-random-record-n6000-m300-t4-d4.
+    let scenario = Scenario {
+        threads: 4,
+        disks: 4,
+        ..base_scenario(GeneratorKind::Twrs, SinkMode::File)
+    };
+    let result = run_scenario(&scenario).expect("scenario runs");
+    assert_eq!(
+        result.deterministic(),
+        DeterministicCounters {
+            pages_read: 257,
+            pages_written: 309,
+            final_pass_pages_written: 26,
+            runs: 45,
+            seeks: Some(189),
+        },
+        "deterministic counters drifted for {} — if intentional, update this \
+         test AND crates/bench/baseline.json in the same PR",
+        scenario.id()
+    );
+    // The per-disk breakdown folds exactly into those totals.
+    assert_eq!(result.per_disk.len(), 4);
+    assert_eq!(
+        result.per_disk.iter().map(|d| d.seeks).sum::<u64>(),
+        189,
+        "{}: member seeks fold into the pinned total",
+        scenario.id()
+    );
+}
+
 #[test]
 fn baseline_pins_seeks_exactly_for_single_threaded_scenarios() {
     // The `seeks` field is an explicit Option: `null` encodes "not
     // deterministic for this scenario" and nothing else (see the
     // `suite::baseline` docs). Enforce the contract on the committed file:
     // every single-threaded scenario pins a concrete seek count, every
-    // multi-threaded one pins null, and every service scenario pins a
-    // concrete sum (its jobs are single-threaded on private device scopes).
+    // multi-threaded single-disk one pins null, every striped scenario
+    // (`-d<n>` ids) pins a concrete count again — shard-pinned spills and
+    // the per-disk reduction keep every stripe head single-reader — and
+    // every service scenario pins a concrete sum (its jobs are
+    // single-threaded on private device scopes).
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/baseline.json");
     let text = std::fs::read_to_string(path).expect("committed baseline exists");
     let baseline = twrs_bench::suite::Json::parse(&text).expect("baseline parses");
@@ -150,6 +205,7 @@ fn baseline_pins_seeks_exactly_for_single_threaded_scenarios() {
         .expect("scenarios object");
     let mut single = 0;
     let mut multi = 0;
+    let mut striped = 0;
     let mut service = 0;
     for (id, entry) in scenarios {
         let seeks = entry.get("seeks").expect("seeks field is always present");
@@ -157,6 +213,19 @@ fn baseline_pins_seeks_exactly_for_single_threaded_scenarios() {
         if id.starts_with("service-") {
             service += 1;
             assert!(pinned.is_some(), "{id}: service seeks are deterministic");
+            continue;
+        }
+        if disks_in_id(id).is_some() {
+            striped += 1;
+            assert!(
+                threads_in_id(id).is_some_and(|t| t > 1),
+                "{id}: the striped slice exists to pin multi-threaded seeks"
+            );
+            assert!(
+                pinned.is_some(),
+                "{id}: striped scenarios keep every stripe head single-reader \
+                 and must pin a concrete seek count"
+            );
             continue;
         }
         match threads_in_id(id) {
@@ -178,8 +247,8 @@ fn baseline_pins_seeks_exactly_for_single_threaded_scenarios() {
         }
     }
     assert!(
-        single > 0 && multi > 0 && service > 0,
-        "all three classes pinned"
+        single > 0 && multi > 0 && striped > 0 && service > 0,
+        "all four classes pinned"
     );
 }
 

@@ -22,6 +22,14 @@
 //!    every input run through a background prefetch thread that stays one
 //!    read-ahead batch ahead of the loser tree.
 //!
+//! On a striped device (`twrs_storage::StripedDevice`) each shard spills
+//! through a member-pinned shard view (shard `i` → member `i % members`),
+//! and before the global merge a per-disk reduction folds every member's
+//! runs into at most one run *on that member*, each by a single-threaded
+//! reducer. Per-disk read order — and with it every member's seek counters —
+//! therefore stays deterministic at any thread count, which is what lets the
+//! bench suite pin concrete seek counts for multi-threaded striped runs.
+//!
 //! Because [`SortableRecord`] requires a *total* order, the fully merged
 //! output is **byte-identical** to the
 //! sequential sorter's output for every thread count — the equivalence test
@@ -35,8 +43,8 @@
 use crate::cancel::CancellationToken;
 use crate::error::{Result, SortError};
 use crate::merge::kway::{
-    finish_into_sink, merge_passes, merge_sources, reduce_to_fan_in, MergeConfig, MergeSource,
-    ReducedRuns,
+    finish_into_sink, merge_passes, merge_sources, reduce_to_fan_in, remove_run, BufferedCursor,
+    MergeConfig, MergeReport, MergeSource, ReducedRuns,
 };
 use crate::run_generation::{
     sort_dataset_file, Device, RunCursor, RunGenerator, RunHandle, RunSet,
@@ -484,6 +492,52 @@ fn merge_batch_prefetched<D: Device, R: SortableRecord>(
     Ok(written)
 }
 
+/// Merges one stripe member's runs down to at most one run *on that member*.
+///
+/// Runs single-threaded with plain [`BufferedCursor`] sources (no prefetch
+/// threads), so the member observes one strictly deterministic read
+/// interleaving — which keeps its seek counters reproducible even when
+/// several generation shards spilled to the same disk. `device` must be the
+/// member-pinned shard view, so the merged output lands on the same disk the
+/// inputs live on.
+fn reduce_disk_runs<D: Device, R: SortableRecord>(
+    device: &D,
+    namer: &SpillNamer,
+    runs: Vec<RunHandle>,
+    fan_in: usize,
+    read_ahead: usize,
+    cancel: &CancellationToken,
+) -> Result<(Vec<RunHandle>, MergeReport)> {
+    if runs.len() <= 1 {
+        return Ok((runs, MergeReport::default()));
+    }
+    let mut merge_batch = |batch: &[RunHandle], name: &str| -> Result<u64> {
+        cancel.check()?;
+        let mut sources = Vec::with_capacity(batch.len());
+        for handle in batch {
+            let cursor = RunCursor::<R>::open(device, handle)?;
+            sources.push(BufferedCursor::new(cursor, read_ahead));
+        }
+        let writer = RunWriter::<R>::create(device, name)?;
+        merge_sources(&mut sources, writer, cancel)
+    };
+    let ReducedRuns {
+        remaining,
+        mut report,
+    } = reduce_to_fan_in(device, namer, runs, fan_in, cancel, &mut merge_batch)?;
+    if remaining.len() <= 1 {
+        return Ok((remaining, report));
+    }
+    let name = namer.next_name("disk");
+    let written = merge_batch(&remaining, &name)?;
+    for handle in &remaining {
+        remove_run(device, handle)?;
+    }
+    report.merge_steps += 1;
+    report.records_written += written;
+    Ok((vec![RunHandle::Forward(name)], report))
+}
+
 // ---------------------------------------------------------------------------
 // The parallel sorter
 // ---------------------------------------------------------------------------
@@ -620,6 +674,17 @@ struct ShardOutcome {
     io: IoStatsSnapshot,
 }
 
+/// Everything the generation phase produced, kept per shard so a striped
+/// device can route each shard's runs back to the stripe member that holds
+/// them (shard `i` spills to member `i % members`, see `generate_sharded`).
+struct GeneratedRuns {
+    run_set: RunSet,
+    runs_by_shard: Vec<Vec<RunHandle>>,
+    shards: Vec<ShardReport>,
+    run_phase: PhaseReport,
+    after_runs: IoStatsSnapshot,
+}
+
 /// An external sorter that parallelises run generation across budget-divided
 /// shards, overlaps spill writes with heap work, and prefetches merge input
 /// in the background. See the module documentation for the architecture.
@@ -715,16 +780,24 @@ impl<G: ShardableGenerator> ParallelExternalSorter<G> {
         namer: &Arc<SpillNamer>,
     ) -> Result<ParallelSortReport> {
         let threads = self.config.threads;
-        let (run_set, shards, run_phase, after_runs) = self.generate_phase(device, namer, input)?;
+        let GeneratedRuns {
+            run_set,
+            runs_by_shard,
+            shards,
+            run_phase,
+            after_runs,
+        } = self.generate_phase(device, namer, input)?;
 
         // --- Prefetched merge ------------------------------------------
         let merge = self.config.merge;
         let prefetch = self.config.prefetch_batches;
         let started = Instant::now();
-        let outcome = merge_passes::<D, R, _>(
+        let (merge_input, disk_report) =
+            self.reduce_per_disk::<D, R>(device, namer, run_set.runs.clone(), &runs_by_shard)?;
+        let mut outcome = merge_passes::<D, R, _>(
             device,
             namer.as_ref(),
-            run_set.runs.clone(),
+            merge_input,
             output,
             merge.fan_in,
             &self.cancel,
@@ -739,6 +812,8 @@ impl<G: ShardableGenerator> ParallelExternalSorter<G> {
                 )
             },
         )?;
+        outcome.report.merge_steps += disk_report.merge_steps;
+        outcome.report.records_written += disk_report.records_written;
         let merge_wall = started.elapsed();
         let after_merge = device.stats();
         let merge_phase = PhaseReport::from_delta(merge_wall, after_merge.since(&after_runs));
@@ -808,13 +883,23 @@ impl<G: ShardableGenerator> ParallelExternalSorter<G> {
         K: RecordSink<R> + ?Sized,
     {
         let threads = self.config.threads;
-        let (run_set, shards, run_phase, after_runs) = self.generate_phase(device, namer, input)?;
+        let GeneratedRuns {
+            run_set,
+            runs_by_shard,
+            shards,
+            run_phase,
+            after_runs,
+        } = self.generate_phase(device, namer, input)?;
 
         let started = Instant::now();
+        let (reduce_input, disk_report) =
+            self.reduce_per_disk::<D, R>(device, namer, run_set.runs.clone(), &runs_by_shard)?;
         let ReducedRuns {
             remaining,
             report: mut merge_report,
-        } = self.reduce_phase::<D, R>(device, namer, run_set.runs.clone())?;
+        } = self.reduce_phase::<D, R>(device, namer, reduce_input)?;
+        merge_report.merge_steps += disk_report.merge_steps;
+        merge_report.records_written += disk_report.records_written;
 
         // --- Final pass: prefetch threads feed the sink ----------------
         let mut sources = self.spawn_prefetchers::<D, R>(device, &remaining);
@@ -886,13 +971,23 @@ impl<G: ShardableGenerator> ParallelExternalSorter<G> {
         namer: &Arc<SpillNamer>,
     ) -> Result<SortedStream<R>> {
         let threads = self.config.threads;
-        let (run_set, shards, run_phase, after_runs) = self.generate_phase(device, namer, input)?;
+        let GeneratedRuns {
+            run_set,
+            runs_by_shard,
+            shards,
+            run_phase,
+            after_runs,
+        } = self.generate_phase(device, namer, input)?;
 
         let started = Instant::now();
+        let (reduce_input, disk_report) =
+            self.reduce_per_disk::<D, R>(device, namer, run_set.runs.clone(), &runs_by_shard)?;
         let ReducedRuns {
             remaining,
-            report: merge_report,
-        } = self.reduce_phase::<D, R>(device, namer, run_set.runs.clone())?;
+            report: mut merge_report,
+        } = self.reduce_phase::<D, R>(device, namer, reduce_input)?;
+        merge_report.merge_steps += disk_report.merge_steps;
+        merge_report.records_written += disk_report.records_written;
         // Close the merge window at the suspension point, *before* the
         // prefetch threads spawn: their background reads would otherwise
         // race the snapshot and make the phase counters nondeterministic.
@@ -939,13 +1034,12 @@ impl<G: ShardableGenerator> ParallelExternalSorter<G> {
     /// same device) land in `run_generation` instead of being dropped. The
     /// per-shard scoped statistics provide the breakdown of the work the
     /// shards themselves did (all of the phase's writes).
-    #[allow(clippy::type_complexity)]
     fn generate_phase<D: Device, R: SortableRecord>(
         &self,
         device: &D,
         namer: &Arc<SpillNamer>,
         input: &mut dyn Iterator<Item = R>,
-    ) -> Result<(RunSet, Vec<ShardReport>, PhaseReport, IoStatsSnapshot)> {
+    ) -> Result<GeneratedRuns> {
         let before = device.stats();
         let started = Instant::now();
         let outcomes = self.generate_sharded(device, namer, input)?;
@@ -957,6 +1051,7 @@ impl<G: ShardableGenerator> ParallelExternalSorter<G> {
         let after_runs = device.stats();
 
         let mut runs: Vec<RunHandle> = Vec::new();
+        let mut runs_by_shard = Vec::with_capacity(outcomes.len());
         let mut records = 0u64;
         let mut shards = Vec::with_capacity(outcomes.len());
         for (index, outcome) in outcomes.into_iter().enumerate() {
@@ -967,11 +1062,86 @@ impl<G: ShardableGenerator> ParallelExternalSorter<G> {
                 num_runs: outcome.set.num_runs(),
                 io: outcome.io,
             });
-            runs.extend(outcome.set.runs);
+            runs.extend(outcome.set.runs.iter().cloned());
+            runs_by_shard.push(outcome.set.runs);
         }
         let run_set = RunSet { runs, records };
         let run_phase = PhaseReport::from_delta(run_wall, after_runs.since(&before));
-        Ok((run_set, shards, run_phase, after_runs))
+        Ok(GeneratedRuns {
+            run_set,
+            runs_by_shard,
+            shards,
+            run_phase,
+            after_runs,
+        })
+    }
+
+    /// On a striped device with sharded generation, folds each stripe
+    /// member's runs into at most one run per member before the global
+    /// merge; otherwise returns the runs untouched.
+    ///
+    /// Generation pins shard `i`'s spill files to member `i % members`, so
+    /// each member's runs can be merged by a dedicated single-threaded
+    /// reducer on the member-pinned view ([`reduce_disk_runs`]) — per-disk
+    /// read order stays deterministic no matter how the reducer threads
+    /// interleave, because each touches a different disk's head. The
+    /// survivors (≤ one per member) then feed the ordinary merge machinery,
+    /// whose final pass reads at most one run per member and is therefore
+    /// deterministic too. This is what restores concrete per-disk seek
+    /// counters at `threads > 1`.
+    fn reduce_per_disk<D: Device, R: SortableRecord>(
+        &self,
+        device: &D,
+        namer: &Arc<SpillNamer>,
+        runs: Vec<RunHandle>,
+        runs_by_shard: &[Vec<RunHandle>],
+    ) -> Result<(Vec<RunHandle>, MergeReport)> {
+        let disks = device.stripe_members();
+        if disks <= 1 || self.config.threads <= 1 {
+            return Ok((runs, MergeReport::default()));
+        }
+        let mut disk_runs: Vec<Vec<RunHandle>> = vec![Vec::new(); disks];
+        for (shard, shard_runs) in runs_by_shard.iter().enumerate() {
+            disk_runs[shard % disks].extend(shard_runs.iter().cloned());
+        }
+        let merge = self.config.merge;
+        let mut reducers = Vec::with_capacity(disks);
+        for (disk, member_runs) in disk_runs.into_iter().enumerate() {
+            let view = device.shard_view(disk);
+            let namer = Arc::clone(namer);
+            let cancel = self.cancel.clone();
+            reducers.push(std::thread::spawn(
+                move || -> Result<(Vec<RunHandle>, MergeReport)> {
+                    reduce_disk_runs::<D, R>(
+                        &view,
+                        namer.as_ref(),
+                        member_runs,
+                        merge.fan_in,
+                        merge.read_ahead_records,
+                        &cancel,
+                    )
+                },
+            ));
+        }
+        // Join every reducer before reporting anything (mirrors
+        // `generate_sharded`): no disk is left merging after an error.
+        type ReducerOutcome = Result<(Vec<RunHandle>, MergeReport)>;
+        let results: Vec<std::thread::Result<ReducerOutcome>> =
+            reducers.into_iter().map(|reducer| reducer.join()).collect();
+        let mut remaining = Vec::new();
+        let mut combined = MergeReport::default();
+        for result in results {
+            match result {
+                Ok(outcome) => {
+                    let (member_remaining, report) = outcome?;
+                    remaining.extend(member_remaining);
+                    combined.merge_steps += report.merge_steps;
+                    combined.records_written += report.records_written;
+                }
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+        Ok((remaining, combined))
     }
 
     /// Runs the intermediate prefetched merge passes until at most `fan_in`
@@ -1090,7 +1260,11 @@ impl<G: ShardableGenerator> ParallelExternalSorter<G> {
             let (tx, rx) = sync_channel::<Vec<R>>(2);
             senders.push(Some(tx));
             let mut generator = self.generator.shard(index, threads);
-            let scoped = ScopedDevice::new(device.clone());
+            // On a striped device the shard view pins this worker's spill
+            // files to stripe member `index % members` (plain devices return
+            // a clone), so each shard's write traffic — and later its
+            // reduction merge — stays on one disk.
+            let scoped = ScopedDevice::new(device.shard_view(index));
             let namer = Arc::clone(namer);
             workers.push(std::thread::spawn(move || -> Result<ShardOutcome> {
                 let spill = SpillWriteDevice::new(scoped.clone(), queue_depth);
@@ -1174,7 +1348,7 @@ mod tests {
         }
     }
 
-    fn read_records(device: &SimDevice, name: &str) -> Vec<Record> {
+    fn read_records<D: Device>(device: &D, name: &str) -> Vec<Record> {
         RunCursor::<Record>::open(device, &RunHandle::Forward(name.into()))
             .unwrap()
             .read_all()
@@ -1220,6 +1394,53 @@ mod tests {
                 "threads = {threads}"
             );
         }
+    }
+
+    #[test]
+    fn striped_parallel_sort_matches_single_disk_and_pins_per_disk_seeks() {
+        use twrs_storage::DeviceSpec;
+
+        let threads = 4;
+        let single = SimDevice::with_model(ModelId::Hdd7200);
+        let mut par =
+            ParallelExternalSorter::with_config(ReplacementSelection::new(120), config(threads));
+        let mut input = Distribution::new(DistributionKind::RandomUniform, 4_000, 5).records();
+        par.sort_iter(&single, &mut input, "out").unwrap();
+        let expected = read_records(&single, "out");
+
+        let run_striped = || {
+            let spec: DeviceSpec = "striped:4:sim:hdd-7200".parse().unwrap();
+            let device = spec.build().unwrap();
+            let mut par = ParallelExternalSorter::with_config(
+                ReplacementSelection::new(120),
+                config(threads),
+            );
+            let mut input = Distribution::new(DistributionKind::RandomUniform, 4_000, 5).records();
+            let report = par.sort_iter(&device, &mut input, "out").unwrap();
+            assert!(report.io_is_consistent());
+            let members = device.as_striped().unwrap().member_stats();
+            let totals = device.stats();
+            // Per-member counters sum to the stripe totals.
+            assert_eq!(
+                members.iter().map(|m| m.counters.seeks).sum::<u64>(),
+                totals.counters.seeks
+            );
+            assert_eq!(
+                members.iter().map(|m| m.pages_total()).sum::<u64>(),
+                totals.pages_total()
+            );
+            // Every member actually saw spill traffic.
+            assert!(members.iter().all(|m| m.counters.pages_written > 0));
+            let seeks: Vec<u64> = members.iter().map(|m| m.counters.seeks).collect();
+            (read_records(&device, "out"), seeks)
+        };
+        let (records_a, seeks_a) = run_striped();
+        let (records_b, seeks_b) = run_striped();
+        // Byte-identical to the single-disk sort, and per-disk seek counts
+        // reproduce exactly across runs even at four threads.
+        assert_eq!(records_a, expected);
+        assert_eq!(records_b, expected);
+        assert_eq!(seeks_a, seeks_b);
     }
 
     #[test]

@@ -812,6 +812,53 @@ mod tests {
     }
 
     #[test]
+    fn tenant_io_rolls_up_across_stripe_members() {
+        use twrs_storage::DeviceSpec;
+
+        let spec: DeviceSpec = "striped:3:sim:nvme".parse().unwrap();
+        let device = spec.build().unwrap();
+        let service = SortService::new(ServiceConfig::new(250).workers(2)).unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let input = Distribution::new(DistributionKind::RandomUniform, 1_200, i);
+                let job = SortJob::new(ReplacementSelection::new(100))
+                    .threads(2)
+                    .on(&device);
+                service
+                    .submit(
+                        format!("tenant-{}", i % 2),
+                        job,
+                        input.records(),
+                        format!("striped-{i}"),
+                    )
+                    .unwrap()
+            })
+            .collect();
+        for handle in handles {
+            handle.wait().unwrap();
+        }
+        let report = service.shutdown();
+        assert_eq!(report.jobs_completed, 4);
+        // The per-tenant rollups cover exactly the traffic the stripe
+        // members saw: the jobs performed all of it, and the scoped
+        // per-job statistics mirror every access no matter which member
+        // it landed on.
+        let tenant_writes: u64 = report
+            .tenants
+            .iter()
+            .map(|t| t.io.unwrap().counters.pages_written)
+            .sum();
+        let members = device.as_striped().unwrap().member_stats();
+        let member_writes: u64 = members.iter().map(|m| m.counters.pages_written).sum();
+        assert_eq!(tenant_writes, member_writes);
+        assert_eq!(member_writes, device.stats().counters.pages_written);
+        assert!(
+            members.iter().all(|m| m.counters.pages_written > 0),
+            "every stripe member should carry part of the spill traffic"
+        );
+    }
+
+    #[test]
     fn canceled_queued_jobs_never_run() {
         let device = SimDevice::with_model(ModelId::Hdd7200);
         // One worker and a job ahead in the queue, so the second job is

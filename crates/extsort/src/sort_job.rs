@@ -378,6 +378,11 @@ impl<G, D: Device> BoundSortJob<G, D> {
     where
         G: ShardableGenerator,
     {
+        // Admit this job as one I/O client for the duration of the run: on
+        // a striped device every concurrently executing job then fair-shares
+        // the simulated bandwidth (see `twrs_storage::SharedBandwidthModel`);
+        // on plain devices this is a no-op.
+        let _io_client = self.device.attach_io_client();
         match self.job.threads {
             0 => Err(SortError::InvalidConfig(
                 "a sort job needs at least one thread".into(),

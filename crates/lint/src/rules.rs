@@ -513,10 +513,15 @@ fn scoped_io(path: &str, scanned: &ScannedFile, findings: &mut Vec<Finding>) {
     // Binding-aware allowance: a local bound to `ScopedDevice::new(…)` IS
     // the wrapper, whatever the binding is called — `let real_device =
     // ScopedDevice::new(RealFileDevice::temp()?)` attributes I/O exactly
-    // like a binding named `scoped` would, so page ops on it pass.
+    // like a binding named `scoped` would, so page ops on it pass. A
+    // `StripedDevice` binding passes for the same reason: the stripe
+    // front mirrors every access into its members' `IoStats`, so member
+    // accounting stays exact, and jobs still wrap the stripe in their own
+    // `ScopedDevice` before any per-tenant I/O happens.
     let mut scoped_bindings: Vec<String> = Vec::new();
     for (i, tok) in tokens.iter().enumerate() {
-        if tok.kind == TokKind::Ident && tok.text == "ScopedDevice" {
+        if tok.kind == TokKind::Ident && (tok.text == "ScopedDevice" || tok.text == "StripedDevice")
+        {
             let bound = i
                 .checked_sub(2)
                 .and_then(|p| tokens.get(p))

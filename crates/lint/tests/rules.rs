@@ -432,6 +432,39 @@ fn attach(inner: RealFileDevice, device: &impl StorageDevice) {
     );
 }
 
+#[test]
+fn r5_allows_bindings_wrapped_in_a_striped_device() {
+    // A stripe front keeps per-member accounting exact (every access is
+    // mirrored into the member IoStats), so building one in service code
+    // is not an attribution leak — jobs still get their own ScopedDevice
+    // on top of it.
+    let src = "\
+fn build(members: Vec<AnyDevice>) -> Result<()> {
+    let spill_device = StripedDevice::new(members)?;
+    spill_device.create(\"probe\")?;
+    spill_device.remove(\"probe\")?;
+    Ok(())
+}
+";
+    assert_eq!(
+        findings_for("crates/extsort/src/service/worker.rs", src, SCOPED_IO),
+        vec![]
+    );
+    // But a raw `*_device` receiver next to it still flags.
+    let mixed = "\
+fn build(members: Vec<AnyDevice>, raw_device: &impl StorageDevice) -> Result<()> {
+    let spill_device = StripedDevice::with_policy(members, StripePolicy::RoundRobin)?;
+    spill_device.create(\"probe\")?;
+    raw_device.flush()?;
+    Ok(())
+}
+";
+    assert_eq!(
+        findings_for("crates/extsort/src/service/worker.rs", mixed, SCOPED_IO),
+        vec![4]
+    );
+}
+
 // -------------------------------------------------------------------------
 // Baseline: ratchet mechanics and the committed-file self-check
 // -------------------------------------------------------------------------

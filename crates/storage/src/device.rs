@@ -8,16 +8,17 @@
 //! deterministic and independent of the host file system (the substitution
 //! for the paper's dedicated SATA disk, see DESIGN.md §2).
 
+use crate::contention::IoClientGuard;
 use crate::error::{Result, StorageError};
 use crate::io_stats::{DiskModel, IoStats, IoStatsSnapshot};
 use crate::model::{DeviceModel, ModelId};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A page-addressed file handle.
 ///
@@ -82,6 +83,63 @@ pub trait StorageDevice: Send + Sync {
     fn reset_stats(&self) {
         self.io_stats().reset()
     }
+
+    /// Number of independent stripe members behind this device; `1` for
+    /// every plain (non-striped) device.
+    fn stripe_members(&self) -> usize {
+        1
+    }
+
+    /// A view of this device suitable for shard `index` of a parallel
+    /// sort. A [`StripedDevice`](crate::striped::StripedDevice) returns a
+    /// clone pinned to stripe member `index % stripe_members()`, so each
+    /// shard spills to its own disk; plain devices return a plain clone.
+    fn shard_view(&self, index: usize) -> Self
+    where
+        Self: Sized + Clone,
+    {
+        let _ = index;
+        self.clone()
+    }
+
+    /// Admits the caller as one outstanding request stream for bandwidth
+    /// fair-sharing; the returned guard withdraws the stream on drop.
+    /// `None` when the device does not model contention (every plain
+    /// device today — only striped devices share bandwidth).
+    fn attach_io_client(&self) -> Option<IoClientGuard> {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Root-directory collision guard
+// ---------------------------------------------------------------------------
+
+/// Root directories currently claimed by a live file-backed device, so two
+/// devices cannot silently share files (an easy mistake when hand-building
+/// stripe members over real directories).
+fn active_roots() -> &'static Mutex<HashSet<PathBuf>> {
+    static ROOTS: OnceLock<Mutex<HashSet<PathBuf>>> = OnceLock::new();
+    ROOTS.get_or_init(|| Mutex::new(HashSet::new()))
+}
+
+/// Claims `root` for a new file-backed device; errors when another live
+/// device already owns it. Returns the canonical path to release later.
+pub(crate) fn claim_root(root: &Path) -> Result<PathBuf> {
+    // The directory exists by the time devices claim it, so canonicalize
+    // resolves symlinks and relative spellings of the same directory; fall
+    // back to the literal path when resolution fails.
+    let canonical = root.canonicalize().unwrap_or_else(|_| root.to_path_buf());
+    let mut roots = active_roots().lock();
+    if !roots.insert(canonical.clone()) {
+        return Err(StorageError::DeviceRootBusy(canonical));
+    }
+    Ok(canonical)
+}
+
+/// Releases a root previously returned by [`claim_root`].
+pub(crate) fn release_root(canonical: &Path) {
+    active_roots().lock().remove(canonical);
 }
 
 fn check_page_len(len: usize, page_size: usize) -> Result<()> {
@@ -320,6 +378,8 @@ struct FileShared {
     next_file_id: AtomicU64,
     /// Remove the root directory when the device is dropped.
     cleanup: bool,
+    /// Canonical root registered in the collision guard, released on drop.
+    claimed: PathBuf,
 }
 
 impl Drop for FileShared {
@@ -327,6 +387,7 @@ impl Drop for FileShared {
         if self.cleanup {
             let _ = std::fs::remove_dir_all(&self.root);
         }
+        release_root(&self.claimed);
     }
 }
 
@@ -353,6 +414,7 @@ impl FileDevice {
         );
         let root = std::env::temp_dir().join(unique);
         std::fs::create_dir_all(&root)?;
+        let claimed = claim_root(&root)?;
         Ok(FileDevice {
             shared: Arc::new(FileShared {
                 root,
@@ -360,15 +422,18 @@ impl FileDevice {
                 page_size: crate::page::DEFAULT_PAGE_SIZE,
                 next_file_id: AtomicU64::new(1),
                 cleanup: true,
+                claimed,
             }),
         })
     }
 
     /// Creates a device rooted at an existing directory; files are kept on
-    /// drop.
+    /// drop. Errors with [`StorageError::DeviceRootBusy`] while another
+    /// live device owns the same directory.
     pub fn at(root: impl Into<PathBuf>, page_size: usize) -> Result<Self> {
         let root = root.into();
         std::fs::create_dir_all(&root)?;
+        let claimed = claim_root(&root)?;
         Ok(FileDevice {
             shared: Arc::new(FileShared {
                 root,
@@ -376,6 +441,7 @@ impl FileDevice {
                 page_size,
                 next_file_id: AtomicU64::new(1),
                 cleanup: false,
+                claimed,
             }),
         })
     }
@@ -730,6 +796,34 @@ mod tests {
         file.flush().unwrap();
         drop(file);
         assert!(!root.exists(), "last handle gone → directory removed");
+    }
+
+    #[test]
+    fn two_devices_over_one_directory_collide_cleanly() {
+        let root = std::env::temp_dir().join(format!("twrs-collide-{}", std::process::id()));
+        let first = FileDevice::at(&root, 4096).unwrap();
+        // A second device over the live root must error, not share files.
+        assert!(matches!(
+            FileDevice::at(&root, 4096),
+            Err(StorageError::DeviceRootBusy(_))
+        ));
+        drop(first);
+        // The claim dies with the device; the directory is reusable.
+        let again = FileDevice::at(&root, 4096).unwrap();
+        drop(again);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn plain_devices_report_one_stripe_member_and_no_contention() {
+        let device = SimDevice::with_model(ModelId::Hdd7200);
+        assert_eq!(device.stripe_members(), 1);
+        assert!(device.attach_io_client().is_none());
+        // The default shard view is a plain clone sharing the same stats.
+        let view = device.shard_view(3);
+        view.create("from-view").unwrap();
+        assert!(device.exists("from-view"));
+        assert_eq!(device.stats().counters.files_created, 1);
     }
 
     #[test]

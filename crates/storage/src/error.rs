@@ -45,14 +45,20 @@ pub enum StorageError {
     /// A device-model id that is not in the catalog.
     UnknownDeviceModel(String),
     /// A device-spec string that does not follow the
-    /// `sim[:<model>[:<page_size>]]` / `real[:<path>[:<page_size>]]`
-    /// grammar.
+    /// `sim[:<model>[:<page_size>]]` / `real[:<path>[:<page_size>]]` /
+    /// `striped:<n>:<spec>` / `striped:[<spec>,…]` grammar.
     InvalidDeviceSpec {
         /// The offending spec string.
         spec: String,
         /// Why it was rejected.
         reason: String,
     },
+    /// A file-backed device was constructed over a directory another live
+    /// device already owns; sharing a root would silently mix their files.
+    DeviceRootBusy(std::path::PathBuf),
+    /// A striped device was built from members that cannot stripe together
+    /// (empty member list, or members disagreeing on the page size).
+    BadStripe(String),
 }
 
 impl fmt::Display for StorageError {
@@ -83,6 +89,12 @@ impl fmt::Display for StorageError {
             StorageError::InvalidDeviceSpec { spec, reason } => {
                 write!(f, "invalid device spec {spec:?}: {reason}")
             }
+            StorageError::DeviceRootBusy(root) => write!(
+                f,
+                "device root {} is already owned by a live device",
+                root.display()
+            ),
+            StorageError::BadStripe(reason) => write!(f, "cannot stripe devices: {reason}"),
         }
     }
 }

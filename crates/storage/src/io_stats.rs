@@ -267,6 +267,16 @@ impl IoStats {
     pub fn device_model(&self) -> Arc<dyn DeviceModel> {
         Arc::clone(&self.inner.lock().model)
     }
+
+    /// Replaces the cost model in force, keeping counters, head position
+    /// and accumulated simulated time. This is how
+    /// [`StripedDevice`](crate::striped::StripedDevice) wraps each stripe
+    /// member's model in a
+    /// [`SharedBandwidthModel`](crate::contention::SharedBandwidthModel)
+    /// after the member device has already been built.
+    pub fn set_model(&self, model: Arc<dyn DeviceModel>) {
+        self.inner.lock().model = model;
+    }
 }
 
 impl Default for IoStats {
@@ -364,6 +374,21 @@ mod tests {
         let snap = stats.snapshot();
         let total = IoStatsSnapshot::zero(snap.model).merged(&snap);
         assert_eq!(total, snap);
+    }
+
+    #[test]
+    fn set_model_swaps_costs_but_keeps_counters_and_head() {
+        let stats = IoStats::new(DiskModel::default());
+        stats.record_access(1, 0, 1, false);
+        let before = stats.snapshot();
+        stats.set_model(ModelId::Pmem.model());
+        let snap = stats.snapshot();
+        assert_eq!(snap.counters, before.counters);
+        assert_eq!(snap.sim_io, before.sim_io);
+        assert_eq!(snap.model, ModelId::Pmem.params());
+        // The head survives the swap: the next sequential read is seekless.
+        stats.record_access(1, 1, 1, false);
+        assert_eq!(stats.snapshot().counters.seeks, 1);
     }
 
     #[test]

@@ -17,8 +17,16 @@
 //! * [`model`] — the [`model::DeviceModel`] trait and the named catalog
 //!   ([`model::ModelId`]: `hdd-7200`, `sata-ssd`, `nvme`, `pmem`) that
 //!   turns page accesses into simulated latency;
-//! * [`spec`] — [`spec::DeviceSpec`], the `"sim:nvme"` / `"real:/path"`
-//!   string grammar that is the one way CLIs and benches obtain a device;
+//! * [`spec`] — [`spec::DeviceSpec`], the `"sim:nvme"` / `"real:/path"` /
+//!   `"striped:2:sim:nvme"` string grammar that is the one way CLIs and
+//!   benches obtain a device;
+//! * [`striped`] — [`striped::StripedDevice`], N member devices behind one
+//!   front with per-file placement ([`striped::StripePolicy`]), independent
+//!   per-disk [`io_stats::IoStats`] and shard-pinned views for the parallel
+//!   sorter;
+//! * [`contention`] — [`contention::SharedBandwidthModel`], the fair-share
+//!   slowdown charged while several request streams
+//!   ([`contention::IoClientGuard`]) are admitted to one stripe;
 //! * [`io_stats::IoStats`] — counters for sequential page transfers and
 //!   seeks plus the simulated elapsed time derived from a
 //!   [`io_stats::DiskModel`];
@@ -38,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod bytes;
+pub mod contention;
 pub mod device;
 pub mod error;
 pub mod io_stats;
@@ -50,8 +59,10 @@ pub mod run_file;
 pub mod scoped;
 pub mod spec;
 pub mod spill;
+pub mod striped;
 
 pub use bytes::{array_at, u32_le_at, u64_le_at};
+pub use contention::{ContentionState, IoClientGuard, SharedBandwidthModel};
 pub use device::{FileDevice, PageFile, SimDevice, StorageDevice};
 pub use error::{Result, StorageError};
 pub use io_stats::{DiskModel, IoCounters, IoStats, IoStatsSnapshot};
@@ -64,3 +75,4 @@ pub use run_file::{RunReader, RunWriter};
 pub use scoped::ScopedDevice;
 pub use spec::{AnyDevice, DeviceSpec};
 pub use spill::SpillNamer;
+pub use striped::{StripePolicy, StripedDevice};

@@ -176,6 +176,8 @@ struct RealShared {
     open_flags: i32,
     /// Remove the root directory when the last handle is dropped.
     cleanup: bool,
+    /// Canonical root registered in the collision guard, released on drop.
+    claimed: PathBuf,
 }
 
 impl Drop for RealShared {
@@ -183,6 +185,7 @@ impl Drop for RealShared {
         if self.cleanup {
             let _ = std::fs::remove_dir_all(&self.root);
         }
+        crate::device::release_root(&self.claimed);
     }
 }
 
@@ -222,7 +225,9 @@ impl RealFileDevice {
     }
 
     /// Creates a device rooted at an existing directory; files are kept on
-    /// drop. This is what `"real:/path"` device specs build.
+    /// drop. This is what `"real:/path"` device specs build. Errors with
+    /// [`StorageError::DeviceRootBusy`] while another live device owns the
+    /// same directory.
     pub fn at(root: impl Into<PathBuf>, page_size: usize) -> Result<Self> {
         let root = root.into();
         std::fs::create_dir_all(&root)?;
@@ -243,6 +248,7 @@ impl RealFileDevice {
                 root.display()
             );
         }
+        let claimed = crate::device::claim_root(&root)?;
         Ok(RealFileDevice {
             shared: Arc::new(RealShared {
                 root,
@@ -262,6 +268,7 @@ impl RealFileDevice {
                 direct,
                 open_flags,
                 cleanup,
+                claimed,
             }),
         })
     }
@@ -581,6 +588,26 @@ mod tests {
         file.write_page(0, &page).unwrap();
         drop(file);
         assert!(!root.exists());
+    }
+
+    #[test]
+    fn same_root_twice_is_rejected_across_backends() {
+        let root = std::env::temp_dir().join(format!("twrs-real-collide-{}", std::process::id()));
+        let first = RealFileDevice::at(&root, 4096).unwrap();
+        // A second real device over the live root must error cleanly…
+        assert!(matches!(
+            RealFileDevice::at(&root, 4096),
+            Err(StorageError::DeviceRootBusy(_))
+        ));
+        // …and so must a FileDevice: the claim registry spans backends.
+        assert!(matches!(
+            crate::device::FileDevice::at(&root, 4096),
+            Err(StorageError::DeviceRootBusy(_))
+        ));
+        drop(first);
+        // Dropping the last owner frees the root for reuse.
+        drop(RealFileDevice::at(&root, 4096).unwrap());
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! threads interleave — callers that need cross-thread seek truth should
 //! read the wrapped device's stats.
 
+use crate::contention::IoClientGuard;
 use crate::device::{PageFile, StorageDevice};
 use crate::error::Result;
 use crate::io_stats::{IoStats, IoStatsSnapshot};
@@ -92,7 +93,7 @@ impl PageFile for ScopedPageFile {
     }
 }
 
-impl<D: StorageDevice> StorageDevice for ScopedDevice<D> {
+impl<D: StorageDevice + Clone> StorageDevice for ScopedDevice<D> {
     fn page_size(&self) -> usize {
         self.inner.page_size()
     }
@@ -134,6 +135,25 @@ impl<D: StorageDevice> StorageDevice for ScopedDevice<D> {
     /// scope); use [`ScopedDevice::inner`] for the shared device statistics.
     fn io_stats(&self) -> &IoStats {
         &self.local
+    }
+
+    fn stripe_members(&self) -> usize {
+        self.inner.stripe_members()
+    }
+
+    /// Re-scopes onto the inner device's shard view: the local statistics
+    /// stay shared with `self` (like [`Clone`]) while the traffic routes to
+    /// the shard's stripe member.
+    fn shard_view(&self, index: usize) -> Self {
+        ScopedDevice {
+            inner: self.inner.shard_view(index),
+            local: self.local.clone(),
+            next_file_id: Arc::clone(&self.next_file_id),
+        }
+    }
+
+    fn attach_io_client(&self) -> Option<IoClientGuard> {
+        self.inner.attach_io_client()
     }
 }
 

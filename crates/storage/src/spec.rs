@@ -7,25 +7,32 @@
 //! ```text
 //! sim[:<model>[:<page_size>]]     an in-memory simulated disk
 //! real[:<path>[:<page_size>]]     real files, O_DIRECT where supported
+//! striped:<n>:<spec>              n identical members behind one stripe
+//! striped:[<spec>,<spec>,…]       an explicit (possibly mixed) member list
 //! ```
 //!
 //! Examples: `"sim"` (the default `hdd-7200` model), `"sim:nvme"`,
 //! `"sim:pmem:8192"`, `"real"` (a self-cleaning temp directory),
-//! `"real:/mnt/bench"`, `"real:/mnt/bench:8192"`. The model names are the
-//! catalog ids of [`ModelId`]; when a `real` spec contains a colon after
-//! the path, the final segment must be a page size in bytes.
+//! `"real:/mnt/bench"`, `"real:/mnt/bench:8192"`, `"striped:2:sim:nvme"`,
+//! `"striped:[sim:nvme,real:/mnt/a]"`. The model names are the catalog ids
+//! of [`ModelId`]; when a `real` spec contains a colon after the path, the
+//! final segment must be a page size in bytes. Striped members follow the
+//! same grammar recursively, except that stripes do not nest and member
+//! paths must not contain commas (the list separator).
 //!
 //! [`build`](DeviceSpec::build) returns an [`AnyDevice`] — a closed enum
-//! over the two backends that implements [`StorageDevice`] (and is `Clone +
+//! over the backends that implements [`StorageDevice`] (and is `Clone +
 //! Send + 'static`), so it plugs into `SortJob`/`SortService` like any
 //! concrete device.
 
+use crate::contention::IoClientGuard;
 use crate::device::{PageFile, SimDevice, StorageDevice};
 use crate::error::{Result, StorageError};
-use crate::io_stats::IoStats;
+use crate::io_stats::{IoStats, IoStatsSnapshot};
 use crate::model::ModelId;
 use crate::page::DEFAULT_PAGE_SIZE;
 use crate::real_device::{DirectIoStatus, RealFileDevice};
+use crate::striped::StripedDevice;
 use std::fmt;
 use std::path::PathBuf;
 use std::str::FromStr;
@@ -52,6 +59,13 @@ pub enum DeviceSpec {
         /// Page size in bytes.
         page_size: usize,
     },
+    /// A [`StripedDevice`] over the listed member specs (round-robin file
+    /// placement; members must agree on the page size and must not
+    /// themselves be striped).
+    Striped {
+        /// The member device specs, in stripe order.
+        members: Vec<DeviceSpec>,
+    },
 }
 
 impl DeviceSpec {
@@ -64,10 +78,21 @@ impl DeviceSpec {
         }
     }
 
+    /// A stripe of `count` members built from the same spec.
+    pub fn striped(count: usize, member: DeviceSpec) -> Self {
+        DeviceSpec::Striped {
+            members: vec![member; count],
+        }
+    }
+
     /// The page size the spec will build with.
     pub fn page_size(&self) -> usize {
         match self {
             DeviceSpec::Sim { page_size, .. } | DeviceSpec::Real { page_size, .. } => *page_size,
+            DeviceSpec::Striped { members } => members
+                .first()
+                .map(DeviceSpec::page_size)
+                .unwrap_or(DEFAULT_PAGE_SIZE),
         }
     }
 
@@ -87,6 +112,13 @@ impl DeviceSpec {
             } => Ok(AnyDevice::Real(RealFileDevice::temp_with_page_size(
                 *page_size,
             )?)),
+            DeviceSpec::Striped { members } => {
+                let built = members
+                    .iter()
+                    .map(DeviceSpec::build)
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(AnyDevice::Striped(StripedDevice::new(built)?))
+            }
         }
     }
 }
@@ -123,6 +155,23 @@ impl fmt::Display for DeviceSpec {
                     write!(f, ":{page_size}")?;
                 }
                 Ok(())
+            }
+            DeviceSpec::Striped { members } => {
+                // Homogeneous stripes render in the compact count form;
+                // mixed ones spell the member list out.
+                if let Some(first) = members.first() {
+                    if members.iter().all(|m| m == first) {
+                        return write!(f, "striped:{}:{first}", members.len());
+                    }
+                }
+                write!(f, "striped:[")?;
+                for (index, member) in members.iter().enumerate() {
+                    if index > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{member}")?;
+                }
+                write!(f, "]")
             }
         }
     }
@@ -190,9 +239,49 @@ impl FromStr for DeviceSpec {
                 };
                 Ok(DeviceSpec::Real { path, page_size })
             }
+            "striped" => {
+                let rest = rest.ok_or_else(|| {
+                    invalid(
+                        s,
+                        "striped needs members: striped:<n>:<spec> or striped:[<spec>,…]",
+                    )
+                })?;
+                let members = if let Some(body) = rest.strip_prefix('[') {
+                    let body = body
+                        .strip_suffix(']')
+                        .ok_or_else(|| invalid(s, "unterminated member list (missing ']')"))?;
+                    if body.trim().is_empty() {
+                        return Err(invalid(s, "a stripe needs at least one member"));
+                    }
+                    body.split(',')
+                        .map(|member| member.trim().parse::<DeviceSpec>())
+                        .collect::<Result<Vec<_>>>()?
+                } else {
+                    let (count_text, member_text) = rest.split_once(':').ok_or_else(|| {
+                        invalid(
+                            s,
+                            "count form is striped:<n>:<spec>, e.g. striped:2:sim:nvme",
+                        )
+                    })?;
+                    let count: usize = count_text.parse().map_err(|_| {
+                        invalid(s, format!("member count {count_text:?} is not a number"))
+                    })?;
+                    if count == 0 {
+                        return Err(invalid(s, "member count must be non-zero"));
+                    }
+                    vec![member_text.parse::<DeviceSpec>()?; count]
+                };
+                if members
+                    .iter()
+                    .any(|m| matches!(m, DeviceSpec::Striped { .. }))
+                {
+                    return Err(invalid(s, "stripes do not nest"));
+                }
+                Ok(DeviceSpec::Striped { members })
+            }
             other => Err(invalid(
                 s,
-                format!("unknown backend {other:?} (expected \"sim\" or \"real\")"),
+                format!("unknown backend {other:?} (expected \"sim\", \"real\" or \"striped\")"),
             )),
         }
     }
@@ -207,15 +296,26 @@ pub enum AnyDevice {
     Sim(SimDevice),
     /// A real-file device (O_DIRECT where supported).
     Real(RealFileDevice),
+    /// A stripe of member devices behind one front.
+    Striped(StripedDevice),
 }
 
 impl AnyDevice {
     /// The direct-I/O status when the backend is real; `None` for a
-    /// simulated device.
+    /// simulated or striped device (a stripe may mix backends — ask its
+    /// members).
     pub fn direct_io(&self) -> Option<&DirectIoStatus> {
         match self {
-            AnyDevice::Sim(_) => None,
+            AnyDevice::Sim(_) | AnyDevice::Striped(_) => None,
             AnyDevice::Real(device) => Some(device.direct_io()),
+        }
+    }
+
+    /// The striped backend, when this device is one.
+    pub fn as_striped(&self) -> Option<&StripedDevice> {
+        match self {
+            AnyDevice::Striped(device) => Some(device),
+            _ => None,
         }
     }
 }
@@ -225,6 +325,7 @@ impl StorageDevice for AnyDevice {
         match self {
             AnyDevice::Sim(d) => d.page_size(),
             AnyDevice::Real(d) => d.page_size(),
+            AnyDevice::Striped(d) => d.page_size(),
         }
     }
 
@@ -232,6 +333,7 @@ impl StorageDevice for AnyDevice {
         match self {
             AnyDevice::Sim(d) => d.create(name),
             AnyDevice::Real(d) => d.create(name),
+            AnyDevice::Striped(d) => d.create(name),
         }
     }
 
@@ -239,6 +341,7 @@ impl StorageDevice for AnyDevice {
         match self {
             AnyDevice::Sim(d) => d.open(name),
             AnyDevice::Real(d) => d.open(name),
+            AnyDevice::Striped(d) => d.open(name),
         }
     }
 
@@ -246,6 +349,7 @@ impl StorageDevice for AnyDevice {
         match self {
             AnyDevice::Sim(d) => d.remove(name),
             AnyDevice::Real(d) => d.remove(name),
+            AnyDevice::Striped(d) => d.remove(name),
         }
     }
 
@@ -253,6 +357,7 @@ impl StorageDevice for AnyDevice {
         match self {
             AnyDevice::Sim(d) => d.exists(name),
             AnyDevice::Real(d) => d.exists(name),
+            AnyDevice::Striped(d) => d.exists(name),
         }
     }
 
@@ -260,6 +365,7 @@ impl StorageDevice for AnyDevice {
         match self {
             AnyDevice::Sim(d) => d.list(),
             AnyDevice::Real(d) => d.list(),
+            AnyDevice::Striped(d) => d.list(),
         }
     }
 
@@ -267,6 +373,42 @@ impl StorageDevice for AnyDevice {
         match self {
             AnyDevice::Sim(d) => d.io_stats(),
             AnyDevice::Real(d) => d.io_stats(),
+            AnyDevice::Striped(d) => d.io_stats(),
+        }
+    }
+
+    fn stats(&self) -> IoStatsSnapshot {
+        match self {
+            AnyDevice::Striped(d) => d.stats(),
+            _ => self.io_stats().snapshot(),
+        }
+    }
+
+    fn reset_stats(&self) {
+        match self {
+            AnyDevice::Striped(d) => d.reset_stats(),
+            _ => self.io_stats().reset(),
+        }
+    }
+
+    fn stripe_members(&self) -> usize {
+        match self {
+            AnyDevice::Striped(d) => d.stripe_members(),
+            _ => 1,
+        }
+    }
+
+    fn shard_view(&self, index: usize) -> Self {
+        match self {
+            AnyDevice::Striped(d) => AnyDevice::Striped(d.shard_view(index)),
+            other => other.clone(),
+        }
+    }
+
+    fn attach_io_client(&self) -> Option<IoClientGuard> {
+        match self {
+            AnyDevice::Striped(d) => d.attach_io_client(),
+            _ => None,
         }
     }
 }
@@ -373,6 +515,132 @@ mod tests {
             "sim".parse::<DeviceSpec>().unwrap().to_string(),
             "sim:hdd-7200"
         );
+    }
+
+    #[test]
+    fn striped_specs_parse_in_both_forms() {
+        assert_eq!(
+            "striped:2:sim:nvme".parse::<DeviceSpec>().unwrap(),
+            DeviceSpec::striped(2, DeviceSpec::sim(ModelId::Nvme))
+        );
+        assert_eq!(
+            "striped:[sim:nvme,sim:hdd-7200]"
+                .parse::<DeviceSpec>()
+                .unwrap(),
+            DeviceSpec::Striped {
+                members: vec![
+                    DeviceSpec::sim(ModelId::Nvme),
+                    DeviceSpec::sim(ModelId::Hdd7200)
+                ],
+            }
+        );
+        // Member specs keep their own page-size grammar; whitespace around
+        // the list separator is tolerated.
+        assert_eq!(
+            "striped:[sim:pmem:8192, real:/mnt/a]"
+                .parse::<DeviceSpec>()
+                .unwrap(),
+            DeviceSpec::Striped {
+                members: vec![
+                    DeviceSpec::Sim {
+                        model: ModelId::Pmem,
+                        page_size: 8192
+                    },
+                    DeviceSpec::Real {
+                        path: Some(PathBuf::from("/mnt/a")),
+                        page_size: DEFAULT_PAGE_SIZE
+                    },
+                ],
+            }
+        );
+        assert_eq!(
+            "striped:4:sim:hdd-7200"
+                .parse::<DeviceSpec>()
+                .unwrap()
+                .page_size(),
+            DEFAULT_PAGE_SIZE
+        );
+    }
+
+    #[test]
+    fn striped_specs_round_trip_and_normalize() {
+        for text in [
+            "striped:2:sim:nvme",
+            "striped:4:sim:hdd-7200",
+            "striped:[sim:nvme,sim:hdd-7200]",
+            "striped:[sim:nvme,real:/mnt/a]",
+        ] {
+            let spec: DeviceSpec = text.parse().unwrap();
+            assert_eq!(spec.to_string(), text);
+            assert_eq!(spec.to_string().parse::<DeviceSpec>().unwrap(), spec);
+        }
+        // A homogeneous member list normalizes to the compact count form.
+        assert_eq!(
+            "striped:[sim:nvme,sim:nvme]"
+                .parse::<DeviceSpec>()
+                .unwrap()
+                .to_string(),
+            "striped:2:sim:nvme"
+        );
+    }
+
+    #[test]
+    fn bad_striped_specs_are_rejected_with_reasons() {
+        for bad in [
+            "striped",                      // no members at all
+            "striped:[]",                   // empty member list
+            "striped:[ ]",                  // still empty
+            "striped:[sim:nvme",            // missing ']'
+            "striped:0:sim:nvme",           // zero count
+            "striped:two:sim:nvme",         // non-numeric count
+            "striped:2",                    // count without a member
+            "striped:2:striped:2:sim:nvme", // nested, count form
+            "striped:[striped:2:sim:nvme]", // nested, list form
+            "striped:[sim:floppy]",         // bad member model
+        ] {
+            assert!(
+                bad.parse::<DeviceSpec>().is_err(),
+                "{bad:?} should not parse"
+            );
+        }
+        assert!(matches!(
+            "striped:[striped:2:sim:nvme]".parse::<DeviceSpec>(),
+            Err(StorageError::InvalidDeviceSpec { .. })
+        ));
+        assert!(matches!(
+            "striped:[sim:floppy]".parse::<DeviceSpec>(),
+            Err(StorageError::UnknownDeviceModel(_))
+        ));
+    }
+
+    #[test]
+    fn striped_build_produces_a_working_stripe() {
+        let device = "striped:3:sim:nvme"
+            .parse::<DeviceSpec>()
+            .unwrap()
+            .build()
+            .unwrap();
+        assert!(device.direct_io().is_none());
+        assert_eq!(device.stripe_members(), 3);
+        let striped = device.as_striped().expect("striped backend");
+        assert_eq!(striped.members(), 3);
+        let page = vec![5u8; device.page_size()];
+        let mut f = device.create("x").unwrap();
+        f.write_page(0, &page).unwrap();
+        let mut buf = vec![0u8; device.page_size()];
+        device.open("x").unwrap().read_page(0, &mut buf).unwrap();
+        assert_eq!(buf, page);
+        // Per-member counters fold into the device totals.
+        let per_member: u64 = striped.member_stats().iter().map(|s| s.pages_total()).sum();
+        assert_eq!(per_member, device.stats().pages_total());
+        // Mismatched member page sizes fail at build time.
+        assert!(matches!(
+            "striped:[sim:nvme:4096,sim:nvme:8192]"
+                .parse::<DeviceSpec>()
+                .unwrap()
+                .build(),
+            Err(StorageError::BadStripe(_))
+        ));
     }
 
     #[test]

@@ -376,7 +376,8 @@ pub mod prelude {
     };
     pub use twrs_storage::{
         AnyDevice, DeviceModel, DeviceSpec, DirectIoStatus, FileDevice, ModelId, RealFileDevice,
-        ScopedDevice, SimDevice, SortableRecord, SpillNamer, StorageDevice,
+        ScopedDevice, SimDevice, SortableRecord, SpillNamer, StorageDevice, StripePolicy,
+        StripedDevice,
     };
     pub use twrs_workloads::{ArrivalTrace, Distribution, DistributionKind, JobArrival, Record};
 }

@@ -20,7 +20,7 @@ use two_way_replacement_selection::storage::IoStatsSnapshot;
 
 /// Every page of `name` on `device`, so comparisons cover the exact bytes
 /// (headers, payloads and trailing-page padding included).
-fn file_bytes(device: &SimDevice, name: &str) -> Vec<u8> {
+fn file_bytes<D: StorageDevice + ?Sized>(device: &D, name: &str) -> Vec<u8> {
     let mut file = device.open(name).expect("output exists");
     let mut bytes = Vec::new();
     let mut page = vec![0u8; device.page_size()];
@@ -131,6 +131,62 @@ proptest! {
     ) {
         check_all_generators(&keys, memory, 4);
     }
+}
+
+/// Sorts `keys` on a `striped:<disks>:sim:hdd-7200` stripe and returns the
+/// output bytes plus the stripe's aggregate counters snapshot.
+fn sort_striped<G: ShardableGenerator>(
+    generator: G,
+    disks: usize,
+    keys: &[u64],
+    threads: usize,
+) -> (Vec<u8>, IoStatsSnapshot) {
+    let device = format!("striped:{disks}:sim:hdd-7200")
+        .parse::<DeviceSpec>()
+        .expect("striped spec parses")
+        .build()
+        .expect("striped device builds");
+    let input = keys
+        .iter()
+        .enumerate()
+        .map(|(i, k)| Record::new(*k, i as u64));
+    SortJob::new(generator)
+        .on(&device)
+        .threads(threads)
+        .verify(true)
+        .run_iter(input, "out")
+        .unwrap_or_else(|e| panic!("striped:{disks} sort failed: {e}"));
+    (file_bytes(&device, "out"), device.stats())
+}
+
+#[test]
+fn striped_output_is_byte_identical_to_single_disk() {
+    // Striping changes *where* spills land and how the reduction is
+    // grouped, never *what* is sorted: for RS, LSS and 2WRS alike, the
+    // output file on a 4-disk stripe is byte-identical to the single-disk
+    // file at both thread counts, and the sorted record count matches.
+    let keys: Vec<u64> = Distribution::new(DistributionKind::RandomUniform, 4_000, 7)
+        .records()
+        .map(|r| r.key)
+        .collect();
+    fn check<G: ShardableGenerator>(make: impl Fn(usize) -> G, label: &str, keys: &[u64]) {
+        for threads in [1usize, 4] {
+            let (single_bytes, _) = sort_under(make(200), ModelId::Hdd7200, keys, threads);
+            let (striped_bytes, stats) = sort_striped(make(200), 4, keys, threads);
+            assert_eq!(
+                striped_bytes, single_bytes,
+                "{label} t{threads}: striped output differs from single-disk"
+            );
+            assert!(stats.counters.pages_written > 0, "{label} t{threads}");
+        }
+    }
+    check(ReplacementSelection::new, "rs", &keys);
+    check(LoadSortStore::new, "lss", &keys);
+    check(
+        |m| TwoWayReplacementSelection::new(TwrsConfig::recommended(m)),
+        "2wrs",
+        &keys,
+    );
 }
 
 #[test]
